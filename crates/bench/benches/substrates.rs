@@ -1,0 +1,89 @@
+//! Microbenchmarks of the built-from-scratch substrates: Reed–Solomon
+//! coding, SHA-256/HMAC, CRC32 and the wire codec. These quantify the CPU
+//! costs the simulator charges (CostModel calibration inputs).
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nbr_crypto::{hmac_sha256, sha256};
+use nbr_erasure::ReedSolomon;
+use nbr_types::checksum::crc32;
+use nbr_types::wire::{decode_frame, encode_frame};
+use nbr_types::*;
+
+fn payload(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i * 31 + 7) as u8).collect()
+}
+
+fn bench_reed_solomon(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reed_solomon");
+    for &size in &[1024usize, 4096, 65536, 131072] {
+        let data = payload(size);
+        g.throughput(Throughput::Bytes(size as u64));
+        // The paper's default group: 3 replicas → RS(2, 3).
+        let rs = ReedSolomon::new(2, 3).unwrap();
+        g.bench_with_input(BenchmarkId::new("encode_2of3", size), &data, |b, d| {
+            b.iter(|| rs.encode(d));
+        });
+        let shards = rs.encode(&data);
+        let subset = vec![shards[1].clone(), shards[2].clone()];
+        g.bench_with_input(BenchmarkId::new("reconstruct_parity", size), &subset, |b, s| {
+            b.iter(|| rs.reconstruct(s, size).unwrap());
+        });
+        // A 9-replica group: RS(5, 9), the paper's largest.
+        let rs9 = ReedSolomon::new(5, 9).unwrap();
+        g.bench_with_input(BenchmarkId::new("encode_5of9", size), &data, |b, d| {
+            b.iter(|| rs9.encode(d));
+        });
+    }
+    g.finish();
+}
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    for &size in &[1024usize, 4096, 65536] {
+        let data = payload(size);
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, d| {
+            b.iter(|| sha256(d));
+        });
+        g.bench_with_input(BenchmarkId::new("hmac_sha256", size), &data, |b, d| {
+            b.iter(|| hmac_sha256(b"cluster-key", d));
+        });
+        g.bench_with_input(BenchmarkId::new("crc32", size), &data, |b, d| {
+            b.iter(|| crc32(d));
+        });
+    }
+    g.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_codec");
+    for &size in &[128usize, 4096, 65536] {
+        let msg = Message::AppendEntry(AppendEntryMsg {
+            term: Term(3),
+            leader: NodeId(0),
+            entry: Entry::data(
+                LogIndex(42),
+                Term(3),
+                Term(2),
+                Some(Origin { client: ClientId(7), request: RequestId(9) }),
+                Bytes::from(payload(size)),
+            ),
+            leader_commit: LogIndex(40),
+            verification: None,
+            relay_to: vec![],
+        });
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("encode", size), &msg, |b, m| {
+            b.iter(|| encode_frame(m));
+        });
+        let frame = encode_frame(&msg);
+        g.bench_with_input(BenchmarkId::new("decode", size), &frame, |b, f| {
+            b.iter(|| decode_frame::<Message>(f).unwrap().unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_reed_solomon, bench_crypto, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p nbr-bench --bin figures -- all
+//! cargo run --release -p nbr-bench --bin figures -- fig14 fig16
+//! cargo run --release -p nbr-bench --bin figures -- --quick all
+//! cargo run --release -p nbr-bench --bin figures -- --out results all
+//! ```
+
+use nbr_bench::{run_figure, Scale, ALL_FIGURES};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::paper();
+    let mut out_dir = String::from("bench_out");
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => scale = Scale::quick(),
+            "--out" => out_dir = it.next().expect("--out needs a directory"),
+            "all" => wanted.extend(ALL_FIGURES.iter().map(|s| s.to_string())),
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        eprintln!("usage: figures [--quick] [--out DIR] <all|fig4|fig14|...|headline>...");
+        eprintln!("figures: {}", ALL_FIGURES.join(" "));
+        std::process::exit(2);
+    }
+    for id in wanted {
+        let start = std::time::Instant::now();
+        match run_figure(&id, &scale) {
+            Some(tables) => {
+                for t in tables {
+                    t.emit(&out_dir);
+                }
+                eprintln!("[{id}] done in {:.1}s", start.elapsed().as_secs_f64());
+            }
+            None => eprintln!("[{id}] unknown figure id"),
+        }
+    }
+}

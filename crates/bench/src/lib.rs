@@ -1,0 +1,14 @@
+//! Benchmark harness for the NB-Raft reproduction.
+//!
+//! * [`figures`] — regenerates every table and figure of the paper's
+//!   evaluation on the discrete-event simulator (`cargo run --release -p
+//!   nbr-bench --bin figures -- all`).
+//! * [`report`] — ASCII/CSV result tables written to `bench_out/`.
+//! * `benches/` — Criterion microbenchmarks of the substrates (erasure
+//!   coding, hashing, wire codec, window, storage, Petri engine, simulator).
+
+pub mod figures;
+pub mod report;
+
+pub use figures::{run_figure, Scale, ALL_FIGURES};
+pub use report::Table;

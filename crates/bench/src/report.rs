@@ -1,0 +1,158 @@
+//! Result tables: aligned ASCII to stdout, CSV to `bench_out/`.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple result table: one row per x-value, one column per series.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Identifier, e.g. `fig14_throughput`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Label of the x column.
+    pub x_label: String,
+    /// Series names.
+    pub series: Vec<String>,
+    /// Rows: (x label, one value per series).
+    pub rows: Vec<(String, Vec<f64>)>,
+    /// Unit note shown under the title.
+    pub unit: String,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(id: &str, title: &str, x_label: &str, series: Vec<String>, unit: &str) -> Table {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            series,
+            rows: Vec::new(),
+            unit: unit.to_string(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, x: impl ToString, values: Vec<f64>) {
+        assert_eq!(values.len(), self.series.len(), "row width mismatch");
+        self.rows.push((x.to_string(), values));
+    }
+
+    /// Value lookup by (x, series name) — used by assertions in tests.
+    pub fn value(&self, x: &str, series: &str) -> Option<f64> {
+        let col = self.series.iter().position(|s| s == series)?;
+        let row = self.rows.iter().find(|(rx, _)| rx == x)?;
+        Some(row.1[col])
+    }
+
+    /// Render as an aligned ASCII table.
+    pub fn ascii(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ({}) ==", self.title, self.unit);
+        let width = 14usize;
+        let xw = self
+            .rows
+            .iter()
+            .map(|(x, _)| x.len())
+            .chain([self.x_label.len()])
+            .max()
+            .unwrap_or(8)
+            + 2;
+        let _ = write!(out, "{:<xw$}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, "{s:>width$}");
+        }
+        let _ = writeln!(out);
+        for (x, vals) in &self.rows {
+            let _ = write!(out, "{x:<xw$}");
+            for v in vals {
+                if v.abs() >= 1000.0 {
+                    let _ = write!(out, "{:>width$.1}", v);
+                } else {
+                    let _ = write!(out, "{:>width$.4}", v);
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// CSV rendering.
+    pub fn csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, ",{s}");
+        }
+        let _ = writeln!(out);
+        for (x, vals) in &self.rows {
+            let _ = write!(out, "{x}");
+            for v in vals {
+                let _ = write!(out, ",{v}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Print to stdout and persist CSV under `dir`.
+    pub fn emit(&self, dir: impl AsRef<Path>) {
+        println!("{}", self.ascii());
+        let dir = dir.as_ref();
+        if std::fs::create_dir_all(dir).is_ok() {
+            let _ = std::fs::write(dir.join(format!("{}.csv", self.id)), self.csv());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(
+            "t1",
+            "Throughput",
+            "#Clients",
+            vec!["Raft".into(), "NB-Raft".into()],
+            "Kop/s",
+        );
+        t.row(1, vec![1.0, 1.1]);
+        t.row(1024, vec![40000.0, 52000.0]);
+        t
+    }
+
+    #[test]
+    fn ascii_contains_everything() {
+        let a = sample().ascii();
+        assert!(a.contains("Throughput"));
+        assert!(a.contains("Raft"));
+        assert!(a.contains("NB-Raft"));
+        assert!(a.contains("1024"));
+    }
+
+    #[test]
+    fn csv_round_shape() {
+        let c = sample().csv();
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "#Clients,Raft,NB-Raft");
+        assert!(lines[2].starts_with("1024,40000"));
+    }
+
+    #[test]
+    fn value_lookup() {
+        let t = sample();
+        assert_eq!(t.value("1024", "NB-Raft"), Some(52000.0));
+        assert_eq!(t.value("1024", "nope"), None);
+        assert_eq!(t.value("7", "Raft"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_checked() {
+        let mut t = sample();
+        t.row(2, vec![1.0]);
+    }
+}

@@ -1,0 +1,239 @@
+//! `nbraft-cli` — command-line front end for the NB-Raft reproduction.
+//!
+//! ```text
+//! nbraft-cli sim   [--protocol P] [--clients N] [--replicas N] [--payload BYTES]
+//!              [--dispatchers N] [--window W] [--duration-ms MS] [--seed S]
+//!              [--geo] [--cloud] [--cpu-scale F]
+//! nbraft-cli petri [--clients N] [--dispatchers N] [--non-blocking]
+//!              [--ratis] [--horizon-ms MS] [--dot FILE]
+//! nbraft-cli demo  [--protocol P] [--replicas N] [--clients N] [--seconds S]
+//! ```
+
+use bytes::Bytes;
+use nbr_cluster::{Cluster, ClusterConfig};
+use nbr_petri::{CostProfile, ModelConfig, ReplicationModel};
+use nbr_sim::{run, CostModel, GeoMatrix, SimConfig};
+use nbr_storage::KvStore;
+use nbr_types::{Protocol, TimeDelta};
+use std::collections::HashMap;
+use std::time::Duration;
+
+fn parse_protocol(s: &str) -> Option<Protocol> {
+    match s.to_ascii_lowercase().as_str() {
+        "raft" => Some(Protocol::Raft),
+        "nbraft" | "nb-raft" | "nb" => Some(Protocol::NbRaft),
+        "craft" => Some(Protocol::CRaft),
+        "nbcraft" | "nb-raft+craft" | "nb+craft" => Some(Protocol::NbCRaft),
+        "ecraft" => Some(Protocol::EcRaft),
+        "kraft" => Some(Protocol::KRaft),
+        "vgraft" => Some(Protocol::VgRaft),
+        _ => None,
+    }
+}
+
+/// Minimal `--key value` / `--flag` parser.
+struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Args {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let a = &raw[i];
+            if let Some(key) = a.strip_prefix("--") {
+                if i + 1 < raw.len() && !raw[i + 1].starts_with("--") {
+                    values.insert(key.to_string(), raw[i + 1].clone());
+                    i += 2;
+                } else {
+                    flags.push(key.to_string());
+                    i += 1;
+                }
+            } else {
+                eprintln!("unexpected argument: {a}");
+                std::process::exit(2);
+            }
+        }
+        Args { values, flags }
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.values.get(key) {
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("invalid value for --{key}: {v}");
+                std::process::exit(2);
+            }),
+            None => default,
+        }
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    fn protocol(&self) -> Protocol {
+        match self.values.get("protocol") {
+            Some(v) => parse_protocol(v).unwrap_or_else(|| {
+                eprintln!("unknown protocol {v}; one of raft|nbraft|craft|nbcraft|ecraft|kraft|vgraft");
+                std::process::exit(2);
+            }),
+            None => Protocol::NbRaft,
+        }
+    }
+}
+
+fn cmd_sim(args: &Args) {
+    let clients = args.get("clients", 256usize);
+    let cfg = SimConfig {
+        protocol: args.protocol(),
+        window: args.get("window", 10_000usize),
+        n_replicas: args.get("replicas", 3usize),
+        n_clients: clients,
+        n_dispatchers: args.get("dispatchers", clients),
+        payload: args.get("payload", 4096usize),
+        duration: TimeDelta::from_millis(args.get("duration-ms", 1000u64)),
+        warmup: TimeDelta::from_millis(args.get("warmup-ms", 300u64)),
+        costs: if args.has("cloud") { CostModel::cloud() } else { CostModel::default() },
+        geo: args.has("geo").then(GeoMatrix::alibaba_five_cities),
+        cpu_scale: args.get("cpu-scale", 1.0f64),
+        seed: args.get("seed", 42u64),
+        ..Default::default()
+    };
+    println!(
+        "simulating {} — {} replicas, {} clients, {}B payloads...",
+        cfg.protocol.name(),
+        cfg.n_replicas,
+        cfg.n_clients,
+        cfg.payload
+    );
+    let r = run(cfg);
+    println!("throughput        {:>12.0} ops/s", r.throughput);
+    println!("latency mean      {:>12.3} ms", r.latency_mean_ms);
+    println!("latency p50/p99   {:>7.3} / {:.3} ms", r.latency_p50_ms, r.latency_p99_ms);
+    println!("issued/acked      {:>12} / {}", r.issued, r.acked);
+    println!("weak-acked        {:>12} ({:.1}% of acks)", r.weak_acked, if r.acked == 0 { 0.0 } else { 100.0 * r.weak_acked as f64 / r.acked as f64 });
+    println!("t_wait mean       {:>12.3} ms", r.twait_mean_ms);
+    println!("entries parked    {:>12}", r.stats.parked);
+    println!("window flushes    {:>12}", r.stats.window_flushes);
+    println!("elections         {:>12}", r.elections);
+}
+
+fn cmd_petri(args: &Args) {
+    let cfg = ModelConfig {
+        n_clients: args.get("clients", 256usize),
+        n_dispatchers: args.get("dispatchers", 64usize),
+        non_blocking: args.has("non-blocking"),
+        costs: if args.has("ratis") { CostProfile::ratis() } else { CostProfile::iotdb() },
+        seed: args.get("seed", 42u64),
+        ..Default::default()
+    };
+    let model = ReplicationModel::build(cfg);
+    if let Some(path) = args.values.get("dot") {
+        let dot = model.net_ref().to_dot("Raft log replication (paper Fig. 3)");
+        std::fs::write(path, dot).expect("write dot file");
+        println!("wrote DOT graph to {path} (render: dot -Tsvg {path})");
+    }
+    let report = model.run(args.get("horizon-ms", 2000u64));
+    println!("throughput {:.0} req/s; per-entry phase breakdown:", report.throughput);
+    let mut phases = report.phases.clone();
+    phases.sort_by(|a, b| b.per_entry_ns.total_cmp(&a.per_entry_ns));
+    for p in &phases {
+        println!(
+            "  {:<14} {:>10.1} µs {:>6.1}%",
+            p.name,
+            p.per_entry_ns / 1e3,
+            100.0 * report.proportion(p.name)
+        );
+    }
+}
+
+fn cmd_demo(args: &Args) {
+    let n = args.get("replicas", 3usize);
+    let seconds = args.get("seconds", 5u64);
+    let clients = args.get("clients", 4usize);
+    let cluster_cfg = ClusterConfig {
+        protocol: args.protocol().config(args.get("window", 10_000usize)),
+        ..ClusterConfig::default()
+    };
+    println!(
+        "spawning a live {}-replica {} cluster for {seconds}s with {clients} client threads...",
+        n,
+        cluster_cfg.protocol.protocol.name()
+    );
+    let cluster: Cluster<KvStore> = Cluster::spawn(n, cluster_cfg);
+    let leader = cluster
+        .wait_for_leader(Duration::from_secs(5))
+        .expect("no leader elected");
+    println!("leader elected: node {leader}");
+
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for t in 0..clients {
+        let mut client = cluster.client();
+        let stop = std::sync::Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut ops = 0u64;
+            let mut weak = 0u64;
+            let mut i = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                i += 1;
+                if let Ok((_, w)) = client.submit(
+                    Bytes::from(format!("t{t}.k{i}=v{i}")),
+                    Duration::from_secs(5),
+                ) {
+                    ops += 1;
+                    if w {
+                        weak += 1;
+                    }
+                }
+            }
+            (ops, weak)
+        }));
+    }
+    for s in 1..=seconds {
+        std::thread::sleep(Duration::from_secs(1));
+        let status = cluster.status(leader);
+        println!(
+            "  t={s}s  leader commit={} applied={} term={}",
+            status.commit, status.applied, status.term
+        );
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let mut total = 0;
+    let mut weak_total = 0;
+    for h in handles {
+        let (ops, weak) = h.join().expect("client thread");
+        total += ops;
+        weak_total += weak;
+    }
+    println!(
+        "done: {total} ops in {seconds}s ({:.0} ops/s), {weak_total} weak-acked early",
+        total as f64 / seconds as f64
+    );
+    let kv = cluster.machine(leader);
+    println!("leader state machine holds {} keys", kv.lock().len());
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "nbraft-cli — Non-Blocking Raft reproduction CLI\n\n\
+         USAGE:\n  nbraft-cli sim   [--protocol P] [--clients N] [--replicas N] [--payload B]\n               [--dispatchers N] [--window W] [--duration-ms MS] [--seed S]\n               [--geo] [--cloud] [--cpu-scale F]\n  nbraft-cli petri [--clients N] [--dispatchers N] [--non-blocking] [--ratis]\n               [--horizon-ms MS] [--dot FILE]\n  nbraft-cli demo  [--protocol P] [--replicas N] [--clients N] [--seconds S]\n\n\
+         protocols: raft nbraft craft nbcraft ecraft kraft vgraft"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = raw.first() else { usage() };
+    let args = Args::parse(&raw[1..]);
+    match cmd.as_str() {
+        "sim" => cmd_sim(&args),
+        "petri" => cmd_petri(&args),
+        "demo" => cmd_demo(&args),
+        _ => usage(),
+    }
+}

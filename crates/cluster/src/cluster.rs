@@ -1,0 +1,654 @@
+//! The real-thread cluster runtime: one OS thread per replica, an in-process
+//! network with fault injection, durable WAL storage, and real state
+//! machines. This is the harness that demonstrates the protocols *work* —
+//! real concurrency, real crypto/coding work, crash/restart with recovery —
+//! complementing the deterministic simulator used for the figures.
+
+use crate::network::{NetConfig, NetHandle, Network, Packet, CLIENT_ENDPOINT};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use nbr_core::{Node, Output};
+use nbr_storage::{LogStore, MemLog, StateMachine, SyncPolicy, WalLog};
+use nbr_types::*;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Where replicas keep their logs.
+#[derive(Debug, Clone)]
+pub enum StorageMode {
+    /// Volatile in-memory logs (fast; used by most tests).
+    Memory,
+    /// Durable write-ahead logs under the given directory — survives
+    /// [`Cluster::crash`] + [`Cluster::restart`].
+    Wal(PathBuf),
+}
+
+/// Cluster construction options.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Protocol preset + window.
+    pub protocol: ProtocolConfig,
+    /// Network behaviour.
+    pub net: NetConfig,
+    /// Log storage.
+    pub storage: StorageMode,
+    /// Snapshot + compact a replica's log whenever it retains more than this
+    /// many applied entries (`None` disables compaction).
+    pub compact_after: Option<u64>,
+    /// Seed for node RNGs.
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            protocol: {
+                let mut p = Protocol::NbRaft.config(10_000);
+                // Real-time timeouts suited to an in-process network.
+                p.timeouts = TimeoutConfig {
+                    election_min: TimeDelta::from_millis(150),
+                    election_max: TimeDelta::from_millis(300),
+                    heartbeat_interval: TimeDelta::from_millis(40),
+                    retry_interval: TimeDelta::from_millis(20),
+                };
+                p
+            },
+            net: NetConfig::default(),
+            storage: StorageMode::Memory,
+            compact_after: None,
+            seed: 42,
+        }
+    }
+}
+
+/// Observable replica status snapshot (updated by the node thread).
+#[derive(Debug, Clone, Default)]
+pub struct NodeStatus {
+    /// Is the node running (not crashed)?
+    pub alive: bool,
+    /// Believes itself leader?
+    pub is_leader: bool,
+    /// Current term.
+    pub term: u64,
+    /// Commit index.
+    pub commit: u64,
+    /// Last log index.
+    pub last_index: u64,
+    /// Entries applied to the state machine.
+    pub applied: u64,
+}
+
+/// A log that is either volatile or WAL-backed.
+enum ClusterLog {
+    Mem(MemLog),
+    Wal(WalLog),
+}
+
+macro_rules! delegate {
+    ($self:ident, $m:ident ( $($a:expr),* )) => {
+        match $self {
+            ClusterLog::Mem(l) => l.$m($($a),*),
+            ClusterLog::Wal(l) => l.$m($($a),*),
+        }
+    };
+}
+
+impl LogStore for ClusterLog {
+    fn first_index(&self) -> LogIndex {
+        delegate!(self, first_index())
+    }
+    fn last_index(&self) -> LogIndex {
+        delegate!(self, last_index())
+    }
+    fn last_term(&self) -> Term {
+        delegate!(self, last_term())
+    }
+    fn term_of(&self, idx: LogIndex) -> Option<Term> {
+        delegate!(self, term_of(idx))
+    }
+    fn get(&self, idx: LogIndex) -> Option<Entry> {
+        delegate!(self, get(idx))
+    }
+    fn append(&mut self, entry: Entry) -> Result<()> {
+        delegate!(self, append(entry))
+    }
+    fn truncate_from(&mut self, idx: LogIndex) -> Result<()> {
+        delegate!(self, truncate_from(idx))
+    }
+    fn compact_to(&mut self, idx: LogIndex) -> Result<()> {
+        delegate!(self, compact_to(idx))
+    }
+    fn reset(&mut self, boundary: LogIndex, term: Term) -> Result<()> {
+        delegate!(self, reset(boundary, term))
+    }
+}
+
+enum Control {
+    Crash,
+    Restart,
+    Stop,
+    /// Register a linearizable read; the sender is signalled when the local
+    /// state machine is safe to read (ReadIndex protocol).
+    Read(Sender<Result<()>>),
+}
+
+/// One replica's harness-side handles.
+struct Replica {
+    control: Sender<Control>,
+    status: Arc<Mutex<NodeStatus>>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+/// A running cluster with state machines of type `M`.
+pub struct Cluster<M: StateMachine + Send + 'static> {
+    /// Configuration the cluster was spawned with.
+    pub cfg: ClusterConfig,
+    epoch: Instant,
+    net: Network,
+    replicas: Vec<Replica>,
+    machines: Vec<Arc<Mutex<M>>>,
+    /// Client response demultiplexer registry.
+    client_routes: Arc<Mutex<HashMap<ClientId, Sender<ClientResponse>>>>,
+    router_thread: Option<std::thread::JoinHandle<()>>,
+    next_client: std::sync::atomic::AtomicU64,
+    n: usize,
+}
+
+fn now_since(epoch: Instant) -> Time {
+    Time(epoch.elapsed().as_nanos() as u64)
+}
+
+impl<M: StateMachine + Send + Default + 'static> Cluster<M> {
+    /// Spawn an `n`-replica cluster.
+    pub fn spawn(n: usize, cfg: ClusterConfig) -> Cluster<M> {
+        let epoch = Instant::now();
+        let membership: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+        let mut inboxes = Vec::new();
+        let mut receivers = Vec::new();
+        for _ in 0..n {
+            let (tx, rx) = unbounded::<Packet>();
+            inboxes.push(tx);
+            receivers.push(rx);
+        }
+        let (client_tx, client_rx) = unbounded::<Packet>();
+        let net = Network::spawn(cfg.net.clone(), inboxes, client_tx);
+
+        let machines: Vec<Arc<Mutex<M>>> =
+            (0..n).map(|_| Arc::new(Mutex::new(M::default()))).collect();
+
+        let mut replicas = Vec::new();
+        for (i, rx) in receivers.into_iter().enumerate() {
+            let (ctl_tx, ctl_rx) = unbounded::<Control>();
+            let status = Arc::new(Mutex::new(NodeStatus::default()));
+            let thread = spawn_replica(
+                NodeId(i as u32),
+                membership.clone(),
+                cfg.clone(),
+                epoch,
+                rx,
+                ctl_rx,
+                net.handle(),
+                Arc::clone(&machines[i]),
+                Arc::clone(&status),
+            );
+            replicas.push(Replica { control: ctl_tx, status, thread: Some(thread) });
+        }
+
+        // Client response router.
+        let client_routes: Arc<Mutex<HashMap<ClientId, Sender<ClientResponse>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let routes = Arc::clone(&client_routes);
+        let router_thread = std::thread::Builder::new()
+            .name("nbr-client-router".into())
+            .spawn(move || {
+                while let Ok(packet) = client_rx.recv() {
+                    if let Packet::Response { client, resp } = packet {
+                        if let Some(tx) = routes.lock().get(&client) {
+                            let _ = tx.send(resp);
+                        }
+                    }
+                }
+            })
+            .expect("spawn router");
+
+        Cluster {
+            cfg,
+            epoch,
+            net,
+            replicas,
+            machines,
+            client_routes,
+            router_thread: Some(router_thread),
+            next_client: std::sync::atomic::AtomicU64::new(0),
+            n,
+        }
+    }
+
+    /// Group size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the cluster has no replicas (never in practice).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Status snapshot of one replica.
+    pub fn status(&self, node: usize) -> NodeStatus {
+        self.replicas[node].status.lock().clone()
+    }
+
+    /// The state machine of one replica.
+    pub fn machine(&self, node: usize) -> Arc<Mutex<M>> {
+        Arc::clone(&self.machines[node])
+    }
+
+    /// Fault injection controls.
+    pub fn net(&self) -> Arc<crate::network::NetControl> {
+        Arc::clone(&self.net.handle().control)
+    }
+
+    /// Wait until some replica believes it is leader; returns its index.
+    pub fn wait_for_leader(&self, timeout: Duration) -> Option<usize> {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            for i in 0..self.n {
+                let s = self.status(i);
+                if s.alive && s.is_leader {
+                    return Some(i);
+                }
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        None
+    }
+
+    /// Wait until every live replica's applied count reaches `target`.
+    pub fn wait_for_applied(&self, target: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            let ok = (0..self.n).all(|i| {
+                let s = self.status(i);
+                !s.alive || s.applied >= target
+            });
+            if ok {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        false
+    }
+
+    /// Crash a replica (drops volatile state; WAL files survive).
+    pub fn crash(&self, node: usize) {
+        let _ = self.replicas[node].control.send(Control::Crash);
+    }
+
+    /// Restart a crashed replica (recovers from WAL when configured).
+    pub fn restart(&self, node: usize) {
+        let _ = self.replicas[node].control.send(Control::Restart);
+    }
+
+    /// Perform a linearizable read on `node`'s state machine: blocks until
+    /// the ReadIndex protocol confirms the local machine is safe to read
+    /// (leader or follower), then applies `f` to it. Errors if the node is
+    /// not part of an active quorum (e.g. a deposed, partitioned leader —
+    /// this is what prevents stale reads).
+    pub fn linearizable_read<T>(
+        &self,
+        node: usize,
+        timeout: Duration,
+        f: impl FnOnce(&M) -> T,
+    ) -> Result<T> {
+        let (tx, rx) = unbounded();
+        self.replicas[node]
+            .control
+            .send(Control::Read(tx))
+            .map_err(|_| Error::Cluster("replica thread gone".into()))?;
+        match rx.recv_timeout(timeout) {
+            Ok(Ok(())) => Ok(f(&self.machines[node].lock())),
+            Ok(Err(e)) => Err(e),
+            Err(_) => Err(Error::Cluster(format!("read on node {node} timed out"))),
+        }
+    }
+
+    /// Create a synchronous client handle.
+    pub fn client(&self) -> ClusterClient {
+        let id = ClientId(
+            self.next_client
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        );
+        let (tx, rx) = unbounded();
+        self.client_routes.lock().insert(id, tx);
+        ClusterClient {
+            inner: nbr_core::RaftClient::new(
+                id,
+                (0..self.n as u32).map(NodeId).collect(),
+                NodeId(0),
+                TimeDelta::from_millis(300),
+            ),
+            rx,
+            net: self.net.handle(),
+            epoch: self.epoch,
+            routes: Arc::clone(&self.client_routes),
+        }
+    }
+}
+
+impl<M: StateMachine + Send + 'static> Drop for Cluster<M> {
+    fn drop(&mut self) {
+        for r in &self.replicas {
+            let _ = r.control.send(Control::Stop);
+        }
+        for r in &mut self.replicas {
+            if let Some(t) = r.thread.take() {
+                let _ = t.join();
+            }
+        }
+        // The router thread exits when the network (which owns the sender
+        // side of its channel) shuts down; the network shuts down when its
+        // field drops after this body. Detach rather than join to avoid a
+        // drop-order deadlock.
+        drop(self.router_thread.take());
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spawn_replica<M: StateMachine + Send + Default + 'static>(
+    id: NodeId,
+    membership: Vec<NodeId>,
+    cfg: ClusterConfig,
+    epoch: Instant,
+    inbox: Receiver<Packet>,
+    control: Receiver<Control>,
+    net: NetHandle,
+    machine: Arc<Mutex<M>>,
+    status: Arc<Mutex<NodeStatus>>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("nbr-node-{}", id.0))
+        .spawn(move || {
+            let open_log = || -> ClusterLog {
+                match &cfg.storage {
+                    StorageMode::Memory => ClusterLog::Mem(MemLog::new()),
+                    StorageMode::Wal(dir) => {
+                        std::fs::create_dir_all(dir).expect("wal dir");
+                        let path = dir.join(format!("node-{}.wal", id.0));
+                        ClusterLog::Wal(
+                            WalLog::open(path, SyncPolicy::Never).expect("open wal"),
+                        )
+                    }
+                }
+            };
+            let hard_state_path = match &cfg.storage {
+                StorageMode::Wal(dir) => Some(dir.join(format!("node-{}.hs", id.0))),
+                StorageMode::Memory => None,
+            };
+            let load_hard_state = || -> Option<(Term, Option<NodeId>)> {
+                let p = hard_state_path.as_ref()?;
+                let bytes = std::fs::read(p).ok()?;
+                if bytes.len() != 16 {
+                    return None;
+                }
+                let term = Term(u64::from_le_bytes(bytes[..8].try_into().unwrap()));
+                let v = u64::from_le_bytes(bytes[8..].try_into().unwrap());
+                let voted = if v == u64::MAX { None } else { Some(NodeId(v as u32)) };
+                Some((term, voted))
+            };
+
+            // Outstanding harness reads keyed by synthetic request id.
+            let mut read_replies: HashMap<u64, Sender<Result<()>>> = HashMap::new();
+            let mut next_read_id = 0u64;
+            let mut node: Option<Node<ClusterLog>> = Some({
+                let mut n = Node::new(id, membership.clone(), cfg.protocol.clone(), open_log(), cfg.seed);
+                if let Some((t, v)) = load_hard_state() {
+                    n.restore_hard_state(t, v);
+                }
+                n
+            });
+            let mut last_hs = node.as_ref().map(|n| n.hard_state());
+            let mut outputs: Vec<Output> = Vec::new();
+
+            loop {
+                // Control commands.
+                while let Ok(c) = control.try_recv() {
+                    match c {
+                        Control::Stop => return,
+                        Control::Crash => {
+                            node = None;
+                            // The state machine is volatile node state: a
+                            // restarted replica rebuilds it by re-applying
+                            // its recovered log from the start.
+                            *machine.lock() = M::default();
+                            status.lock().alive = false;
+                        }
+                        Control::Read(reply) => {
+                            if let Some(n) = node.as_mut() {
+                                next_read_id += 1;
+                                read_replies.insert(next_read_id, reply);
+                                let now = now_since(epoch);
+                                n.handle_read(
+                                    ClientId(u64::MAX),
+                                    RequestId(next_read_id),
+                                    now,
+                                    &mut outputs,
+                                );
+                            } else {
+                                let _ = reply.send(Err(Error::Cluster("node crashed".into())));
+                            }
+                        }
+                        Control::Restart => {
+                            if node.is_none() {
+                                let mut n = Node::new(
+                                    id,
+                                    membership.clone(),
+                                    cfg.protocol.clone(),
+                                    open_log(),
+                                    cfg.seed ^ 0xBEEF,
+                                );
+                                if let Some((t, v)) = load_hard_state() {
+                                    n.restore_hard_state(t, v);
+                                }
+                                last_hs = Some(n.hard_state());
+                                node = Some(n);
+                            }
+                        }
+                    }
+                }
+
+                // Input.
+                let packet = inbox.recv_timeout(Duration::from_millis(2));
+                let now = now_since(epoch);
+                if let Some(n) = node.as_mut() {
+                    match packet {
+                        Ok(Packet::Peer { from, msg }) => n.handle_message(from, msg, now, &mut outputs),
+                        Ok(Packet::Request(req)) => n.handle_client(req, now, &mut outputs),
+                        Ok(Packet::Response { .. }) => {}
+                        Err(_) => {}
+                    }
+                    n.tick(now, &mut outputs);
+
+                    // Persist hard state before acting on outputs.
+                    let hs = n.hard_state();
+                    if Some(hs) != last_hs {
+                        if let Some(p) = &hard_state_path {
+                            let mut b = Vec::with_capacity(16);
+                            b.extend_from_slice(&hs.0 .0.to_le_bytes());
+                            b.extend_from_slice(
+                                &hs.1.map_or(u64::MAX, |n| n.0 as u64).to_le_bytes(),
+                            );
+                            let _ = std::fs::write(p, b);
+                        }
+                        last_hs = Some(hs);
+                    }
+
+                    for o in outputs.drain(..) {
+                        match o {
+                            Output::Send { to, msg } => {
+                                net.send(id.0, to.0, Packet::Peer { from: id, msg });
+                            }
+                            Output::Respond { client, resp } if client == ClientId(u64::MAX) => {
+                                // A harness read was rejected (not leader /
+                                // no leader known): fail the waiter fast.
+                                if let ClientResponse::NotLeader { request, .. } = resp {
+                                    if let Some(reply) = read_replies.remove(&request.0) {
+                                        let _ = reply.send(Err(Error::NotLeader { hint: None }));
+                                    }
+                                }
+                            }
+                            Output::Respond { client, resp } => {
+                                net.send(id.0, CLIENT_ENDPOINT, Packet::Response { client, resp });
+                            }
+                            Output::Apply { entry } => {
+                                machine.lock().apply(&entry);
+                            }
+                            Output::RestoreSnapshot { last_index, data, .. } => {
+                                machine
+                                    .lock()
+                                    .restore(&data, last_index)
+                                    .expect("snapshot image restores");
+                            }
+                            Output::ReadReady { client, request, .. } => {
+                                if client == ClientId(u64::MAX) {
+                                    if let Some(reply) = read_replies.remove(&request.0) {
+                                        let _ = reply.send(Ok(()));
+                                    }
+                                }
+                            }
+
+                            Output::ElectedLeader { .. } | Output::SteppedDown { .. } => {}
+                        }
+                    }
+
+                    // Compaction policy: snapshot the state machine and drop
+                    // the applied log prefix once it grows past the limit.
+                    if let Some(limit) = cfg.compact_after {
+                        let applied = n.applied_index();
+                        if applied.0 >= limit
+                            && applied.0 + 1 - n.log().first_index().0 > limit
+                        {
+                            let image = machine.lock().snapshot();
+                            let _ = n.compact_with_snapshot(image);
+                        }
+                    }
+
+                    // Status snapshot.
+                    let mut s = status.lock();
+                    s.alive = true;
+                    s.is_leader = n.is_leader();
+                    s.term = n.term().0;
+                    s.commit = n.commit_index().0;
+                    s.last_index = n.last_index().0;
+                    s.applied = machine.lock().applied_index().0;
+                } else {
+                    // Crashed: drain and ignore.
+                    let _ = packet;
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        })
+        .expect("spawn replica thread")
+}
+
+/// A synchronous client bound to one cluster.
+pub struct ClusterClient {
+    inner: nbr_core::RaftClient,
+    rx: Receiver<ClientResponse>,
+    net: NetHandle,
+    epoch: Instant,
+    routes: Arc<Mutex<HashMap<ClientId, Sender<ClientResponse>>>>,
+}
+
+impl ClusterClient {
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.inner.id()
+    }
+
+    /// Requests issued so far.
+    pub fn issued(&self) -> u64 {
+        self.inner.issued()
+    }
+
+    fn dispatch(&self, actions: Vec<nbr_core::ClientAction>, acked: &mut Option<(RequestId, bool)>, confirmed: &mut Vec<RequestId>) {
+        for a in actions {
+            match a {
+                nbr_core::ClientAction::Send { to, request } => {
+                    self.net.send(CLIENT_ENDPOINT, to.0, Packet::Request(request));
+                }
+                nbr_core::ClientAction::Acked { request, weak, .. } => {
+                    *acked = Some((request, weak));
+                }
+                nbr_core::ClientAction::Confirmed { request } => confirmed.push(request),
+            }
+        }
+    }
+
+    /// Submit one request and block until it is first-acked (weak or
+    /// strong). Returns `(request id, was_weak)`.
+    pub fn submit(&mut self, payload: bytes::Bytes, timeout: Duration) -> Result<(RequestId, bool)> {
+        let deadline = Instant::now() + timeout;
+        let mut acked = None;
+        let mut confirmed = Vec::new();
+        let mut actions = Vec::new();
+        let now = now_since(self.epoch);
+        let id = self.inner.issue(payload, now, &mut actions);
+        self.dispatch(actions, &mut acked, &mut confirmed);
+
+        while Instant::now() < deadline {
+            if let Some((r, weak)) = acked {
+                if r >= id {
+                    return Ok((id, weak));
+                }
+            }
+            let mut actions = Vec::new();
+            match self.rx.recv_timeout(Duration::from_millis(5)) {
+                Ok(resp) => {
+                    let now = now_since(self.epoch);
+                    self.inner.handle_response(resp, now, &mut actions);
+                }
+                Err(_) => {
+                    let now = now_since(self.epoch);
+                    self.inner.tick(now, &mut actions);
+                }
+            }
+            self.dispatch(actions, &mut acked, &mut confirmed);
+        }
+        Err(Error::Cluster(format!("request {id} timed out")))
+    }
+
+    /// Block until every weakly-accepted request so far is durably
+    /// confirmed (opList empty), or the timeout expires.
+    pub fn drain(&mut self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if self.inner.op_list_len() == 0 {
+                return true;
+            }
+            let mut actions = Vec::new();
+            match self.rx.recv_timeout(Duration::from_millis(5)) {
+                Ok(resp) => {
+                    let now = now_since(self.epoch);
+                    self.inner.handle_response(resp, now, &mut actions);
+                }
+                Err(_) => {
+                    let now = now_since(self.epoch);
+                    self.inner.tick(now, &mut actions);
+                }
+            }
+            let mut acked = None;
+            let mut confirmed = Vec::new();
+            self.dispatch(actions, &mut acked, &mut confirmed);
+        }
+        false
+    }
+}
+
+impl Drop for ClusterClient {
+    fn drop(&mut self) {
+        self.routes.lock().remove(&self.inner.id());
+    }
+}

@@ -1,0 +1,13 @@
+//! Real-thread in-process cluster runtime for the NB-Raft protocol family.
+//!
+//! Each replica runs on its own OS thread with real storage (optionally a
+//! crash-recovering WAL), real Reed–Solomon/SHA-256 work, and an in-process
+//! [`network::Network`] with seeded delay jitter, drops and partitions. Use
+//! this harness to *demonstrate* the system (examples, integration tests,
+//! failure drills); use `nbr-sim` to *measure* it at paper scale.
+
+pub mod cluster;
+pub mod network;
+
+pub use cluster::{Cluster, ClusterClient, ClusterConfig, NodeStatus, StorageMode};
+pub use network::{NetConfig, NetControl, NetHandle, Network, Packet, CLIENT_ENDPOINT};

@@ -1,0 +1,246 @@
+//! In-process network with fault injection.
+//!
+//! A single router thread moves messages between node inboxes, applying a
+//! configurable artificial delay (uniform in `[min, max]` — the jitter that
+//! produces out-of-order arrival), probabilistic drops, and partitions. All
+//! randomness is seeded for reproducible failure tests.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use nbr_types::{ClientRequest, ClientResponse, Message, NodeId};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Anything routable between cluster participants.
+#[derive(Debug, Clone)]
+pub enum Packet {
+    /// Replica-to-replica protocol message.
+    Peer {
+        /// Sender.
+        from: NodeId,
+        /// The message.
+        msg: Message,
+    },
+    /// Client request to a replica.
+    Request(ClientRequest),
+    /// Replica response to a client.
+    Response {
+        /// Destination client.
+        client: nbr_types::ClientId,
+        /// The response.
+        resp: ClientResponse,
+    },
+}
+
+/// Network fault configuration (mutable at runtime through [`NetControl`]).
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Artificial delay range applied to every packet.
+    pub delay: (Duration, Duration),
+    /// Probability in `[0, 1]` of dropping any packet.
+    pub drop_rate: f64,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            delay: (Duration::from_micros(50), Duration::from_micros(500)),
+            drop_rate: 0.0,
+            seed: 7,
+        }
+    }
+}
+
+/// Shared runtime switches for fault injection.
+#[derive(Debug, Default)]
+pub struct NetControl {
+    /// Pairs (a, b) whose traffic is dropped, both directions. Endpoint
+    /// `u32::MAX` denotes the client side.
+    partitions: Mutex<Vec<(u32, u32)>>,
+    /// Per-mille drop rate override (atomic for cheap reads).
+    drop_per_mille: AtomicU64,
+    stopped: AtomicBool,
+}
+
+/// Endpoint id for clients in partition specs.
+pub const CLIENT_ENDPOINT: u32 = u32::MAX;
+
+impl NetControl {
+    /// Cut traffic between endpoints `a` and `b` (use [`CLIENT_ENDPOINT`]
+    /// for the client side).
+    pub fn partition(&self, a: u32, b: u32) {
+        self.partitions.lock().push((a, b));
+    }
+
+    /// Remove all partitions.
+    pub fn heal(&self) {
+        self.partitions.lock().clear();
+    }
+
+    /// Set the packet drop probability (0.0–1.0).
+    pub fn set_drop_rate(&self, rate: f64) {
+        self.drop_per_mille
+            .store((rate.clamp(0.0, 1.0) * 1000.0) as u64, Ordering::Relaxed);
+    }
+
+    fn is_cut(&self, a: u32, b: u32) -> bool {
+        self.partitions
+            .lock()
+            .iter()
+            .any(|&(x, y)| (x == a && y == b) || (x == b && y == a))
+    }
+
+    fn stop(&self) {
+        self.stopped.store(true, Ordering::Relaxed);
+    }
+}
+
+struct Delayed {
+    due: Instant,
+    seq: u64,
+    to_endpoint: u32,
+    packet: Packet,
+}
+
+impl PartialEq for Delayed {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for Delayed {}
+impl PartialOrd for Delayed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Delayed {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap.
+        (other.due, other.seq).cmp(&(self.due, self.seq))
+    }
+}
+
+/// `(from, to, packet)` triple in flight to the router.
+type Routed = (u32, u32, Packet);
+
+/// Handle used by nodes/clients to send into the network.
+#[derive(Clone)]
+pub struct NetHandle {
+    tx: Sender<Routed>,
+    pub(crate) control: Arc<NetControl>,
+}
+
+impl NetHandle {
+    /// Send `packet` from endpoint `from` to endpoint `to`.
+    pub fn send(&self, from: u32, to: u32, packet: Packet) {
+        let _ = self.tx.send((from, to, packet));
+    }
+
+    /// Fault-injection switches.
+    pub fn control(&self) -> &NetControl {
+        &self.control
+    }
+}
+
+/// The router: owns delivery queues to every endpoint.
+pub struct Network {
+    handle: NetHandle,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Network {
+    /// Build a network delivering to `node_inboxes` (endpoint = index) and
+    /// `client_inbox` (endpoint [`CLIENT_ENDPOINT`]).
+    pub fn spawn(
+        cfg: NetConfig,
+        node_inboxes: Vec<Sender<Packet>>,
+        client_inbox: Sender<Packet>,
+    ) -> Network {
+        let (tx, rx): (Sender<Routed>, Receiver<Routed>) = unbounded();
+        let control = Arc::new(NetControl::default());
+        control
+            .drop_per_mille
+            .store((cfg.drop_rate.clamp(0.0, 1.0) * 1000.0) as u64, Ordering::Relaxed);
+        let ctl = Arc::clone(&control);
+        let thread = std::thread::Builder::new()
+            .name("nbr-network".into())
+            .spawn(move || {
+                let mut rng = StdRng::seed_from_u64(cfg.seed);
+                let mut heap: BinaryHeap<Delayed> = BinaryHeap::new();
+                let mut seq = 0u64;
+                loop {
+                    if ctl.stopped.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    // Deliver everything due.
+                    let now = Instant::now();
+                    while heap.peek().is_some_and(|d| d.due <= now) {
+                        let d = heap.pop().unwrap();
+                        let dst = d.to_endpoint;
+                        let _ = if dst == CLIENT_ENDPOINT {
+                            client_inbox.send(d.packet)
+                        } else if let Some(inbox) = node_inboxes.get(dst as usize) {
+                            inbox.send(d.packet)
+                        } else {
+                            Ok(())
+                        };
+                    }
+                    // Wait for new traffic until the next deadline.
+                    let timeout = heap
+                        .peek()
+                        .map(|d| d.due.saturating_duration_since(Instant::now()))
+                        .unwrap_or(Duration::from_millis(2))
+                        .min(Duration::from_millis(2));
+                    match rx.recv_timeout(timeout) {
+                        Ok((from, to, packet)) => {
+                            if ctl.is_cut(from, to) {
+                                continue;
+                            }
+                            let dpm = ctl.drop_per_mille.load(Ordering::Relaxed);
+                            if dpm > 0 && rng.random_range(0..1000) < dpm {
+                                continue;
+                            }
+                            let (lo, hi) = cfg.delay;
+                            let extra = if hi > lo {
+                                let span = (hi - lo).as_nanos() as u64;
+                                Duration::from_nanos(rng.random_range(0..span))
+                            } else {
+                                Duration::ZERO
+                            };
+                            seq += 1;
+                            heap.push(Delayed {
+                                due: Instant::now() + lo + extra,
+                                seq,
+                                to_endpoint: to,
+                                packet,
+                            });
+                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                    }
+                }
+            })
+            .expect("spawn network thread");
+        Network { handle: NetHandle { tx, control }, thread: Some(thread) }
+    }
+
+    /// A cloneable sending handle.
+    pub fn handle(&self) -> NetHandle {
+        self.handle.clone()
+    }
+}
+
+impl Drop for Network {
+    fn drop(&mut self) {
+        self.handle.control.stop();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}

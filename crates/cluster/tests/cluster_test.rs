@@ -1,0 +1,347 @@
+//! End-to-end tests on the real-thread cluster: elections, replication into
+//! real state machines, leader failover, WAL crash recovery, and the NB-Raft
+//! weak-ack path under an out-of-order network.
+
+use bytes::Bytes;
+use nbr_cluster::{Cluster, ClusterConfig, NetConfig, StorageMode};
+use nbr_storage::{KvStore, TsStore};
+use nbr_types::{Protocol, TimeDelta, TimeoutConfig};
+use std::time::Duration;
+
+fn cfg(protocol: Protocol, window: usize) -> ClusterConfig {
+    let mut protocol = protocol.config(window);
+    protocol.timeouts = TimeoutConfig {
+        election_min: TimeDelta::from_millis(150),
+        election_max: TimeDelta::from_millis(300),
+        heartbeat_interval: TimeDelta::from_millis(40),
+        retry_interval: TimeDelta::from_millis(20),
+    };
+    ClusterConfig { protocol, ..ClusterConfig::default() }
+}
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("nbr-cluster-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn elects_a_leader_and_replicates_kv() {
+    let cluster: Cluster<KvStore> = Cluster::spawn(3, cfg(Protocol::NbRaft, 1024));
+    let leader = cluster.wait_for_leader(Duration::from_secs(5)).expect("leader");
+    let mut client = cluster.client();
+    for i in 0..50 {
+        client
+            .submit(Bytes::from(format!("key{i}=value{i}")), Duration::from_secs(5))
+            .expect("submit");
+    }
+    client.drain(Duration::from_secs(5));
+    // All replicas converge: noop + 50 entries applied.
+    assert!(cluster.wait_for_applied(51, Duration::from_secs(10)), "replicas converge");
+    for node in 0..3 {
+        let m = cluster.machine(node);
+        let kv = m.lock();
+        assert_eq!(kv.get(b"key7"), Some(b"value7".as_ref()), "node {node}");
+        assert_eq!(kv.len(), 50, "node {node}");
+    }
+    let _ = leader;
+}
+
+#[test]
+fn survives_leader_crash_and_keeps_committed_data() {
+    let cluster: Cluster<KvStore> = Cluster::spawn(3, cfg(Protocol::NbRaft, 1024));
+    let leader = cluster.wait_for_leader(Duration::from_secs(5)).expect("leader");
+    let mut client = cluster.client();
+    for i in 0..20 {
+        client
+            .submit(Bytes::from(format!("a{i}=b{i}")), Duration::from_secs(5))
+            .expect("submit");
+    }
+    client.drain(Duration::from_secs(5));
+    cluster.crash(leader);
+    // A new leader emerges among the survivors.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let new_leader = loop {
+        if let Some(l) = cluster.wait_for_leader(Duration::from_secs(1)) {
+            if l != leader {
+                break l;
+            }
+        }
+        assert!(std::time::Instant::now() < deadline, "no new leader elected");
+    };
+    // Committed data survives and new writes work.
+    client
+        .submit(Bytes::from_static(b"after=crash"), Duration::from_secs(10))
+        .expect("submit after failover");
+    client.drain(Duration::from_secs(5));
+    let m = cluster.machine(new_leader);
+    std::thread::sleep(Duration::from_millis(300));
+    let kv = m.lock();
+    assert_eq!(kv.get(b"a5"), Some(b"b5".as_ref()));
+    assert_eq!(kv.get(b"after"), Some(b"crash".as_ref()));
+}
+
+#[test]
+fn wal_recovery_after_crash_restart() {
+    let dir = tmpdir("walrec");
+    let mut c = cfg(Protocol::Raft, 0);
+    c.storage = StorageMode::Wal(dir.clone());
+    let cluster: Cluster<KvStore> = Cluster::spawn(3, c);
+    cluster.wait_for_leader(Duration::from_secs(5)).expect("leader");
+    let mut client = cluster.client();
+    for i in 0..10 {
+        client
+            .submit(Bytes::from(format!("k{i}=v{i}")), Duration::from_secs(5))
+            .expect("submit");
+    }
+    // Crash a follower, write more, restart it, and check it catches up
+    // from its recovered log rather than from scratch.
+    let leader = cluster.wait_for_leader(Duration::from_secs(1)).unwrap();
+    let follower = (0..3).find(|&i| i != leader).unwrap();
+    cluster.crash(follower);
+    std::thread::sleep(Duration::from_millis(200));
+    for i in 10..20 {
+        client
+            .submit(Bytes::from(format!("k{i}=v{i}")), Duration::from_secs(5))
+            .expect("submit");
+    }
+    cluster.restart(follower);
+    assert!(cluster.wait_for_applied(21, Duration::from_secs(10)), "restarted node catches up");
+    let m = cluster.machine(follower);
+    let kv = m.lock();
+    assert_eq!(kv.get(b"k15"), Some(b"v15".as_ref()));
+    // WAL files exist on disk.
+    assert!(dir.join(format!("node-{follower}.wal")).exists());
+}
+
+#[test]
+fn nbraft_weak_acks_under_jittery_network() {
+    // Large delay jitter forces out-of-order arrival; NB-Raft should answer
+    // a meaningful share of requests with weak acks.
+    let mut c = cfg(Protocol::NbRaft, 4096);
+    c.net = NetConfig {
+        delay: (Duration::from_micros(100), Duration::from_millis(3)),
+        drop_rate: 0.0,
+        seed: 3,
+    };
+    let cluster: Cluster<KvStore> = Cluster::spawn(3, c);
+    cluster.wait_for_leader(Duration::from_secs(5)).expect("leader");
+
+    // Several concurrent clients to create disorder.
+    let mut handles = Vec::new();
+    for t in 0..4 {
+        let mut client = cluster.client();
+        handles.push(std::thread::spawn(move || {
+            let mut weak = 0u32;
+            for i in 0..50 {
+                let (_, was_weak) = client
+                    .submit(Bytes::from(format!("t{t}k{i}=x")), Duration::from_secs(10))
+                    .expect("submit");
+                if was_weak {
+                    weak += 1;
+                }
+            }
+            client.drain(Duration::from_secs(10));
+            weak
+        }));
+    }
+    let weak_total: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(weak_total > 0, "NB-Raft should weak-ack under jitter (got {weak_total})");
+    assert!(cluster.wait_for_applied(201, Duration::from_secs(15)));
+}
+
+#[test]
+fn raft_never_weak_acks() {
+    let mut c = cfg(Protocol::Raft, 0);
+    c.net = NetConfig {
+        delay: (Duration::from_micros(100), Duration::from_millis(2)),
+        drop_rate: 0.0,
+        seed: 5,
+    };
+    let cluster: Cluster<KvStore> = Cluster::spawn(3, c);
+    cluster.wait_for_leader(Duration::from_secs(5)).expect("leader");
+    let mut client = cluster.client();
+    for i in 0..30 {
+        let (_, weak) = client
+            .submit(Bytes::from(format!("k{i}=v")), Duration::from_secs(10))
+            .expect("submit");
+        assert!(!weak, "original Raft must not weak-ack");
+    }
+}
+
+#[test]
+fn message_drops_are_repaired() {
+    let mut c = cfg(Protocol::NbRaft, 1024);
+    c.net.drop_rate = 0.05; // 5% loss
+    let cluster: Cluster<KvStore> = Cluster::spawn(3, c);
+    cluster.wait_for_leader(Duration::from_secs(5)).expect("leader");
+    let mut client = cluster.client();
+    for i in 0..40 {
+        client
+            .submit(Bytes::from(format!("d{i}=x")), Duration::from_secs(15))
+            .expect("submit despite drops");
+    }
+    client.drain(Duration::from_secs(15));
+    assert!(cluster.wait_for_applied(41, Duration::from_secs(20)), "repair catches everyone up");
+}
+
+#[test]
+fn time_series_ingestion_end_to_end() {
+    // The IoT path: TsStore state machine ingesting point batches.
+    let cluster: Cluster<TsStore> = Cluster::spawn(3, cfg(Protocol::NbRaft, 1024));
+    cluster.wait_for_leader(Duration::from_secs(5)).expect("leader");
+    let mut client = cluster.client();
+    let mut gen = nbr_workload::RequestGenerator::new(
+        nbr_workload::WorkloadConfig {
+            devices: 4,
+            sensors_per_device: 2,
+            request_size: 1024,
+            sample_interval_ms: 100,
+        },
+        0,
+        1,
+    );
+    for _ in 0..30 {
+        client.submit(gen.next_request(), Duration::from_secs(5)).expect("ingest");
+    }
+    client.drain(Duration::from_secs(5));
+    assert!(cluster.wait_for_applied(31, Duration::from_secs(10)));
+    for node in 0..3 {
+        let m = cluster.machine(node);
+        let ts = m.lock();
+        assert!(ts.total_points() > 0, "node {node} ingested points");
+        assert_eq!(ts.series_count(), 8, "node {node} has all series");
+    }
+    // Follower read: query a range on a non-leader replica.
+    let leader = cluster.wait_for_leader(Duration::from_secs(1)).unwrap();
+    let follower = (0..3).find(|&i| i != leader).unwrap();
+    let m = cluster.machine(follower);
+    let ts = m.lock();
+    let pts = ts.query_range(0, 0, u64::MAX);
+    assert!(!pts.is_empty(), "follower read works for full-copy protocols");
+}
+
+#[test]
+fn craft_cluster_commits_and_leader_applies() {
+    let cluster: Cluster<KvStore> = Cluster::spawn(3, cfg(Protocol::CRaft, 0));
+    let leader = cluster.wait_for_leader(Duration::from_secs(5)).expect("leader");
+    let mut client = cluster.client();
+    for i in 0..20 {
+        client
+            .submit(Bytes::from(format!("c{i}=frag")), Duration::from_secs(10))
+            .expect("submit");
+    }
+    client.drain(Duration::from_secs(10));
+    std::thread::sleep(Duration::from_millis(300));
+    // The leader applies full payloads...
+    let m = cluster.machine(leader);
+    assert_eq!(m.lock().len(), 20);
+    // ...while followers hold fragments and cannot apply (no follower read).
+    let follower = (0..3).find(|&i| i != leader).unwrap();
+    let fm = cluster.machine(follower);
+    assert_eq!(fm.lock().len(), 0, "CRaft followers store fragments, not data");
+}
+
+#[test]
+fn partition_heals_and_cluster_continues() {
+    let cluster: Cluster<KvStore> = Cluster::spawn(3, cfg(Protocol::NbRaft, 1024));
+    let leader = cluster.wait_for_leader(Duration::from_secs(5)).expect("leader");
+    let follower = (0..3).find(|&i| i != leader).unwrap() as u32;
+    cluster.net().partition(leader as u32, follower);
+    let mut client = cluster.client();
+    for i in 0..10 {
+        client
+            .submit(Bytes::from(format!("p{i}=x")), Duration::from_secs(10))
+            .expect("majority still commits");
+    }
+    cluster.net().heal();
+    client.drain(Duration::from_secs(10));
+    assert!(
+        cluster.wait_for_applied(11, Duration::from_secs(15)),
+        "partitioned follower repaired after heal"
+    );
+}
+
+#[test]
+fn compaction_ships_snapshots_to_restarted_followers() {
+    // Aggressive compaction: the log never retains more than ~20 applied
+    // entries, so a follower that misses a stretch must be caught up with a
+    // state machine snapshot rather than entry replay.
+    let dir = tmpdir("compact");
+    let mut c = cfg(Protocol::NbRaft, 1024);
+    c.storage = StorageMode::Wal(dir.clone());
+    c.compact_after = Some(20);
+    let cluster: Cluster<KvStore> = Cluster::spawn(3, c);
+    cluster.wait_for_leader(Duration::from_secs(5)).expect("leader");
+    let mut client = cluster.client();
+
+    for i in 0..30 {
+        client
+            .submit(Bytes::from(format!("pre{i}=x")), Duration::from_secs(5))
+            .expect("submit");
+    }
+    client.drain(Duration::from_secs(5));
+    let leader = cluster.wait_for_leader(Duration::from_secs(1)).unwrap();
+    let follower = (0..3).find(|&i| i != leader).unwrap();
+    cluster.crash(follower);
+
+    // Enough traffic that the missed range is compacted away on the leader.
+    for i in 0..80 {
+        client
+            .submit(Bytes::from(format!("mid{i}=y")), Duration::from_secs(5))
+            .expect("submit");
+    }
+    client.drain(Duration::from_secs(5));
+
+    cluster.restart(follower);
+    assert!(
+        cluster.wait_for_applied(111, Duration::from_secs(20)),
+        "restarted follower caught up via snapshot + suffix"
+    );
+    let m = cluster.machine(follower);
+    let kv = m.lock();
+    assert_eq!(kv.get(b"pre5"), Some(b"x".as_ref()), "pre-crash state restored");
+    assert_eq!(kv.get(b"mid70"), Some(b"y".as_ref()), "post-crash state replayed");
+    assert_eq!(kv.len(), 110);
+}
+
+#[test]
+fn linearizable_reads_from_leader_and_follower() {
+    let cluster: Cluster<KvStore> = Cluster::spawn(3, cfg(Protocol::NbRaft, 1024));
+    let leader = cluster.wait_for_leader(Duration::from_secs(5)).expect("leader");
+    let mut client = cluster.client();
+    client
+        .submit(Bytes::from_static(b"city=beijing"), Duration::from_secs(5))
+        .expect("submit");
+    client.drain(Duration::from_secs(5));
+
+    // Leader read sees the committed write.
+    let v = cluster
+        .linearizable_read(leader, Duration::from_secs(5), |kv| {
+            kv.get(b"city").map(|v| v.to_vec())
+        })
+        .expect("leader read");
+    assert_eq!(v.as_deref(), Some(b"beijing".as_ref()));
+
+    // Follower read (ReadIndex): waits for the follower to apply through the
+    // confirmed index, then serves locally.
+    let follower = (0..3).find(|&i| i != leader).unwrap();
+    let v = cluster
+        .linearizable_read(follower, Duration::from_secs(5), |kv| {
+            kv.get(b"city").map(|v| v.to_vec())
+        })
+        .expect("follower read");
+    assert_eq!(v.as_deref(), Some(b"beijing".as_ref()));
+}
+
+#[test]
+fn reads_on_crashed_node_fail_fast() {
+    let cluster: Cluster<KvStore> = Cluster::spawn(3, cfg(Protocol::NbRaft, 1024));
+    let leader = cluster.wait_for_leader(Duration::from_secs(5)).expect("leader");
+    let follower = (0..3).find(|&i| i != leader).unwrap();
+    cluster.crash(follower);
+    std::thread::sleep(Duration::from_millis(100));
+    let r = cluster.linearizable_read(follower, Duration::from_secs(2), |kv| kv.len());
+    assert!(r.is_err(), "crashed node cannot serve reads");
+}

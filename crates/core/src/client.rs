@@ -1,0 +1,473 @@
+//! The NB-Raft client (paper Section III-C).
+//!
+//! A client connection is closed-loop: it has at most one *outstanding*
+//! request, and it is unblocked — free to issue the next request — as soon as
+//! the leader answers `WEAK_ACCEPT` (NB-Raft) or `STRONG_ACCEPT` (both).
+//!
+//! Weakly-accepted requests are remembered in `opList` together with
+//! `listTerm`, the newest leader term the client has seen. On evidence of a
+//! leadership change (a response carrying a higher term, or an explicit
+//! `LEADER_CHANGED`), the client retries *everything* in `opList`: the old
+//! leader may have lost those entries. A `STRONG_ACCEPT` with index `i`
+//! removes every opList element with index ≤ `i` — log continuity guarantees
+//! they are all committed.
+
+use bytes::Bytes;
+use nbr_types::{
+    ClientId, ClientRequest, ClientResponse, LogIndex, NodeId, RequestId, Term, Time, TimeDelta,
+};
+use std::collections::VecDeque;
+
+/// Actions the harness must perform for the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientAction {
+    /// Transmit a request to the given replica.
+    Send {
+        /// Destination (believed leader).
+        to: NodeId,
+        /// The request.
+        request: ClientRequest,
+    },
+    /// A request completed its first acknowledgement (weak or strong):
+    /// throughput accounting point. `issued_at` enables latency measurement.
+    Acked {
+        /// The acknowledged request.
+        request: RequestId,
+        /// When it was (first) sent.
+        issued_at: Time,
+        /// Whether the first ack was weak (NB-Raft early return).
+        weak: bool,
+    },
+    /// A request is durably committed (strong). Emitted at most once per
+    /// request, possibly long after `Acked`.
+    Confirmed {
+        /// The committed request.
+        request: RequestId,
+    },
+}
+
+/// A request awaiting confirmation in the opList.
+#[derive(Debug, Clone)]
+struct PendingOp {
+    index: LogIndex,
+    term: Term,
+    request: RequestId,
+    payload: Bytes,
+}
+
+/// The client protocol state machine.
+#[derive(Debug)]
+pub struct RaftClient {
+    id: ClientId,
+    next_request: RequestId,
+    /// The believed leader / current target.
+    target: NodeId,
+    /// All replicas, for failover rotation.
+    nodes: Vec<NodeId>,
+    /// Weakly-accepted, not-yet-confirmed requests (paper's `opList`).
+    op_list: VecDeque<PendingOp>,
+    /// Newest leader term observed (paper's `listTerm`).
+    list_term: Term,
+    /// The single outstanding request, if any: (id, payload, first send time,
+    /// last send time).
+    outstanding: Option<(RequestId, Bytes, Time, Time)>,
+    /// Re-send the outstanding request if unanswered for this long.
+    request_timeout: TimeDelta,
+    /// Requests acked (first response) — retries must not double-count.
+    acked_through: RequestId,
+    /// Requests confirmed (committed).
+    confirmed_through: RequestId,
+}
+
+impl RaftClient {
+    /// Create a client that will first contact `target`.
+    pub fn new(id: ClientId, nodes: Vec<NodeId>, target: NodeId, request_timeout: TimeDelta) -> RaftClient {
+        assert!(!nodes.is_empty());
+        RaftClient {
+            id,
+            next_request: RequestId(1),
+            target,
+            nodes,
+            op_list: VecDeque::new(),
+            list_term: Term::ZERO,
+            outstanding: None,
+            request_timeout,
+            acked_through: RequestId(0),
+            confirmed_through: RequestId(0),
+        }
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// True when the client may issue a new request (closed loop).
+    pub fn ready(&self) -> bool {
+        self.outstanding.is_none()
+    }
+
+    /// Requests currently in the weakly-accepted list.
+    pub fn op_list_len(&self) -> usize {
+        self.op_list.len()
+    }
+
+    /// Newest leader term observed.
+    pub fn list_term(&self) -> Term {
+        self.list_term
+    }
+
+    /// Current target replica.
+    pub fn target(&self) -> NodeId {
+        self.target
+    }
+
+    /// Highest request id issued.
+    pub fn issued(&self) -> u64 {
+        self.next_request.0 - 1
+    }
+
+    /// Issue a new request with `payload`. Panics if not [`Self::ready`].
+    pub fn issue(&mut self, payload: Bytes, now: Time, actions: &mut Vec<ClientAction>) -> RequestId {
+        assert!(self.ready(), "closed-loop client already has an outstanding request");
+        let request = self.next_request;
+        self.next_request = self.next_request.next();
+        self.outstanding = Some((request, payload.clone(), now, now));
+        actions.push(ClientAction::Send {
+            to: self.target,
+            request: ClientRequest { client: self.id, request, payload },
+        });
+        request
+    }
+
+    /// Handle a response from a replica.
+    pub fn handle_response(&mut self, resp: ClientResponse, now: Time, actions: &mut Vec<ClientAction>) {
+        match resp {
+            ClientResponse::Weak { request, index, term } => {
+                self.observe_term(term, now, actions);
+                // Move the outstanding request (if this answers it) into the
+                // opList and unblock.
+                if let Some((out_id, payload, first, _)) = self.outstanding.take() {
+                    if out_id == request {
+                        self.op_list.push_back(PendingOp { index, term, request, payload });
+                        self.ack(request, first, true, actions);
+                    } else {
+                        self.outstanding = Some((out_id, payload, first, now));
+                    }
+                }
+            }
+            ClientResponse::Strong { request, index, term } => {
+                self.observe_term(term, now, actions);
+                // Log continuity: everything with index ≤ `index` committed.
+                while let Some(front) = self.op_list.front() {
+                    if front.index <= index && front.term <= term {
+                        let op = self.op_list.pop_front().unwrap();
+                        self.confirm(op.request, actions);
+                    } else {
+                        break;
+                    }
+                }
+                if let Some((out_id, payload, first, _)) = self.outstanding.take() {
+                    if out_id == request {
+                        self.ack(request, first, false, actions);
+                        self.confirm(request, actions);
+                    } else {
+                        self.outstanding = Some((out_id, payload, first, now));
+                    }
+                }
+            }
+            ClientResponse::LeaderChanged { term } => {
+                self.observe_term(term, now, actions);
+                // Even without a term bump, LEADER_CHANGED forces a retry.
+                self.retry_all(now, actions);
+            }
+            ClientResponse::NotLeader { request, hint } => {
+                if let Some(h) = hint {
+                    self.target = h;
+                } else {
+                    self.rotate_target();
+                }
+                // Re-send the outstanding request to the new target.
+                if let Some((out_id, payload, first, _)) = self.outstanding.clone() {
+                    if out_id == request {
+                        self.outstanding = Some((out_id, payload.clone(), first, now));
+                        actions.push(ClientAction::Send {
+                            to: self.target,
+                            request: ClientRequest { client: self.id, request: out_id, payload },
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Time-based retries: the outstanding request is re-sent (rotating
+    /// targets) when unanswered past the request timeout.
+    pub fn tick(&mut self, now: Time, actions: &mut Vec<ClientAction>) {
+        if let Some((request, payload, first, last_sent)) = self.outstanding.clone() {
+            if now.since(last_sent) >= self.request_timeout {
+                self.rotate_target();
+                self.outstanding = Some((request, payload.clone(), first, now));
+                actions.push(ClientAction::Send {
+                    to: self.target,
+                    request: ClientRequest { client: self.id, request, payload },
+                });
+            }
+        }
+    }
+
+    /// Section III-C: a newer term means previous WEAK_ACCEPTs may be lost —
+    /// retry the whole opList with the (new) leader.
+    fn observe_term(&mut self, term: Term, now: Time, actions: &mut Vec<ClientAction>) {
+        if term > self.list_term {
+            self.list_term = term;
+            self.retry_all(now, actions);
+        }
+    }
+
+    fn retry_all(&mut self, _now: Time, actions: &mut Vec<ClientAction>) {
+        // Requests keep their original ids: the state machine's dedup table
+        // makes re-execution idempotent whether or not the original survived.
+        let ops: Vec<PendingOp> = self.op_list.drain(..).collect();
+        for op in ops {
+            actions.push(ClientAction::Send {
+                to: self.target,
+                request: ClientRequest {
+                    client: self.id,
+                    request: op.request,
+                    payload: op.payload.clone(),
+                },
+            });
+            // They re-enter the opList only upon a fresh WEAK_ACCEPT; until
+            // then they are simply in flight (matching the paper: the client
+            // "removes and retries all requests in opList").
+        }
+    }
+
+    fn rotate_target(&mut self) {
+        let pos = self.nodes.iter().position(|&n| n == self.target).unwrap_or(0);
+        self.target = self.nodes[(pos + 1) % self.nodes.len()];
+    }
+
+    fn ack(&mut self, request: RequestId, issued_at: Time, weak: bool, actions: &mut Vec<ClientAction>) {
+        if request > self.acked_through {
+            self.acked_through = request;
+            actions.push(ClientAction::Acked { request, issued_at, weak });
+        }
+    }
+
+    fn confirm(&mut self, request: RequestId, actions: &mut Vec<ClientAction>) {
+        if request > self.confirmed_through {
+            self.confirmed_through = request;
+            actions.push(ClientAction::Confirmed { request });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client() -> RaftClient {
+        RaftClient::new(
+            ClientId(1),
+            vec![NodeId(0), NodeId(1), NodeId(2)],
+            NodeId(0),
+            TimeDelta::from_millis(100),
+        )
+    }
+
+    fn sends(actions: &[ClientAction]) -> Vec<(NodeId, RequestId)> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                ClientAction::Send { to, request } => Some((*to, request.request)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn closed_loop_blocks_until_response() {
+        let mut c = client();
+        let mut acts = Vec::new();
+        assert!(c.ready());
+        let r1 = c.issue(Bytes::from_static(b"a"), Time::ZERO, &mut acts);
+        assert!(!c.ready());
+        assert_eq!(sends(&acts), vec![(NodeId(0), r1)]);
+    }
+
+    #[test]
+    fn weak_accept_unblocks_and_lists() {
+        let mut c = client();
+        let mut acts = Vec::new();
+        let r1 = c.issue(Bytes::from_static(b"a"), Time::ZERO, &mut acts);
+        acts.clear();
+        c.handle_response(
+            ClientResponse::Weak { request: r1, index: LogIndex(7), term: Term(2) },
+            Time::from_millis(1),
+            &mut acts,
+        );
+        assert!(c.ready(), "weak accept unblocks the client");
+        assert_eq!(c.op_list_len(), 1);
+        assert_eq!(c.list_term(), Term(2));
+        assert!(matches!(acts[0], ClientAction::Acked { weak: true, .. }));
+    }
+
+    #[test]
+    fn strong_accept_clears_covered_oplist() {
+        let mut c = client();
+        let mut acts = Vec::new();
+        // Three weakly accepted requests at indices 5, 6, 7.
+        for (i, idx) in [(0u64, 5u64), (1, 6), (2, 7)] {
+            let r = c.issue(Bytes::from_static(b"x"), Time::ZERO, &mut acts);
+            c.handle_response(
+                ClientResponse::Weak { request: r, index: LogIndex(idx), term: Term(2) },
+                Time::ZERO,
+                &mut acts,
+            );
+            let _ = i;
+        }
+        assert_eq!(c.op_list_len(), 3);
+        acts.clear();
+        // Fourth request answered STRONG with last committed index 6.
+        let r4 = c.issue(Bytes::from_static(b"y"), Time::ZERO, &mut acts);
+        acts.clear();
+        c.handle_response(
+            ClientResponse::Strong { request: r4, index: LogIndex(6), term: Term(2) },
+            Time::ZERO,
+            &mut acts,
+        );
+        // Ops at 5 and 6 confirmed; 7 stays.
+        assert_eq!(c.op_list_len(), 1);
+        let confirmed: Vec<RequestId> = acts
+            .iter()
+            .filter_map(|a| match a {
+                ClientAction::Confirmed { request } => Some(*request),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(confirmed, vec![RequestId(1), RequestId(2), RequestId(4)]);
+        assert!(c.ready());
+    }
+
+    #[test]
+    fn higher_term_triggers_retry_of_oplist() {
+        let mut c = client();
+        let mut acts = Vec::new();
+        let r1 = c.issue(Bytes::from_static(b"a"), Time::ZERO, &mut acts);
+        c.handle_response(
+            ClientResponse::Weak { request: r1, index: LogIndex(5), term: Term(2) },
+            Time::ZERO,
+            &mut acts,
+        );
+        let r2 = c.issue(Bytes::from_static(b"b"), Time::ZERO, &mut acts);
+        acts.clear();
+        // Weak for r2 arrives with a HIGHER term: r1 must be retried.
+        c.handle_response(
+            ClientResponse::Weak { request: r2, index: LogIndex(3), term: Term(3) },
+            Time::ZERO,
+            &mut acts,
+        );
+        let resent = sends(&acts);
+        assert_eq!(resent, vec![(NodeId(0), RequestId(1))], "old op retried");
+        assert_eq!(c.list_term(), Term(3));
+        // r2 itself is in the opList now.
+        assert_eq!(c.op_list_len(), 1);
+    }
+
+    #[test]
+    fn leader_changed_retries_everything() {
+        let mut c = client();
+        let mut acts = Vec::new();
+        let r1 = c.issue(Bytes::from_static(b"a"), Time::ZERO, &mut acts);
+        c.handle_response(
+            ClientResponse::Weak { request: r1, index: LogIndex(5), term: Term(2) },
+            Time::ZERO,
+            &mut acts,
+        );
+        acts.clear();
+        c.handle_response(ClientResponse::LeaderChanged { term: Term(5) }, Time::ZERO, &mut acts);
+        assert_eq!(sends(&acts), vec![(NodeId(0), RequestId(1))]);
+        assert_eq!(c.op_list_len(), 0, "ops move back in flight until re-weak-accepted");
+        assert_eq!(c.list_term(), Term(5));
+    }
+
+    #[test]
+    fn not_leader_rotates_and_resends() {
+        let mut c = client();
+        let mut acts = Vec::new();
+        let r1 = c.issue(Bytes::from_static(b"a"), Time::ZERO, &mut acts);
+        acts.clear();
+        c.handle_response(
+            ClientResponse::NotLeader { request: r1, hint: Some(NodeId(2)) },
+            Time::ZERO,
+            &mut acts,
+        );
+        assert_eq!(c.target(), NodeId(2));
+        assert_eq!(sends(&acts), vec![(NodeId(2), r1)]);
+        // Without a hint, rotate.
+        c.handle_response(ClientResponse::NotLeader { request: r1, hint: None }, Time::ZERO, &mut acts);
+        assert_eq!(c.target(), NodeId(0));
+    }
+
+    #[test]
+    fn timeout_resends_outstanding() {
+        let mut c = client();
+        let mut acts = Vec::new();
+        let r1 = c.issue(Bytes::from_static(b"a"), Time::ZERO, &mut acts);
+        acts.clear();
+        c.tick(Time::from_millis(50), &mut acts);
+        assert!(acts.is_empty(), "not timed out yet");
+        c.tick(Time::from_millis(150), &mut acts);
+        assert_eq!(sends(&acts), vec![(NodeId(1), r1)], "rotated and resent");
+        acts.clear();
+        // Timer restarts from the resend.
+        c.tick(Time::from_millis(200), &mut acts);
+        assert!(acts.is_empty());
+    }
+
+    #[test]
+    fn duplicate_responses_do_not_double_ack() {
+        let mut c = client();
+        let mut acts = Vec::new();
+        let r1 = c.issue(Bytes::from_static(b"a"), Time::ZERO, &mut acts);
+        acts.clear();
+        c.handle_response(
+            ClientResponse::Strong { request: r1, index: LogIndex(1), term: Term(1) },
+            Time::ZERO,
+            &mut acts,
+        );
+        let acked = acts.iter().filter(|a| matches!(a, ClientAction::Acked { .. })).count();
+        assert_eq!(acked, 1);
+        acts.clear();
+        c.handle_response(
+            ClientResponse::Strong { request: r1, index: LogIndex(1), term: Term(1) },
+            Time::ZERO,
+            &mut acts,
+        );
+        assert!(acts.iter().all(|a| !matches!(a, ClientAction::Acked { .. })));
+    }
+
+    #[test]
+    fn stale_response_for_old_request_ignored() {
+        let mut c = client();
+        let mut acts = Vec::new();
+        let r1 = c.issue(Bytes::from_static(b"a"), Time::ZERO, &mut acts);
+        c.handle_response(
+            ClientResponse::Strong { request: r1, index: LogIndex(1), term: Term(1) },
+            Time::ZERO,
+            &mut acts,
+        );
+        let r2 = c.issue(Bytes::from_static(b"b"), Time::ZERO, &mut acts);
+        acts.clear();
+        // A duplicate response for r1 must not unblock r2.
+        c.handle_response(
+            ClientResponse::Strong { request: r1, index: LogIndex(1), term: Term(1) },
+            Time::ZERO,
+            &mut acts,
+        );
+        assert!(!c.ready());
+        let _ = r2;
+    }
+}

@@ -1,0 +1,83 @@
+//! Outputs of the sans-I/O protocol engine.
+//!
+//! A [`crate::Node`] never performs I/O: every call that feeds it an input
+//! (`tick`, `handle_message`, `handle_client`) appends [`Output`] actions to
+//! a caller-supplied buffer. The harness (simulator or thread runtime) is
+//! responsible for transporting `Send`s, delivering `Respond`s to clients
+//! and feeding `Apply`s to the state machine.
+
+use bytes::Bytes;
+use nbr_types::{ClientId, ClientResponse, Entry, LogIndex, Message, NodeId, Term};
+
+/// An action requested by the protocol engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Output {
+    /// Transmit a protocol message to a peer.
+    Send {
+        /// Destination replica.
+        to: NodeId,
+        /// The message.
+        msg: Message,
+    },
+    /// Deliver a response to a client connection.
+    Respond {
+        /// Destination client.
+        client: ClientId,
+        /// The response.
+        resp: ClientResponse,
+    },
+    /// Apply a committed entry to the state machine. Emitted in strict index
+    /// order. For CRaft followers the entry may carry a [`nbr_types::Payload::Fragment`],
+    /// which state machines treat as opaque (no follower read — paper
+    /// Table II); leaders always apply reconstructed full payloads.
+    Apply {
+        /// The committed entry.
+        entry: Entry,
+    },
+    /// Replace the state machine with this snapshot image (the node just
+    /// installed a leader snapshot; its log now starts past `last_index`).
+    RestoreSnapshot {
+        /// Index of the last entry the snapshot covers.
+        last_index: LogIndex,
+        /// Term of that entry.
+        last_term: Term,
+        /// Serialized state machine image.
+        data: Bytes,
+    },
+    /// A linearizable read registered via [`crate::Node::handle_read`] is now
+    /// safe to serve from the local state machine: leadership was confirmed
+    /// for `read_index` and the local applied index has reached it.
+    ReadReady {
+        /// The client that asked.
+        client: ClientId,
+        /// The read request id.
+        request: nbr_types::RequestId,
+        /// The confirmed read index.
+        read_index: LogIndex,
+    },
+    /// This node won an election.
+    ElectedLeader {
+        /// The new term.
+        term: Term,
+    },
+    /// This node ceased being leader (or observed a newer term).
+    SteppedDown {
+        /// The newer term.
+        term: Term,
+    },
+}
+
+impl Output {
+    /// Short tag for assertions and logging.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Output::Send { .. } => "send",
+            Output::Respond { .. } => "respond",
+            Output::Apply { .. } => "apply",
+            Output::RestoreSnapshot { .. } => "restore_snapshot",
+            Output::ReadReady { .. } => "read_ready",
+            Output::ElectedLeader { .. } => "elected",
+            Output::SteppedDown { .. } => "stepped_down",
+        }
+    }
+}

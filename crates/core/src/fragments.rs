@@ -1,0 +1,201 @@
+//! Fragment encoding and reconstruction for the CRaft / ECRaft variants.
+//!
+//! The leader holds the full payload (it proposed the entry) and sends each
+//! follower one Reed–Solomon shard. After a leader change, the new leader may
+//! hold only its own shard for some entries; [`FragmentStore`] gathers shards
+//! pulled from peers until `k` distinct ones allow reconstruction. CRaft's
+//! commit rule (`k + F` acks) guarantees that for any committed entry, `k`
+//! shards survive any `F` failures — reconstruction of committed data is
+//! always possible.
+
+use bytes::Bytes;
+use nbr_erasure::{ReedSolomon, Shard};
+use nbr_types::{Fragment, LogIndex, Term};
+use std::collections::BTreeMap;
+
+/// Encode `payload` into `n` shards with `k` data shards, as [`Fragment`]s.
+pub fn encode_fragments(payload: &Bytes, k: usize, n: usize) -> Vec<Fragment> {
+    debug_assert!(k >= 1 && k <= n && n <= 255);
+    let rs = ReedSolomon::new(k, n).expect("validated geometry");
+    rs.encode(payload)
+        .into_iter()
+        .map(|s| Fragment {
+            shard: s.id,
+            k: k as u8,
+            n: n as u8,
+            orig_len: payload.len() as u32,
+            data: Bytes::from(s.data),
+        })
+        .collect()
+}
+
+/// Attempt to reconstruct a payload from gathered fragments. Returns `None`
+/// until `k` distinct shards of a consistent geometry are present.
+pub fn reconstruct(frags: &[Fragment]) -> Option<Bytes> {
+    let first = frags.first()?;
+    // A k=1 fragment IS the payload (full-copy pseudo-fragment).
+    if first.k == 1 {
+        return Some(first.data.slice(..(first.orig_len as usize).min(first.data.len())));
+    }
+    let (k, n, orig_len) = (first.k, first.n, first.orig_len);
+    let consistent: Vec<&Fragment> =
+        frags.iter().filter(|f| f.k == k && f.n == n && f.orig_len == orig_len).collect();
+    let mut seen = [false; 256];
+    let mut shards: Vec<Shard> = Vec::new();
+    for f in consistent {
+        if !seen[f.shard as usize] {
+            seen[f.shard as usize] = true;
+            shards.push(Shard { id: f.shard, data: f.data.to_vec() });
+        }
+    }
+    if shards.len() < k as usize {
+        return None;
+    }
+    let rs = ReedSolomon::new(k as usize, n as usize).ok()?;
+    rs.reconstruct(&shards, orig_len as usize).ok().map(Bytes::from)
+}
+
+/// Shards gathered per log index during leader recovery.
+#[derive(Debug, Clone, Default)]
+pub struct FragmentStore {
+    by_index: BTreeMap<LogIndex, (Term, Vec<Fragment>)>,
+}
+
+impl FragmentStore {
+    /// Empty store.
+    pub fn new() -> FragmentStore {
+        FragmentStore::default()
+    }
+
+    /// Add a shard for `(index, term)`. Shards of an older term for the same
+    /// index are discarded; duplicates of the same shard id are ignored.
+    pub fn add(&mut self, index: LogIndex, term: Term, frag: Fragment) {
+        let slot = self.by_index.entry(index).or_insert_with(|| (term, Vec::new()));
+        if slot.0 < term {
+            *slot = (term, Vec::new());
+        } else if slot.0 > term {
+            return;
+        }
+        if !slot.1.iter().any(|f| f.shard == frag.shard && f.k == frag.k && f.n == frag.n) {
+            slot.1.push(frag);
+        }
+    }
+
+    /// Try reconstructing the payload for `index` at `term`.
+    pub fn try_reconstruct(&self, index: LogIndex, term: Term) -> Option<Bytes> {
+        let (t, frags) = self.by_index.get(&index)?;
+        if *t != term {
+            return None;
+        }
+        reconstruct(frags)
+    }
+
+    /// Shards held for an index (introspection).
+    pub fn shard_count(&self, index: LogIndex) -> usize {
+        self.by_index.get(&index).map_or(0, |(_, f)| f.len())
+    }
+
+    /// Drop state for indices at or below `index` (reconstructed/applied).
+    pub fn release_through(&mut self, index: LogIndex) {
+        self.by_index = self.by_index.split_off(&index.next());
+    }
+
+    /// Number of indices tracked.
+    pub fn len(&self) -> usize {
+        self.by_index.len()
+    }
+
+    /// True when nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.by_index.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(len: usize) -> Bytes {
+        Bytes::from((0..len).map(|i| (i * 13 + 1) as u8).collect::<Vec<u8>>())
+    }
+
+    #[test]
+    fn encode_reconstruct_round_trip() {
+        let p = payload(1000);
+        let frags = encode_fragments(&p, 2, 3);
+        assert_eq!(frags.len(), 3);
+        assert_eq!(frags[0].data.len(), 500);
+        // Any two shards reconstruct.
+        for pair in [[0, 1], [0, 2], [1, 2]] {
+            let subset = vec![frags[pair[0]].clone(), frags[pair[1]].clone()];
+            assert_eq!(reconstruct(&subset).unwrap(), p, "pair {pair:?}");
+        }
+        assert!(reconstruct(&frags[..1]).is_none());
+    }
+
+    #[test]
+    fn k1_pseudo_fragment_is_payload() {
+        let p = payload(64);
+        let frag = Fragment { shard: 0, k: 1, n: 1, orig_len: 64, data: p.clone() };
+        assert_eq!(reconstruct(&[frag]).unwrap(), p);
+    }
+
+    #[test]
+    fn store_gathers_until_k() {
+        let p = payload(300);
+        let frags = encode_fragments(&p, 3, 5);
+        let mut store = FragmentStore::new();
+        store.add(LogIndex(7), Term(2), frags[4].clone());
+        assert!(store.try_reconstruct(LogIndex(7), Term(2)).is_none());
+        store.add(LogIndex(7), Term(2), frags[1].clone());
+        // Duplicate shard does not help.
+        store.add(LogIndex(7), Term(2), frags[1].clone());
+        assert_eq!(store.shard_count(LogIndex(7)), 2);
+        assert!(store.try_reconstruct(LogIndex(7), Term(2)).is_none());
+        store.add(LogIndex(7), Term(2), frags[0].clone());
+        assert_eq!(store.try_reconstruct(LogIndex(7), Term(2)).unwrap(), p);
+        // Wrong term yields nothing.
+        assert!(store.try_reconstruct(LogIndex(7), Term(3)).is_none());
+    }
+
+    #[test]
+    fn newer_term_replaces_older_shards() {
+        let p = payload(90);
+        let old = encode_fragments(&p, 2, 3);
+        let newer = encode_fragments(&p, 2, 3);
+        let mut store = FragmentStore::new();
+        store.add(LogIndex(1), Term(1), old[0].clone());
+        store.add(LogIndex(1), Term(2), newer[1].clone());
+        assert_eq!(store.shard_count(LogIndex(1)), 1, "old-term shard dropped");
+        store.add(LogIndex(1), Term(1), old[2].clone());
+        assert_eq!(store.shard_count(LogIndex(1)), 1, "stale shard ignored");
+    }
+
+    #[test]
+    fn release_through_drops_prefix() {
+        let p = payload(30);
+        let frags = encode_fragments(&p, 2, 3);
+        let mut store = FragmentStore::new();
+        for i in 1..=4u64 {
+            store.add(LogIndex(i), Term(1), frags[0].clone());
+        }
+        store.release_through(LogIndex(2));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.shard_count(LogIndex(2)), 0);
+        assert_eq!(store.shard_count(LogIndex(3)), 1);
+    }
+
+    #[test]
+    fn mixed_geometry_filtered() {
+        // Shards from different (k, n) encodings of the same index must not
+        // be combined.
+        let p = payload(120);
+        let a = encode_fragments(&p, 2, 4);
+        let b = encode_fragments(&p, 3, 4);
+        let mixed = vec![a[0].clone(), b[1].clone(), b[2].clone()];
+        // First fragment fixes geometry (2, 4): only a[0] matches => not enough.
+        assert!(reconstruct(&mixed).is_none());
+        let enough = vec![a[0].clone(), b[1].clone(), a[3].clone()];
+        assert_eq!(reconstruct(&enough).unwrap(), p);
+    }
+}

@@ -1,0 +1,1597 @@
+//! The sans-I/O replica engine.
+//!
+//! One [`Node`] implements all seven evaluated protocols, selected by
+//! [`ProtocolConfig`]:
+//!
+//! * window size `w` (0 = original Raft, >0 = NB-Raft, Section III),
+//! * replication mode (full copies, Reed–Solomon fragments, K-bucket relay),
+//! * per-entry verification (VGRaft).
+//!
+//! The engine is event-driven: `tick`, `handle_message` and `handle_client`
+//! mutate state and append [`Output`] actions. It performs **real** work for
+//! protocol mechanisms whose CPU cost the paper measures — fragments are
+//! really Reed–Solomon coded, VGRaft digests are real SHA-256 — so both
+//! harnesses exercise honest code paths.
+
+use crate::event::Output;
+use crate::fragments::{encode_fragments, FragmentStore};
+use crate::votelist::{VoteList, VoteOutcome};
+use crate::window::{SlidingWindow, WindowOutcome};
+use bytes::Bytes;
+use nbr_crypto::{KeyDirectory, Signature};
+use nbr_storage::LogStore;
+use nbr_types::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Shared secret from which per-node VGRaft keys are derived. A deployment
+/// would provision real keys; the reproduction needs only the *cost* of
+/// signing/verifying (see `nbr-crypto`).
+const CLUSTER_SECRET: &[u8] = b"nbraft-reproduction-cluster";
+
+/// Cap on parked (blocked, beyond-window) entries per follower; beyond this
+/// the follower answers `Mismatch` to push back on the leader.
+const MAX_PARKED: usize = 65_536;
+
+/// Entries resent per catch-up round when a follower lags.
+const CATCHUP_BATCH: usize = 64;
+
+/// Consecutive unchanged heartbeat responses before the leader re-sends.
+const STALL_ROUNDS: u32 = 2;
+
+/// Heartbeat rounds without a response before a peer is considered dead
+/// (drives CRaft fallback / ECRaft degraded coding).
+const DEAD_ROUNDS: u32 = 5;
+
+/// Replica role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Passive replica; appends entries, votes.
+    Follower,
+    /// Election in progress.
+    Candidate,
+    /// Handles client requests and drives replication.
+    Leader,
+}
+
+/// Plain counters exposed for harness instrumentation; the simulator derives
+/// the paper's `t_wait(F)` measurements from `park_wait_ns` / `park_waits`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NodeStats {
+    /// Entries appended to the local log.
+    pub appends: u64,
+    /// WEAK_ACCEPT responses sent (NB-Raft only).
+    pub weak_accepts: u64,
+    /// STRONG_ACCEPT responses sent.
+    pub strong_accepts: u64,
+    /// LOG_MISMATCH responses sent.
+    pub mismatches: u64,
+    /// Entries parked because they were out of order and beyond the window
+    /// (for Raft, *every* out-of-order entry parks — the blocking loop).
+    pub parked: u64,
+    /// Total nanoseconds entries spent blocked before becoming appendable —
+    /// the paper's `t_wait(F)`.
+    pub park_wait_ns: u64,
+    /// Number of park-wait samples.
+    pub park_waits: u64,
+    /// Window flushes performed.
+    pub window_flushes: u64,
+    /// Elections started.
+    pub elections: u64,
+    /// Messages processed.
+    pub messages: u64,
+    /// Entries committed (leader only).
+    pub committed: u64,
+    /// Entries this node applied.
+    pub applied: u64,
+    /// Reed–Solomon encodings performed (CRaft family).
+    pub fragments_encoded: u64,
+    /// Signature verifications performed (VGRaft).
+    pub verifications: u64,
+    /// Client requests proposed (leader only).
+    pub proposals: u64,
+}
+
+/// Who asked for a linearizable read.
+#[derive(Debug, Clone, Copy)]
+enum ReadOrigin {
+    /// A client attached to this node.
+    Local { client: ClientId, request: RequestId },
+    /// A follower forwarding a ReadIndex probe.
+    Remote { follower: NodeId, probe: u64 },
+}
+
+/// A read awaiting leadership confirmation.
+#[derive(Debug, Clone, Copy)]
+struct PendingRead {
+    origin: ReadOrigin,
+    read_index: LogIndex,
+    /// Members that confirmed our leadership since registration.
+    acks: u64,
+}
+
+/// Per-peer replication progress kept by the leader.
+#[derive(Debug, Clone, Copy)]
+struct Progress {
+    /// Highest index the peer has strongly accepted.
+    match_index: LogIndex,
+    /// Peer's `last_index` from its most recent heartbeat response.
+    last_seen: LogIndex,
+    /// Consecutive heartbeat rounds without progress while lagging.
+    stall_rounds: u32,
+    /// Heartbeat rounds since the last response of any kind.
+    silent_rounds: u32,
+}
+
+impl Progress {
+    fn new() -> Progress {
+        Progress {
+            match_index: LogIndex::ZERO,
+            last_seen: LogIndex::ZERO,
+            stall_rounds: 0,
+            silent_rounds: 0,
+        }
+    }
+
+    fn alive(&self) -> bool {
+        self.silent_rounds < DEAD_ROUNDS
+    }
+}
+
+/// The replica engine. Generic over log storage so the simulator can use
+/// [`nbr_storage::MemLog`] and the cluster runtime [`nbr_storage::WalLog`].
+pub struct Node<L: LogStore> {
+    id: NodeId,
+    /// All members (sorted, includes self). Bit `i` of vote/accept bitmaps
+    /// refers to `membership[i]`.
+    membership: Vec<NodeId>,
+    cfg: ProtocolConfig,
+    log: L,
+
+    term: Term,
+    voted_for: Option<NodeId>,
+    role: Role,
+    leader_hint: Option<NodeId>,
+    commit_index: LogIndex,
+    applied_index: LogIndex,
+
+    // ---- follower state ----
+    window: SlidingWindow,
+    /// Blocked entries beyond the window (or all out-of-order entries when
+    /// `w == 0`), keyed by index. Value: (entry, arrival time).
+    parked: BTreeMap<LogIndex, (Entry, Time)>,
+    /// Arrival times of window-cached entries, for `t_wait` accounting.
+    arrivals: BTreeMap<LogIndex, Time>,
+    election_deadline: Time,
+
+    // ---- candidate state ----
+    votes: u64,
+
+    // ---- leader state ----
+    vote_list: VoteList,
+    progress: Vec<Progress>,
+    next_heartbeat: Time,
+
+    // ---- CRaft state ----
+    frag_store: FragmentStore,
+    /// Reconstructed payloads for fragment entries in our log (post-failover).
+    reconstructed: BTreeMap<LogIndex, Bytes>,
+    /// Apply is stalled waiting for fragment pulls at this index.
+    pull_pending: Option<LogIndex>,
+
+    // ---- linearizable reads (ReadIndex) ----
+    /// Leader: reads awaiting leadership confirmation by a heartbeat quorum.
+    pending_reads: Vec<PendingRead>,
+    /// Follower: outstanding ReadIndex probes sent to the leader.
+    read_probes: BTreeMap<u64, (ClientId, RequestId)>,
+    next_probe: u64,
+    /// Confirmed reads waiting for the apply cursor to reach their index.
+    waiting_reads: Vec<(LogIndex, ClientId, RequestId)>,
+
+    // ---- snapshots ----
+    /// Latest compaction snapshot `(last_index, last_term, image)`; sent to
+    /// followers that fall behind the compaction horizon.
+    snapshot: Option<(LogIndex, Term, Bytes)>,
+
+    // ---- VGRaft ----
+    keys: KeyDirectory,
+
+    /// Living-member count at the previous heartbeat round (drives the
+    /// CRaft fallback / ECRaft degradation on failure detection).
+    last_alive: usize,
+
+    rng: StdRng,
+    /// Counters for instrumentation.
+    pub stats: NodeStats,
+}
+
+impl<L: LogStore> Node<L> {
+    /// Create a replica. `membership` must contain `id`; it is sorted
+    /// internally so all replicas agree on bit positions.
+    pub fn new(id: NodeId, mut membership: Vec<NodeId>, cfg: ProtocolConfig, log: L, seed: u64) -> Node<L> {
+        membership.sort_unstable();
+        membership.dedup();
+        assert!(membership.contains(&id), "membership must include self");
+        assert!(membership.len() <= 64, "bitmap membership limited to 64 nodes");
+        let quorum = ProtocolConfig::quorum(membership.len()) as u32;
+        let last = log.last_index();
+        let n = membership.len();
+        let mut rng = StdRng::seed_from_u64(seed ^ (id.0 as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let election_deadline = Time::ZERO + jitter(&mut rng, cfg.timeouts);
+        Node {
+            id,
+            membership,
+            window: SlidingWindow::new(cfg.window, last),
+            cfg,
+            log,
+            term: Term::ZERO,
+            voted_for: None,
+            role: Role::Follower,
+            leader_hint: None,
+            commit_index: LogIndex::ZERO,
+            applied_index: LogIndex::ZERO,
+            parked: BTreeMap::new(),
+            arrivals: BTreeMap::new(),
+            election_deadline,
+            votes: 0,
+            vote_list: VoteList::new(quorum),
+            progress: vec![Progress::new(); n],
+            next_heartbeat: Time::ZERO,
+            frag_store: FragmentStore::new(),
+            reconstructed: BTreeMap::new(),
+            pull_pending: None,
+            pending_reads: Vec::new(),
+            read_probes: BTreeMap::new(),
+            next_probe: 0,
+            waiting_reads: Vec::new(),
+            snapshot: None,
+            keys: KeyDirectory::new(CLUSTER_SECRET, n),
+            last_alive: n,
+            rng,
+            stats: NodeStats::default(),
+        }
+    }
+
+    // ---------------------------------------------------------------- views
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Current role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// True when this node believes it is the leader.
+    pub fn is_leader(&self) -> bool {
+        self.role == Role::Leader
+    }
+
+    /// Current term.
+    pub fn term(&self) -> Term {
+        self.term
+    }
+
+    /// Believed leader.
+    pub fn leader_hint(&self) -> Option<NodeId> {
+        self.leader_hint
+    }
+
+    /// Commit index.
+    pub fn commit_index(&self) -> LogIndex {
+        self.commit_index
+    }
+
+    /// Last appended log index.
+    pub fn last_index(&self) -> LogIndex {
+        self.log.last_index()
+    }
+
+    /// Borrow the log store.
+    pub fn log(&self) -> &L {
+        &self.log
+    }
+
+    /// Number of entries currently blocked (window + parked) — the paper's
+    /// in-flight "middle state" population.
+    pub fn blocked_entries(&self) -> usize {
+        self.window.occupied() + self.parked.len()
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.cfg
+    }
+
+    /// Compact the log through the applied index, retaining `image` (the
+    /// state machine's serialized state at exactly `applied_index`) for
+    /// followers that fall behind the compaction horizon. The harness calls
+    /// this periodically with a fresh snapshot.
+    pub fn compact_with_snapshot(&mut self, image: Bytes) -> Result<()> {
+        let boundary = self.applied_index;
+        if boundary == LogIndex::ZERO || boundary < self.log.first_index() {
+            return Ok(()); // nothing applied / already compacted past it
+        }
+        let term = self
+            .log
+            .term_of(boundary)
+            .ok_or_else(|| Error::Storage(format!("no term for applied index {boundary}")))?;
+        self.log.compact_to(boundary)?;
+        self.snapshot = Some((boundary, term, image));
+        Ok(())
+    }
+
+    /// Last applied index (the snapshot boundary the harness should
+    /// serialize the state machine at).
+    pub fn applied_index(&self) -> LogIndex {
+        self.applied_index
+    }
+
+    /// Raft hard state `(current term, voted_for)` — must be persisted
+    /// before answering messages that change it, and restored on restart,
+    /// or a rebooted replica could double-vote in one term.
+    pub fn hard_state(&self) -> (Term, Option<NodeId>) {
+        (self.term, self.voted_for)
+    }
+
+    /// Restore persisted hard state after a restart (before processing any
+    /// input).
+    pub fn restore_hard_state(&mut self, term: Term, voted_for: Option<NodeId>) {
+        self.term = term;
+        self.voted_for = voted_for;
+    }
+
+    /// Group size.
+    pub fn group_size(&self) -> usize {
+        self.membership.len()
+    }
+
+    fn bit_of(&self, node: NodeId) -> u64 {
+        let pos = self
+            .membership
+            .iter()
+            .position(|&n| n == node)
+            .expect("node in membership");
+        1u64 << pos
+    }
+
+    fn position_of(&self, node: NodeId) -> usize {
+        self.membership.iter().position(|&n| n == node).expect("node in membership")
+    }
+
+    fn quorum(&self) -> u32 {
+        ProtocolConfig::quorum(self.membership.len()) as u32
+    }
+
+    fn peers(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let me = self.id;
+        self.membership.iter().copied().filter(move |&n| n != me)
+    }
+
+    // ---------------------------------------------------------------- input
+
+    /// Advance timers: elections for followers/candidates, heartbeats and
+    /// catch-up for leaders.
+    pub fn tick(&mut self, now: Time, out: &mut Vec<Output>) {
+        match self.role {
+            Role::Follower | Role::Candidate => {
+                if now >= self.election_deadline {
+                    self.start_election(now, out);
+                }
+            }
+            Role::Leader => {
+                if now >= self.next_heartbeat {
+                    self.send_heartbeats(now, out);
+                }
+            }
+        }
+    }
+
+    /// Feed one client request (only meaningful at the leader).
+    pub fn handle_client(&mut self, req: ClientRequest, now: Time, out: &mut Vec<Output>) {
+        if self.role != Role::Leader {
+            out.push(Output::Respond {
+                client: req.client,
+                resp: ClientResponse::NotLeader { request: req.request, hint: self.leader_hint },
+            });
+            return;
+        }
+        self.stats.proposals += 1;
+        let origin = Origin { client: req.client, request: req.request };
+        self.propose(Some(origin), Payload::Data(req.payload), now, out);
+    }
+
+    /// Feed one protocol message from a peer.
+    pub fn handle_message(&mut self, from: NodeId, msg: Message, now: Time, out: &mut Vec<Output>) {
+        self.stats.messages += 1;
+        let mterm = msg.term();
+        if mterm > self.term {
+            let hint = match &msg {
+                Message::AppendEntry(m) => Some(m.leader),
+                Message::Heartbeat(m) => Some(m.leader),
+                _ => None,
+            };
+            self.step_down(mterm, hint, out);
+        }
+        match msg {
+            Message::AppendEntry(m) => self.on_append_entry(m, now, out),
+            Message::AppendResp(m) => self.on_append_resp(m, now, out),
+            Message::Heartbeat(m) => self.on_heartbeat(m, now, out),
+            Message::HeartbeatResp(m) => self.on_heartbeat_resp(m, now, out),
+            Message::RequestVote(m) => self.on_request_vote(m, now, out),
+            Message::RequestVoteResp(m) => self.on_vote_resp(m, now, out),
+            Message::PullFragments(m) => self.on_pull_fragments(m, out),
+            Message::PushFragments(m) => self.on_push_fragments(m, out),
+            Message::InstallSnapshot(m) => self.on_install_snapshot(m, now, out),
+            Message::InstallSnapshotResp(m) => self.on_install_snapshot_resp(m, now, out),
+            Message::ReadIndexReq(m) => self.on_read_index_req(m, now, out),
+            Message::ReadIndexResp(m) => self.on_read_index_resp(m, out),
+        }
+        let _ = from;
+    }
+
+    // ------------------------------------------------------------ elections
+
+    /// Start an election immediately (also used by tests/harnesses to
+    /// bootstrap a leader deterministically).
+    pub fn campaign(&mut self, now: Time, out: &mut Vec<Output>) {
+        self.start_election(now, out);
+    }
+
+    fn start_election(&mut self, now: Time, out: &mut Vec<Output>) {
+        if std::env::var_os("NBR_TRACE").is_some() {
+            eprintln!("[{now}] {} campaigns term {}", self.id, self.term.next());
+        }
+        self.stats.elections += 1;
+        self.role = Role::Candidate;
+        self.term = self.term.next();
+        self.voted_for = Some(self.id);
+        self.votes = self.bit_of(self.id);
+        self.leader_hint = None;
+        self.election_deadline = now + jitter(&mut self.rng, self.cfg.timeouts);
+        let msg = Message::RequestVote(RequestVoteMsg {
+            term: self.term,
+            candidate: self.id,
+            last_log_index: self.log.last_index(),
+            last_log_term: self.log.last_term(),
+        });
+        for peer in self.peers().collect::<Vec<_>>() {
+            out.push(Output::Send { to: peer, msg: msg.clone() });
+        }
+        // Single-node group: elected immediately.
+        if self.votes.count_ones() >= self.quorum() {
+            self.become_leader(now, out);
+        }
+    }
+
+    fn on_request_vote(&mut self, m: RequestVoteMsg, now: Time, out: &mut Vec<Output>) {
+        let mut granted = false;
+        let dbg = std::env::var_os("NBR_TRACE").is_some();
+        if dbg {
+            eprintln!(
+                "[{now}] {} got vote req from {} t{} (self t{} role {:?} voted {:?})",
+                self.id, m.candidate, m.term.0, self.term.0, self.role, self.voted_for
+            );
+        }
+        if m.term == self.term && self.role == Role::Follower {
+            let can_vote = self.voted_for.is_none() || self.voted_for == Some(m.candidate);
+            let up_to_date = (m.last_log_term, m.last_log_index)
+                >= (self.log.last_term(), self.log.last_index());
+            if can_vote && up_to_date {
+                granted = true;
+                self.voted_for = Some(m.candidate);
+                self.election_deadline = now + jitter(&mut self.rng, self.cfg.timeouts);
+            }
+        }
+        out.push(Output::Send {
+            to: m.candidate,
+            msg: Message::RequestVoteResp(RequestVoteRespMsg {
+                term: self.term,
+                from: self.id,
+                granted,
+            }),
+        });
+    }
+
+    fn on_vote_resp(&mut self, m: RequestVoteRespMsg, now: Time, out: &mut Vec<Output>) {
+        if self.role != Role::Candidate || m.term != self.term || !m.granted {
+            return;
+        }
+        self.votes |= self.bit_of(m.from);
+        if self.votes.count_ones() >= self.quorum() {
+            self.become_leader(now, out);
+        }
+    }
+
+    fn become_leader(&mut self, now: Time, out: &mut Vec<Output>) {
+        if std::env::var_os("NBR_TRACE").is_some() {
+            eprintln!("[{now}] {} becomes leader term {}", self.id, self.term);
+        }
+        self.role = Role::Leader;
+        self.leader_hint = Some(self.id);
+        self.vote_list = VoteList::new(self.quorum());
+        self.progress = vec![Progress::new(); self.membership.len()];
+        self.next_heartbeat = now; // heartbeat immediately
+        out.push(Output::ElectedLeader { term: self.term });
+        self.last_alive = self.membership.len();
+        // Term-start no-op: commits all prior entries once replicated.
+        self.propose(None, Payload::Noop, now, out);
+        self.send_heartbeats(now, out);
+        // Resume the apply cursor: a follower stalls at committed fragment
+        // entries; as leader we reconstruct them (pull shards) and apply.
+        self.emit_applies(out);
+    }
+
+    fn step_down(&mut self, new_term: Term, leader: Option<NodeId>, out: &mut Vec<Output>) {
+        let was_leader = self.role == Role::Leader;
+        if was_leader {
+            // Figure 11: reply LEADER_CHANGED to every client with an open
+            // tuple and clean the VoteList.
+            for origin in self.vote_list.clear().into_iter().flatten() {
+                out.push(Output::Respond {
+                    client: origin.client,
+                    resp: ClientResponse::LeaderChanged { term: new_term },
+                });
+            }
+            out.push(Output::SteppedDown { term: new_term });
+        }
+        if new_term > self.term {
+            self.term = new_term;
+            self.voted_for = None;
+        }
+        self.role = Role::Follower;
+        self.pending_reads.clear();
+        if leader.is_some() {
+            self.leader_hint = leader;
+        }
+        if was_leader {
+            // Rebuild follower machinery over the current log tail.
+            self.window = SlidingWindow::new(self.cfg.window, self.log.last_index());
+            self.parked.clear();
+            self.arrivals.clear();
+        }
+    }
+
+    // ------------------------------------------------------------ proposing
+
+    /// Effective commit threshold for an entry proposed now, given the
+    /// replication mode and peer liveness (ECRaft degrades adaptively).
+    fn effective_threshold(&self) -> u32 {
+        let n = self.membership.len();
+        let quorum = self.quorum();
+        match self.cfg.replication {
+            ReplicationMode::Full | ReplicationMode::Relay { .. } => quorum,
+            ReplicationMode::Fragmented { adaptive } => {
+                if n <= 2 {
+                    return quorum; // cannot fragment with one follower
+                }
+                let alive = self.alive_count();
+                let dead = n - alive;
+                if dead == 0 {
+                    self.cfg.commit_threshold(n) as u32
+                } else if adaptive {
+                    // ECRaft: re-encoded over the living set; every living
+                    // member must hold a shard.
+                    (alive as u32).max(quorum)
+                } else {
+                    // CRaft fallback: full copies, plain majority.
+                    quorum
+                }
+            }
+        }
+    }
+
+    fn alive_count(&self) -> usize {
+        if self.role != Role::Leader {
+            return self.membership.len();
+        }
+        self.progress
+            .iter()
+            .enumerate()
+            .filter(|&(i, p)| self.membership[i] == self.id || p.alive())
+            .count()
+    }
+
+    fn propose(&mut self, origin: Option<Origin>, payload: Payload, now: Time, out: &mut Vec<Output>) {
+        debug_assert_eq!(self.role, Role::Leader);
+        let index = self.log.last_index().next();
+        let prev_term = self.log.last_term();
+        let entry = Entry { index, term: self.term, prev_term, origin, payload };
+        self.log.append(entry.clone()).expect("leader append is contiguous");
+        self.stats.appends += 1;
+        let threshold = self.effective_threshold();
+        let self_bit = self.bit_of(self.id);
+        self.vote_list.track(index, self.term, origin, self_bit, threshold);
+        self.replicate_entry(&entry, out);
+        // Single-node groups commit immediately (bit 0 = evaluate only).
+        let outcome = self.vote_list.strong_accept(index, 0, self.term);
+        self.process_vote_outcome(outcome, out);
+        let _ = now;
+    }
+
+    /// Send one freshly indexed entry to followers according to the
+    /// replication mode.
+    fn replicate_entry(&mut self, entry: &Entry, out: &mut Vec<Output>) {
+        match self.cfg.replication {
+            ReplicationMode::Full => self.replicate_full(entry, out),
+            ReplicationMode::Relay { .. } => self.replicate_relay(entry, out),
+            ReplicationMode::Fragmented { adaptive } => {
+                self.replicate_fragmented(entry, adaptive, out)
+            }
+        }
+    }
+
+    fn append_msg(&self, entry: Entry, verification: Option<Verification>, relay_to: Vec<NodeId>) -> Message {
+        Message::AppendEntry(AppendEntryMsg {
+            term: self.term,
+            leader: self.id,
+            entry,
+            leader_commit: self.commit_index,
+            verification,
+            relay_to,
+        })
+    }
+
+    fn replicate_full(&mut self, entry: &Entry, out: &mut Vec<Output>) {
+        let verification = self.make_verification(entry);
+        for peer in self.peers().collect::<Vec<_>>() {
+            out.push(Output::Send {
+                to: peer,
+                msg: self.append_msg(entry.clone(), verification.clone(), Vec::new()),
+            });
+        }
+    }
+
+    /// KRaft: direct sends to the bucket; bucket nodes relay onward.
+    fn replicate_relay(&mut self, entry: &Entry, out: &mut Vec<Output>) {
+        let peers: Vec<NodeId> = self.peers().collect();
+        let bucket = self.cfg.kraft_bucket(&peers);
+        if bucket.is_empty() || bucket.len() >= peers.len() {
+            return self.replicate_full(entry, out);
+        }
+        let rest: Vec<NodeId> = peers.iter().copied().filter(|n| !bucket.contains(n)).collect();
+        for (i, &b) in bucket.iter().enumerate() {
+            // Round-robin the non-bucket targets across bucket members.
+            let targets: Vec<NodeId> = rest
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j % bucket.len() == i)
+                .map(|(_, &n)| n)
+                .collect();
+            out.push(Output::Send { to: b, msg: self.append_msg(entry.clone(), None, targets) });
+        }
+    }
+
+    fn replicate_fragmented(&mut self, entry: &Entry, adaptive: bool, out: &mut Vec<Output>) {
+        let n = self.membership.len();
+        let payload = match &entry.payload {
+            Payload::Data(b) if n > 2 => b.clone(),
+            // No-ops and tiny groups replicate in full.
+            _ => return self.replicate_full(entry, out),
+        };
+        let alive: Vec<NodeId> = self
+            .membership
+            .iter()
+            .enumerate()
+            .filter(|&(i, &m)| m == self.id || self.progress[i].alive())
+            .map(|(_, &m)| m)
+            .collect();
+        let dead = n - alive.len();
+
+        let (k, group): (usize, Vec<NodeId>) = if dead == 0 {
+            (ProtocolConfig::fragment_k(n), self.membership.clone())
+        } else if adaptive && alive.len() > 2 {
+            // ECRaft degraded coding over the living members.
+            (ProtocolConfig::fragment_k(n).min(alive.len() - 1).max(2), alive.clone())
+        } else {
+            // CRaft fallback: full copies.
+            return self.replicate_full(entry, out);
+        };
+
+        self.stats.fragments_encoded += 1;
+        let frags = encode_fragments(&payload, k, group.len());
+        for (pos, &member) in group.iter().enumerate() {
+            if member == self.id {
+                continue; // leader keeps the full payload in its log
+            }
+            let frag_entry = Entry {
+                index: entry.index,
+                term: entry.term,
+                prev_term: entry.prev_term,
+                origin: entry.origin,
+                payload: Payload::Fragment(frags[pos].clone()),
+            };
+            out.push(Output::Send { to: member, msg: self.append_msg(frag_entry, None, Vec::new()) });
+        }
+        // Dead members of the original membership get nothing until they
+        // revive and catch up via heartbeat repair.
+    }
+
+    fn make_verification(&mut self, entry: &Entry) -> Option<Verification> {
+        if !self.cfg.verify {
+            return None;
+        }
+        let digest = verification_digest(entry);
+        let signature = self
+            .keys
+            .key(self.position_of(self.id) as u32)
+            .expect("own key")
+            .sign(&digest);
+        let peers: Vec<NodeId> = self.peers().collect();
+        let gsize = self.cfg.verify_group_size.min(peers.len());
+        let group = (0..gsize)
+            .map(|i| peers[((entry.index.0 as usize) + i) % peers.len()])
+            .collect();
+        Some(Verification { digest, signature: signature.0, group })
+    }
+
+    // ------------------------------------------------------- follower: append
+
+    fn on_append_entry(&mut self, m: AppendEntryMsg, now: Time, out: &mut Vec<Output>) {
+        if m.term < self.term {
+            // Old leader (Figure 11): report our position at our newer term.
+            out.push(Output::Send {
+                to: m.leader,
+                msg: Message::AppendResp(AppendRespMsg {
+                    term: self.term,
+                    from: self.id,
+                    state: AcceptState::Strong {
+                        last_index: self.log.last_index(),
+                        last_term: self.log.last_term(),
+                    },
+                }),
+            });
+            return;
+        }
+        // Current-term append: recognize leadership.
+        if self.role == Role::Candidate {
+            self.role = Role::Follower;
+        }
+        self.leader_hint = Some(m.leader);
+        // NOTE (paper Figure 13): the follower timeout is reset by *progress*
+        // (an actual append) — see accept_entry — not by the mere reception
+        // of a blocked out-of-order entry. "Node2 starts the follower
+        // timeout as soon as the old leader fails. During the timeout, Node2
+        // receives E2. It is blocked because E1 does not arrive. When the
+        // timeout ends, an election starts." Heartbeats always reset.
+
+        // VGRaft: verify when we are in the verification group.
+        if let Some(v) = &m.verification {
+            if self.cfg.verify && v.group.contains(&self.id) {
+                self.stats.verifications += 1;
+                let digest = verification_digest(&m.entry);
+                let leader_pos = self.position_of(m.leader) as u32;
+                let ok = digest == v.digest
+                    && self.keys.verify(leader_pos, &digest, &Signature(v.signature));
+                if !ok {
+                    return; // Byzantine-suspect entry: drop silently
+                }
+            }
+        }
+
+        // KRaft relay duty.
+        if !m.relay_to.is_empty() {
+            let targets = m.relay_to.clone();
+            let mut fwd = m.clone();
+            fwd.relay_to = Vec::new();
+            for t in targets {
+                out.push(Output::Send { to: t, msg: Message::AppendEntry(fwd.clone()) });
+            }
+        }
+
+        let leader = m.leader;
+        let before = self.log.last_index();
+        self.accept_entry(m.entry, leader, now, out);
+        if self.log.last_index() != before {
+            // Progress: the leader is alive and feeding us appendable data.
+            self.election_deadline = now + jitter(&mut self.rng, self.cfg.timeouts);
+        }
+        self.advance_commit(m.leader_commit, out);
+    }
+
+    /// Core follower acceptance logic (Section III-A).
+    fn accept_entry(&mut self, entry: Entry, leader: NodeId, now: Time, out: &mut Vec<Output>) {
+        let last = self.log.last_index();
+        let diff = entry.index.diff(last);
+
+        if diff <= 0 {
+            self.accept_existing_range(entry, leader, out);
+        } else {
+            self.accept_ahead(entry, leader, now, out);
+        }
+        // Anything we just appended may unblock parked entries.
+        self.drain_parked(leader, now, out);
+    }
+
+    /// `diff <= 0`: the entry's index is already covered by our log
+    /// (Section III-A1 — replace/truncate path).
+    fn accept_existing_range(&mut self, entry: Entry, leader: NodeId, out: &mut Vec<Output>) {
+        if self.log.term_of(entry.index) == Some(entry.term) {
+            // Duplicate of an entry we already hold: cumulative ack.
+            self.respond_strong(leader, out);
+            return;
+        }
+        if entry.index <= self.commit_index {
+            // Conflicting rewrite below the commit point can only come from
+            // a confused or Byzantine peer; never truncate committed data.
+            self.respond_strong(leader, out);
+            return;
+        }
+        let prev_idx = entry.index.prev();
+        if self.log.term_of(prev_idx) == Some(entry.prev_term) {
+            // Replace: truncate the conflicting suffix, append, and move the
+            // window leftwards (Figure 7).
+            let min_term = entry.term;
+            self.log.truncate_from(entry.index).expect("truncate above commit");
+            self.log.append(entry).expect("contiguous after truncate");
+            self.stats.appends += 1;
+            self.window.shift_to(self.log.last_index(), min_term);
+            self.reconstructed.split_off(&self.log.last_index().next());
+            self.respond_strong(leader, out);
+        } else {
+            // Previous entry mismatch: ask for earlier entries.
+            self.respond_mismatch(leader, entry.index, prev_idx.max(self.log.first_index().prev()), out);
+        }
+    }
+
+    /// `diff >= 1`: the entry extends our log — in order (`diff == 1`),
+    /// into the window, or beyond it.
+    fn accept_ahead(&mut self, entry: Entry, leader: NodeId, now: Time, out: &mut Vec<Output>) {
+        let index = entry.index;
+        let term = entry.term;
+        match self.window.offer(entry, self.log.last_term()) {
+            WindowOutcome::Flush(run) => {
+                self.stats.window_flushes += 1;
+                for e in run {
+                    // t_wait accounting: cached entries waited since arrival.
+                    if let Some(arrived) = self.arrivals.remove(&e.index) {
+                        self.stats.park_wait_ns += now.since(arrived).as_nanos();
+                        self.stats.park_waits += 1;
+                    }
+                    self.log.append(e).expect("window flush is contiguous");
+                    self.stats.appends += 1;
+                }
+                self.respond_strong(leader, out);
+            }
+            WindowOutcome::Cached => {
+                self.arrivals.insert(index, now);
+                self.stats.weak_accepts += 1;
+                out.push(Output::Send {
+                    to: leader,
+                    msg: Message::AppendResp(AppendRespMsg {
+                        term: self.term,
+                        from: self.id,
+                        state: AcceptState::Weak { index, term },
+                    }),
+                });
+            }
+            WindowOutcome::Mismatch => {
+                // diff == 1 but the previous-entry check failed: our last
+                // entry conflicts with the leader's log.
+                self.respond_mismatch(leader, index, self.log.last_index(), out);
+            }
+            WindowOutcome::Beyond(entry) => {
+                // Blocked (Section III-A3): park silently and wait — this is
+                // the Raft waiting loop; the entry is acknowledged only once
+                // appendable.
+                if self.parked.len() >= MAX_PARKED {
+                    self.respond_mismatch(leader, index, self.log.last_index().next(), out);
+                    return;
+                }
+                self.stats.parked += 1;
+                match self.parked.get(&index) {
+                    Some((existing, _)) if existing.term >= term => {}
+                    _ => {
+                        self.parked.insert(index, (entry, now));
+                    }
+                }
+            }
+        }
+    }
+
+    fn respond_strong(&mut self, leader: NodeId, out: &mut Vec<Output>) {
+        self.stats.strong_accepts += 1;
+        out.push(Output::Send {
+            to: leader,
+            msg: Message::AppendResp(AppendRespMsg {
+                term: self.term,
+                from: self.id,
+                state: AcceptState::Strong {
+                    last_index: self.log.last_index(),
+                    last_term: self.log.last_term(),
+                },
+            }),
+        });
+    }
+
+    fn respond_mismatch(&mut self, leader: NodeId, index: LogIndex, resend_from: LogIndex, out: &mut Vec<Output>) {
+        self.stats.mismatches += 1;
+        out.push(Output::Send {
+            to: leader,
+            msg: Message::AppendResp(AppendRespMsg {
+                term: self.term,
+                from: self.id,
+                state: AcceptState::Mismatch { index, resend_from },
+            }),
+        });
+    }
+
+    /// Retry parked entries that now fit the window / the log.
+    fn drain_parked(&mut self, leader: NodeId, now: Time, out: &mut Vec<Output>) {
+        loop {
+            let Some((&index, _)) = self.parked.first_key_value() else {
+                return;
+            };
+            let last = self.log.last_index();
+            let diff = index.diff(last);
+            if diff <= 0 {
+                // Superseded by appended entries; drop (a duplicate ack was
+                // already sent when the covering entry was appended).
+                self.parked.remove(&index);
+                continue;
+            }
+            // Fits in the window (or is the next in-order entry)?
+            let fits = diff == 1 || (diff - 1) < self.cfg.window as i64;
+            if !fits {
+                return;
+            }
+            let (entry, arrived) = self.parked.remove(&index).expect("checked present");
+            let entry_term = entry.term;
+            match self.window.offer(entry, self.log.last_term()) {
+                WindowOutcome::Flush(run) => {
+                    self.stats.window_flushes += 1;
+                    for e in run {
+                        let arrived_at = self.arrivals.remove(&e.index).unwrap_or(arrived);
+                        self.stats.park_wait_ns += now.since(arrived_at).as_nanos();
+                        self.stats.park_waits += 1;
+                        self.log.append(e).expect("contiguous flush");
+                        self.stats.appends += 1;
+                    }
+                    self.respond_strong(leader, out);
+                }
+                WindowOutcome::Cached => {
+                    // Moved from parked into the window: now weakly accepted.
+                    self.arrivals.insert(index, arrived);
+                    self.stats.weak_accepts += 1;
+                    out.push(Output::Send {
+                        to: leader,
+                        msg: Message::AppendResp(AppendRespMsg {
+                            term: self.term,
+                            from: self.id,
+                            state: AcceptState::Weak { index, term: entry_term },
+                        }),
+                    });
+                }
+                WindowOutcome::Mismatch => {
+                    self.respond_mismatch(leader, index, self.log.last_index(), out);
+                }
+                WindowOutcome::Beyond(entry) => {
+                    // Still beyond (shouldn't happen given the fit check).
+                    self.parked.insert(index, (entry, arrived));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Advance the follower commit index per the leader's commit point.
+    fn advance_commit(&mut self, leader_commit: LogIndex, out: &mut Vec<Output>) {
+        let target = leader_commit.min(self.log.last_index());
+        if target > self.commit_index {
+            self.commit_index = target;
+            self.emit_applies(out);
+        }
+    }
+
+    // ------------------------------------------------------- leader: responses
+
+    fn on_append_resp(&mut self, m: AppendRespMsg, now: Time, out: &mut Vec<Output>) {
+        if self.role != Role::Leader || m.term != self.term {
+            return; // stale response (higher terms already handled globally)
+        }
+        let pos = self.position_of(m.from);
+        self.progress[pos].silent_rounds = 0;
+        let bit = self.bit_of(m.from);
+        match m.state {
+            AcceptState::Weak { index, term } => {
+                let outcome = self.vote_list.weak_accept(index, term, bit);
+                self.process_vote_outcome(outcome, out);
+            }
+            AcceptState::Strong { last_index, last_term } => {
+                // Figure 11: a strong accept naming a higher term means a new
+                // leader exists; handled by the global term check. A strong
+                // accept for a last entry that does not match our log means
+                // the follower diverged — repair instead of counting.
+                if self.log.term_of(last_index) != Some(last_term) {
+                    self.repair_follower(m.from, last_index, now, out);
+                    return;
+                }
+                self.progress[pos].match_index = self.progress[pos].match_index.max(last_index);
+                self.progress[pos].last_seen = last_index;
+                let outcome = self.vote_list.strong_accept(last_index, bit, self.term);
+                self.process_vote_outcome(outcome, out);
+            }
+            AcceptState::Mismatch { index: _, resend_from } => {
+                self.repair_follower(m.from, resend_from, now, out);
+            }
+        }
+    }
+
+    fn process_vote_outcome(&mut self, outcome: VoteOutcome, out: &mut Vec<Output>) {
+        // Weak majorities: early return to clients (Figure 10) — only
+        // meaningful for the non-blocking variants.
+        if self.cfg.window > 0 {
+            for (index, term, origin) in &outcome.weak_ready {
+                if let Some(origin) = origin {
+                    out.push(Output::Respond {
+                        client: origin.client,
+                        resp: ClientResponse::Weak {
+                            request: origin.request,
+                            index: *index,
+                            term: *term,
+                        },
+                    });
+                }
+            }
+        }
+        // Commits: advance, apply, answer clients with the last committed
+        // coordinates (Section III-B3b).
+        if let Some(&(last_idx, last_term, _)) = outcome.committed.last() {
+            self.commit_index = self.commit_index.max(last_idx);
+            self.stats.committed += outcome.committed.len() as u64;
+            for (_, _, origin) in &outcome.committed {
+                if let Some(origin) = origin {
+                    out.push(Output::Respond {
+                        client: origin.client,
+                        resp: ClientResponse::Strong {
+                            request: origin.request,
+                            index: last_idx,
+                            term: last_term,
+                        },
+                    });
+                }
+            }
+            self.emit_applies(out);
+        }
+    }
+
+    /// Re-send entries to a lagging or diverged follower, starting from
+    /// `from_index` (capped batch).
+    fn repair_follower(&mut self, follower: NodeId, from_index: LogIndex, _now: Time, out: &mut Vec<Output>) {
+        // Behind the compaction horizon: ship the snapshot instead.
+        if from_index < self.log.first_index() {
+            if let Some((last_index, last_term, data)) = &self.snapshot {
+                out.push(Output::Send {
+                    to: follower,
+                    msg: Message::InstallSnapshot(InstallSnapshotMsg {
+                        term: self.term,
+                        leader: self.id,
+                        last_index: *last_index,
+                        last_term: *last_term,
+                        leader_commit: self.commit_index,
+                        data: data.clone(),
+                    }),
+                });
+                return;
+            }
+        }
+        let start = from_index.max(self.log.first_index());
+        let last = self.log.last_index();
+        if start > last {
+            return;
+        }
+        let mut sent = 0usize;
+        let mut idx = start;
+        while idx <= last && sent < CATCHUP_BATCH {
+            if let Some(entry) = self.log.get(idx) {
+                if let Some(msg) = self.repair_message_for(follower, entry) {
+                    out.push(Output::Send { to: follower, msg });
+                    sent += 1;
+                } else {
+                    // Fragment entry we cannot materialize yet: pull shards
+                    // first, repair resumes when they arrive.
+                    self.request_fragments(idx, out);
+                    break;
+                }
+            }
+            idx = idx.next();
+        }
+    }
+
+    /// Build the repair AppendEntry for one log entry, honouring the
+    /// replication mode. Returns `None` when a fragment entry's payload is
+    /// not yet reconstructable.
+    fn repair_message_for(&mut self, follower: NodeId, entry: Entry) -> Option<Message> {
+        let n = self.membership.len();
+        let fragmented = matches!(self.cfg.replication, ReplicationMode::Fragmented { .. }) && n > 2;
+        let payload_bytes: Option<Bytes> = match &entry.payload {
+            Payload::Data(b) => Some(b.clone()),
+            Payload::Noop => None,
+            Payload::Fragment(_) => match self.reconstructed.get(&entry.index) {
+                Some(b) => Some(b.clone()),
+                None => return None,
+            },
+        };
+        let send_entry = match (&entry.payload, fragmented, payload_bytes) {
+            (Payload::Noop, _, _) => entry,
+            (_, false, Some(b)) => Entry { payload: Payload::Data(b), ..entry },
+            (_, true, Some(b)) => {
+                let k = ProtocolConfig::fragment_k(n);
+                self.stats.fragments_encoded += 1;
+                let frags = encode_fragments(&b, k, n);
+                let pos = self.position_of(follower);
+                Entry { payload: Payload::Fragment(frags[pos].clone()), ..entry }
+            }
+            (_, _, None) => entry,
+        };
+        let verification = self.make_verification(&send_entry);
+        Some(self.append_msg(send_entry, verification, Vec::new()))
+    }
+
+    // ------------------------------------------------------- heartbeats
+
+    fn send_heartbeats(&mut self, now: Time, out: &mut Vec<Output>) {
+        self.next_heartbeat = now + self.cfg.timeouts.heartbeat_interval;
+        let msg = Message::Heartbeat(HeartbeatMsg {
+            term: self.term,
+            leader: self.id,
+            last_index: self.log.last_index(),
+            last_term: self.log.last_term(),
+            leader_commit: self.commit_index,
+        });
+        for peer in self.peers().collect::<Vec<_>>() {
+            let pos = self.position_of(peer);
+            self.progress[pos].silent_rounds = self.progress[pos].silent_rounds.saturating_add(1);
+            out.push(Output::Send { to: peer, msg: msg.clone() });
+        }
+        self.maybe_degrade_replication(out);
+    }
+
+    /// CRaft fallback / ECRaft degradation: when a replica is declared dead,
+    /// entries waiting for `k + F` fragment acks can never commit. Lower the
+    /// thresholds of open tuples to the now-effective value and re-replicate
+    /// them in the degraded mode (full copies for CRaft, re-coded shards for
+    /// ECRaft).
+    fn maybe_degrade_replication(&mut self, out: &mut Vec<Output>) {
+        if !matches!(self.cfg.replication, ReplicationMode::Fragmented { .. }) {
+            self.last_alive = self.alive_count();
+            return;
+        }
+        let alive = self.alive_count();
+        if alive < self.last_alive {
+            let threshold = self.effective_threshold();
+            let outcome = self.vote_list.lower_thresholds(threshold, self.term);
+            self.process_vote_outcome(outcome, out);
+            for idx in self.vote_list.open_indices() {
+                if let Some(entry) = self.log.get(idx) {
+                    self.replicate_entry(&entry, out);
+                }
+            }
+        }
+        self.last_alive = alive;
+    }
+
+    fn on_heartbeat(&mut self, m: HeartbeatMsg, now: Time, out: &mut Vec<Output>) {
+        if m.term < self.term {
+            out.push(Output::Send {
+                to: m.leader,
+                msg: Message::HeartbeatResp(HeartbeatRespMsg {
+                    term: self.term,
+                    from: self.id,
+                    last_index: self.log.last_index(),
+                    last_term: self.log.last_term(),
+                }),
+            });
+            return;
+        }
+        if self.role == Role::Candidate {
+            self.role = Role::Follower;
+        }
+        self.leader_hint = Some(m.leader);
+        self.election_deadline = now + jitter(&mut self.rng, self.cfg.timeouts);
+        self.advance_commit(m.leader_commit, out);
+        out.push(Output::Send {
+            to: m.leader,
+            msg: Message::HeartbeatResp(HeartbeatRespMsg {
+                term: self.term,
+                from: self.id,
+                last_index: self.log.last_index(),
+                last_term: self.log.last_term(),
+            }),
+        });
+    }
+
+    fn on_heartbeat_resp(&mut self, m: HeartbeatRespMsg, now: Time, out: &mut Vec<Output>) {
+        if self.role != Role::Leader || m.term != self.term {
+            return;
+        }
+        let pos = self.position_of(m.from);
+        self.progress[pos].silent_rounds = 0;
+        self.confirm_reads(self.bit_of(m.from), out);
+        let prev_seen = self.progress[pos].last_seen;
+        self.progress[pos].last_seen = m.last_index;
+
+        if self.log.term_of(m.last_index) == Some(m.last_term) {
+            // Matching prefix: counts as a cumulative strong accept
+            // (how old-term entries gather votes after a leader change).
+            self.progress[pos].match_index = self.progress[pos].match_index.max(m.last_index);
+            let bit = self.bit_of(m.from);
+            let outcome = self.vote_list.strong_accept(m.last_index, bit, self.term);
+            self.process_vote_outcome(outcome, out);
+
+            // Lagging with no progress for a while? Re-send the suffix.
+            if m.last_index < self.log.last_index() {
+                if m.last_index <= prev_seen {
+                    self.progress[pos].stall_rounds += 1;
+                } else {
+                    self.progress[pos].stall_rounds = 0;
+                }
+                if self.progress[pos].stall_rounds >= STALL_ROUNDS {
+                    self.progress[pos].stall_rounds = 0;
+                    self.repair_follower(m.from, m.last_index.next(), now, out);
+                }
+            } else {
+                self.progress[pos].stall_rounds = 0;
+            }
+        } else {
+            // Diverged tail (walk back one entry per round) or behind the
+            // compaction horizon (repair_follower ships the snapshot).
+            self.repair_follower(m.from, m.last_index, now, out);
+        }
+    }
+
+    // ------------------------------------------------------- fragments (CRaft)
+
+    fn request_fragments(&mut self, index: LogIndex, out: &mut Vec<Output>) {
+        if self.pull_pending == Some(index) {
+            return; // already requested
+        }
+        self.pull_pending = Some(index);
+        let msg = Message::PullFragments(PullFragmentsMsg {
+            term: self.term,
+            from: self.id,
+            from_index: index,
+            to_index: self.log.last_index(),
+        });
+        for peer in self.peers().collect::<Vec<_>>() {
+            out.push(Output::Send { to: peer, msg: msg.clone() });
+        }
+    }
+
+    fn on_pull_fragments(&mut self, m: PullFragmentsMsg, out: &mut Vec<Output>) {
+        let mut fragments = Vec::new();
+        let mut idx = m.from_index.max(self.log.first_index());
+        while idx <= m.to_index.min(self.log.last_index()) {
+            if let Some(e) = self.log.get(idx) {
+                match e.payload {
+                    Payload::Fragment(f) => fragments.push((idx, e.term, f)),
+                    Payload::Data(b) => {
+                        // Full copy held (fallback-mode replication): a k=1
+                        // pseudo-fragment delivers the payload directly.
+                        let orig_len = b.len() as u32;
+                        fragments.push((
+                            idx,
+                            e.term,
+                            Fragment { shard: 0, k: 1, n: 1, orig_len, data: b },
+                        ));
+                    }
+                    Payload::Noop => {}
+                }
+            }
+            idx = idx.next();
+        }
+        if !fragments.is_empty() {
+            out.push(Output::Send {
+                to: m.from,
+                msg: Message::PushFragments(PushFragmentsMsg {
+                    term: self.term,
+                    from: self.id,
+                    fragments,
+                }),
+            });
+        }
+    }
+
+    fn on_push_fragments(&mut self, m: PushFragmentsMsg, out: &mut Vec<Output>) {
+        for (idx, term, frag) in m.fragments {
+            // Only useful for entries we hold as fragments with that term.
+            if self.log.term_of(idx) == Some(term) {
+                self.frag_store.add(idx, term, frag);
+                if self.reconstructed.contains_key(&idx) {
+                    continue;
+                }
+                // Include our own shard.
+                if let Some(e) = self.log.get(idx) {
+                    if let Payload::Fragment(own) = e.payload {
+                        self.frag_store.add(idx, term, own);
+                    }
+                }
+                if let Some(payload) = self.frag_store.try_reconstruct(idx, term) {
+                    self.reconstructed.insert(idx, payload);
+                }
+            }
+        }
+        // Reconstructions may unblock the apply cursor.
+        if let Some(pending) = self.pull_pending {
+            if self.reconstructed.contains_key(&pending) {
+                self.pull_pending = None;
+            }
+        }
+        self.emit_applies(out);
+    }
+
+    // ------------------------------------------------- linearizable reads
+
+    /// Register a linearizable read for `client`. Emits
+    /// [`Output::ReadReady`] once (a) leadership is re-confirmed by a
+    /// heartbeat quorum at or after registration and (b) the local state
+    /// machine has applied everything up to the read index — the standard
+    /// ReadIndex protocol. On a follower, the read index is obtained from
+    /// the leader and the read is served *locally* (follower read, the
+    /// capability CRaft forfeits — paper Table II).
+    pub fn handle_read(&mut self, client: ClientId, request: RequestId, now: Time, out: &mut Vec<Output>) {
+        match self.role {
+            Role::Leader => {
+                let read = PendingRead {
+                    origin: ReadOrigin::Local { client, request },
+                    read_index: self.commit_index,
+                    acks: self.bit_of(self.id),
+                };
+                self.register_read(read, now, out);
+            }
+            _ => match self.leader_hint {
+                Some(leader) if leader != self.id => {
+                    self.next_probe += 1;
+                    self.read_probes.insert(self.next_probe, (client, request));
+                    out.push(Output::Send {
+                        to: leader,
+                        msg: Message::ReadIndexReq(ReadIndexReqMsg {
+                            term: self.term,
+                            from: self.id,
+                            probe: self.next_probe,
+                        }),
+                    });
+                }
+                _ => out.push(Output::Respond {
+                    client,
+                    resp: ClientResponse::NotLeader { request, hint: self.leader_hint },
+                }),
+            },
+        }
+    }
+
+    fn register_read(&mut self, read: PendingRead, now: Time, out: &mut Vec<Output>) {
+        if read.acks.count_ones() >= self.quorum() {
+            // Single-node group: no confirmation round needed.
+            self.finish_read(read.origin, read.read_index, out);
+            return;
+        }
+        self.pending_reads.push(read);
+        // Accelerate confirmation with an immediate heartbeat round.
+        if self.next_heartbeat > now + self.cfg.timeouts.heartbeat_interval {
+            self.next_heartbeat = now;
+        }
+        self.send_heartbeats(now, out);
+    }
+
+    fn on_read_index_req(&mut self, m: ReadIndexReqMsg, now: Time, out: &mut Vec<Output>) {
+        if self.role != Role::Leader || m.term != self.term {
+            return; // the follower's harness-level timeout handles retry
+        }
+        let read = PendingRead {
+            origin: ReadOrigin::Remote { follower: m.from, probe: m.probe },
+            read_index: self.commit_index,
+            acks: self.bit_of(self.id),
+        };
+        self.register_read(read, now, out);
+    }
+
+    fn on_read_index_resp(&mut self, m: ReadIndexRespMsg, out: &mut Vec<Output>) {
+        if let Some((client, request)) = self.read_probes.remove(&m.probe) {
+            if self.applied_index >= m.read_index {
+                out.push(Output::ReadReady { client, request, read_index: m.read_index });
+            } else {
+                self.waiting_reads.push((m.read_index, client, request));
+            }
+        }
+    }
+
+    /// A leadership confirmation arrived from `bit`; advance pending reads.
+    fn confirm_reads(&mut self, bit: u64, out: &mut Vec<Output>) {
+        if self.pending_reads.is_empty() {
+            return;
+        }
+        let quorum = self.quorum();
+        let mut confirmed = Vec::new();
+        self.pending_reads.retain_mut(|r| {
+            r.acks |= bit;
+            if r.acks.count_ones() >= quorum {
+                confirmed.push((r.origin, r.read_index));
+                false
+            } else {
+                true
+            }
+        });
+        for (origin, read_index) in confirmed {
+            self.finish_read(origin, read_index, out);
+        }
+    }
+
+    fn finish_read(&mut self, origin: ReadOrigin, read_index: LogIndex, out: &mut Vec<Output>) {
+        match origin {
+            ReadOrigin::Local { client, request } => {
+                if self.applied_index >= read_index {
+                    out.push(Output::ReadReady { client, request, read_index });
+                } else {
+                    self.waiting_reads.push((read_index, client, request));
+                }
+            }
+            ReadOrigin::Remote { follower, probe } => {
+                out.push(Output::Send {
+                    to: follower,
+                    msg: Message::ReadIndexResp(ReadIndexRespMsg {
+                        term: self.term,
+                        read_index,
+                        probe,
+                    }),
+                });
+            }
+        }
+    }
+
+    /// Flush reads whose index the apply cursor has now passed.
+    fn flush_waiting_reads(&mut self, out: &mut Vec<Output>) {
+        if self.waiting_reads.is_empty() {
+            return;
+        }
+        let applied = self.applied_index;
+        let mut ready = Vec::new();
+        self.waiting_reads.retain(|&(idx, client, request)| {
+            if applied >= idx {
+                ready.push((client, request, idx));
+                false
+            } else {
+                true
+            }
+        });
+        for (client, request, read_index) in ready {
+            out.push(Output::ReadReady { client, request, read_index });
+        }
+    }
+
+    // ------------------------------------------------------- snapshots
+
+    fn on_install_snapshot(&mut self, m: InstallSnapshotMsg, now: Time, out: &mut Vec<Output>) {
+        if m.term < self.term {
+            out.push(Output::Send {
+                to: m.leader,
+                msg: Message::InstallSnapshotResp(InstallSnapshotRespMsg {
+                    term: self.term,
+                    from: self.id,
+                    last_index: self.log.last_index(),
+                }),
+            });
+            return;
+        }
+        if self.role == Role::Candidate {
+            self.role = Role::Follower;
+        }
+        self.leader_hint = Some(m.leader);
+        self.election_deadline = now + jitter(&mut self.rng, self.cfg.timeouts);
+
+        // Install only when the snapshot supersedes our log (standard Raft:
+        // a snapshot covering a prefix we already hold consistently is a
+        // retransmission — just ack our position).
+        let covered = self.log.term_of(m.last_index) == Some(m.last_term);
+        if !covered {
+            self.log.reset(m.last_index, m.last_term).expect("log reset");
+            self.window = SlidingWindow::new(self.cfg.window, m.last_index);
+            self.parked.clear();
+            self.arrivals.clear();
+            self.reconstructed.clear();
+            self.frag_store = FragmentStore::new();
+            self.commit_index = m.last_index.max(self.commit_index).min(m.last_index);
+            self.applied_index = m.last_index;
+            out.push(Output::RestoreSnapshot {
+                last_index: m.last_index,
+                last_term: m.last_term,
+                data: m.data,
+            });
+        } else if self.applied_index < m.last_index {
+            // We hold the entries but have not applied them (e.g. a CRaft
+            // follower stalled on fragments): the snapshot lets us jump.
+            self.applied_index = m.last_index;
+            self.commit_index = self.commit_index.max(m.last_index);
+            out.push(Output::RestoreSnapshot {
+                last_index: m.last_index,
+                last_term: m.last_term,
+                data: m.data,
+            });
+        }
+        self.advance_commit(m.leader_commit, out);
+        out.push(Output::Send {
+            to: m.leader,
+            msg: Message::InstallSnapshotResp(InstallSnapshotRespMsg {
+                term: self.term,
+                from: self.id,
+                last_index: self.log.last_index(),
+            }),
+        });
+    }
+
+    fn on_install_snapshot_resp(&mut self, m: InstallSnapshotRespMsg, now: Time, out: &mut Vec<Output>) {
+        if self.role != Role::Leader || m.term != self.term {
+            return;
+        }
+        let pos = self.position_of(m.from);
+        self.progress[pos].silent_rounds = 0;
+        self.progress[pos].last_seen = m.last_index;
+        self.progress[pos].match_index = self.progress[pos].match_index.max(m.last_index);
+        let bit = self.bit_of(m.from);
+        let outcome = self.vote_list.strong_accept(m.last_index, bit, self.term);
+        self.process_vote_outcome(outcome, out);
+        // Continue the catch-up with the suffix after the snapshot.
+        if m.last_index < self.log.last_index() {
+            self.repair_follower(m.from, m.last_index.next(), now, out);
+        }
+    }
+
+    // ------------------------------------------------------- apply
+
+    /// Emit `Apply` outputs for newly committed entries, in order. The leader
+    /// stalls on fragment entries until their payload is reconstructed;
+    /// follower apply cursors *wait* at fragment entries — a follower cannot
+    /// reconstruct on its own, which is exactly why CRaft forfeits follower
+    /// reads (paper Table II). The cursor resumes (with reconstruction) if
+    /// the node is later elected leader.
+    fn emit_applies(&mut self, out: &mut Vec<Output>) {
+        while self.applied_index < self.commit_index {
+            let idx = self.applied_index.next();
+            let Some(entry) = self.log.get(idx) else {
+                return; // compacted or missing (harness installed snapshot)
+            };
+            let entry = match (&entry.payload, self.role) {
+                (Payload::Fragment(_), Role::Leader) => {
+                    match self.reconstructed.get(&idx) {
+                        Some(b) => Entry { payload: Payload::Data(b.clone()), ..entry },
+                        None => {
+                            self.request_fragments(idx, out);
+                            return; // stall until shards arrive
+                        }
+                    }
+                }
+                (Payload::Fragment(_), _) => return,
+                _ => entry,
+            };
+            out.push(Output::Apply { entry });
+            self.stats.applied += 1;
+            self.applied_index = idx;
+            self.frag_store.release_through(idx);
+        }
+        self.flush_waiting_reads(out);
+    }
+}
+
+/// Randomized election timeout in `[election_min, election_max)`.
+fn jitter(rng: &mut StdRng, t: TimeoutConfig) -> TimeDelta {
+    let lo = t.election_min.as_nanos();
+    let hi = t.election_max.as_nanos().max(lo + 1);
+    TimeDelta(rng.random_range(lo..hi))
+}
+
+/// Digest of the fields VGRaft signs: index, term, prev_term, payload bytes.
+fn verification_digest(entry: &Entry) -> [u8; 32] {
+    let mut h = nbr_crypto::Sha256::new();
+    h.update(&entry.index.0.to_le_bytes());
+    h.update(&entry.term.0.to_le_bytes());
+    h.update(&entry.prev_term.0.to_le_bytes());
+    match &entry.payload {
+        Payload::Noop => h.update(b"noop"),
+        Payload::Data(b) => h.update(b),
+        Payload::Fragment(f) => h.update(&f.data),
+    }
+    h.finalize()
+}

@@ -1,0 +1,121 @@
+//! Linearizable reads via ReadIndex: leader reads, follower reads, and the
+//! stale-leader case that the confirmation round exists to prevent.
+
+mod common;
+
+use common::TestCluster;
+use nbr_types::*;
+
+#[test]
+fn leader_read_confirms_via_heartbeat_quorum() {
+    let cfg = Protocol::NbRaft.config(64);
+    let mut c = TestCluster::new(3, &cfg);
+    c.elect(0);
+    for r in 1..=5u64 {
+        c.client_request(0, 1, r, b"k=v");
+        c.pump();
+    }
+    assert_eq!(c.node(0).commit_index(), LogIndex(6));
+
+    // Register a read at the leader; it requires one heartbeat round.
+    let now = c.now;
+    let mut out = Vec::new();
+    c.node_mut(0).handle_read(ClientId(9), RequestId(1), now, &mut out);
+    c.absorb(NodeId(0), out);
+    assert!(c.reads_ready.is_empty(), "not confirmed before the quorum round");
+    c.pump(); // heartbeats + responses
+    assert_eq!(
+        c.reads_ready,
+        vec![(NodeId(0), ClientId(9), RequestId(1), LogIndex(6))],
+        "read confirmed at the commit index"
+    );
+}
+
+#[test]
+fn follower_read_serves_locally() {
+    let cfg = Protocol::NbRaft.config(64);
+    let mut c = TestCluster::new(3, &cfg);
+    c.elect(0);
+    for r in 1..=4u64 {
+        c.client_request(0, 1, r, b"a=b");
+        c.pump();
+    }
+    // Followers need the commit index propagated before they can serve it.
+    c.tick(TimeDelta::from_millis(150));
+    c.pump();
+    assert_eq!(c.node(1).commit_index(), LogIndex(5));
+
+    let now = c.now;
+    let mut out = Vec::new();
+    c.node_mut(1).handle_read(ClientId(7), RequestId(1), now, &mut out);
+    c.absorb(NodeId(1), out);
+    c.pump(); // probe -> leader -> confirmation -> response
+    let served: Vec<_> = c.reads_ready.iter().filter(|(n, ..)| *n == NodeId(1)).collect();
+    assert_eq!(served.len(), 1, "follower served the read locally: {:?}", c.reads_ready);
+    assert!(served[0].3 >= LogIndex(5));
+}
+
+#[test]
+fn read_waits_for_apply_to_catch_up() {
+    // A follower that knows the commit index but has not applied that far
+    // (apply lags reception) must defer the read.
+    let cfg = Protocol::NbRaft.config(64);
+    let mut c = TestCluster::new(3, &cfg);
+    c.elect(0);
+    c.client_request(0, 1, 1, b"x=1");
+    c.pump();
+    // Leader read with nothing pending resolves at the current index.
+    let now = c.now;
+    let mut out = Vec::new();
+    c.node_mut(0).handle_read(ClientId(3), RequestId(1), now, &mut out);
+    c.absorb(NodeId(0), out);
+    c.pump();
+    assert_eq!(c.reads_ready.len(), 1);
+    // The leader had applied through commit, so read_index == applied.
+    assert_eq!(c.reads_ready[0].3, c.node(0).applied_index());
+}
+
+#[test]
+fn deposed_leader_cannot_confirm_reads() {
+    // The linearizability guarantee: a partitioned ex-leader must not serve
+    // a read, because it cannot gather a heartbeat quorum.
+    let cfg = Protocol::NbRaft.config(64);
+    let mut c = TestCluster::new(3, &cfg);
+    c.elect(0);
+    c.client_request(0, 1, 1, b"k=old");
+    c.pump();
+    // Partition the leader; elect node 1; commit a newer value there.
+    c.partitions = vec![(NodeId(0), NodeId(1)), (NodeId(0), NodeId(2))];
+    c.elect(1);
+    c.client_request(1, 2, 1, b"k=new");
+    c.pump();
+
+    // The stale leader still thinks it leads; register a read.
+    assert!(c.node(0).is_leader());
+    let now = c.now;
+    let mut out = Vec::new();
+    c.node_mut(0).handle_read(ClientId(9), RequestId(1), now, &mut out);
+    c.absorb(NodeId(0), out);
+    c.pump();
+    c.tick(TimeDelta::from_millis(150));
+    c.pump();
+    assert!(
+        c.reads_ready.iter().all(|(n, ..)| *n != NodeId(0)),
+        "stale leader must never confirm a read: {:?}",
+        c.reads_ready
+    );
+}
+
+#[test]
+fn node_without_leader_rejects_reads() {
+    let cfg = Protocol::Raft.config(0);
+    let mut c = TestCluster::new(3, &cfg);
+    // No election yet: nobody knows a leader.
+    let now = c.now;
+    let mut out = Vec::new();
+    c.node_mut(1).handle_read(ClientId(5), RequestId(1), now, &mut out);
+    let rejected = out
+        .iter()
+        .any(|o| matches!(o, nbr_core::Output::Respond { resp: ClientResponse::NotLeader { .. }, .. }));
+    assert!(rejected);
+}

@@ -1,0 +1,98 @@
+//! Property tests for the leader's VoteList: under arbitrary interleavings
+//! of weak and strong acceptances, commits are monotone, each entry commits
+//! at most once, weak replies are sent at most once per entry, and an entry
+//! only commits after reaching its threshold of distinct strong voters.
+
+use nbr_core::VoteList;
+use nbr_types::{LogIndex, Term};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Weak { index: u64, member: u8 },
+    Strong { last_index: u64, member: u8 },
+}
+
+fn arb_op(max_index: u64, members: u8) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1..=max_index, 1..members).prop_map(|(index, member)| Op::Weak { index, member }),
+        (1..=max_index, 1..members)
+            .prop_map(|(last_index, member)| Op::Strong { last_index, member }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn votelist_invariants(
+        n_entries in 1u64..40,
+        members in 3u8..6,
+        threshold in 2u32..4,
+        ops in proptest::collection::vec(arb_op(40, 6), 1..200),
+    ) {
+        let quorum = (members as u32).div_ceil(2);
+        let mut vl = VoteList::new(quorum);
+        let leader_bit = 1u64;
+        for i in 1..=n_entries {
+            vl.track(LogIndex(i), Term(1), None, leader_bit, threshold.min(members as u32));
+        }
+
+        let mut committed: HashSet<u64> = HashSet::new();
+        let mut weak_replied: HashSet<u64> = HashSet::new();
+        let mut highest_commit = 0u64;
+        // Model: which members strong-acked each entry (cumulative).
+        let mut strong_model: HashMap<u64, HashSet<u8>> = HashMap::new();
+
+        for op in ops {
+            let outcome = match op {
+                Op::Weak { index, member } => {
+                    if index > n_entries {
+                        continue;
+                    }
+                    vl.weak_accept(LogIndex(index), Term(1), 1 << member)
+                }
+                Op::Strong { last_index, member } => {
+                    let last = last_index.min(n_entries);
+                    for i in 1..=last {
+                        strong_model.entry(i).or_default().insert(member);
+                    }
+                    vl.strong_accept(LogIndex(last), 1 << member, Term(1))
+                }
+            };
+
+            for (idx, _, _) in &outcome.committed {
+                // Each entry commits at most once.
+                prop_assert!(committed.insert(idx.0), "double commit of {idx}");
+                // Commits arrive in ascending order (log continuity).
+                prop_assert!(idx.0 > highest_commit || highest_commit == 0 || idx.0 > highest_commit,
+                    "commit went backwards");
+                highest_commit = highest_commit.max(idx.0);
+            }
+            // The highest committed entry must itself have reached the
+            // threshold of distinct strong voters (+1 for the leader).
+            if let Some(&(idx, _, _)) = outcome.committed.last() {
+                let votes = strong_model.get(&idx.0).map_or(0, |s| s.len()) as u32 + 1;
+                prop_assert!(
+                    votes >= threshold.min(members as u32),
+                    "entry {} committed with {} votes < threshold {}",
+                    idx.0, votes, threshold
+                );
+            }
+            for (idx, _, _) in &outcome.weak_ready {
+                prop_assert!(weak_replied.insert(idx.0), "duplicate weak reply for {idx}");
+                prop_assert!(!committed.contains(&idx.0) || true);
+            }
+        }
+
+        // Committed set is a prefix-closed... not necessarily contiguous from
+        // 1 (entries commit transitively in ranges), but the *final* commit
+        // set must be exactly 1..=max committed.
+        if let Some(&max) = committed.iter().max() {
+            for i in 1..=max {
+                prop_assert!(committed.contains(&i), "gap in committed set at {i} (max {max})");
+            }
+        }
+    }
+}

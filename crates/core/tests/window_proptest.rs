@@ -1,0 +1,142 @@
+//! Property tests for the sliding window: under arbitrary operation
+//! sequences the adjacency invariant holds, flushed runs are always
+//! contiguous and continuity-consistent, and the window never caches an
+//! index at the wrong slot.
+
+use nbr_core::{SlidingWindow, WindowOutcome};
+use nbr_types::{Entry, LogIndex, Term};
+use proptest::prelude::*;
+
+fn entry(i: u64, t: u64, p: u64) -> Entry {
+    Entry::noop(LogIndex(i), Term(t), Term(p))
+}
+
+/// A scripted operation against the window.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Offer entry with (index offset from base, term, prev_term).
+    Offer { offset: u64, term: u64, prev_term: u64 },
+    /// Truncate the log to `new_last` (offset back from current base) with a
+    /// replacement entry of `min_term`.
+    ShiftLeft { back: u64, min_term: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u64..12, 1u64..6, 0u64..6).prop_map(|(offset, term, prev_term)| Op::Offer {
+            offset,
+            term,
+            prev_term
+        }),
+        1 => (1u64..4, 1u64..6).prop_map(|(back, min_term)| Op::ShiftLeft { back, min_term }),
+    ]
+}
+
+/// A model log: (last_index, last_term) plus every appended (index, term).
+struct ModelLog {
+    appended: Vec<(u64, u64)>,
+}
+
+impl ModelLog {
+    fn last_index(&self) -> u64 {
+        self.appended.last().map_or(0, |&(i, _)| i)
+    }
+    fn last_term(&self) -> u64 {
+        self.appended.last().map_or(0, |&(_, t)| t)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn window_invariants_under_random_ops(
+        capacity in 0usize..8,
+        ops in proptest::collection::vec(arb_op(), 1..120),
+    ) {
+        let mut log = ModelLog { appended: vec![(1, 1)] };
+        let mut w = SlidingWindow::new(capacity, LogIndex(1));
+
+        for op in ops {
+            match op {
+                Op::Offer { offset, term, prev_term } => {
+                    let index = log.last_index() + 1 + offset;
+                    let e = entry(index, term, prev_term);
+                    match w.offer(e, Term(log.last_term())) {
+                        WindowOutcome::Flush(run) => {
+                            // Run starts right after the log and is chained.
+                            prop_assert_eq!(run[0].index, LogIndex(log.last_index() + 1));
+                            prop_assert_eq!(run[0].prev_term.0, log.last_term());
+                            for pair in run.windows(2) {
+                                prop_assert!(pair[0].precedes(&pair[1]),
+                                    "flushed run must be continuous: {:?}", pair);
+                            }
+                            for e in &run {
+                                log.appended.push((e.index.0, e.term.0));
+                            }
+                            prop_assert_eq!(w.base(), LogIndex(log.last_index() + 1));
+                        }
+                        WindowOutcome::Cached => {
+                            prop_assert!(offset >= 1 && (offset as usize) < capacity.max(1),
+                                "cached entries must fall inside the window");
+                            prop_assert!(w.get(LogIndex(index)).is_some());
+                        }
+                        WindowOutcome::Mismatch => {
+                            prop_assert_eq!(offset, 0, "mismatch only on diff == 1");
+                            prop_assert_ne!(prev_term, log.last_term());
+                        }
+                        WindowOutcome::Beyond(back) => {
+                            prop_assert_eq!(back.index, LogIndex(index));
+                            prop_assert!(offset as usize >= capacity.max(1)
+                                || (capacity == 0 && offset >= 1));
+                        }
+                    }
+                }
+                Op::ShiftLeft { back, min_term } => {
+                    // Simulate a truncate + replace: log loses `back` entries
+                    // (not below index 1) and gains one entry of min_term.
+                    let new_len = log.appended.len().saturating_sub(back as usize).max(1);
+                    log.appended.truncate(new_len);
+                    let idx = log.last_index() + 1;
+                    log.appended.push((idx, min_term));
+                    w.shift_to(LogIndex(idx), Term(min_term));
+                    prop_assert_eq!(w.base(), LogIndex(idx + 1));
+                }
+            }
+            prop_assert!(w.adjacency_consistent(), "adjacency invariant violated");
+            prop_assert!(w.occupied() <= capacity, "occupancy within capacity");
+            // Cached indices all within [base, base + capacity).
+            for idx in w.cached_indices() {
+                prop_assert!(idx >= w.base());
+                prop_assert!(idx.0 < w.base().0 + capacity as u64);
+            }
+        }
+
+        // The model log must itself be continuous (sanity of the harness).
+        for pair in log.appended.windows(2) {
+            prop_assert_eq!(pair[1].0, pair[0].0 + 1);
+        }
+    }
+
+    #[test]
+    fn zero_window_never_caches(
+        ops in proptest::collection::vec(arb_op(), 1..60),
+    ) {
+        let mut w = SlidingWindow::new(0, LogIndex(1));
+        let mut last_term = 1u64;
+        for op in ops {
+            if let Op::Offer { offset, term, prev_term } = op {
+                let index = w.base().0 + offset;
+                match w.offer(entry(index, term, prev_term), Term(last_term)) {
+                    WindowOutcome::Cached => prop_assert!(false, "w=0 must never cache"),
+                    WindowOutcome::Flush(run) => {
+                        prop_assert_eq!(run.len(), 1, "nothing cached to chain");
+                        last_term = run[0].term.0;
+                    }
+                    _ => {}
+                }
+                prop_assert_eq!(w.occupied(), 0);
+            }
+        }
+    }
+}

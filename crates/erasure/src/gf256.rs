@@ -1,0 +1,198 @@
+//! Arithmetic in GF(2^8) with the AES polynomial `x^8 + x^4 + x^3 + x + 1`
+//! (0x11B), via compile-time log/exp tables generated from the generator 3.
+
+/// exp table: EXP[i] = g^i, doubled so multiplication needs no modulo.
+static EXP: [u8; 512] = build_exp();
+/// log table: LOG[g^i] = i; LOG[0] is unused (log of zero is undefined).
+static LOG: [u8; 256] = build_log();
+
+const fn xtime(a: u8) -> u8 {
+    let hi = a & 0x80;
+    let mut r = a << 1;
+    if hi != 0 {
+        r ^= 0x1B;
+    }
+    r
+}
+
+/// Multiply without tables (used only at table-build time and in tests).
+const fn mul_slow(mut a: u8, mut b: u8) -> u8 {
+    let mut r = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            r ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    r
+}
+
+const fn build_exp() -> [u8; 512] {
+    let mut exp = [0u8; 512];
+    let mut x = 1u8;
+    let mut i = 0;
+    while i < 255 {
+        exp[i] = x;
+        x = mul_slow(x, 3);
+        i += 1;
+    }
+    // Duplicate so EXP[a + b] works for a, b < 255 without reduction.
+    let mut j = 255;
+    while j < 512 {
+        exp[j] = exp[j - 255];
+        j += 1;
+    }
+    exp
+}
+
+const fn build_log() -> [u8; 256] {
+    let mut log = [0u8; 256];
+    let mut i = 0;
+    while i < 255 {
+        log[EXP[i] as usize] = i as u8;
+        i += 1;
+    }
+    log
+}
+
+/// Addition in GF(2^8) is XOR.
+#[inline]
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Multiplication via log/exp tables.
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        EXP[LOG[a as usize] as usize + LOG[b as usize] as usize]
+    }
+}
+
+/// Multiplicative inverse. Panics on zero (no inverse exists).
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    assert!(a != 0, "zero has no inverse in GF(2^8)");
+    EXP[255 - LOG[a as usize] as usize]
+}
+
+/// Division `a / b`. Panics when `b == 0`.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    assert!(b != 0, "division by zero in GF(2^8)");
+    if a == 0 {
+        0
+    } else {
+        EXP[(LOG[a as usize] as usize + 255 - LOG[b as usize] as usize) % 255]
+    }
+}
+
+/// Exponentiation `a^n`.
+pub fn pow(a: u8, n: usize) -> u8 {
+    if n == 0 {
+        return 1;
+    }
+    if a == 0 {
+        return 0;
+    }
+    EXP[(LOG[a as usize] as usize * n) % 255]
+}
+
+/// `dst[i] ^= c * src[i]` — the inner loop of Reed–Solomon encoding.
+pub fn mul_acc_slice(dst: &mut [u8], src: &[u8], c: u8) {
+    debug_assert_eq!(dst.len(), src.len());
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= s;
+        }
+        return;
+    }
+    let lc = LOG[c as usize] as usize;
+    for (d, s) in dst.iter_mut().zip(src) {
+        if *s != 0 {
+            *d ^= EXP[lc + LOG[*s as usize] as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_matches_slow_path() {
+        for a in 0..=255u8 {
+            for b in [0u8, 1, 2, 3, 7, 85, 128, 200, 255] {
+                assert_eq!(mul(a, b), mul_slow(a, b), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn field_axioms() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "a * a^-1 = 1 for a={a}");
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(a, 0), 0);
+            assert_eq!(add(a, a), 0, "characteristic 2");
+        }
+    }
+
+    #[test]
+    fn distributivity_samples() {
+        for a in [3u8, 29, 77, 201] {
+            for b in [5u8, 90, 144] {
+                for c in [7u8, 33, 250] {
+                    assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        for a in [0u8, 1, 17, 99, 255] {
+            for b in [1u8, 2, 55, 254] {
+                assert_eq!(div(mul(a, b), b), a);
+            }
+        }
+    }
+
+    #[test]
+    fn pow_basics() {
+        assert_eq!(pow(0, 0), 1);
+        assert_eq!(pow(0, 5), 0);
+        assert_eq!(pow(7, 1), 7);
+        assert_eq!(pow(2, 8), mul(pow(2, 4), pow(2, 4)));
+        // Fermat: a^255 == 1 for non-zero a.
+        for a in [1u8, 3, 100, 255] {
+            assert_eq!(pow(a, 255), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero has no inverse")]
+    fn inv_zero_panics() {
+        let _ = inv(0);
+    }
+
+    #[test]
+    fn mul_acc_slice_matches_scalar() {
+        let src: Vec<u8> = (0..=255).collect();
+        for c in [0u8, 1, 2, 97, 255] {
+            let mut dst = vec![0xAAu8; 256];
+            let mut expect = dst.clone();
+            mul_acc_slice(&mut dst, &src, c);
+            for (e, s) in expect.iter_mut().zip(&src) {
+                *e ^= mul(c, *s);
+            }
+            assert_eq!(dst, expect, "c={c}");
+        }
+    }
+}

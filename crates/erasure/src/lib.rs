@@ -1,0 +1,17 @@
+//! Reed–Solomon erasure coding over GF(2^8), built from scratch for the
+//! CRaft / ECRaft protocol variants of the NB-Raft reproduction.
+//!
+//! CRaft (Wang et al., FAST'20) replaces full-copy Raft replication with a
+//! systematic `(k, n)` Reed–Solomon coding of each entry payload: follower
+//! `i` stores only shard `i`, cutting per-link bandwidth to roughly `1/k`
+//! at the cost of extra CPU (parity computation) and a stricter commit rule.
+//!
+//! * [`gf256`] — table-driven arithmetic in GF(2^8) (AES polynomial).
+//! * [`matrix`] — dense GF(2^8) matrices with Gauss–Jordan inversion.
+//! * [`rs`] — the systematic [`rs::ReedSolomon`] codec.
+
+pub mod gf256;
+pub mod matrix;
+pub mod rs;
+
+pub use rs::{ReedSolomon, RsError, Shard};

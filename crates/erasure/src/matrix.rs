@@ -1,0 +1,218 @@
+//! Dense matrices over GF(2^8) with Gaussian-elimination inversion, used to
+//! build systematic Reed–Solomon encoding matrices and decode submatrices.
+
+use crate::gf256;
+
+/// A row-major matrix over GF(2^8).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u8>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    pub fn zero(rows: usize, cols: usize) -> Matrix {
+        Matrix { rows, cols, data: vec![0; rows * cols] }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, 1);
+        }
+        m
+    }
+
+    /// Vandermonde matrix: element `(r, c) = r^c` in GF(2^8). Any `k` rows of
+    /// the `n x k` Vandermonde matrix (n <= 256) are linearly independent,
+    /// which is what makes Reed–Solomon decoding possible from any `k` shards.
+    pub fn vandermonde(rows: usize, cols: usize) -> Matrix {
+        assert!(rows <= 256, "GF(2^8) Vandermonde limited to 256 rows");
+        let mut m = Matrix::zero(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, gf256::pow(r as u8, c));
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> u8 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: u8) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow one row.
+    pub fn row(&self, r: usize) -> &[u8] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn mul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "shape mismatch in matrix multiply");
+        let mut out = Matrix::zero(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for i in 0..self.cols {
+                let a = self.get(r, i);
+                if a == 0 {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    let v = gf256::mul(a, rhs.get(i, c));
+                    out.set(r, c, gf256::add(out.get(r, c), v));
+                }
+            }
+        }
+        out
+    }
+
+    /// Extract a sub-matrix made of the given rows (in order).
+    pub fn select_rows(&self, rows: &[usize]) -> Matrix {
+        let mut out = Matrix::zero(rows.len(), self.cols);
+        for (dst, &src) in rows.iter().enumerate() {
+            let s = src * self.cols;
+            out.data[dst * self.cols..(dst + 1) * self.cols]
+                .copy_from_slice(&self.data[s..s + self.cols]);
+        }
+        out
+    }
+
+    /// Invert a square matrix by Gauss–Jordan elimination. Returns `None`
+    /// when the matrix is singular.
+    pub fn inverse(&self) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols, "only square matrices invert");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Matrix::identity(n);
+        for col in 0..n {
+            // Find a pivot.
+            let pivot = (col..n).find(|&r| a.get(r, col) != 0)?;
+            if pivot != col {
+                a.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            // Normalize pivot row.
+            let p = a.get(col, col);
+            if p != 1 {
+                let pinv = gf256::inv(p);
+                a.scale_row(col, pinv);
+                inv.scale_row(col, pinv);
+            }
+            // Eliminate other rows.
+            for r in 0..n {
+                if r != col {
+                    let factor = a.get(r, col);
+                    if factor != 0 {
+                        a.add_scaled_row(r, col, factor);
+                        inv.add_scaled_row(r, col, factor);
+                    }
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            let tmp = self.get(a, c);
+            self.set(a, c, self.get(b, c));
+            self.set(b, c, tmp);
+        }
+    }
+
+    fn scale_row(&mut self, r: usize, factor: u8) {
+        for c in 0..self.cols {
+            self.set(r, c, gf256::mul(self.get(r, c), factor));
+        }
+    }
+
+    /// `row[dst] ^= factor * row[src]`.
+    fn add_scaled_row(&mut self, dst: usize, src: usize, factor: u8) {
+        for c in 0..self.cols {
+            let v = gf256::mul(factor, self.get(src, c));
+            self.set(dst, c, gf256::add(self.get(dst, c), v));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_multiplication() {
+        let v = Matrix::vandermonde(5, 3);
+        let i = Matrix::identity(3);
+        assert_eq!(v.mul(&i), v);
+    }
+
+    #[test]
+    fn inverse_of_identity() {
+        let i = Matrix::identity(4);
+        assert_eq!(i.inverse().unwrap(), i);
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        // Any k rows of a Vandermonde matrix form an invertible matrix.
+        let v = Matrix::vandermonde(6, 3);
+        for rows in [[0usize, 1, 2], [1, 3, 5], [2, 4, 5], [0, 3, 4]] {
+            let sub = v.select_rows(&rows);
+            let inv = sub.inverse().expect("vandermonde rows independent");
+            assert_eq!(sub.mul(&inv), Matrix::identity(3), "rows {rows:?}");
+            assert_eq!(inv.mul(&sub), Matrix::identity(3), "rows {rows:?}");
+        }
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let mut m = Matrix::zero(2, 2);
+        m.set(0, 0, 5);
+        m.set(0, 1, 10);
+        m.set(1, 0, 5);
+        m.set(1, 1, 10);
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn select_rows_orders() {
+        let v = Matrix::vandermonde(4, 2);
+        let s = v.select_rows(&[3, 1]);
+        assert_eq!(s.row(0), v.row(3));
+        assert_eq!(s.row(1), v.row(1));
+    }
+
+    #[test]
+    fn vandermonde_first_rows() {
+        let v = Matrix::vandermonde(3, 3);
+        // Row 0: 0^0=1, 0^1=0, 0^2=0.
+        assert_eq!(v.row(0), &[1, 0, 0]);
+        // Row 1: 1^c = 1.
+        assert_eq!(v.row(1), &[1, 1, 1]);
+        // Row 2: 2^c.
+        assert_eq!(v.row(2), &[1, 2, 4]);
+    }
+}

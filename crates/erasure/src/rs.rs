@@ -1,0 +1,326 @@
+//! Systematic Reed–Solomon coding over GF(2^8).
+//!
+//! CRaft replicates a `(k, n)` coding of each entry payload: the payload is
+//! split into `k` data shards; `n - k` parity shards are computed so that any
+//! `k` of the `n` shards reconstruct the payload. The code is *systematic*
+//! (the first `k` shards are the raw data), built from a Vandermonde matrix
+//! normalized so its top `k x k` block is the identity — the standard
+//! construction used by production RS libraries.
+
+use crate::gf256;
+use crate::matrix::Matrix;
+
+/// Errors from encoding/decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsError {
+    /// `k`/`n` outside `1 <= k <= n <= 255`.
+    BadGeometry {
+        /// data shards requested
+        k: usize,
+        /// total shards requested
+        n: usize,
+    },
+    /// Fewer than `k` distinct shards supplied to `reconstruct`.
+    NotEnoughShards {
+        /// shards supplied
+        have: usize,
+        /// shards needed
+        need: usize,
+    },
+    /// Supplied shards have inconsistent lengths or ids.
+    InconsistentShards(String),
+}
+
+impl std::fmt::Display for RsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RsError::BadGeometry { k, n } => write!(f, "bad RS geometry k={k}, n={n}"),
+            RsError::NotEnoughShards { have, need } => {
+                write!(f, "not enough shards: have {have}, need {need}")
+            }
+            RsError::InconsistentShards(m) => write!(f, "inconsistent shards: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RsError {}
+
+/// One shard produced by [`ReedSolomon::encode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shard {
+    /// Shard id in `0..n`. Ids `< k` are systematic data shards.
+    pub id: u8,
+    /// Shard bytes; all shards of one encoding have equal length.
+    pub data: Vec<u8>,
+}
+
+/// A `(k, n)` systematic Reed–Solomon codec. Construction precomputes the
+/// encoding matrix; encode/decode are then allocation-minimal.
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    k: usize,
+    n: usize,
+    /// `n x k` encoding matrix whose top `k x k` block is the identity.
+    enc: Matrix,
+}
+
+impl ReedSolomon {
+    /// Build a codec. Requires `1 <= k <= n <= 255`.
+    pub fn new(k: usize, n: usize) -> Result<ReedSolomon, RsError> {
+        if k == 0 || n == 0 || k > n || n > 255 {
+            return Err(RsError::BadGeometry { k, n });
+        }
+        // Start from an n x k Vandermonde matrix (any k rows independent),
+        // then right-multiply by the inverse of its top k x k block so the
+        // top block becomes the identity => systematic code. Row properties
+        // are preserved because we multiplied by an invertible matrix.
+        let v = Matrix::vandermonde(n, k);
+        let top: Vec<usize> = (0..k).collect();
+        let top_inv = v
+            .select_rows(&top)
+            .inverse()
+            .expect("top Vandermonde block is invertible");
+        let enc = v.mul(&top_inv);
+        Ok(ReedSolomon { k, n, enc })
+    }
+
+    /// Data shards `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Total shards `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Shard length for a payload of `len` bytes: `ceil(len / k)`.
+    pub fn shard_len(&self, len: usize) -> usize {
+        len.div_ceil(self.k)
+    }
+
+    /// Encode `payload` into `n` shards. The payload is zero-padded to a
+    /// multiple of `k`; callers must remember the original length (the
+    /// `orig_len` field of `nbr_types::Fragment`) to strip padding.
+    pub fn encode(&self, payload: &[u8]) -> Vec<Shard> {
+        let slen = self.shard_len(payload.len().max(1));
+        // Systematic data shards: direct slices of the (padded) payload.
+        let mut shards: Vec<Shard> = Vec::with_capacity(self.n);
+        for i in 0..self.k {
+            let start = i * slen;
+            let mut data = vec![0u8; slen];
+            if start < payload.len() {
+                let end = (start + slen).min(payload.len());
+                data[..end - start].copy_from_slice(&payload[start..end]);
+            }
+            shards.push(Shard { id: i as u8, data });
+        }
+        // Parity shards: rows k..n of the encoding matrix times data shards.
+        for r in self.k..self.n {
+            let mut data = vec![0u8; slen];
+            for (c, shard) in shards[..self.k].iter().enumerate() {
+                gf256::mul_acc_slice(&mut data, &shard.data, self.enc.get(r, c));
+            }
+            shards.push(Shard { id: r as u8, data });
+        }
+        shards
+    }
+
+    /// Reconstruct the original payload (of length `orig_len`) from any `k`
+    /// or more distinct shards.
+    pub fn reconstruct(&self, shards: &[Shard], orig_len: usize) -> Result<Vec<u8>, RsError> {
+        // Deduplicate by id, validating geometry.
+        let mut seen: Vec<Option<&Shard>> = vec![None; self.n];
+        let mut slen = None;
+        for s in shards {
+            if (s.id as usize) >= self.n {
+                return Err(RsError::InconsistentShards(format!(
+                    "shard id {} out of range for n={}",
+                    s.id, self.n
+                )));
+            }
+            match slen {
+                None => slen = Some(s.data.len()),
+                Some(l) if l != s.data.len() => {
+                    return Err(RsError::InconsistentShards(format!(
+                        "shard lengths differ: {} vs {}",
+                        l,
+                        s.data.len()
+                    )))
+                }
+                _ => {}
+            }
+            seen[s.id as usize].get_or_insert(s);
+        }
+        let have: Vec<&Shard> = seen.iter().flatten().copied().collect();
+        if have.len() < self.k {
+            return Err(RsError::NotEnoughShards { have: have.len(), need: self.k });
+        }
+        let slen = slen.unwrap_or(0);
+        if slen == 0 {
+            return Ok(vec![0u8; 0]);
+        }
+
+        // Fast path: all k systematic shards present.
+        let systematic = (0..self.k).all(|i| seen[i].is_some());
+        let mut data_shards: Vec<Vec<u8>>;
+        if systematic {
+            data_shards = (0..self.k).map(|i| seen[i].unwrap().data.clone()).collect();
+        } else {
+            // General path: pick k available rows, invert, multiply.
+            let rows: Vec<usize> = have.iter().take(self.k).map(|s| s.id as usize).collect();
+            let sub = self.enc.select_rows(&rows);
+            let dec = sub
+                .inverse()
+                .expect("any k rows of the systematic Vandermonde matrix are independent");
+            data_shards = vec![vec![0u8; slen]; self.k];
+            for (out_row, shard_data) in data_shards.iter_mut().enumerate() {
+                for (c, &row_id) in rows.iter().enumerate() {
+                    let coeff = dec.get(out_row, c);
+                    gf256::mul_acc_slice(shard_data, &seen[row_id].unwrap().data, coeff);
+                }
+            }
+        }
+
+        let mut out = Vec::with_capacity(self.k * slen);
+        for s in &data_shards {
+            out.extend_from_slice(s);
+        }
+        if orig_len > out.len() {
+            return Err(RsError::InconsistentShards(format!(
+                "orig_len {} exceeds reconstructable {}",
+                orig_len,
+                out.len()
+            )));
+        }
+        out.truncate(orig_len);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 31 + 7) as u8).collect()
+    }
+
+    #[test]
+    fn geometry_validation() {
+        assert!(ReedSolomon::new(0, 3).is_err());
+        assert!(ReedSolomon::new(4, 3).is_err());
+        assert!(ReedSolomon::new(3, 256).is_err());
+        assert!(ReedSolomon::new(1, 1).is_ok());
+        assert!(ReedSolomon::new(3, 5).is_ok());
+    }
+
+    #[test]
+    fn systematic_prefix_is_raw_data() {
+        let rs = ReedSolomon::new(2, 4).unwrap();
+        let p = payload(10);
+        let shards = rs.encode(&p);
+        assert_eq!(shards.len(), 4);
+        assert_eq!(&shards[0].data[..], &p[..5]);
+        assert_eq!(&shards[1].data[..], &p[5..]);
+    }
+
+    #[test]
+    fn reconstruct_from_systematic() {
+        let rs = ReedSolomon::new(3, 5).unwrap();
+        let p = payload(100);
+        let shards = rs.encode(&p);
+        let back = rs.reconstruct(&shards[..3], p.len()).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn reconstruct_from_any_k_shards() {
+        let rs = ReedSolomon::new(3, 6).unwrap();
+        let p = payload(64);
+        let shards = rs.encode(&p);
+        // All C(6,3) = 20 combinations.
+        for a in 0..6 {
+            for b in (a + 1)..6 {
+                for c in (b + 1)..6 {
+                    let subset = vec![shards[a].clone(), shards[b].clone(), shards[c].clone()];
+                    let back = rs.reconstruct(&subset, p.len()).unwrap();
+                    assert_eq!(back, p, "shards {a},{b},{c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn too_few_shards_fails() {
+        let rs = ReedSolomon::new(3, 5).unwrap();
+        let p = payload(30);
+        let shards = rs.encode(&p);
+        let err = rs.reconstruct(&shards[..2], p.len()).unwrap_err();
+        assert_eq!(err, RsError::NotEnoughShards { have: 2, need: 3 });
+    }
+
+    #[test]
+    fn duplicate_shards_do_not_count_twice() {
+        let rs = ReedSolomon::new(2, 4).unwrap();
+        let p = payload(16);
+        let shards = rs.encode(&p);
+        let dup = vec![shards[3].clone(), shards[3].clone()];
+        assert!(matches!(
+            rs.reconstruct(&dup, p.len()),
+            Err(RsError::NotEnoughShards { have: 1, need: 2 })
+        ));
+    }
+
+    #[test]
+    fn inconsistent_lengths_rejected() {
+        let rs = ReedSolomon::new(2, 3).unwrap();
+        let p = payload(8);
+        let mut shards = rs.encode(&p);
+        shards[1].data.push(0);
+        assert!(matches!(
+            rs.reconstruct(&shards, p.len()),
+            Err(RsError::InconsistentShards(_))
+        ));
+    }
+
+    #[test]
+    fn odd_lengths_pad_correctly() {
+        for len in [1usize, 2, 3, 7, 13, 100, 101, 4096, 4097] {
+            let rs = ReedSolomon::new(3, 5).unwrap();
+            let p = payload(len);
+            let shards = rs.encode(&p);
+            let back = rs.reconstruct(&shards[2..], len).unwrap();
+            assert_eq!(back, p, "len {len}");
+        }
+    }
+
+    #[test]
+    fn k_equals_n_is_plain_striping() {
+        let rs = ReedSolomon::new(4, 4).unwrap();
+        let p = payload(40);
+        let shards = rs.encode(&p);
+        let back = rs.reconstruct(&shards, p.len()).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn k_one_is_replication() {
+        let rs = ReedSolomon::new(1, 3).unwrap();
+        let p = payload(20);
+        let shards = rs.encode(&p);
+        for s in &shards {
+            let back = rs.reconstruct(std::slice::from_ref(s), p.len()).unwrap();
+            assert_eq!(back, p, "shard {}", s.id);
+        }
+    }
+
+    #[test]
+    fn bandwidth_saving_matches_paper_motivation() {
+        // CRaft's point: per-follower bytes drop to ~1/k of the payload.
+        let rs = ReedSolomon::new(2, 3).unwrap();
+        let p = payload(4096);
+        let shards = rs.encode(&p);
+        assert_eq!(shards[0].data.len(), 2048);
+    }
+}

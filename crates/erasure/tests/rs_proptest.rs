@@ -1,0 +1,77 @@
+//! Property tests for the Reed–Solomon codec: decode(encode(x)) == x for any
+//! payload and any survivable erasure pattern.
+
+use nbr_erasure::{ReedSolomon, RsError};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn round_trip_any_k_subset(
+        payload in proptest::collection::vec(any::<u8>(), 1..2048),
+        k in 1usize..6,
+        extra in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let n = k + extra;
+        let rs = ReedSolomon::new(k, n).unwrap();
+        let shards = rs.encode(&payload);
+        prop_assert_eq!(shards.len(), n);
+
+        // Pick a pseudo-random k-subset of shards.
+        let mut ids: Vec<usize> = (0..n).collect();
+        let mut s = seed;
+        for i in (1..ids.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            ids.swap(i, j);
+        }
+        let subset: Vec<_> = ids[..k].iter().map(|&i| shards[i].clone()).collect();
+        let back = rs.reconstruct(&subset, payload.len()).unwrap();
+        prop_assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn fewer_than_k_always_fails(
+        payload in proptest::collection::vec(any::<u8>(), 1..256),
+        k in 2usize..6,
+        extra in 1usize..4,
+    ) {
+        let n = k + extra;
+        let rs = ReedSolomon::new(k, n).unwrap();
+        let shards = rs.encode(&payload);
+        let subset = &shards[..k - 1];
+        let failed = matches!(
+            rs.reconstruct(subset, payload.len()),
+            Err(RsError::NotEnoughShards { have: _, need: _ })
+        );
+        prop_assert!(failed);
+    }
+
+    #[test]
+    fn shard_sizes_are_ceil_div(
+        len in 1usize..10_000,
+        k in 1usize..8,
+    ) {
+        let rs = ReedSolomon::new(k, k + 2).unwrap();
+        let shards = rs.encode(&vec![7u8; len]);
+        let expect = len.div_ceil(k);
+        for s in &shards {
+            prop_assert_eq!(s.data.len(), expect);
+        }
+    }
+
+    #[test]
+    fn parity_actually_differs_from_data(
+        payload in proptest::collection::vec(1u8..255, 8..64),
+    ) {
+        // With a non-trivial payload, at least one parity shard must differ
+        // from every data shard (otherwise the code would be degenerate).
+        let rs = ReedSolomon::new(2, 4).unwrap();
+        let shards = rs.encode(&payload);
+        let parity = &shards[2];
+        prop_assert!(shards[..2].iter().all(|d| d.data != parity.data)
+            || payload.iter().all(|&b| b == payload[0]));
+    }
+}

@@ -1,0 +1,245 @@
+//! Log-bucketed latency histogram (HDR-histogram style).
+//!
+//! Values are nanoseconds. Buckets are arranged in powers of two with
+//! `SUB_BUCKETS` linear sub-buckets each, giving a bounded relative error of
+//! `1 / SUB_BUCKETS` (≈1.6%) across the full `u64` range with a few KB of
+//! memory — adequate for reporting the paper's latency percentiles.
+
+/// Linear sub-buckets per power-of-two bucket.
+const SUB_BUCKETS: u64 = 64;
+const SUB_BITS: u32 = 6; // log2(SUB_BUCKETS)
+/// Total bucket count: values < SUB_BUCKETS are exact, then one group of
+/// SUB_BUCKETS/2 per further power of two.
+const GROUPS: usize = 64;
+const BUCKETS: usize = SUB_BUCKETS as usize + GROUPS * (SUB_BUCKETS as usize / 2);
+
+/// A fixed-memory histogram of `u64` values (nanoseconds by convention).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let group = (msb - SUB_BITS + 1) as usize;
+    let shifted = (v >> (group as u32)) as usize; // in [SUB_BUCKETS/2, SUB_BUCKETS)
+    SUB_BUCKETS as usize + (group - 1) * (SUB_BUCKETS as usize / 2) + shifted
+        - SUB_BUCKETS as usize / 2
+}
+
+/// Lowest value mapping to the given bucket (used to report percentiles).
+fn bucket_floor(idx: usize) -> u64 {
+    if idx < SUB_BUCKETS as usize {
+        return idx as u64;
+    }
+    let rest = idx - SUB_BUCKETS as usize;
+    let group = rest / (SUB_BUCKETS as usize / 2) + 1;
+    let pos = rest % (SUB_BUCKETS as usize / 2) + SUB_BUCKETS as usize / 2;
+    (pos as u64) << (group as u32)
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Histogram {
+        Histogram { counts: vec![0; BUCKETS], total: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, v: u64) {
+        let idx = bucket_index(v).min(BUCKETS - 1);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Arithmetic mean, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Smallest recorded value, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Value at quantile `q` in `[0, 1]` (bucket lower bound; ≤1.6% relative
+    /// error). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_floor(i).max(self.min).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median shorthand.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile shorthand.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        if other.total > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Reset to empty.
+    pub fn clear(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.total = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone() {
+        let mut prev = 0;
+        for v in (0u64..100_000).step_by(7) {
+            let idx = bucket_index(v);
+            assert!(idx >= prev, "index decreased at v={v}");
+            prev = idx;
+        }
+    }
+
+    #[test]
+    fn bucket_floor_inverts_index() {
+        for v in [0u64, 1, 63, 64, 65, 100, 1000, 1 << 20, u32::MAX as u64] {
+            let idx = bucket_index(v);
+            let floor = bucket_floor(idx);
+            assert!(floor <= v, "floor {floor} > v {v}");
+            // Relative error bound.
+            assert!((v - floor) as f64 <= v as f64 / 32.0 + 1.0, "v={v} floor={floor}");
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 63);
+        assert_eq!(h.count(), 64);
+    }
+
+    #[test]
+    fn quantiles_of_uniform_range() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v * 1000); // microsecond-ish values
+        }
+        let p50 = h.quantile(0.5) as f64;
+        assert!((p50 - 5_000_000.0).abs() / 5_000_000.0 < 0.05, "p50 = {p50}");
+        let p99 = h.quantile(0.99) as f64;
+        assert!((p99 - 9_900_000.0).abs() / 9_900_000.0 < 0.05, "p99 = {p99}");
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), 20.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(100);
+        b.record(300);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 100);
+        assert_eq!(a.max(), 300);
+        assert_eq!(a.mean(), 200.0);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = Histogram::new();
+        h.record(42);
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.9), 0);
+    }
+
+    #[test]
+    fn huge_values_do_not_panic() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX / 2);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(1.0) <= u64::MAX);
+    }
+}

@@ -1,0 +1,125 @@
+//! Streaming summary statistics (Welford's algorithm) and small helpers for
+//! reporting experiment series.
+
+/// Streaming mean / variance / extrema without storing samples.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Empty summary.
+    pub fn new() -> Summary {
+        Summary { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Add one sample.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Sample count.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance, or 0 with fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum sample, or 0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum sample, or 0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+/// Relative change `(new - base) / base`, the "improved by about 30%"
+/// arithmetic of the paper's headline claim. Returns 0 for a zero base.
+pub fn relative_gain(base: f64, new: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        (new - base) / base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = Summary::new();
+        for &x in &xs {
+            s.add(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        let mut s = Summary::new();
+        s.add(3.5);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 3.5);
+        assert_eq!(s.max(), 3.5);
+    }
+
+    #[test]
+    fn relative_gain_basics() {
+        assert!((relative_gain(100.0, 130.0) - 0.30).abs() < 1e-12);
+        assert!((relative_gain(50.0, 25.0) + 0.5).abs() < 1e-12);
+        assert_eq!(relative_gain(0.0, 10.0), 0.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests: histogram quantiles stay within the documented relative
+//! error of exact order statistics, and merging equals bulk recording.
+
+use nbr_metrics::Histogram;
+use proptest::prelude::*;
+
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn quantiles_within_bucket_error(
+        mut values in proptest::collection::vec(1u64..10_000_000, 1..500),
+        q in 0.01f64..1.0,
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let exact = exact_quantile(&values, q);
+        let approx = h.quantile(q);
+        // Log-bucketed with 64 sub-buckets: ≤ ~3.2% relative error, plus the
+        // clamp to [min, max].
+        prop_assert!(approx <= exact, "bucket floor never exceeds the exact value");
+        prop_assert!(
+            approx as f64 >= exact as f64 * (1.0 - 0.04) - 1.0,
+            "q={q}: approx {approx} too far below exact {exact}"
+        );
+    }
+
+    #[test]
+    fn merge_equals_bulk(
+        a in proptest::collection::vec(1u64..1_000_000, 0..200),
+        b in proptest::collection::vec(1u64..1_000_000, 0..200),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hall = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+            hall.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hall.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hall.count());
+        prop_assert_eq!(ha.min(), hall.min());
+        prop_assert_eq!(ha.max(), hall.max());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            prop_assert_eq!(ha.quantile(q), hall.quantile(q), "q={}", q);
+        }
+        prop_assert!((ha.mean() - hall.mean()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn min_max_mean_exact(values in proptest::collection::vec(1u64..u32::MAX as u64, 1..300)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.min(), *values.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+        let exact_mean = values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64;
+        prop_assert!((h.mean() - exact_mean).abs() / exact_mean < 1e-12);
+    }
+}

@@ -1,0 +1,14 @@
+//! Timed Petri nets for consensus-protocol analysis.
+//!
+//! Reproduces the paper's Section II: a timed, colored-token Petri net
+//! engine ([`net`]) and the Figure 3 model of Raft log replication
+//! ([`replication`]), which regenerates the Figure 4 phase-time proportions
+//! and demonstrates the `t_wait(F)` bottleneck plus the NB-Raft early-return
+//! fix — before any protocol code runs.
+
+pub mod dot;
+pub mod net;
+pub mod replication;
+
+pub use net::{Delay, Nanos, Net, PlaceId, RegId, Selector, Token, TransId};
+pub use replication::{CostProfile, ModelConfig, ModelReport, Phase, ReplicationModel};

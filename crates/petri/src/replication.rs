@@ -1,0 +1,517 @@
+//! The paper's Figure 3: Raft log replication as a timed Petri net, with the
+//! NB-Raft modification as the red "early return" arcs.
+//!
+//! Token flow (one token = one request/entry; colors are log indices):
+//!
+//! ```text
+//! ACK ──Generate──> ClientReq ──SendReq──> RequestPool ──Parse+Index──┐
+//!   ▲                                                   (assign color) │
+//!   │                                       ┌───────────┬─────────────┘
+//!   │                                  Queue[0] ... Queue[f]     per follower
+//!   │                                       │ SendLog (N_csm servers, jitter)
+//!   │            (NB-Raft only:             ▼
+//!   │◄──WeakResp──┐ fork on recv)      Received[i]  ← the waiting place:
+//!   │             └────────────────────────│    MatchNextOf(last[i]) guard
+//!   │                                      │ Append[i]
+//!   │                                   Ack[0] (fastest-quorum follower)
+//!   │                                      │ CollectAck → Commit → Apply
+//!   └───────────────RespSend───────────────┘   (Raft: unblocks the client)
+//! ```
+//!
+//! The blue bottleneck loop of Figure 3(c) is the `Received[i]` place plus
+//! the continuity selector: an entry that arrives before its predecessor
+//! sits there — its residence time **is** `t_wait(F)`.
+//!
+//! Commit quorum note: with `leader + f` replicas and majority `⌈(f+2)/2⌉`,
+//! the commit path is driven by the fastest follower's acks (leader's own
+//! append plus the first follower ack form the 3-replica quorum the paper
+//! evaluates). Remaining followers' acks drain to a sink.
+
+use crate::net::{Delay, Nanos, Net, PlaceId, Selector, TransId};
+
+const MS: f64 = 1e6;
+
+/// Per-phase service costs (nanoseconds), the measurable quantities of the
+/// paper's Table I.
+#[derive(Debug, Clone)]
+pub struct CostProfile {
+    /// Client request generation `t_gen(C)`.
+    pub t_gen: Nanos,
+    /// Client→leader network latency component of `t_trans(CL)`.
+    pub lat_cl: Nanos,
+    /// Leader→follower latency component of `t_trans(LF)`.
+    pub lat_lf: Nanos,
+    /// Relative jitter of leader→follower transmission (0.0–1.0): the source
+    /// of out-of-order arrivals.
+    pub jitter: f64,
+    /// Network bandwidth in bytes/second (shared per the paper's formula).
+    pub bandwidth: f64,
+    /// Request payload size in bytes.
+    pub request_size: usize,
+    /// Request parsing `t_prs(L)`.
+    pub t_prs: Nanos,
+    /// Indexing `t_idx(L)` (serialized on the leader).
+    pub t_idx: Nanos,
+    /// Follower append `t_append(F)`.
+    pub t_append: Nanos,
+    /// Ack collection `t_ack(L)`.
+    pub t_ack: Nanos,
+    /// Commit marking `t_commit(L)`.
+    pub t_commit: Nanos,
+    /// State machine application `t_apply(L)`.
+    pub t_apply: Nanos,
+    /// CPU cores available for parallelizable stages (parsing, apply
+    /// batching). Indexing stays serialized — it assigns the order.
+    pub cores: usize,
+}
+
+impl CostProfile {
+    /// Profile approximating the paper's IoTDB measurements (Figure 4):
+    /// lightweight indexing, batched apply.
+    pub fn iotdb() -> CostProfile {
+        CostProfile {
+            t_gen: (0.02 * MS) as Nanos,
+            lat_cl: (0.20 * MS) as Nanos,
+            lat_lf: (0.30 * MS) as Nanos,
+            jitter: 0.95,
+            bandwidth: 1.25e9, // 10 Gb/s
+            request_size: 4096,
+            t_prs: (0.03 * MS) as Nanos,
+            t_idx: (0.003 * MS) as Nanos,
+            t_append: (0.005 * MS) as Nanos,
+            t_ack: (0.01 * MS) as Nanos,
+            t_commit: (0.005 * MS) as Nanos,
+            t_apply: (0.05 * MS) as Nanos,
+            cores: 16,
+        }
+    }
+
+    /// Profile approximating Apache Ratis (Figure 4): heavier locking during
+    /// indexing ("its t_queue is partially moved into t_idx") and per-request
+    /// I/O in apply (Ratis FileStore).
+    pub fn ratis() -> CostProfile {
+        CostProfile {
+            t_idx: (0.03 * MS) as Nanos,
+            t_apply: (0.35 * MS) as Nanos,
+            ..CostProfile::iotdb()
+        }
+    }
+
+    /// Client→leader transmission per the paper:
+    /// `t_lat + b / (W / N_cli)`.
+    pub fn trans_cl(&self, n_clients: usize) -> Nanos {
+        self.lat_cl + (self.request_size as f64 * n_clients as f64 / self.bandwidth * 1e9) as Nanos
+    }
+
+    /// Leader→follower transmission mean (same formula over followers
+    /// sharing the leader's uplink).
+    pub fn trans_lf(&self, n_followers: usize) -> Nanos {
+        self.lat_lf
+            + (self.request_size as f64 * n_followers as f64 / self.bandwidth * 1e9) as Nanos
+    }
+}
+
+/// Model shape.
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// Closed-loop client connections `N_cli`.
+    pub n_clients: usize,
+    /// Followers (replicas − 1).
+    pub n_followers: usize,
+    /// Dispatchers per follower `N_csm`.
+    pub n_dispatchers: usize,
+    /// NB-Raft early return enabled (the red arcs of Figure 3)?
+    pub non_blocking: bool,
+    /// Cost profile.
+    pub costs: CostProfile,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            n_clients: 64,
+            n_followers: 2,
+            n_dispatchers: 64,
+            non_blocking: false,
+            costs: CostProfile::iotdb(),
+            seed: 42,
+        }
+    }
+}
+
+/// One Figure 4 phase measurement.
+#[derive(Debug, Clone)]
+pub struct Phase {
+    /// Phase name using the paper's notation.
+    pub name: &'static str,
+    /// Mean nanoseconds per entry spent in this phase.
+    pub per_entry_ns: f64,
+}
+
+/// Results of a model run.
+#[derive(Debug, Clone)]
+pub struct ModelReport {
+    /// Applied entries.
+    pub applied: u64,
+    /// Requests per second.
+    pub throughput: f64,
+    /// Phase breakdown (Figure 4).
+    pub phases: Vec<Phase>,
+}
+
+impl ModelReport {
+    /// Phase value by name.
+    pub fn phase(&self, name: &str) -> f64 {
+        self.phases.iter().find(|p| p.name == name).map_or(0.0, |p| p.per_entry_ns)
+    }
+
+    /// Proportion (0–1) of total per-entry time spent in `name`.
+    pub fn proportion(&self, name: &str) -> f64 {
+        let total: f64 = self.phases.iter().map(|p| p.per_entry_ns).sum();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.phase(name) / total
+        }
+    }
+}
+
+/// The assembled model.
+pub struct ReplicationModel {
+    net: Net,
+    cfg: ModelConfig,
+    // Handles for reporting.
+    t_generate: TransId,
+    t_send_req: TransId,
+    t_parse: TransId,
+    t_index: TransId,
+    t_send_log0: TransId,
+    t_append0: TransId,
+    t_collect: TransId,
+    t_commit: TransId,
+    t_apply: TransId,
+    p_queue0: PlaceId,
+    p_received0: PlaceId,
+    p_applied: PlaceId,
+}
+
+impl ReplicationModel {
+    /// Build the Figure 3 net.
+    pub fn build(cfg: ModelConfig) -> ReplicationModel {
+        let c = &cfg.costs;
+        let mut net = Net::new(cfg.seed);
+
+        // Step 1: clients.
+        let ack = net.place("ACK", cfg.n_clients);
+        let client_req = net.place("ClientRequest", 0);
+        let pool = net.place("RequestPool", 0);
+        let t_generate = net.transition(
+            "GenerateRequest",
+            vec![(ack, Selector::Fifo)],
+            vec![client_req],
+            Delay::Const(c.t_gen.max(1)),
+            cfg.n_clients,
+            None,
+        );
+        let t_send_req = net.transition(
+            "SendRequest",
+            vec![(client_req, Selector::Fifo)],
+            vec![pool],
+            Delay::Const(c.trans_cl(cfg.n_clients).max(1)),
+            cfg.n_clients,
+            None,
+        );
+
+        // Step 2: parse (parallel across cores) then index (serialized — it
+        // assigns the order) fanning out to every follower queue.
+        let parsed = net.place("Parsed", 0);
+        let t_parse = net.transition(
+            "Parse",
+            vec![(pool, Selector::Fifo)],
+            vec![parsed],
+            Delay::Const(c.t_prs.max(1)),
+            c.cores,
+            None,
+        );
+        let next_index = net.register("next_index", 0);
+        let queues: Vec<PlaceId> =
+            (0..cfg.n_followers).map(|i| net.place(&format!("Queue[{i}]"), 0)).collect();
+        let t_index = net.transition(
+            "Index",
+            vec![(parsed, Selector::Fifo)],
+            queues.clone(),
+            Delay::Const(c.t_idx.max(1)),
+            1,
+            Some(Box::new(move |regs, _| {
+                regs[next_index.0] += 1;
+                regs[next_index.0]
+            })),
+        );
+
+        // Step 3: dispatchers + follower append, per follower.
+        let lf_mean = c.trans_lf(cfg.n_followers).max(1);
+        let lf_lo = (lf_mean as f64 * (1.0 - c.jitter)).max(1.0) as Nanos;
+        let lf_hi = (lf_mean as f64 * (1.0 + c.jitter)).max(2.0) as Nanos;
+        let ack_pool0 = net.place("Ack[0]", 0);
+        let ack_sink = net.place("AckSink", 0);
+        let weak_queue = net.place("WeakAckQueue", 0);
+
+        let mut t_send_log0 = TransId(0);
+        let mut t_append0 = TransId(0);
+        let mut p_received0 = PlaceId(0);
+        #[allow(clippy::needless_range_loop)] // i names registers AND indexes queues
+        for i in 0..cfg.n_followers {
+            let received = net.place(&format!("Received[{i}]"), 0);
+            let last = net.register(&format!("last[{i}]"), 0);
+            // NB-Raft: follower 0's reception forks to the weak-ack path —
+            // leader strong + first reception = reception majority for the
+            // 3-replica default.
+            let outputs = if cfg.non_blocking && i == 0 {
+                vec![received, weak_queue]
+            } else {
+                vec![received]
+            };
+            let t_send = net.transition(
+                &format!("SendLog[{i}]"),
+                vec![(queues[i], Selector::Fifo)],
+                outputs,
+                Delay::Uniform(lf_lo, lf_hi),
+                cfg.n_dispatchers,
+                None,
+            );
+            // The continuity-guarded appender: the blue loop of Figure 3(c).
+            let append_out = if i == 0 { ack_pool0 } else { ack_sink };
+            let t_append = net.transition(
+                &format!("Append[{i}]"),
+                vec![(received, Selector::MatchNextOf(last))],
+                vec![append_out],
+                Delay::Const(c.t_append.max(1)),
+                1,
+                Some(Box::new(move |regs, color| {
+                    regs[last.0] = color;
+                    color
+                })),
+            );
+            if i == 0 {
+                t_send_log0 = t_send;
+                t_append0 = t_append;
+                p_received0 = received;
+            }
+        }
+
+        // Step 4: ack collection, commit, apply.
+        let collected = net.place("Collected", 0);
+        let committed_p = net.place("CommittedLog", 0);
+        let applied_p = net.place("AppliedLog", 0);
+        let committed_reg = net.register("committed", 0);
+        let t_collect = net.transition(
+            "CollectAck",
+            vec![(ack_pool0, Selector::Fifo)],
+            vec![collected],
+            Delay::Const(c.t_ack.max(1)),
+            cfg.n_clients,
+            None,
+        );
+        let t_commit = net.transition(
+            "Commit",
+            vec![(collected, Selector::MatchNextOf(committed_reg))],
+            vec![committed_p],
+            Delay::Const(c.t_commit.max(1)),
+            1,
+            Some(Box::new(move |regs, color| {
+                regs[committed_reg.0] = color;
+                color
+            })),
+        );
+        // Apply (batched in IoTDB => parallel servers). In Raft the response
+        // then travels back to the client; in NB-Raft the client was already
+        // unblocked by the weak ack, so apply ends the pipeline.
+        let resp_queue = net.place("RespQueue", 0);
+        let apply_outputs =
+            if cfg.non_blocking { vec![applied_p] } else { vec![applied_p, resp_queue] };
+        let t_apply = net.transition(
+            "Apply",
+            vec![(committed_p, Selector::Fifo)],
+            apply_outputs,
+            Delay::Const(c.t_apply.max(1)),
+            c.cores,
+            None,
+        );
+        if cfg.non_blocking {
+            // Weak response transmission back to the client (early return).
+            net.transition(
+                "WeakResp",
+                vec![(weak_queue, Selector::Fifo)],
+                vec![ack],
+                Delay::Const(c.lat_cl.max(1)),
+                cfg.n_clients,
+                None,
+            );
+        } else {
+            // Strong response transmission back to the client.
+            net.transition(
+                "RespSend",
+                vec![(resp_queue, Selector::Fifo)],
+                vec![ack],
+                Delay::Const(c.lat_cl.max(1)),
+                cfg.n_clients,
+                None,
+            );
+        }
+
+        ReplicationModel {
+            net,
+            cfg,
+            t_generate,
+            t_send_req,
+            t_parse,
+            t_index,
+            t_send_log0,
+            t_append0,
+            t_collect,
+            t_commit,
+            t_apply,
+            p_queue0: queues[0],
+            p_received0,
+            p_applied: applied_p,
+        }
+    }
+
+    /// Run for `horizon_ms` of virtual time and report Figure 4 phases.
+    pub fn run(mut self, horizon_ms: u64) -> ModelReport {
+        let horizon = horizon_ms * 1_000_000;
+        self.net.run_until(horizon);
+
+        let trans = self.net.trans_report();
+        let places = self.net.place_report();
+        let applied = self.net.tokens_in(self.p_applied) as u64;
+        let per_firing = |t: TransId| -> f64 {
+            let r = &trans[t.0];
+            if r.firings == 0 {
+                0.0
+            } else {
+                r.busy_ns as f64 / r.firings as f64
+            }
+        };
+        let wait_of = |p: PlaceId| -> f64 {
+            let r = &places[p.0];
+            if r.departures == 0 {
+                0.0
+            } else {
+                r.total_wait_ns as f64 / r.departures as f64
+            }
+        };
+
+        let phases = vec![
+            Phase { name: "t_gen(C)", per_entry_ns: per_firing(self.t_generate) },
+            Phase { name: "t_trans(CL)", per_entry_ns: per_firing(self.t_send_req) },
+            Phase { name: "t_prs(L)", per_entry_ns: per_firing(self.t_parse) },
+            Phase { name: "t_idx(L)", per_entry_ns: per_firing(self.t_index) },
+            Phase { name: "t_queue(L)", per_entry_ns: wait_of(self.p_queue0) },
+            Phase { name: "t_trans(LF)", per_entry_ns: per_firing(self.t_send_log0) },
+            Phase { name: "t_wait(F)", per_entry_ns: wait_of(self.p_received0) },
+            Phase { name: "t_append(F)", per_entry_ns: per_firing(self.t_append0) },
+            Phase { name: "t_ack(L)", per_entry_ns: per_firing(self.t_collect) },
+            Phase { name: "t_commit(L)", per_entry_ns: per_firing(self.t_commit) },
+            Phase { name: "t_apply(L)", per_entry_ns: per_firing(self.t_apply) },
+        ];
+        ModelReport {
+            applied,
+            throughput: applied as f64 / (horizon as f64 / 1e9),
+            phases,
+        }
+    }
+
+    /// Access the model configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    /// Borrow the underlying net (e.g. for DOT export before running).
+    pub fn net_ref(&self) -> &Net {
+        &self.net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(non_blocking: bool, clients: usize) -> ModelReport {
+        ReplicationModel::build(ModelConfig {
+            n_clients: clients,
+            non_blocking,
+            ..Default::default()
+        })
+        .run(2_000)
+    }
+
+    #[test]
+    fn model_makes_progress() {
+        let r = run(false, 64);
+        assert!(r.applied > 100, "applied {}", r.applied);
+        assert!(r.throughput > 0.0);
+    }
+
+    #[test]
+    fn twait_is_a_dominant_protocol_cost() {
+        // Figure 4 / Section II-D: t_wait(F) is the second largest component
+        // and the protocol-related bottleneck.
+        let r = run(false, 256);
+        let twait = r.proportion("t_wait(F)");
+        let tappend = r.proportion("t_append(F)");
+        assert!(twait > 0.05, "t_wait should be significant, got {twait}");
+        assert!(tappend < 0.01, "t_append is ~0.1% in the paper, got {tappend}");
+        assert!(twait > 10.0 * tappend);
+    }
+
+    #[test]
+    fn non_blocking_improves_throughput() {
+        // The headline effect, visible already in the Petri model: the early
+        // return unblocks clients sooner → higher request rate.
+        let raft = run(false, 256);
+        let nb = run(true, 256);
+        assert!(
+            nb.throughput > raft.throughput * 1.1,
+            "NB {} vs Raft {}",
+            nb.throughput,
+            raft.throughput
+        );
+    }
+
+    #[test]
+    fn single_client_sees_little_benefit() {
+        // With one client there is no out-of-order pressure; NB-Raft's gain
+        // comes from skipping commit latency only.
+        let raft = run(false, 1);
+        let nb = run(true, 1);
+        assert!(nb.throughput >= raft.throughput * 0.9);
+        let twait = raft.proportion("t_wait(F)");
+        assert!(twait < 0.05, "no disorder with one client: {twait}");
+    }
+
+    #[test]
+    fn ratis_profile_shifts_costs_to_idx_and_apply() {
+        let iotdb = ReplicationModel::build(ModelConfig {
+            costs: CostProfile::iotdb(),
+            ..Default::default()
+        })
+        .run(2_000);
+        let ratis = ReplicationModel::build(ModelConfig {
+            costs: CostProfile::ratis(),
+            ..Default::default()
+        })
+        .run(2_000);
+        assert!(ratis.phase("t_idx(L)") > iotdb.phase("t_idx(L)") * 2.0);
+        assert!(ratis.phase("t_apply(L)") > iotdb.phase("t_apply(L)") * 2.0);
+    }
+
+    #[test]
+    fn proportions_sum_to_one() {
+        let r = run(false, 64);
+        let total: f64 = r.phases.iter().map(|p| r.proportion(p.name)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,32 @@
+use nbr_sim::*;
+use nbr_types::*;
+
+fn main() {
+    for tmo in [20u64, 100, 400] {
+        let mut c = SimConfig {
+            protocol: Protocol::NbRaft,
+            n_clients: 768, n_dispatchers: 768,
+            warmup: TimeDelta::from_millis(200),
+            duration: TimeDelta::from_millis(1500),
+            timeouts: TimeoutConfig {
+                election_min: TimeDelta::from_millis(tmo),
+                election_max: TimeDelta::from_millis(tmo + tmo / 2),
+                heartbeat_interval: TimeDelta::from_millis(8),
+                retry_interval: TimeDelta::from_millis(8),
+            },
+            failure: FailurePlan {
+                kill_leader_at: Some(Time::from_millis(1500)),
+                kill_clients: true,
+                dead_from_start: vec![],
+                post_failure: TimeDelta::from_secs(5),
+            },
+            seed: 1,
+            ..Default::default()
+        };
+        c.costs.straggler_prob = 0.01;
+        c.costs.straggler_delay = TimeDelta::from_millis(120);
+        let r = run(c);
+        println!("tmo={tmo}ms issued={} survived={} lost={} elections={} final={:?}",
+            r.issued, r.survived, r.issued - r.survived, r.elections, r.final_state);
+    }
+}

@@ -1,0 +1,56 @@
+use nbr_sim::*;
+use nbr_types::Protocol;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(|s| s.as_str()).unwrap_or("clients");
+    match which {
+        "clients" => {
+            for n in [1usize, 4, 16, 64, 256, 512, 768, 1024] {
+                print!("{n:5} clients:");
+                for p in [Protocol::Raft, Protocol::NbRaft, Protocol::CRaft, Protocol::NbCRaft] {
+                    let r = run(SimConfig {
+                        protocol: p, n_clients: n, n_dispatchers: n,
+                        ..Default::default()
+                    });
+                    print!("  {}={:6.1}k/{:5.1}ms", p.name(), r.throughput/1e3, r.latency_mean_ms);
+                }
+                println!();
+            }
+        }
+        "detail" => {
+            for p in [Protocol::Raft, Protocol::NbRaft] {
+                let r = run(SimConfig { protocol: p, n_clients: 1024, n_dispatchers: 1024, ..Default::default() });
+                println!("{}: tput={:.0} acked={} issued={} weak={} twait={:.3}ms parked={} elections={} lat(mean/p99)={:.2}/{:.2}ms",
+                    p.name(), r.throughput, r.acked, r.issued, r.weak_acked, r.twait_mean_ms, r.stats.parked, r.elections, r.latency_mean_ms, r.latency_p99_ms);
+            }
+        }
+        "payload" => {
+            for kb in [1usize, 4, 16, 64, 128] {
+                print!("{kb:4}KB:");
+                for p in [Protocol::Raft, Protocol::NbRaft, Protocol::CRaft, Protocol::NbCRaft] {
+                    let r = run(SimConfig {
+                        protocol: p, n_clients: 1024, n_dispatchers: 1024,
+                        payload: kb * 1024, ..Default::default()
+                    });
+                    print!("  {}={:6.1}k", p.name(), r.throughput/1e3);
+                }
+                println!();
+            }
+        }
+        "replicas" => {
+            for n in [2usize, 3, 5, 7, 9] {
+                print!("{n} replicas:");
+                for p in [Protocol::Raft, Protocol::NbRaft, Protocol::CRaft, Protocol::NbCRaft] {
+                    let r = run(SimConfig {
+                        protocol: p, n_replicas: n, n_clients: 1024, n_dispatchers: 1024,
+                        ..Default::default()
+                    });
+                    print!("  {}={:6.1}k", p.name(), r.throughput/1e3);
+                }
+                println!();
+            }
+        }
+        _ => {}
+    }
+}

@@ -1,0 +1,771 @@
+//! The discrete-event simulation driver.
+//!
+//! Runs the *real* protocol engines (`nbr_core::Node`) and client state
+//! machines (`nbr_core::RaftClient`) over modelled resources:
+//!
+//! * **NICs** — one FIFO serializer per machine at the configured bandwidth
+//!   (all clients share one client machine, as in the paper's testbed);
+//! * **dispatcher channels** — per (leader → follower) pair, `N_csm`
+//!   parallel connections, each message's propagation latency independently
+//!   jittered → out-of-order arrival, the paper's `t_wait(F)` source;
+//! * **CPUs** — per replica, `cores` parallel servers with per-operation
+//!   costs from [`CostModel`], scaled by the concurrency contention factor;
+//! * a virtual clock with a deterministic event heap.
+//!
+//! Queueing is computed arithmetically at enqueue time (free-time vectors),
+//! so the event count per request stays small and 1024-client runs are fast.
+
+use crate::cost::{CostModel, GeoMatrix};
+use nbr_core::{ClientAction, Node, NodeStats, Output, RaftClient};
+use nbr_metrics::{Histogram, Throughput};
+use nbr_storage::{LogStore, MemLog};
+use nbr_types::*;
+use nbr_workload::{RequestGenerator, WorkloadConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Failure injection plan (Figures 19/21).
+#[derive(Debug, Clone, Default)]
+pub struct FailurePlan {
+    /// Kill the current leader (and optionally all clients) at this instant.
+    pub kill_leader_at: Option<Time>,
+    /// Kill the clients together with the leader (the paper's Section V-G
+    /// methodology — prevents opList retries from re-submitting weak data).
+    pub kill_clients: bool,
+    /// Replicas dead from the start (Figure 21's failing replicas).
+    pub dead_from_start: Vec<u32>,
+    /// How long to keep simulating after the kill (election + stabilize).
+    pub post_failure: TimeDelta,
+}
+
+/// Full experiment configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Protocol preset.
+    pub protocol: Protocol,
+    /// NB window size (used by the NB variants; paper default 10 000).
+    pub window: usize,
+    /// Replication group size.
+    pub n_replicas: usize,
+    /// Closed-loop client connections.
+    pub n_clients: usize,
+    /// Dispatcher connections per (leader, follower) pair.
+    pub n_dispatchers: usize,
+    /// Request payload bytes.
+    pub payload: usize,
+    /// Ramp-up time before measurement starts.
+    pub warmup: TimeDelta,
+    /// Measurement window length.
+    pub duration: TimeDelta,
+    /// Clients start staggered over this period (thread ramp-up).
+    pub client_ramp: TimeDelta,
+    /// Resource cost model.
+    pub costs: CostModel,
+    /// Optional geo-distribution latency matrix.
+    pub geo: Option<GeoMatrix>,
+    /// CPU slowdown factor (1.0 = Turbo on; >1 = slower, Figure 23).
+    pub cpu_scale: f64,
+    /// Election/heartbeat timing (Figure 19b varies election_min/max).
+    pub timeouts: TimeoutConfig,
+    /// Failure plan.
+    pub failure: FailurePlan,
+    /// Seed for all randomness.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            protocol: Protocol::Raft,
+            window: 10_000,
+            n_replicas: 3,
+            n_clients: 64,
+            n_dispatchers: 64,
+            payload: 4096,
+            warmup: TimeDelta::from_millis(500),
+            duration: TimeDelta::from_secs(2),
+            client_ramp: TimeDelta::from_millis(200),
+            costs: CostModel::default(),
+            geo: None,
+            cpu_scale: 1.0,
+            timeouts: TimeoutConfig::default(),
+            failure: FailurePlan::default(),
+            seed: 42,
+        }
+    }
+}
+
+/// Aggregated results of one run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// First-ack throughput in the measurement window, ops/s.
+    pub throughput: f64,
+    /// Mean first-ack latency, ms.
+    pub latency_mean_ms: f64,
+    /// Median latency, ms.
+    pub latency_p50_ms: f64,
+    /// Tail latency, ms.
+    pub latency_p99_ms: f64,
+    /// Requests issued over the whole run.
+    pub issued: u64,
+    /// Requests first-acked (weak or strong).
+    pub acked: u64,
+    /// Requests durably confirmed.
+    pub confirmed: u64,
+    /// Of the acked requests, how many were weak acks.
+    pub weak_acked: u64,
+    /// Mean `t_wait(F)` per appended entry, ms (paper's bottleneck metric).
+    pub twait_mean_ms: f64,
+    /// Entries that survived in the post-failure leader's log (loss runs).
+    pub survived: u64,
+    /// Fraction of issued requests lost (loss runs; 0 otherwise).
+    pub loss_fraction: f64,
+    /// Leader elections observed.
+    pub elections: u64,
+    /// Final `(term, is_leader, last_index)` per replica (`None` = dead).
+    pub final_state: Vec<Option<(u64, bool, u64)>>,
+    /// Per-follower protocol counters summed.
+    pub stats: NodeStats,
+}
+
+/// Work processed on a replica's CPU.
+enum WorkItem {
+    Msg { from: NodeId, msg: Message },
+    ClientReq(ClientRequest),
+}
+
+enum Ev {
+    /// Arrival of work at a node. `txed` is when the sender's NIC finished
+    /// serializing it: packets whose transmission had not completed when the
+    /// sender was killed die with the sender's queue.
+    Work { node: usize, item: WorkItem, txed: Time },
+    WorkDone { node: usize, item: WorkItem },
+    ClientRecv { client: usize, resp: ClientResponse },
+    ClientIssue { client: usize },
+    ClientTick { client: usize },
+    NodeTick { node: usize },
+    Kill,
+}
+
+struct HeapEntry {
+    at: Time,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Free-time vector resource: `k` parallel servers, arithmetic queueing.
+struct Servers {
+    free: Vec<Time>,
+}
+
+impl Servers {
+    fn new(k: usize) -> Servers {
+        Servers { free: vec![Time::ZERO; k.max(1)] }
+    }
+
+    /// Schedule a job arriving at `ready` with service time `cost`; returns
+    /// its completion time.
+    fn schedule(&mut self, ready: Time, cost: TimeDelta) -> Time {
+        let (i, _) = self
+            .free
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, t)| *t)
+            .expect("at least one server");
+        let start = self.free[i].max(ready);
+        let done = start + cost;
+        self.free[i] = done;
+        done
+    }
+}
+
+/// The simulator.
+pub struct Simulator {
+    cfg: SimConfig,
+    now: Time,
+    seq: u64,
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+    rng: StdRng,
+
+    nodes: Vec<Option<Node<MemLog>>>,
+    node_cpu: Vec<Servers>,
+    node_nic: Vec<Servers>,
+    client_nic: Servers,
+    /// Dispatcher channels keyed by (from, to).
+    channels: Vec<Vec<Servers>>,
+
+    clients: Vec<Option<RaftClient>>,
+    generators: Vec<RequestGenerator>,
+    client_started: Vec<bool>,
+
+    // measurement
+    window_start: Time,
+    window_end: Time,
+    throughput: Throughput,
+    latency: Histogram,
+    issued: u64,
+    acked: u64,
+    confirmed: u64,
+    weak_acked: u64,
+    elections: u64,
+    /// Unanswered client requests per node (drives dynamic contention).
+    resident: Vec<u64>,
+    /// Which (node, client) pairs currently hold an unanswered request.
+    held: std::collections::HashSet<(usize, u64)>,
+    killed: bool,
+    /// The node removed by the failure plan, and when.
+    dead_node: Option<u32>,
+    kill_time: Time,
+}
+
+impl Simulator {
+    /// Build a simulator from a configuration.
+    pub fn new(cfg: SimConfig) -> Simulator {
+        let n = cfg.n_replicas;
+        let membership: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+        let mut pcfg = cfg.protocol.config(cfg.window);
+        pcfg.timeouts = cfg.timeouts;
+        let nodes: Vec<Option<Node<MemLog>>> = membership
+            .iter()
+            .map(|&id| {
+                if cfg.failure.dead_from_start.contains(&id.0) {
+                    None
+                } else {
+                    Some(Node::new(id, membership.clone(), pcfg.clone(), MemLog::new(), cfg.seed))
+                }
+            })
+            .collect();
+        let wl = WorkloadConfig { request_size: cfg.payload, ..Default::default() };
+        let clients: Vec<Option<RaftClient>> = (0..cfg.n_clients)
+            .map(|c| {
+                Some(RaftClient::new(
+                    ClientId(c as u64),
+                    membership.clone(),
+                    NodeId(0),
+                    TimeDelta::from_millis(1000),
+                ))
+            })
+            .collect();
+        let generators = (0..cfg.n_clients)
+            .map(|c| RequestGenerator::new(wl.clone(), c as u64, cfg.n_clients as u64))
+            .collect();
+        let window_start = Time::ZERO + cfg.warmup;
+        let window_end = window_start + cfg.duration;
+        let channels = (0..n)
+            .map(|_| (0..n).map(|_| Servers::new(cfg.n_dispatchers)).collect())
+            .collect();
+        Simulator {
+            now: Time::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0xD1CE),
+            node_cpu: (0..n).map(|_| Servers::new(cfg.costs.cores)).collect(),
+            node_nic: (0..n).map(|_| Servers::new(1)).collect(),
+            client_nic: Servers::new(1),
+            channels,
+            nodes,
+            clients,
+            generators,
+            client_started: vec![false; cfg.n_clients],
+            window_start,
+            window_end,
+            throughput: Throughput::new(),
+            latency: Histogram::new(),
+            issued: 0,
+            acked: 0,
+            confirmed: 0,
+            weak_acked: 0,
+            elections: 0,
+            resident: vec![0; n],
+            held: std::collections::HashSet::new(),
+            killed: false,
+            dead_node: None,
+            kill_time: Time::ZERO,
+            cfg,
+        }
+    }
+
+    fn push(&mut self, at: Time, ev: Ev) {
+        self.seq += 1;
+        self.heap.push(Reverse(HeapEntry { at, seq: self.seq, ev }));
+    }
+
+    /// Scheduling noise on a busy machine: Uniform(0, spread * scale) where
+    /// the spread grows with the number of active threads (≈ client
+    /// connections). `scale` weights the path: entry dispatch queues behind
+    /// thousands of data messages (heaviest), while small control acks cut
+    /// ahead (lightest).
+    fn sched_noise(&mut self, scale: f64) -> TimeDelta {
+        let spread =
+            (self.cfg.costs.sched_spread(self.cfg.n_clients).as_nanos() as f64 * scale) as u64;
+        if spread == 0 {
+            TimeDelta::ZERO
+        } else {
+            TimeDelta(self.rng.random_range(0..spread))
+        }
+    }
+
+    fn jittered(&mut self, base: TimeDelta) -> TimeDelta {
+        let j = self.cfg.costs.jitter;
+        if j <= 0.0 {
+            return base;
+        }
+        let lo = (base.as_secs_f64() * (1.0 - j)).max(1e-9);
+        let hi = base.as_secs_f64() * (1.0 + j);
+        TimeDelta::from_secs_f64(self.rng.random_range(lo..hi.max(lo + 1e-12)))
+    }
+
+    fn link_latency(&mut self, from: usize, to: usize) -> TimeDelta {
+        let base = match &self.cfg.geo {
+            Some(g) => g.between(from, to),
+            None => self.cfg.costs.latency,
+        };
+        self.jittered(base)
+    }
+
+    /// Latency from the client machine (co-located with region of node 0).
+    fn client_link_latency(&mut self, node: usize) -> TimeDelta {
+        let base = match &self.cfg.geo {
+            Some(g) => g.between(0, node),
+            None => self.cfg.costs.latency,
+        };
+        self.jittered(base)
+    }
+
+    fn cpu_cost_of(&self, item: &WorkItem, node: usize) -> TimeDelta {
+        let c = &self.cfg.costs;
+        let contention = c.contention(self.resident[node] as usize) * self.cfg.cpu_scale;
+        let raw = match item {
+            WorkItem::ClientReq(req) => {
+                let mut t = c.t_prs + c.t_idx;
+                if matches!(
+                    self.cfg.protocol,
+                    Protocol::CRaft | Protocol::NbCRaft | Protocol::EcRaft
+                ) && self.cfg.n_replicas > 2
+                {
+                    t += c.rs_cost(req.payload.len());
+                }
+                if self.cfg.protocol == Protocol::VgRaft {
+                    t += c.sha_cost(req.payload.len());
+                }
+                t
+            }
+            WorkItem::Msg { msg, .. } => match msg {
+                Message::AppendEntry(m) => {
+                    let mut t = c.msg_handle + c.t_append;
+                    if m.verification.is_some() {
+                        t += c.sha_cost(m.entry.payload.size_bytes());
+                    }
+                    t
+                }
+                Message::AppendResp(_) => c.msg_handle + c.t_commit,
+                Message::PushFragments(m) => {
+                    let bytes: usize = m.fragments.iter().map(|(_, _, f)| f.data.len()).sum();
+                    c.msg_handle + c.rs_cost(bytes)
+                }
+                _ => c.msg_handle,
+            },
+        };
+        raw.scale(contention)
+    }
+
+    /// Route one protocol-engine output.
+    fn route_outputs(&mut self, from: usize, outputs: Vec<Output>) {
+        for o in outputs {
+            match o {
+                Output::Send { to, msg } => self.route_send(from, to.as_usize(), msg),
+                Output::Respond { client, resp } => {
+                    let cidx = client.as_usize();
+                    // First response to this client's outstanding request
+                    // frees its server-side context (residence ends).
+                    if self.held.remove(&(from, client.0)) {
+                        self.resident[from] = self.resident[from].saturating_sub(1);
+                    }
+                    if self.clients.get(cidx).is_some_and(|c| c.is_some()) {
+                        // Leader NIC + link back to the client machine.
+                        let size = 256; // responses are small and fixed
+                        let t1 = self.node_nic[from]
+                            .schedule(self.now, self.cfg.costs.tx_time(size));
+                        let lat = self.client_link_latency(from) + self.sched_noise(1.0);
+                        self.push(t1 + lat, Ev::ClientRecv { client: cidx, resp });
+                    }
+                }
+                Output::Apply { entry } => {
+                    // Charge apply CPU occupancy (no completion action).
+                    let cost = self
+                        .cfg
+                        .costs
+                        .t_apply
+                        .scale(self.cfg.costs.contention(self.resident[from] as usize) * self.cfg.cpu_scale);
+                    let _ = self.node_cpu[from].schedule(self.now, cost);
+                    let _ = entry;
+                }
+                Output::RestoreSnapshot { .. } | Output::ReadReady { .. } => {
+                    // The simulator tracks no state machine; snapshots and
+                    // reads are log/bookkeeping operations here.
+                }
+                Output::ElectedLeader { .. } => self.elections += 1,
+                Output::SteppedDown { .. } => {}
+            }
+        }
+    }
+
+    fn route_send(&mut self, from: usize, to: usize, msg: Message) {
+        if self.nodes.get(to).is_none_or(|n| n.is_none()) {
+            return; // dead target
+        }
+        let size = msg.size_bytes();
+        // NIC serialization at the sender.
+        let t_nic = self.node_nic[from].schedule(self.now, self.cfg.costs.tx_time(size));
+        // Entry replication goes through the dispatcher channel (limited
+        // parallel connections, jittered per-connection latency — the
+        // reordering source). Control traffic takes a direct path.
+        // Heavy-tail stragglers (opt-in): a small fraction of *entries*
+        // suffers a retransmission/GC-pause-scale delay. The decision is a
+        // deterministic hash of the entry index so it is CORRELATED across
+        // followers — a leader-side stall delays every copy of the entry,
+        // which is what puts it in a genuine race with the election
+        // (Figure 13).
+        let straggle = {
+            let p = self.cfg.costs.straggler_prob;
+            match (&msg, p > 0.0) {
+                (Message::AppendEntry(m), true) => {
+                    let mut h = m.entry.index.0
+                        .wrapping_mul(0x9E3779B97F4A7C15)
+                        ^ self.cfg.seed.wrapping_mul(0xD1B54A32D192ED03);
+                    h ^= h >> 29;
+                    h = h.wrapping_mul(0xBF58476D1CE4E5B9);
+                    h ^= h >> 32;
+                    if (h % 1_000_000) as f64 / 1e6 < p {
+                        let max = self.cfg.costs.straggler_delay.as_nanos().max(5);
+                        TimeDelta(max / 5 + (h >> 8) % (max * 4 / 5))
+                    } else {
+                        TimeDelta::ZERO
+                    }
+                }
+                _ => TimeDelta::ZERO,
+            }
+        };
+        let deliver_at = if matches!(msg, Message::AppendEntry(_)) {
+            // Data path: dispatched entries queue behind the bulk traffic;
+            // the queueing delay scales with the bytes ahead, so smaller
+            // messages (CRaft shards) cut through faster, and more replicas
+            // mean proportionally more interleaved traffic per entry
+            // (Section V-C: consecutive requests to one follower interleave
+            // with requests to the others).
+            let fanout = ((self.cfg.n_replicas.saturating_sub(1)) as f64 / 2.0)
+                .powf(0.8)
+                .max(0.75);
+            let scale = 1.3 * fanout * (size as f64 / 4096.0).powf(0.7).clamp(0.35, 6.0);
+            let lat = self.link_latency(from, to) + self.sched_noise(scale) + straggle;
+            self.channels[from][to].schedule(t_nic, lat)
+        } else {
+            // Control path: small acks/heartbeats suffer less queueing.
+            t_nic + self.link_latency(from, to) + self.sched_noise(0.5)
+        };
+        self.push(
+            deliver_at,
+            Ev::Work {
+                node: to,
+                item: WorkItem::Msg { from: NodeId(from as u32), msg },
+                txed: t_nic,
+            },
+        );
+    }
+
+    fn process_client_actions(&mut self, _cidx: usize, actions: Vec<ClientAction>) {
+        for a in actions {
+            match a {
+                ClientAction::Send { to, request } => {
+                    let target = to.as_usize();
+                    if self.nodes.get(target).is_none_or(|n| n.is_none()) {
+                        continue; // dead node; the client's timeout will rotate
+                    }
+                    let size = request.payload.len() + 64;
+                    let t1 = self.client_nic.schedule(self.now, self.cfg.costs.tx_time(size));
+                    let lat = self.client_link_latency(target) + self.sched_noise(1.0);
+                    self.push(
+                        t1 + lat,
+                        Ev::Work { node: target, item: WorkItem::ClientReq(request), txed: t1 },
+                    );
+                }
+                ClientAction::Acked { request: _, issued_at, weak } => {
+                    self.acked += 1;
+                    if weak {
+                        self.weak_acked += 1;
+                    }
+                    if self.now >= self.window_start && self.now < self.window_end {
+                        self.throughput.record(self.now.as_nanos(), self.cfg.payload as u64);
+                        self.latency.record(self.now.since(issued_at).as_nanos());
+                    }
+                }
+                ClientAction::Confirmed { .. } => self.confirmed += 1,
+            }
+        }
+    }
+
+    fn client_issue(&mut self, cidx: usize) {
+        let Some(client) = self.clients[cidx].as_mut() else { return };
+        if !client.ready() {
+            return;
+        }
+        let payload = self.generators[cidx].next_request();
+        let mut actions = Vec::new();
+        client.issue(payload, self.now, &mut actions);
+        self.issued += 1;
+        self.process_client_actions(cidx, actions);
+    }
+
+    fn leader_index(&self) -> Option<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .find(|(_, n)| n.as_ref().is_some_and(|n| n.is_leader()))
+            .map(|(i, _)| i)
+    }
+
+    /// Run the configured experiment to completion.
+    pub fn run(mut self) -> SimResult {
+        // Bootstrap: node 0 (or the first living node) campaigns at t = 0 so
+        // every run starts from an established leader deterministically.
+        let first_alive = self.nodes.iter().position(|n| n.is_some()).expect("some node");
+        {
+            let mut out = Vec::new();
+            let now = self.now;
+            self.nodes[first_alive].as_mut().unwrap().campaign(now, &mut out);
+            self.route_outputs(first_alive, out);
+        }
+
+        // Periodic node ticks, phase-staggered per node: on a shared tick
+        // grid, randomized election deadlines quantize to identical instants
+        // and two candidates can split votes in lockstep forever.
+        for i in 0..self.nodes.len() {
+            let phase = TimeDelta::from_micros(1_300 * i as u64);
+            self.push(Time::ZERO + TimeDelta::from_millis(10) + phase, Ev::NodeTick { node: i });
+        }
+        // Staggered client starts + retry ticks.
+        let ramp = self.cfg.client_ramp.as_nanos().max(1);
+        for c in 0..self.cfg.n_clients {
+            let offset = TimeDelta(ramp * c as u64 / self.cfg.n_clients.max(1) as u64);
+            self.push(Time::ZERO + offset, Ev::ClientIssue { client: c });
+            self.push(
+                Time::ZERO + offset + TimeDelta::from_millis(500),
+                Ev::ClientTick { client: c },
+            );
+        }
+        // Failure schedule.
+        if let Some(at) = self.cfg.failure.kill_leader_at {
+            self.push(at, Ev::Kill);
+        }
+
+        let mut horizon = self.window_end;
+        if let Some(at) = self.cfg.failure.kill_leader_at {
+            horizon = horizon.max(at + self.cfg.failure.post_failure);
+        }
+
+        while let Some(Reverse(top)) = self.heap.pop() {
+            if top.at > horizon {
+                break;
+            }
+            self.now = top.at;
+            match top.ev {
+                Ev::Work { node, item, txed } => {
+                    // Arrival at the replica: enter the CPU queue; protocol
+                    // logic runs at service completion.
+                    if self.nodes[node].is_none() {
+                        continue;
+                    }
+                    // Packets still queued on a killed machine die with it:
+                    // only transmissions completed before the kill are "in
+                    // the air" and still arrive (Figure 13's race between
+                    // in-flight entries and the election).
+                    if self.killed && txed > self.kill_time {
+                        let from_dead = match &item {
+                            WorkItem::Msg { from, .. } => Some(from.0) == self.dead_node,
+                            WorkItem::ClientReq(_) => self.cfg.failure.kill_clients,
+                        };
+                        if from_dead {
+                            continue;
+                        }
+                    }
+                    if let WorkItem::ClientReq(req) = &item {
+                        // The request now occupies a server-side context
+                        // until its first response (Little's law residence).
+                        if self.held.insert((node, req.client.0)) {
+                            self.resident[node] += 1;
+                        }
+                    }
+                    let cost = self.cpu_cost_of(&item, node);
+                    let done = self.node_cpu[node].schedule(self.now, cost);
+                    self.push(done, Ev::WorkDone { node, item });
+                }
+                Ev::WorkDone { node, item } => {
+                    if self.nodes[node].is_none() {
+                        continue;
+                    }
+                    let now = self.now;
+                    let mut out = Vec::new();
+                    match item {
+                        WorkItem::Msg { from, msg } => {
+                            if let Some(n) = self.nodes[node].as_mut() {
+                                n.handle_message(from, msg, now, &mut out);
+                            }
+                        }
+                        WorkItem::ClientReq(req) => {
+                            if let Some(n) = self.nodes[node].as_mut() {
+                                n.handle_client(req, now, &mut out);
+                            }
+                        }
+                    }
+                    self.route_outputs(node, out);
+                }
+                Ev::ClientRecv { client, resp } => {
+                    if self.clients[client].is_none() {
+                        continue;
+                    }
+                    let mut actions = Vec::new();
+                    let now = self.now;
+                    self.clients[client].as_mut().unwrap().handle_response(resp, now, &mut actions);
+                    self.process_client_actions(client, actions);
+                    if self.clients[client].as_ref().unwrap().ready() {
+                        let next = self.now + self.cfg.costs.t_gen;
+                        self.push(next, Ev::ClientIssue { client });
+                    }
+                }
+                Ev::ClientIssue { client } => {
+                    self.client_started[client] = true;
+                    self.client_issue(client);
+                }
+                Ev::ClientTick { client } => {
+                    if self.clients[client].is_none() {
+                        continue;
+                    }
+                    let mut actions = Vec::new();
+                    let now = self.now;
+                    self.clients[client].as_mut().unwrap().tick(now, &mut actions);
+                    self.process_client_actions(client, actions);
+                    self.push(self.now + TimeDelta::from_millis(500), Ev::ClientTick { client });
+                }
+                Ev::NodeTick { node } => {
+                    if let Some(n) = self.nodes[node].as_mut() {
+                        let now = self.now;
+                        let mut out = Vec::new();
+                        n.tick(now, &mut out);
+                        self.route_outputs(node, out);
+                    }
+                    self.push(self.now + TimeDelta::from_millis(10), Ev::NodeTick { node });
+                }
+                Ev::Kill => {
+                    self.killed = true;
+                    self.kill_time = self.now;
+                    if let Some(l) = self.leader_index() {
+                        self.nodes[l] = None;
+                        self.dead_node = Some(l as u32);
+                    }
+                    if self.cfg.failure.kill_clients {
+                        for c in self.clients.iter_mut() {
+                            *c = None;
+                        }
+                    }
+                }
+            }
+        }
+        self.finish()
+    }
+
+    fn finish(self) -> SimResult {
+        let duration_ns = self.cfg.duration.as_nanos();
+        let mut stats = NodeStats::default();
+        for n in self.nodes.iter().flatten() {
+            let s = &n.stats;
+            stats.appends += s.appends;
+            stats.weak_accepts += s.weak_accepts;
+            stats.strong_accepts += s.strong_accepts;
+            stats.mismatches += s.mismatches;
+            stats.parked += s.parked;
+            stats.park_wait_ns += s.park_wait_ns;
+            stats.park_waits += s.park_waits;
+            stats.window_flushes += s.window_flushes;
+            stats.committed += s.committed;
+            stats.proposals += s.proposals;
+            stats.fragments_encoded += s.fragments_encoded;
+            stats.verifications += s.verifications;
+        }
+        let twait_mean_ms = if stats.park_waits == 0 {
+            0.0
+        } else {
+            stats.park_wait_ns as f64 / stats.park_waits as f64 / 1e6
+        };
+
+        // Loss accounting: entries of client origin present in the
+        // post-failure leader's log vs requests issued.
+        let (survived, loss_fraction) = if self.killed {
+            let survivor = self
+                .nodes
+                .iter()
+                .flatten()
+                .max_by_key(|n| (n.term(), n.last_index()))
+                .expect("a survivor exists");
+            let mut unique = std::collections::HashSet::new();
+            let log = survivor.log();
+            let mut idx = log.first_index();
+            while idx <= log.last_index() {
+                if let Some(o) = log.get(idx).and_then(|e| e.origin) {
+                    unique.insert((o.client, o.request));
+                }
+                idx = idx.next();
+            }
+            let survived = unique.len() as u64;
+            let lost = self.issued.saturating_sub(survived);
+            (survived, if self.issued == 0 { 0.0 } else { lost as f64 / self.issued as f64 })
+        } else {
+            (0, 0.0)
+        };
+
+        let final_state = self
+            .nodes
+            .iter()
+            .map(|n| n.as_ref().map(|n| (n.term().0, n.is_leader(), n.last_index().0)))
+            .collect();
+        SimResult {
+            final_state,
+            throughput: self.throughput.ops_per_sec_over(duration_ns),
+            latency_mean_ms: self.latency.mean() / 1e6,
+            latency_p50_ms: self.latency.p50() as f64 / 1e6,
+            latency_p99_ms: self.latency.p99() as f64 / 1e6,
+            issued: self.issued,
+            acked: self.acked,
+            confirmed: self.confirmed,
+            weak_acked: self.weak_acked,
+            twait_mean_ms,
+            survived,
+            loss_fraction,
+            elections: self.elections,
+            stats,
+        }
+    }
+}
+
+/// Convenience: build and run.
+pub fn run(cfg: SimConfig) -> SimResult {
+    Simulator::new(cfg).run()
+}

@@ -1,0 +1,24 @@
+//! Storage substrate for the NB-Raft reproduction.
+//!
+//! Provides the pieces the paper's deployment takes from Apache IoTDB:
+//!
+//! * [`log::LogStore`] — the replicated-log abstraction with a volatile
+//!   [`log::MemLog`] (used by the simulator) and a durable, crash-recovering
+//!   [`wal::WalLog`] (used by the real-thread cluster).
+//! * [`state_machine::StateMachine`] — deterministic apply with per-client
+//!   request deduplication; [`state_machine::KvStore`] for convergence tests
+//!   and [`tsdb::TsStore`], a memtable-plus-chunks time-series store standing
+//!   in for IoTDB's ingestion engine.
+//! * [`snapshot::Snapshot`] — CRC-verified, atomically-written snapshots.
+
+pub mod log;
+pub mod snapshot;
+pub mod state_machine;
+pub mod tsdb;
+pub mod wal;
+
+pub use log::{LogStore, MemLog};
+pub use snapshot::Snapshot;
+pub use state_machine::{DedupTable, KvStore, StateMachine};
+pub use tsdb::{decode_batch, encode_batch, Point, TsStore, POINT_BYTES};
+pub use wal::{SyncPolicy, WalLog};

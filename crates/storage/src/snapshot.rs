@@ -1,0 +1,137 @@
+//! Snapshot files: atomically written, CRC-verified state machine images.
+
+use bytes::Bytes;
+use nbr_types::checksum::crc32;
+use nbr_types::{Error, LogIndex, Result, Term};
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Magic prefix identifying a snapshot file.
+const MAGIC: &[u8; 8] = b"NBRSNAP1";
+
+/// A state machine snapshot with its log position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Index of the last entry reflected in the snapshot.
+    pub last_index: LogIndex,
+    /// Term of that entry.
+    pub last_term: Term,
+    /// Serialized state machine image.
+    pub data: Bytes,
+}
+
+impl Snapshot {
+    /// Serialize: magic, last_index, last_term, crc, len, data.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(MAGIC.len() + 28 + self.data.len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&self.last_index.0.to_le_bytes());
+        out.extend_from_slice(&self.last_term.0.to_le_bytes());
+        out.extend_from_slice(&crc32(&self.data).to_le_bytes());
+        out.extend_from_slice(&(self.data.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    /// Parse and verify a serialized snapshot.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Snapshot> {
+        let err = |m: &str| Error::Storage(format!("snapshot: {m}"));
+        if bytes.len() < MAGIC.len() + 28 {
+            return Err(err("too short"));
+        }
+        if &bytes[..8] != MAGIC {
+            return Err(err("bad magic"));
+        }
+        let last_index = LogIndex(u64::from_le_bytes(bytes[8..16].try_into().unwrap()));
+        let last_term = Term(u64::from_le_bytes(bytes[16..24].try_into().unwrap()));
+        let crc = u32::from_le_bytes(bytes[24..28].try_into().unwrap());
+        let len = u64::from_le_bytes(bytes[28..36].try_into().unwrap()) as usize;
+        if bytes.len() != 36 + len {
+            return Err(err("length mismatch"));
+        }
+        let data = &bytes[36..];
+        if crc32(data) != crc {
+            return Err(err("checksum mismatch"));
+        }
+        Ok(Snapshot { last_index, last_term, data: Bytes::copy_from_slice(data) })
+    }
+
+    /// Write atomically (tmp file + rename) to `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let path = path.as_ref();
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&self.to_bytes())?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Load and verify from `path`; `Ok(None)` when the file does not exist.
+    pub fn load(path: impl AsRef<Path>) -> Result<Option<Snapshot>> {
+        let mut f = match File::open(path.as_ref()) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let mut buf = Vec::new();
+        f.read_to_end(&mut buf)?;
+        Ok(Some(Snapshot::from_bytes(&buf)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            last_index: LogIndex(42),
+            last_term: Term(3),
+            data: Bytes::from(vec![7u8; 1000]),
+        }
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let s = sample();
+        let b = s.to_bytes();
+        assert_eq!(Snapshot::from_bytes(&b).unwrap(), s);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let s = sample();
+        let mut b = s.to_bytes();
+        // Flip a data byte.
+        let last = b.len() - 1;
+        b[last] ^= 1;
+        assert!(Snapshot::from_bytes(&b).is_err());
+        // Truncation.
+        let b2 = s.to_bytes();
+        assert!(Snapshot::from_bytes(&b2[..b2.len() - 1]).is_err());
+        // Bad magic.
+        let mut b3 = s.to_bytes();
+        b3[0] = b'X';
+        assert!(Snapshot::from_bytes(&b3).is_err());
+    }
+
+    #[test]
+    fn file_round_trip_and_missing() {
+        let dir = std::env::temp_dir().join(format!("nbr-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.bin");
+        let _ = std::fs::remove_file(&path);
+
+        assert!(Snapshot::load(&path).unwrap().is_none());
+        let s = sample();
+        s.save(&path).unwrap();
+        assert_eq!(Snapshot::load(&path).unwrap().unwrap(), s);
+        // Overwrite is atomic (tmp not left behind).
+        s.save(&path).unwrap();
+        assert!(!path.with_extension("tmp").exists());
+    }
+}

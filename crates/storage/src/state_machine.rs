@@ -1,0 +1,279 @@
+//! The replicated state machine interface and a simple key-value machine.
+//!
+//! Committed entries are applied in index order. Machines must be
+//! deterministic (identical apply sequences produce identical snapshots) and
+//! idempotent per `(client, request)` pair, because NB-Raft clients retry
+//! their whole `opList` on leader change (Section III-C) — a retried request
+//! may already be committed.
+
+use bytes::Bytes;
+use nbr_types::{ClientId, Entry, LogIndex, Payload, RequestId, Result};
+use std::collections::BTreeMap;
+
+/// A deterministic state machine fed by committed log entries.
+pub trait StateMachine {
+    /// Apply one committed entry; returns an application-level result blob
+    /// (empty for no-ops and fragments).
+    fn apply(&mut self, entry: &Entry) -> Bytes;
+
+    /// Index of the last applied entry.
+    fn applied_index(&self) -> LogIndex;
+
+    /// Serialize the full state for snapshotting.
+    fn snapshot(&self) -> Bytes;
+
+    /// Replace the state from a snapshot taken at `last_applied`.
+    fn restore(&mut self, snapshot: &Bytes, last_applied: LogIndex) -> Result<()>;
+}
+
+/// Tracks `(client, request)` pairs already applied, so retries are no-ops.
+/// Keeps only the highest request id per client — valid because each client
+/// issues requests in sequence-number order.
+#[derive(Debug, Clone, Default)]
+pub struct DedupTable {
+    seen: BTreeMap<ClientId, RequestId>,
+}
+
+impl DedupTable {
+    /// Record an application; returns `false` if it was already applied.
+    pub fn insert(&mut self, client: ClientId, request: RequestId) -> bool {
+        match self.seen.get(&client) {
+            Some(&r) if r >= request => false,
+            _ => {
+                self.seen.insert(client, request);
+                true
+            }
+        }
+    }
+
+    /// Has this request already been applied?
+    pub fn contains(&self, client: ClientId, request: RequestId) -> bool {
+        self.seen.get(&client).is_some_and(|&r| r >= request)
+    }
+
+    /// Number of tracked clients.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// True when no client has been seen.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}
+
+/// A minimal deterministic KV machine: payload `key=value` sets, anything
+/// else is stored under a synthetic key. Used by integration tests to check
+/// replica convergence byte-for-byte.
+#[derive(Debug, Clone, Default)]
+pub struct KvStore {
+    map: BTreeMap<Vec<u8>, Vec<u8>>,
+    dedup: DedupTable,
+    applied: LogIndex,
+}
+
+impl KvStore {
+    /// Empty store.
+    pub fn new() -> KvStore {
+        KvStore::default()
+    }
+
+    /// Lookup a key.
+    pub fn get(&self, key: &[u8]) -> Option<&[u8]> {
+        self.map.get(key).map(|v| v.as_slice())
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl StateMachine for KvStore {
+    fn apply(&mut self, entry: &Entry) -> Bytes {
+        assert!(
+            entry.index > self.applied,
+            "apply must be monotone: {} after {}",
+            entry.index,
+            self.applied
+        );
+        self.applied = entry.index;
+        let Payload::Data(data) = &entry.payload else {
+            return Bytes::new();
+        };
+        if let Some(origin) = entry.origin {
+            if !self.dedup.insert(origin.client, origin.request) {
+                return Bytes::from_static(b"dup");
+            }
+        }
+        match data.iter().position(|&b| b == b'=') {
+            Some(eq) => {
+                self.map.insert(data[..eq].to_vec(), data[eq + 1..].to_vec());
+            }
+            None => {
+                self.map.insert(entry.index.0.to_be_bytes().to_vec(), data.to_vec());
+            }
+        }
+        Bytes::from_static(b"ok")
+    }
+
+    fn applied_index(&self) -> LogIndex {
+        self.applied
+    }
+
+    fn snapshot(&self) -> Bytes {
+        // length-prefixed key/value pairs, deterministic (BTreeMap order).
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.map.len() as u64).to_le_bytes());
+        for (k, v) in &self.map {
+            out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+            out.extend_from_slice(k);
+            out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            out.extend_from_slice(v);
+        }
+        Bytes::from(out)
+    }
+
+    fn restore(&mut self, snapshot: &Bytes, last_applied: LogIndex) -> Result<()> {
+        let mut map = BTreeMap::new();
+        let b = &snapshot[..];
+        let err = || nbr_types::Error::Storage("corrupt kv snapshot".into());
+        if b.len() < 8 {
+            return Err(err());
+        }
+        let n = u64::from_le_bytes(b[..8].try_into().unwrap()) as usize;
+        let mut pos = 8usize;
+        for _ in 0..n {
+            if b.len() < pos + 4 {
+                return Err(err());
+            }
+            let klen = u32::from_le_bytes(b[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 4;
+            if b.len() < pos + klen + 4 {
+                return Err(err());
+            }
+            let k = b[pos..pos + klen].to_vec();
+            pos += klen;
+            let vlen = u32::from_le_bytes(b[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 4;
+            if b.len() < pos + vlen {
+                return Err(err());
+            }
+            let v = b[pos..pos + vlen].to_vec();
+            pos += vlen;
+            map.insert(k, v);
+        }
+        self.map = map;
+        self.applied = last_applied;
+        self.dedup = DedupTable::default();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbr_types::{Origin, Term};
+
+    fn data_entry(i: u64, payload: &[u8], origin: Option<(u64, u64)>) -> Entry {
+        Entry::data(
+            LogIndex(i),
+            Term(1),
+            Term(if i == 1 { 0 } else { 1 }),
+            origin.map(|(c, r)| Origin { client: ClientId(c), request: RequestId(r) }),
+            Bytes::copy_from_slice(payload),
+        )
+    }
+
+    #[test]
+    fn kv_set_and_get() {
+        let mut kv = KvStore::new();
+        kv.apply(&data_entry(1, b"temp=21.5", None));
+        kv.apply(&data_entry(2, b"humidity=40", None));
+        assert_eq!(kv.get(b"temp"), Some(b"21.5".as_ref()));
+        assert_eq!(kv.get(b"humidity"), Some(b"40".as_ref()));
+        assert_eq!(kv.applied_index(), LogIndex(2));
+        assert_eq!(kv.len(), 2);
+    }
+
+    #[test]
+    fn keyless_payload_stored_by_index() {
+        let mut kv = KvStore::new();
+        kv.apply(&data_entry(1, b"blob", None));
+        assert_eq!(kv.get(&1u64.to_be_bytes()), Some(b"blob".as_ref()));
+    }
+
+    #[test]
+    fn duplicate_request_is_ignored() {
+        let mut kv = KvStore::new();
+        kv.apply(&data_entry(1, b"k=1", Some((7, 1))));
+        let r = kv.apply(&data_entry(2, b"k=2", Some((7, 1))));
+        assert_eq!(&r[..], b"dup");
+        assert_eq!(kv.get(b"k"), Some(b"1".as_ref()), "retry must not re-apply");
+        // A later request from the same client applies normally.
+        kv.apply(&data_entry(3, b"k=3", Some((7, 2))));
+        assert_eq!(kv.get(b"k"), Some(b"3".as_ref()));
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn out_of_order_apply_panics() {
+        let mut kv = KvStore::new();
+        kv.apply(&data_entry(2, b"a=1", None));
+        kv.apply(&data_entry(1, b"b=2", None));
+    }
+
+    #[test]
+    fn noop_entries_do_nothing() {
+        let mut kv = KvStore::new();
+        let noop = Entry::noop(LogIndex(1), Term(1), Term(0));
+        assert!(kv.apply(&noop).is_empty());
+        assert!(kv.is_empty());
+        assert_eq!(kv.applied_index(), LogIndex(1));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut kv = KvStore::new();
+        for i in 1..=20u64 {
+            kv.apply(&data_entry(i, format!("key{i}=val{i}").as_bytes(), None));
+        }
+        let snap = kv.snapshot();
+        let mut fresh = KvStore::new();
+        fresh.restore(&snap, LogIndex(20)).unwrap();
+        assert_eq!(fresh.snapshot(), snap);
+        assert_eq!(fresh.applied_index(), LogIndex(20));
+        assert_eq!(fresh.get(b"key7"), Some(b"val7".as_ref()));
+    }
+
+    #[test]
+    fn corrupt_snapshot_rejected() {
+        let mut kv = KvStore::new();
+        assert!(kv.restore(&Bytes::from_static(b"junk"), LogIndex(1)).is_err());
+        let truncated = {
+            let mut kv2 = KvStore::new();
+            kv2.apply(&data_entry(1, b"a=b", None));
+            let s = kv2.snapshot();
+            s.slice(..s.len() - 1)
+        };
+        assert!(kv.restore(&truncated, LogIndex(1)).is_err());
+    }
+
+    #[test]
+    fn dedup_table_semantics() {
+        let mut d = DedupTable::default();
+        assert!(d.insert(ClientId(1), RequestId(5)));
+        assert!(!d.insert(ClientId(1), RequestId(5)));
+        assert!(!d.insert(ClientId(1), RequestId(4)), "older ids are dups too");
+        assert!(d.insert(ClientId(1), RequestId(6)));
+        assert!(d.insert(ClientId(2), RequestId(1)));
+        assert!(d.contains(ClientId(1), RequestId(2)));
+        assert!(!d.contains(ClientId(3), RequestId(1)));
+        assert_eq!(d.len(), 2);
+    }
+}

@@ -1,0 +1,173 @@
+//! Log entries.
+//!
+//! Following the paper (Figure 6), every entry carries three numbers — its
+//! index, its term, and the term of the *previous* entry — so a follower can
+//! check continuity of an out-of-order arrival without having the previous
+//! entry at hand. The payload is either a full client command (Raft family),
+//! an erasure-coded fragment of one (CRaft family), or a leader no-op.
+
+use crate::ids::{ClientId, LogIndex, RequestId, Term};
+use bytes::Bytes;
+
+/// One erasure-coded shard of an entry payload (CRaft / ECRaft).
+///
+/// A payload of `orig_len` bytes is encoded with a systematic
+/// Reed–Solomon(`k`, `n`) code into `n` shards of which any `k` reconstruct
+/// the original. Each follower stores exactly one shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fragment {
+    /// Which of the `n` shards this is (0-based).
+    pub shard: u8,
+    /// Number of data shards required for reconstruction.
+    pub k: u8,
+    /// Total number of shards produced.
+    pub n: u8,
+    /// Length of the original payload in bytes (needed to strip padding).
+    pub orig_len: u32,
+    /// The shard bytes, `ceil(orig_len / k)` long.
+    pub data: Bytes,
+}
+
+/// The payload of a log entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Payload {
+    /// Leader-start no-op; committed to establish the new leader's term.
+    Noop,
+    /// A full client command.
+    Data(Bytes),
+    /// An erasure-coded shard of a client command (CRaft family). A replica
+    /// holding a fragment cannot apply the command locally — this is why
+    /// CRaft forfeits follower reads (paper Table II).
+    Fragment(Fragment),
+}
+
+impl Payload {
+    /// Bytes this payload occupies on the wire / in the log, excluding the
+    /// fixed entry header. Used by the network and storage cost models.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Payload::Noop => 0,
+            Payload::Data(b) => b.len(),
+            Payload::Fragment(f) => f.data.len(),
+        }
+    }
+
+    /// True if this is a fragment payload.
+    pub fn is_fragment(&self) -> bool {
+        matches!(self, Payload::Fragment(_))
+    }
+}
+
+/// Origin of an entry: which client issued it and its per-client sequence
+/// number. `None` for leader no-ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Origin {
+    /// Issuing client connection.
+    pub client: ClientId,
+    /// Per-client request sequence number.
+    pub request: RequestId,
+}
+
+/// A replicated log entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Position in the log (1-based; index 0 is the empty-log sentinel).
+    pub index: LogIndex,
+    /// Term of the leader that created the entry.
+    pub term: Term,
+    /// Term of the entry at `index - 1` when this entry was created. The
+    /// third number of Figure 6; lets a follower validate continuity of an
+    /// out-of-order arrival.
+    pub prev_term: Term,
+    /// Issuing client, if any.
+    pub origin: Option<Origin>,
+    /// The command (or shard of one).
+    pub payload: Payload,
+}
+
+impl Entry {
+    /// Create a data entry.
+    pub fn data(
+        index: LogIndex,
+        term: Term,
+        prev_term: Term,
+        origin: Option<Origin>,
+        data: Bytes,
+    ) -> Entry {
+        Entry { index, term, prev_term, origin, payload: Payload::Data(data) }
+    }
+
+    /// Create a leader no-op entry.
+    pub fn noop(index: LogIndex, term: Term, prev_term: Term) -> Entry {
+        Entry { index, term, prev_term, origin: None, payload: Payload::Noop }
+    }
+
+    /// Is `self` a valid predecessor of `next`? True when the indices are
+    /// consecutive and `next.prev_term` names this entry's term — the
+    /// "previous entry" check of Section III-A2.
+    pub fn precedes(&self, next: &Entry) -> bool {
+        self.index.next() == next.index && self.term == next.prev_term
+    }
+
+    /// Total approximate wire size of the entry in bytes (header + payload).
+    /// Matches the framing of the [`crate::wire`] codec closely enough for
+    /// cost modelling.
+    pub fn size_bytes(&self) -> usize {
+        const HEADER: usize = 8 + 8 + 8 + 1 + 16 + 4; // index, term, prev_term, tags, origin, len
+        HEADER + self.payload.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: u64, t: u64, p: u64) -> Entry {
+        Entry::noop(LogIndex(i), Term(t), Term(p))
+    }
+
+    #[test]
+    fn precedes_checks_index_and_prev_term() {
+        // Figure 6 log: ... (6,4,3), (7,4,4); entry (7,4,4) follows (6,4,3).
+        let six = e(6, 4, 3);
+        let seven = e(7, 4, 4);
+        assert!(six.precedes(&seven));
+        // Wrong prev_term.
+        let seven_bad = e(7, 4, 3);
+        assert!(!six.precedes(&seven_bad));
+        // Non-consecutive index.
+        let eight = e(8, 4, 4);
+        assert!(!six.precedes(&eight));
+    }
+
+    #[test]
+    fn figure8_previous_entry_rule() {
+        // Entry (11,7,6) is not the previous entry of Entry (12,5,5) because
+        // 12's prev_term (5) != 11's term (7).
+        let eleven = e(11, 7, 6);
+        let twelve = e(12, 5, 5);
+        assert!(!eleven.precedes(&twelve));
+    }
+
+    #[test]
+    fn payload_sizes() {
+        assert_eq!(Payload::Noop.size_bytes(), 0);
+        assert_eq!(Payload::Data(Bytes::from(vec![0u8; 42])).size_bytes(), 42);
+        let f = Fragment { shard: 0, k: 2, n: 3, orig_len: 10, data: Bytes::from(vec![0u8; 5]) };
+        assert_eq!(Payload::Fragment(f.clone()).size_bytes(), 5);
+        assert!(Payload::Fragment(f).is_fragment());
+        assert!(!Payload::Noop.is_fragment());
+    }
+
+    #[test]
+    fn entry_size_includes_header() {
+        let entry = Entry::data(
+            LogIndex(1),
+            Term(1),
+            Term(0),
+            Some(Origin { client: ClientId(1), request: RequestId(1) }),
+            Bytes::from(vec![0u8; 100]),
+        );
+        assert!(entry.size_bytes() > 100);
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type shared across the workspace.
+
+use crate::ids::{LogIndex, NodeId, Term};
+use std::fmt;
+
+/// Result alias using [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by protocol, storage and codec layers.
+#[derive(Debug)]
+pub enum Error {
+    /// A wire frame failed to decode (truncated, bad tag, bad checksum).
+    Codec(String),
+    /// Storage-layer failure (WAL I/O, corrupt record).
+    Storage(String),
+    /// An operation was sent to a non-leader replica.
+    NotLeader {
+        /// Believed leader, if known.
+        hint: Option<NodeId>,
+    },
+    /// The request's term is stale.
+    StaleTerm {
+        /// Observed newer term.
+        current: Term,
+    },
+    /// A log index was out of the valid range.
+    IndexOutOfRange {
+        /// Requested index.
+        index: LogIndex,
+        /// First valid index.
+        first: LogIndex,
+        /// Last valid index.
+        last: LogIndex,
+    },
+    /// Erasure decoding lacked enough shards.
+    NotEnoughShards {
+        /// Shards available.
+        have: usize,
+        /// Shards required.
+        need: usize,
+    },
+    /// Signature / digest verification failed (VGRaft).
+    VerificationFailed,
+    /// The cluster harness failed (thread death, channel closed, timeout).
+    Cluster(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Codec(m) => write!(f, "codec error: {m}"),
+            Error::Storage(m) => write!(f, "storage error: {m}"),
+            Error::NotLeader { hint } => match hint {
+                Some(n) => write!(f, "not leader; try {n}"),
+                None => write!(f, "not leader; leader unknown"),
+            },
+            Error::StaleTerm { current } => write!(f, "stale term; current is {current}"),
+            Error::IndexOutOfRange { index, first, last } => {
+                write!(f, "index {index} out of range [{first}, {last}]")
+            }
+            Error::NotEnoughShards { have, need } => {
+                write!(f, "cannot reconstruct: have {have} shards, need {need}")
+            }
+            Error::VerificationFailed => write!(f, "entry verification failed"),
+            Error::Cluster(m) => write!(f, "cluster error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Storage(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            Error::NotLeader { hint: Some(NodeId(2)) }.to_string(),
+            "not leader; try n2"
+        );
+        assert_eq!(Error::NotLeader { hint: None }.to_string(), "not leader; leader unknown");
+        assert_eq!(
+            Error::NotEnoughShards { have: 1, need: 3 }.to_string(),
+            "cannot reconstruct: have 1 shards, need 3"
+        );
+        assert!(Error::StaleTerm { current: Term(7) }.to_string().contains("t7"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::other("disk on fire");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Storage(_)));
+        assert!(e.to_string().contains("disk on fire"));
+    }
+}

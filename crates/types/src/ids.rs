@@ -1,0 +1,189 @@
+//! Strongly-typed identifiers.
+//!
+//! The paper's protocol state is indexed by four kinds of numbers: replica
+//! ids, client connection ids, Raft terms and log indices. Newtypes keep them
+//! from being mixed up and give each the small amount of arithmetic the
+//! protocol actually needs.
+
+use std::fmt;
+
+/// Identifier of a replica (a member of one Raft group).
+///
+/// Node ids are small dense integers assigned by the cluster/simulation
+/// harness; they double as indices into per-peer state tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the id as a usize, for indexing per-peer vectors.
+    #[inline]
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a client connection.
+///
+/// The paper's model has `N_cli` closed-loop client connections, each with at
+/// most one outstanding request (Raft) or up to the sliding-window bound of
+/// weakly-accepted requests (NB-Raft).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClientId(pub u64);
+
+impl ClientId {
+    /// Returns the id as a usize, for indexing per-client vectors.
+    #[inline]
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A request sequence number, unique per client connection.
+///
+/// `(ClientId, RequestId)` uniquely identifies a request for retry
+/// deduplication in the state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u64);
+
+impl RequestId {
+    /// The sequence number following this one.
+    #[inline]
+    #[must_use]
+    pub fn next(self) -> RequestId {
+        RequestId(self.0 + 1)
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A Raft term. Terms are monotonically increasing and identify the
+/// generation of leadership that produced a log entry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Term(pub u64);
+
+impl Term {
+    /// Term zero: no entry, used as the `prev_term` of the first entry.
+    pub const ZERO: Term = Term(0);
+
+    /// The successor term (used when starting an election).
+    #[inline]
+    #[must_use]
+    pub fn next(self) -> Term {
+        Term(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A log index. The log is 1-based: the first real entry has index 1, and
+/// index 0 denotes "before the log" (its term is [`Term::ZERO`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LogIndex(pub u64);
+
+impl LogIndex {
+    /// Index zero — the sentinel position before the first entry.
+    pub const ZERO: LogIndex = LogIndex(0);
+
+    /// The next index.
+    #[inline]
+    #[must_use]
+    pub fn next(self) -> LogIndex {
+        LogIndex(self.0 + 1)
+    }
+
+    /// The previous index; saturates at zero.
+    #[inline]
+    #[must_use]
+    pub fn prev(self) -> LogIndex {
+        LogIndex(self.0.saturating_sub(1))
+    }
+
+    /// Signed difference `self - other`, the `diff` of Section III-A of the
+    /// paper (new entry index minus last appended index).
+    #[inline]
+    pub fn diff(self, other: LogIndex) -> i64 {
+        self.0 as i64 - other.0 as i64
+    }
+
+    /// Index advanced by `n`.
+    #[inline]
+    #[must_use]
+    pub fn plus(self, n: u64) -> LogIndex {
+        LogIndex(self.0 + n)
+    }
+}
+
+impl fmt::Display for LogIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_ordering_and_next() {
+        assert!(Term(3) > Term(2));
+        assert_eq!(Term(2).next(), Term(3));
+        assert_eq!(Term::ZERO, Term(0));
+    }
+
+    #[test]
+    fn log_index_arithmetic() {
+        let i = LogIndex(7);
+        assert_eq!(i.next(), LogIndex(8));
+        assert_eq!(i.prev(), LogIndex(6));
+        assert_eq!(LogIndex::ZERO.prev(), LogIndex::ZERO);
+        assert_eq!(i.plus(3), LogIndex(10));
+    }
+
+    #[test]
+    fn diff_matches_paper_example() {
+        // Figure 7: new entry index 6, last entry index 7 => diff = -1.
+        assert_eq!(LogIndex(6).diff(LogIndex(7)), -1);
+        // Figure 8: new entry 11, last appended 7 => diff = 4 (in-window).
+        assert_eq!(LogIndex(11).diff(LogIndex(7)), 4);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(2).to_string(), "n2");
+        assert_eq!(ClientId(5).to_string(), "c5");
+        assert_eq!(Term(9).to_string(), "t9");
+        assert_eq!(LogIndex(4).to_string(), "i4");
+        assert_eq!(RequestId(1).to_string(), "r1");
+    }
+
+    #[test]
+    fn request_id_next() {
+        assert_eq!(RequestId(0).next(), RequestId(1));
+    }
+
+    #[test]
+    fn node_and_client_as_usize() {
+        assert_eq!(NodeId(3).as_usize(), 3);
+        assert_eq!(ClientId(8).as_usize(), 8);
+    }
+}

@@ -1,0 +1,211 @@
+//! A simulation-friendly clock.
+//!
+//! The protocol cores are sans-I/O: they never read a wall clock. Time enters
+//! through explicit [`Time`] values supplied by the harness — virtual
+//! nanoseconds in the discrete-event simulator, or nanoseconds since process
+//! start in the real-thread cluster. Keeping one fixed-point representation
+//! makes traces from the two harnesses directly comparable.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant, in nanoseconds since an arbitrary epoch (simulation start or
+/// process start).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Time(pub u64);
+
+/// A duration between two [`Time`] instants, in nanoseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimeDelta(pub u64);
+
+impl Time {
+    /// The epoch.
+    pub const ZERO: Time = Time(0);
+
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Time {
+        Time(ms * 1_000_000)
+    }
+
+    /// Construct from whole microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Time {
+        Time(us * 1_000)
+    }
+
+    /// Construct from seconds (saturating on overflow/negative input).
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Time {
+        Time(TimeDelta::from_secs_f64(s).0)
+    }
+
+    /// Nanoseconds since the epoch.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch as a float (for reporting only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration since an earlier instant; saturates at zero if `earlier` is
+    /// actually later (can happen across harness restarts).
+    #[inline]
+    pub fn since(self, earlier: Time) -> TimeDelta {
+        TimeDelta(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl TimeDelta {
+    /// The zero duration.
+    pub const ZERO: TimeDelta = TimeDelta(0);
+
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> TimeDelta {
+        TimeDelta(ms * 1_000_000)
+    }
+
+    /// Construct from whole microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> TimeDelta {
+        TimeDelta(us * 1_000)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> TimeDelta {
+        TimeDelta(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional seconds; negative values clamp to zero.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> TimeDelta {
+        if s <= 0.0 {
+            TimeDelta(0)
+        } else {
+            TimeDelta((s * 1e9).round() as u64)
+        }
+    }
+
+    /// Nanoseconds.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional milliseconds (for reporting).
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Fractional seconds (for reporting).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Scale by a dimensionless factor (e.g. a CPU-speed multiplier).
+    #[inline]
+    #[must_use]
+    pub fn scale(self, factor: f64) -> TimeDelta {
+        TimeDelta::from_secs_f64(self.as_secs_f64() * factor)
+    }
+}
+
+impl Add<TimeDelta> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: TimeDelta) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<TimeDelta> for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = TimeDelta;
+    #[inline]
+    fn sub(self, rhs: Time) -> TimeDelta {
+        self.since(rhs)
+    }
+}
+
+impl Add<TimeDelta> for TimeDelta {
+    type Output = TimeDelta;
+    #[inline]
+    fn add(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<TimeDelta> for TimeDelta {
+    #[inline]
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for TimeDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_units_agree() {
+        assert_eq!(Time::from_millis(1), Time(1_000_000));
+        assert_eq!(Time::from_micros(1), Time(1_000));
+        assert_eq!(TimeDelta::from_secs(2), TimeDelta(2_000_000_000));
+        assert_eq!(TimeDelta::from_millis(3), TimeDelta(3_000_000));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Time::from_millis(10) + TimeDelta::from_millis(5);
+        assert_eq!(t, Time::from_millis(15));
+        assert_eq!(t - Time::from_millis(10), TimeDelta::from_millis(5));
+        // Saturating subtraction.
+        assert_eq!(Time::from_millis(1) - Time::from_millis(2), TimeDelta::ZERO);
+    }
+
+    #[test]
+    fn float_round_trip() {
+        let d = TimeDelta::from_secs_f64(0.0015);
+        assert_eq!(d, TimeDelta::from_micros(1500));
+        assert!((d.as_millis_f64() - 1.5).abs() < 1e-9);
+        assert_eq!(TimeDelta::from_secs_f64(-1.0), TimeDelta::ZERO);
+    }
+
+    #[test]
+    fn scaling() {
+        let d = TimeDelta::from_millis(10);
+        assert_eq!(d.scale(0.5), TimeDelta::from_millis(5));
+        assert_eq!(d.scale(2.0), TimeDelta::from_millis(20));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(TimeDelta::from_micros(1500).to_string(), "1.500ms");
+    }
+}

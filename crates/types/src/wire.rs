@@ -1,0 +1,940 @@
+//! Hand-rolled binary wire codec.
+//!
+//! A production consensus module needs a wire format; rather than pulling in
+//! a serialization framework we use an explicit, versioned, length-prefixed
+//! encoding with CRC32 integrity:
+//!
+//! ```text
+//! frame := len:u32le  crc:u32le  body
+//! body  := tag:u8  fields...
+//! ```
+//!
+//! `len` covers the body only; `crc` is computed over the body. Integers are
+//! little-endian fixed width; byte strings are `len:u32le` + bytes; vectors
+//! are `count:u32le` + elements. Decoding is strict: trailing bytes inside a
+//! frame body are an error, which catches encoder/decoder drift early (and is
+//! verified by round-trip property tests).
+
+use crate::checksum::crc32;
+use crate::entry::{Entry, Fragment, Origin, Payload};
+use crate::error::{Error, Result};
+use crate::ids::{ClientId, LogIndex, NodeId, RequestId, Term};
+use crate::message::{
+    AcceptState, AppendEntryMsg, AppendRespMsg, ClientRequest, ClientResponse, HeartbeatMsg,
+    HeartbeatRespMsg, InstallSnapshotMsg, InstallSnapshotRespMsg, Message, PullFragmentsMsg,
+    PushFragmentsMsg, ReadIndexReqMsg, ReadIndexRespMsg, RequestVoteMsg, RequestVoteRespMsg,
+    Verification,
+};
+use bytes::Bytes;
+
+/// Maximum frame body we will accept; guards against corrupt length prefixes.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Append-only encoder.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Fresh writer.
+    pub fn new() -> Writer {
+        Writer { buf: Vec::new() }
+    }
+
+    /// Writer with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Writer {
+        Writer { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Finish and take the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+    fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+}
+
+/// Cursor-based decoder over a frame body.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Decode from a body slice.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(Error::Codec(format!(
+                "truncated: need {n} bytes, have {}",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn bytes(&mut self) -> Result<&'a [u8]> {
+        let len = self.u32()? as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(Error::Codec(format!("byte string too long: {len}")));
+        }
+        self.take(len)
+    }
+    fn bool(&mut self) -> Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(Error::Codec(format!("invalid bool byte {v}"))),
+        }
+    }
+    fn array32(&mut self) -> Result<[u8; 32]> {
+        Ok(self.take(32)?.try_into().unwrap())
+    }
+
+    /// Error unless the body was fully consumed.
+    pub fn finish(&self) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(Error::Codec(format!("{} trailing bytes in frame", self.remaining())));
+        }
+        Ok(())
+    }
+}
+
+/// Types encodable in the wire format.
+pub trait Wire: Sized {
+    /// Append the encoding of `self`.
+    fn encode(&self, w: &mut Writer);
+    /// Decode one value.
+    fn decode(r: &mut Reader<'_>) -> Result<Self>;
+}
+
+impl Wire for NodeId {
+    fn encode(&self, w: &mut Writer) {
+        w.u32(self.0)
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(NodeId(r.u32()?))
+    }
+}
+
+impl Wire for Term {
+    fn encode(&self, w: &mut Writer) {
+        w.u64(self.0)
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(Term(r.u64()?))
+    }
+}
+
+impl Wire for LogIndex {
+    fn encode(&self, w: &mut Writer) {
+        w.u64(self.0)
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(LogIndex(r.u64()?))
+    }
+}
+
+impl Wire for ClientId {
+    fn encode(&self, w: &mut Writer) {
+        w.u64(self.0)
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(ClientId(r.u64()?))
+    }
+}
+
+impl Wire for RequestId {
+    fn encode(&self, w: &mut Writer) {
+        w.u64(self.0)
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(RequestId(r.u64()?))
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            None => w.u8(0),
+            Some(v) => {
+                w.u8(1);
+                v.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            v => Err(Error::Codec(format!("invalid option tag {v}"))),
+        }
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, w: &mut Writer) {
+        w.u32(self.len() as u32);
+        for v in self {
+            v.encode(w);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let n = r.u32()? as usize;
+        // Each element needs at least one byte; reject absurd counts early.
+        if n > r.remaining() {
+            return Err(Error::Codec(format!("vector count {n} exceeds frame size")));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl Wire for Fragment {
+    fn encode(&self, w: &mut Writer) {
+        w.u8(self.shard);
+        w.u8(self.k);
+        w.u8(self.n);
+        w.u32(self.orig_len);
+        w.bytes(&self.data);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let shard = r.u8()?;
+        let k = r.u8()?;
+        let n = r.u8()?;
+        if k == 0 || n == 0 || k > n || shard >= n {
+            return Err(Error::Codec(format!("invalid fragment geometry k={k} n={n} shard={shard}")));
+        }
+        Ok(Fragment {
+            shard,
+            k,
+            n,
+            orig_len: r.u32()?,
+            data: Bytes::copy_from_slice(r.bytes()?),
+        })
+    }
+}
+
+impl Wire for Payload {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Payload::Noop => w.u8(0),
+            Payload::Data(b) => {
+                w.u8(1);
+                w.bytes(b);
+            }
+            Payload::Fragment(f) => {
+                w.u8(2);
+                f.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        match r.u8()? {
+            0 => Ok(Payload::Noop),
+            1 => Ok(Payload::Data(Bytes::copy_from_slice(r.bytes()?))),
+            2 => Ok(Payload::Fragment(Fragment::decode(r)?)),
+            v => Err(Error::Codec(format!("invalid payload tag {v}"))),
+        }
+    }
+}
+
+impl Wire for Origin {
+    fn encode(&self, w: &mut Writer) {
+        self.client.encode(w);
+        self.request.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(Origin { client: ClientId::decode(r)?, request: RequestId::decode(r)? })
+    }
+}
+
+impl Wire for Entry {
+    fn encode(&self, w: &mut Writer) {
+        self.index.encode(w);
+        self.term.encode(w);
+        self.prev_term.encode(w);
+        self.origin.encode(w);
+        self.payload.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(Entry {
+            index: LogIndex::decode(r)?,
+            term: Term::decode(r)?,
+            prev_term: Term::decode(r)?,
+            origin: Option::<Origin>::decode(r)?,
+            payload: Payload::decode(r)?,
+        })
+    }
+}
+
+impl Wire for AcceptState {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            AcceptState::Strong { last_index, last_term } => {
+                w.u8(0);
+                last_index.encode(w);
+                last_term.encode(w);
+            }
+            AcceptState::Weak { index, term } => {
+                w.u8(1);
+                index.encode(w);
+                term.encode(w);
+            }
+            AcceptState::Mismatch { index, resend_from } => {
+                w.u8(2);
+                index.encode(w);
+                resend_from.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        match r.u8()? {
+            0 => Ok(AcceptState::Strong {
+                last_index: LogIndex::decode(r)?,
+                last_term: Term::decode(r)?,
+            }),
+            1 => Ok(AcceptState::Weak { index: LogIndex::decode(r)?, term: Term::decode(r)? }),
+            2 => Ok(AcceptState::Mismatch {
+                index: LogIndex::decode(r)?,
+                resend_from: LogIndex::decode(r)?,
+            }),
+            v => Err(Error::Codec(format!("invalid accept state tag {v}"))),
+        }
+    }
+}
+
+impl Wire for Verification {
+    fn encode(&self, w: &mut Writer) {
+        w.buf.extend_from_slice(&self.digest);
+        w.buf.extend_from_slice(&self.signature);
+        self.group.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(Verification {
+            digest: r.array32()?,
+            signature: r.array32()?,
+            group: Vec::<NodeId>::decode(r)?,
+        })
+    }
+}
+
+impl Wire for AppendEntryMsg {
+    fn encode(&self, w: &mut Writer) {
+        self.term.encode(w);
+        self.leader.encode(w);
+        self.entry.encode(w);
+        self.leader_commit.encode(w);
+        self.verification.encode(w);
+        self.relay_to.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(AppendEntryMsg {
+            term: Term::decode(r)?,
+            leader: NodeId::decode(r)?,
+            entry: Entry::decode(r)?,
+            leader_commit: LogIndex::decode(r)?,
+            verification: Option::<Verification>::decode(r)?,
+            relay_to: Vec::<NodeId>::decode(r)?,
+        })
+    }
+}
+
+impl Wire for AppendRespMsg {
+    fn encode(&self, w: &mut Writer) {
+        self.term.encode(w);
+        self.from.encode(w);
+        self.state.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(AppendRespMsg {
+            term: Term::decode(r)?,
+            from: NodeId::decode(r)?,
+            state: AcceptState::decode(r)?,
+        })
+    }
+}
+
+impl Wire for HeartbeatMsg {
+    fn encode(&self, w: &mut Writer) {
+        self.term.encode(w);
+        self.leader.encode(w);
+        self.last_index.encode(w);
+        self.last_term.encode(w);
+        self.leader_commit.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(HeartbeatMsg {
+            term: Term::decode(r)?,
+            leader: NodeId::decode(r)?,
+            last_index: LogIndex::decode(r)?,
+            last_term: Term::decode(r)?,
+            leader_commit: LogIndex::decode(r)?,
+        })
+    }
+}
+
+impl Wire for HeartbeatRespMsg {
+    fn encode(&self, w: &mut Writer) {
+        self.term.encode(w);
+        self.from.encode(w);
+        self.last_index.encode(w);
+        self.last_term.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(HeartbeatRespMsg {
+            term: Term::decode(r)?,
+            from: NodeId::decode(r)?,
+            last_index: LogIndex::decode(r)?,
+            last_term: Term::decode(r)?,
+        })
+    }
+}
+
+impl Wire for RequestVoteMsg {
+    fn encode(&self, w: &mut Writer) {
+        self.term.encode(w);
+        self.candidate.encode(w);
+        self.last_log_index.encode(w);
+        self.last_log_term.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(RequestVoteMsg {
+            term: Term::decode(r)?,
+            candidate: NodeId::decode(r)?,
+            last_log_index: LogIndex::decode(r)?,
+            last_log_term: Term::decode(r)?,
+        })
+    }
+}
+
+impl Wire for RequestVoteRespMsg {
+    fn encode(&self, w: &mut Writer) {
+        self.term.encode(w);
+        self.from.encode(w);
+        w.bool(self.granted);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(RequestVoteRespMsg {
+            term: Term::decode(r)?,
+            from: NodeId::decode(r)?,
+            granted: r.bool()?,
+        })
+    }
+}
+
+impl Wire for PullFragmentsMsg {
+    fn encode(&self, w: &mut Writer) {
+        self.term.encode(w);
+        self.from.encode(w);
+        self.from_index.encode(w);
+        self.to_index.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(PullFragmentsMsg {
+            term: Term::decode(r)?,
+            from: NodeId::decode(r)?,
+            from_index: LogIndex::decode(r)?,
+            to_index: LogIndex::decode(r)?,
+        })
+    }
+}
+
+impl Wire for (LogIndex, Term, Fragment) {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+        self.1.encode(w);
+        self.2.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok((LogIndex::decode(r)?, Term::decode(r)?, Fragment::decode(r)?))
+    }
+}
+
+impl Wire for PushFragmentsMsg {
+    fn encode(&self, w: &mut Writer) {
+        self.term.encode(w);
+        self.from.encode(w);
+        self.fragments.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(PushFragmentsMsg {
+            term: Term::decode(r)?,
+            from: NodeId::decode(r)?,
+            fragments: Vec::<(LogIndex, Term, Fragment)>::decode(r)?,
+        })
+    }
+}
+
+impl Wire for InstallSnapshotMsg {
+    fn encode(&self, w: &mut Writer) {
+        self.term.encode(w);
+        self.leader.encode(w);
+        self.last_index.encode(w);
+        self.last_term.encode(w);
+        self.leader_commit.encode(w);
+        w.bytes(&self.data);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(InstallSnapshotMsg {
+            term: Term::decode(r)?,
+            leader: NodeId::decode(r)?,
+            last_index: LogIndex::decode(r)?,
+            last_term: Term::decode(r)?,
+            leader_commit: LogIndex::decode(r)?,
+            data: Bytes::copy_from_slice(r.bytes()?),
+        })
+    }
+}
+
+impl Wire for InstallSnapshotRespMsg {
+    fn encode(&self, w: &mut Writer) {
+        self.term.encode(w);
+        self.from.encode(w);
+        self.last_index.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(InstallSnapshotRespMsg {
+            term: Term::decode(r)?,
+            from: NodeId::decode(r)?,
+            last_index: LogIndex::decode(r)?,
+        })
+    }
+}
+
+impl Wire for ReadIndexReqMsg {
+    fn encode(&self, w: &mut Writer) {
+        self.term.encode(w);
+        self.from.encode(w);
+        w.u64(self.probe);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(ReadIndexReqMsg { term: Term::decode(r)?, from: NodeId::decode(r)?, probe: r.u64()? })
+    }
+}
+
+impl Wire for ReadIndexRespMsg {
+    fn encode(&self, w: &mut Writer) {
+        self.term.encode(w);
+        self.read_index.encode(w);
+        w.u64(self.probe);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(ReadIndexRespMsg {
+            term: Term::decode(r)?,
+            read_index: LogIndex::decode(r)?,
+            probe: r.u64()?,
+        })
+    }
+}
+
+impl Wire for Message {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Message::AppendEntry(m) => {
+                w.u8(0);
+                m.encode(w);
+            }
+            Message::AppendResp(m) => {
+                w.u8(1);
+                m.encode(w);
+            }
+            Message::Heartbeat(m) => {
+                w.u8(2);
+                m.encode(w);
+            }
+            Message::HeartbeatResp(m) => {
+                w.u8(3);
+                m.encode(w);
+            }
+            Message::RequestVote(m) => {
+                w.u8(4);
+                m.encode(w);
+            }
+            Message::RequestVoteResp(m) => {
+                w.u8(5);
+                m.encode(w);
+            }
+            Message::PullFragments(m) => {
+                w.u8(6);
+                m.encode(w);
+            }
+            Message::PushFragments(m) => {
+                w.u8(7);
+                m.encode(w);
+            }
+            Message::InstallSnapshot(m) => {
+                w.u8(8);
+                m.encode(w);
+            }
+            Message::InstallSnapshotResp(m) => {
+                w.u8(9);
+                m.encode(w);
+            }
+            Message::ReadIndexReq(m) => {
+                w.u8(10);
+                m.encode(w);
+            }
+            Message::ReadIndexResp(m) => {
+                w.u8(11);
+                m.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        match r.u8()? {
+            0 => Ok(Message::AppendEntry(AppendEntryMsg::decode(r)?)),
+            1 => Ok(Message::AppendResp(AppendRespMsg::decode(r)?)),
+            2 => Ok(Message::Heartbeat(HeartbeatMsg::decode(r)?)),
+            3 => Ok(Message::HeartbeatResp(HeartbeatRespMsg::decode(r)?)),
+            4 => Ok(Message::RequestVote(RequestVoteMsg::decode(r)?)),
+            5 => Ok(Message::RequestVoteResp(RequestVoteRespMsg::decode(r)?)),
+            6 => Ok(Message::PullFragments(PullFragmentsMsg::decode(r)?)),
+            7 => Ok(Message::PushFragments(PushFragmentsMsg::decode(r)?)),
+            8 => Ok(Message::InstallSnapshot(InstallSnapshotMsg::decode(r)?)),
+            9 => Ok(Message::InstallSnapshotResp(InstallSnapshotRespMsg::decode(r)?)),
+            10 => Ok(Message::ReadIndexReq(ReadIndexReqMsg::decode(r)?)),
+            11 => Ok(Message::ReadIndexResp(ReadIndexRespMsg::decode(r)?)),
+            v => Err(Error::Codec(format!("invalid message tag {v}"))),
+        }
+    }
+}
+
+impl Wire for ClientRequest {
+    fn encode(&self, w: &mut Writer) {
+        self.client.encode(w);
+        self.request.encode(w);
+        w.bytes(&self.payload);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(ClientRequest {
+            client: ClientId::decode(r)?,
+            request: RequestId::decode(r)?,
+            payload: Bytes::copy_from_slice(r.bytes()?),
+        })
+    }
+}
+
+impl Wire for ClientResponse {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            ClientResponse::Weak { request, index, term } => {
+                w.u8(0);
+                request.encode(w);
+                index.encode(w);
+                term.encode(w);
+            }
+            ClientResponse::Strong { request, index, term } => {
+                w.u8(1);
+                request.encode(w);
+                index.encode(w);
+                term.encode(w);
+            }
+            ClientResponse::LeaderChanged { term } => {
+                w.u8(2);
+                term.encode(w);
+            }
+            ClientResponse::NotLeader { request, hint } => {
+                w.u8(3);
+                request.encode(w);
+                hint.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        match r.u8()? {
+            0 => Ok(ClientResponse::Weak {
+                request: RequestId::decode(r)?,
+                index: LogIndex::decode(r)?,
+                term: Term::decode(r)?,
+            }),
+            1 => Ok(ClientResponse::Strong {
+                request: RequestId::decode(r)?,
+                index: LogIndex::decode(r)?,
+                term: Term::decode(r)?,
+            }),
+            2 => Ok(ClientResponse::LeaderChanged { term: Term::decode(r)? }),
+            3 => Ok(ClientResponse::NotLeader {
+                request: RequestId::decode(r)?,
+                hint: Option::<NodeId>::decode(r)?,
+            }),
+            v => Err(Error::Codec(format!("invalid client response tag {v}"))),
+        }
+    }
+}
+
+/// Encode a value into a self-describing frame: `len || crc || body`.
+pub fn encode_frame<T: Wire>(value: &T) -> Vec<u8> {
+    let mut w = Writer::new();
+    value.encode(&mut w);
+    let body = w.into_bytes();
+    let mut out = Vec::with_capacity(body.len() + 8);
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decode one frame from the front of `buf`. Returns the value and the total
+/// number of bytes consumed (header + body), or `Ok(None)` if the buffer does
+/// not yet hold a complete frame (streaming use).
+pub fn decode_frame<T: Wire>(buf: &[u8]) -> Result<Option<(T, usize)>> {
+    if buf.len() < 8 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(Error::Codec(format!("frame length {len} exceeds maximum")));
+    }
+    if buf.len() < 8 + len {
+        return Ok(None);
+    }
+    let expect_crc = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+    let body = &buf[8..8 + len];
+    if crc32(body) != expect_crc {
+        return Err(Error::Codec("frame checksum mismatch".into()));
+    }
+    let mut r = Reader::new(body);
+    let v = T::decode(&mut r)?;
+    r.finish()?;
+    Ok(Some((v, 8 + len)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_append() -> Message {
+        Message::AppendEntry(AppendEntryMsg {
+            term: Term(3),
+            leader: NodeId(0),
+            entry: Entry {
+                index: LogIndex(11),
+                term: Term(3),
+                prev_term: Term(2),
+                origin: Some(Origin { client: ClientId(7), request: RequestId(42) }),
+                payload: Payload::Data(Bytes::from_static(b"sensor-reading")),
+            },
+            leader_commit: LogIndex(9),
+            verification: Some(Verification {
+                digest: [1; 32],
+                signature: [2; 32],
+                group: vec![NodeId(1), NodeId(2)],
+            }),
+            relay_to: vec![NodeId(3)],
+        })
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let msg = sample_append();
+        let frame = encode_frame(&msg);
+        let (decoded, used) = decode_frame::<Message>(&frame).unwrap().unwrap();
+        assert_eq!(decoded, msg);
+        assert_eq!(used, frame.len());
+    }
+
+    #[test]
+    fn partial_frame_returns_none() {
+        let frame = encode_frame(&sample_append());
+        for cut in [0, 4, 7, frame.len() - 1] {
+            assert!(decode_frame::<Message>(&frame[..cut]).unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn corrupt_body_is_detected() {
+        let mut frame = encode_frame(&sample_append());
+        let last = frame.len() - 1;
+        frame[last] ^= 0xFF;
+        assert!(matches!(decode_frame::<Message>(&frame), Err(Error::Codec(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        // Craft a frame whose body has an extra byte after a valid message.
+        let mut w = Writer::new();
+        Message::HeartbeatResp(HeartbeatRespMsg {
+            term: Term(1),
+            from: NodeId(1),
+            last_index: LogIndex(1),
+            last_term: Term(1),
+        })
+        .encode(&mut w);
+        let mut body = w.into_bytes();
+        body.push(0xAB);
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&body).to_le_bytes());
+        frame.extend_from_slice(&body);
+        assert!(matches!(decode_frame::<Message>(&frame), Err(Error::Codec(_))));
+    }
+
+    #[test]
+    fn invalid_tags_rejected() {
+        let body = vec![9u8]; // no message tag 9
+        let mut r = Reader::new(&body);
+        assert!(Message::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn fragment_geometry_validated() {
+        // k > n must fail.
+        let frag = Fragment { shard: 0, k: 3, n: 2, orig_len: 1, data: Bytes::from_static(b"x") };
+        let mut w = Writer::new();
+        frag.encode(&mut w);
+        let body = w.into_bytes();
+        let mut r = Reader::new(&body);
+        assert!(Fragment::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn client_round_trips() {
+        let req = ClientRequest {
+            client: ClientId(5),
+            request: RequestId(6),
+            payload: Bytes::from_static(b"write temp=21.5"),
+        };
+        let frame = encode_frame(&req);
+        let (back, _) = decode_frame::<ClientRequest>(&frame).unwrap().unwrap();
+        assert_eq!(back, req);
+
+        for resp in [
+            ClientResponse::Weak { request: RequestId(1), index: LogIndex(2), term: Term(3) },
+            ClientResponse::Strong { request: RequestId(1), index: LogIndex(2), term: Term(3) },
+            ClientResponse::LeaderChanged { term: Term(9) },
+            ClientResponse::NotLeader { request: RequestId(4), hint: Some(NodeId(2)) },
+            ClientResponse::NotLeader { request: RequestId(4), hint: None },
+        ] {
+            let frame = encode_frame(&resp);
+            let (back, _) = decode_frame::<ClientResponse>(&frame).unwrap().unwrap();
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn all_message_kinds_round_trip() {
+        let msgs = vec![
+            sample_append(),
+            Message::AppendResp(AppendRespMsg {
+                term: Term(2),
+                from: NodeId(1),
+                state: AcceptState::Weak { index: LogIndex(7), term: Term(2) },
+            }),
+            Message::AppendResp(AppendRespMsg {
+                term: Term(2),
+                from: NodeId(1),
+                state: AcceptState::Mismatch { index: LogIndex(7), resend_from: LogIndex(5) },
+            }),
+            Message::Heartbeat(HeartbeatMsg {
+                term: Term(2),
+                leader: NodeId(0),
+                last_index: LogIndex(10),
+                last_term: Term(2),
+                leader_commit: LogIndex(8),
+            }),
+            Message::HeartbeatResp(HeartbeatRespMsg {
+                term: Term(2),
+                from: NodeId(2),
+                last_index: LogIndex(6),
+                last_term: Term(1),
+            }),
+            Message::RequestVote(RequestVoteMsg {
+                term: Term(5),
+                candidate: NodeId(2),
+                last_log_index: LogIndex(30),
+                last_log_term: Term(4),
+            }),
+            Message::RequestVoteResp(RequestVoteRespMsg {
+                term: Term(5),
+                from: NodeId(1),
+                granted: true,
+            }),
+            Message::PullFragments(PullFragmentsMsg {
+                term: Term(6),
+                from: NodeId(0),
+                from_index: LogIndex(3),
+                to_index: LogIndex(9),
+            }),
+            Message::PushFragments(PushFragmentsMsg {
+                term: Term(6),
+                from: NodeId(1),
+                fragments: vec![(
+                    LogIndex(3),
+                    Term(5),
+                    Fragment {
+                        shard: 1,
+                        k: 2,
+                        n: 3,
+                        orig_len: 10,
+                        data: Bytes::from_static(b"hello"),
+                    },
+                )],
+            }),
+            Message::InstallSnapshot(InstallSnapshotMsg {
+                term: Term(7),
+                leader: NodeId(0),
+                last_index: LogIndex(100),
+                last_term: Term(6),
+                leader_commit: LogIndex(100),
+                data: Bytes::from_static(b"snapshot image bytes"),
+            }),
+            Message::InstallSnapshotResp(InstallSnapshotRespMsg {
+                term: Term(7),
+                from: NodeId(2),
+                last_index: LogIndex(100),
+            }),
+            Message::ReadIndexReq(ReadIndexReqMsg { term: Term(3), from: NodeId(1), probe: 17 }),
+            Message::ReadIndexResp(ReadIndexRespMsg {
+                term: Term(3),
+                read_index: LogIndex(55),
+                probe: 17,
+            }),
+        ];
+        for msg in msgs {
+            let frame = encode_frame(&msg);
+            let (back, used) = decode_frame::<Message>(&frame).unwrap().unwrap();
+            assert_eq!(back, msg);
+            assert_eq!(used, frame.len());
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Property tests: every generatable message survives a wire round trip, and
+//! the decoder never panics on arbitrary bytes.
+
+use bytes::Bytes;
+use nbr_types::wire::{decode_frame, encode_frame};
+use nbr_types::*;
+use proptest::prelude::*;
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    (0u64..1_000).prop_map(Term)
+}
+
+fn arb_index() -> impl Strategy<Value = LogIndex> {
+    (0u64..1_000_000).prop_map(LogIndex)
+}
+
+fn arb_node() -> impl Strategy<Value = NodeId> {
+    (0u32..16).prop_map(NodeId)
+}
+
+fn arb_origin() -> impl Strategy<Value = Option<Origin>> {
+    proptest::option::of(
+        (0u64..100, 0u64..100)
+            .prop_map(|(c, r)| Origin { client: ClientId(c), request: RequestId(r) }),
+    )
+}
+
+fn arb_fragment() -> impl Strategy<Value = Fragment> {
+    (1u8..8, proptest::collection::vec(any::<u8>(), 0..256)).prop_flat_map(|(k, data)| {
+        (Just(k), k..=8u8, Just(data)).prop_flat_map(|(k, n, data)| {
+            (0..n).prop_map(move |shard| Fragment {
+                shard,
+                k,
+                n,
+                orig_len: (data.len() * k as usize) as u32,
+                data: Bytes::from(data.clone()),
+            })
+        })
+    })
+}
+
+fn arb_payload() -> impl Strategy<Value = Payload> {
+    prop_oneof![
+        Just(Payload::Noop),
+        proptest::collection::vec(any::<u8>(), 0..512).prop_map(|v| Payload::Data(Bytes::from(v))),
+        arb_fragment().prop_map(Payload::Fragment),
+    ]
+}
+
+fn arb_entry() -> impl Strategy<Value = Entry> {
+    (arb_index(), arb_term(), arb_term(), arb_origin(), arb_payload()).prop_map(
+        |(index, term, prev_term, origin, payload)| Entry { index, term, prev_term, origin, payload },
+    )
+}
+
+fn arb_accept() -> impl Strategy<Value = AcceptState> {
+    prop_oneof![
+        (arb_index(), arb_term())
+            .prop_map(|(i, t)| AcceptState::Strong { last_index: i, last_term: t }),
+        (arb_index(), arb_term()).prop_map(|(i, t)| AcceptState::Weak { index: i, term: t }),
+        (arb_index(), arb_index())
+            .prop_map(|(i, r)| AcceptState::Mismatch { index: i, resend_from: r }),
+    ]
+}
+
+fn arb_verification() -> impl Strategy<Value = Option<Verification>> {
+    proptest::option::of(
+        (
+            proptest::array::uniform32(any::<u8>()),
+            proptest::array::uniform32(any::<u8>()),
+            proptest::collection::vec(arb_node(), 0..4),
+        )
+            .prop_map(|(digest, signature, group)| Verification { digest, signature, group }),
+    )
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (
+            arb_term(),
+            arb_node(),
+            arb_entry(),
+            arb_index(),
+            arb_verification(),
+            proptest::collection::vec(arb_node(), 0..4)
+        )
+            .prop_map(|(term, leader, entry, leader_commit, verification, relay_to)| {
+                Message::AppendEntry(AppendEntryMsg {
+                    term,
+                    leader,
+                    entry,
+                    leader_commit,
+                    verification,
+                    relay_to,
+                })
+            }),
+        (arb_term(), arb_node(), arb_accept())
+            .prop_map(|(term, from, state)| Message::AppendResp(AppendRespMsg {
+                term,
+                from,
+                state
+            })),
+        (arb_term(), arb_node(), arb_index(), arb_term(), arb_index()).prop_map(
+            |(term, leader, last_index, last_term, leader_commit)| {
+                Message::Heartbeat(HeartbeatMsg { term, leader, last_index, last_term, leader_commit })
+            }
+        ),
+        (arb_term(), arb_node(), arb_index(), arb_term()).prop_map(
+            |(term, from, last_index, last_term)| {
+                Message::HeartbeatResp(HeartbeatRespMsg { term, from, last_index, last_term })
+            }
+        ),
+        (arb_term(), arb_node(), arb_index(), arb_term()).prop_map(
+            |(term, candidate, last_log_index, last_log_term)| {
+                Message::RequestVote(RequestVoteMsg { term, candidate, last_log_index, last_log_term })
+            }
+        ),
+        (arb_term(), arb_node(), any::<bool>()).prop_map(|(term, from, granted)| {
+            Message::RequestVoteResp(RequestVoteRespMsg { term, from, granted })
+        }),
+        (arb_term(), arb_node(), arb_index(), arb_index()).prop_map(
+            |(term, from, from_index, to_index)| {
+                Message::PullFragments(PullFragmentsMsg { term, from, from_index, to_index })
+            }
+        ),
+        (
+            arb_term(),
+            arb_node(),
+            proptest::collection::vec((arb_index(), arb_term(), arb_fragment()), 0..4)
+        )
+            .prop_map(|(term, from, fragments)| {
+                Message::PushFragments(PushFragmentsMsg { term, from, fragments })
+            }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn message_round_trip(msg in arb_message()) {
+        let frame = encode_frame(&msg);
+        let (back, used) = decode_frame::<Message>(&frame).unwrap().unwrap();
+        prop_assert_eq!(back, msg);
+        prop_assert_eq!(used, frame.len());
+    }
+
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Any outcome is fine as long as we do not panic.
+        let _ = decode_frame::<Message>(&bytes);
+    }
+
+    #[test]
+    fn size_estimate_tracks_encoding(msg in arb_message()) {
+        // size_bytes() is a cost-model estimate; it must be within a small
+        // constant + small relative error of the true encoding.
+        let est = msg.size_bytes() as f64;
+        let real = encode_frame(&msg).len() as f64;
+        prop_assert!(est > 0.2 * real && est < 5.0 * real + 128.0,
+            "estimate {} vs real {}", est, real);
+    }
+
+    #[test]
+    fn frame_with_flipped_byte_never_decodes_wrong(
+        msg in arb_message(),
+        flip in 0usize..64,
+    ) {
+        let mut frame = encode_frame(&msg);
+        let pos = 8 + flip % (frame.len() - 8);
+        frame[pos] ^= 0x01;
+        // Either an error, or (if the flip hit the CRC bytes themselves and
+        // failed) — still an error. Never a silently different message.
+        if let Ok(Some((back, _))) = decode_frame::<Message>(&frame) { prop_assert_eq!(back, msg) }
+    }
+}

@@ -1,0 +1,13 @@
+//! TPCx-IoT-style workload generation.
+//!
+//! The paper evaluates with the TPCx-IoT benchmark: a fleet of devices, each
+//! with several sensors, produces fixed-size ingestion requests at high
+//! concurrency. This crate generates those requests deterministically
+//! (seeded), with the payload layout consumed by `nbr-storage`'s time-series
+//! state machine, padded to the figure-specific request size (1 KB – 128 KB).
+
+pub mod device;
+pub mod generator;
+
+pub use device::{DeviceFleet, SensorSpec};
+pub use generator::{RequestGenerator, WorkloadConfig};

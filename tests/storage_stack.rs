@@ -1,0 +1,91 @@
+//! Facade-level integration of the storage stack: WAL crash recovery,
+//! snapshot files, and the time-series machine working together the way a
+//! deployment would use them.
+
+use nbraft::storage::{
+    encode_batch, LogStore, Point, Snapshot, StateMachine, SyncPolicy, TsStore, WalLog,
+};
+use nbraft::types::{Entry, LogIndex, Term};
+use nbraft::workload::{RequestGenerator, WorkloadConfig};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("nbraft-stack-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn wal_plus_snapshot_restart_cycle() {
+    let dir = tmp("cycle");
+    let wal_path = dir.join("replica.wal");
+    let snap_path = dir.join("replica.snap");
+
+    // Phase 1: ingest workload batches through the WAL into the TSDB.
+    let mut gen = RequestGenerator::new(
+        WorkloadConfig { devices: 3, sensors_per_device: 2, request_size: 512, sample_interval_ms: 50 },
+        0,
+        1,
+    );
+    let total_points;
+    {
+        let mut wal = WalLog::open(&wal_path, SyncPolicy::Never).unwrap();
+        let mut ts = TsStore::new(8);
+        for i in 1..=40u64 {
+            let entry = Entry::data(
+                LogIndex(i),
+                Term(1),
+                Term(if i == 1 { 0 } else { 1 }),
+                None,
+                gen.next_request(),
+            );
+            wal.append(entry.clone()).unwrap();
+            ts.apply(&entry);
+        }
+        total_points = ts.total_points();
+        // Snapshot at applied=25, compact the WAL prefix, checkpoint.
+        let mut replay = TsStore::new(8);
+        let mut idx = LogIndex(1);
+        while idx <= LogIndex(25) {
+            replay.apply(&wal.get(idx).unwrap());
+            idx = idx.next();
+        }
+        Snapshot { last_index: LogIndex(25), last_term: Term(1), data: replay.snapshot() }
+            .save(&snap_path)
+            .unwrap();
+        wal.compact_to(LogIndex(25)).unwrap();
+        wal.checkpoint().unwrap();
+        assert_eq!(wal.first_index(), LogIndex(26));
+    } // "crash": everything volatile dropped
+
+    // Phase 2: restart — load the snapshot, replay the WAL suffix.
+    let wal = WalLog::open(&wal_path, SyncPolicy::Never).unwrap();
+    let snap = Snapshot::load(&snap_path).unwrap().expect("snapshot exists");
+    let mut ts = TsStore::new(8);
+    ts.restore(&snap.data, snap.last_index).unwrap();
+    assert_eq!(ts.applied_index(), LogIndex(25));
+    let mut idx = snap.last_index.next();
+    while idx <= wal.last_index() {
+        ts.apply(&wal.get(idx).unwrap());
+        idx = idx.next();
+    }
+    assert_eq!(ts.applied_index(), LogIndex(40));
+    assert_eq!(ts.total_points(), total_points, "no point lost across the restart");
+    assert_eq!(ts.series_count(), 6);
+    // Queries work over merged snapshot + replayed data.
+    assert!(!ts.query_range(0, 0, u64::MAX).is_empty());
+}
+
+#[test]
+fn tsdb_point_batches_round_trip_through_entries() {
+    // The exact bytes a client submits are the bytes the machine decodes.
+    let pts = vec![
+        Point { series: 9, timestamp: 1111, value: 3.25 },
+        Point { series: 9, timestamp: 2222, value: -7.5 },
+    ];
+    let payload = encode_batch(&pts, 256);
+    assert_eq!(payload.len(), 256);
+    let mut ts = TsStore::default();
+    ts.apply(&Entry::data(LogIndex(1), Term(1), Term(0), None, payload));
+    assert_eq!(ts.query_range(9, 0, 3000), vec![(1111, 3.25), (2222, -7.5)]);
+}
