@@ -78,43 +78,34 @@ fn bench_votelist(c: &mut Criterion) {
 fn bench_node(c: &mut Criterion) {
     let mut g = c.benchmark_group("node_engine");
     for proto in [Protocol::Raft, Protocol::NbRaft, Protocol::CRaft, Protocol::VgRaft] {
-        g.bench_with_input(
-            BenchmarkId::new("propose_100", proto.name()),
-            &proto,
-            |b, &proto| {
-                b.iter_batched(
-                    || {
-                        let membership = vec![NodeId(0), NodeId(1), NodeId(2)];
-                        let mut node = Node::new(
-                            NodeId(0),
-                            membership,
-                            proto.config(1024),
-                            MemLog::new(),
-                            42,
+        g.bench_with_input(BenchmarkId::new("propose_100", proto.name()), &proto, |b, &proto| {
+            b.iter_batched(
+                || {
+                    let membership = vec![NodeId(0), NodeId(1), NodeId(2)];
+                    let mut node =
+                        Node::new(NodeId(0), membership, proto.config(1024), MemLog::new(), 42);
+                    let mut out = Vec::new();
+                    node.campaign(Time::ZERO, &mut out);
+                    node
+                },
+                |mut node| {
+                    let mut out = Vec::new();
+                    for i in 0..100u64 {
+                        node.handle_client(
+                            ClientRequest {
+                                client: ClientId(1),
+                                request: RequestId(i + 1),
+                                payload: bytes::Bytes::from(vec![7u8; 4096]),
+                            },
+                            Time::from_millis(i),
+                            &mut out,
                         );
-                        let mut out = Vec::new();
-                        node.campaign(Time::ZERO, &mut out);
-                        node
-                    },
-                    |mut node| {
-                        let mut out = Vec::new();
-                        for i in 0..100u64 {
-                            node.handle_client(
-                                ClientRequest {
-                                    client: ClientId(1),
-                                    request: RequestId(i + 1),
-                                    payload: bytes::Bytes::from(vec![7u8; 4096]),
-                                },
-                                Time::from_millis(i),
-                                &mut out,
-                            );
-                            out.clear();
-                        }
-                    },
-                    criterion::BatchSize::SmallInput,
-                );
-            },
-        );
+                        out.clear();
+                    }
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
     }
     g.finish();
 }

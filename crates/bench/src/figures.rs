@@ -106,13 +106,7 @@ pub fn fig4(_scale: &Scale) -> Vec<Table> {
     vec![table]
 }
 
-fn sweep(
-    scale: &Scale,
-    id: &str,
-    title: &str,
-    x_label: &str,
-    points: &[SweepPoint],
-) -> Vec<Table> {
+fn sweep(scale: &Scale, id: &str, title: &str, x_label: &str, points: &[SweepPoint]) -> Vec<Table> {
     let mut tput = Table::new(
         &format!("{id}_throughput"),
         &format!("{title} — throughput"),
@@ -231,7 +225,12 @@ pub fn fig18(scale: &Scale) -> Vec<Table> {
     sweep(scale, "fig18", "Fig 18: varying dispatcher number", "#Dispatchers", &points)
 }
 
-fn loss_config(protocol: Protocol, kill_at_ms: u64, timeout: TimeoutConfig, seed: u64) -> SimConfig {
+fn loss_config(
+    protocol: Protocol,
+    kill_at_ms: u64,
+    timeout: TimeoutConfig,
+    seed: u64,
+) -> SimConfig {
     loss_config_n(protocol, kill_at_ms, timeout, seed, 64)
 }
 
@@ -508,10 +507,7 @@ pub fn headline(scale: &Scale) -> Vec<Table> {
     t.row("throughput (ops/s)", vec![raft.throughput, nb.throughput]);
     t.row("latency mean (ms)", vec![raft.latency_mean_ms, nb.latency_mean_ms]);
     t.row("t_wait mean (ms)", vec![raft.twait_mean_ms, nb.twait_mean_ms]);
-    t.row(
-        "gain vs Raft (%)",
-        vec![0.0, 100.0 * (nb.throughput / raft.throughput.max(1.0) - 1.0)],
-    );
+    t.row("gain vs Raft (%)", vec![0.0, 100.0 * (nb.throughput / raft.throughput.max(1.0) - 1.0)]);
 
     // Loss with a 0.5 s follower timeout (paper: ≤ 3e-7 fraction ~ "0.00003%").
     let timeouts = TimeoutConfig {
@@ -594,8 +590,21 @@ pub fn ablation_jitter(scale: &Scale) -> Vec<Table> {
 
 /// All figure ids, in paper order (plus the ablations).
 pub const ALL_FIGURES: &[&str] = &[
-    "fig4", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19a", "fig19b", "fig20", "fig21",
-    "fig22", "fig23", "headline", "ablation_window", "ablation_jitter",
+    "fig4",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19a",
+    "fig19b",
+    "fig20",
+    "fig21",
+    "fig22",
+    "fig23",
+    "headline",
+    "ablation_window",
+    "ablation_jitter",
 ];
 
 /// Run one figure by id.

@@ -51,14 +51,9 @@ impl Table {
         let mut out = String::new();
         let _ = writeln!(out, "== {} ({}) ==", self.title, self.unit);
         let width = 14usize;
-        let xw = self
-            .rows
-            .iter()
-            .map(|(x, _)| x.len())
-            .chain([self.x_label.len()])
-            .max()
-            .unwrap_or(8)
-            + 2;
+        let xw =
+            self.rows.iter().map(|(x, _)| x.len()).chain([self.x_label.len()]).max().unwrap_or(8)
+                + 2;
         let _ = write!(out, "{:<xw$}", self.x_label);
         for s in &self.series {
             let _ = write!(out, "{s:>width$}");

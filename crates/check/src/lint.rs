@@ -1,0 +1,577 @@
+//! The protocol lint pass: four rules over the workspace's protocol crates.
+//!
+//! This is a deliberately hand-rolled line/token scanner — no syn, no
+//! proc-macro machinery — because the build environment is offline and the
+//! rules only need token-level precision:
+//!
+//! * **L1** — no `.unwrap()` / `.expect(` / `panic!(` in protocol crates
+//!   (`core`, `cluster`, `storage`). A replica must degrade by returning
+//!   typed errors, not by tearing down the process mid-protocol.
+//! * **L2** — no wildcard `_ =>` match arms in those same crates. Message
+//!   and RPC dispatch must be exhaustive so that adding a `Message` variant
+//!   forces every handler to be revisited.
+//! * **L3** — no wall-clock reads (`Instant::now`, `SystemTime::now`) or
+//!   `thread::sleep` in the deterministic paths (`core`, `sim`, `types`).
+//!   Time enters the sans-I/O engine only as explicit [`nbr_types::Time`]
+//!   values.
+//! * **L4** — no unchecked `+` / `-` directly on the raw `.0` of
+//!   `LogIndex` / `Term`-like newtypes in `core`, `cluster`, `storage`.
+//!   Use the sanctioned wrappers (`next()`, `prev()`, `plus()`, `diff()`)
+//!   in `nbr-types::ids`, which centralize the overflow story.
+//!
+//! A finding can be suppressed per line with a trailing
+//! `// check:allow(L1): justification` comment. The justification is
+//! mandatory: a suppression without one is itself a violation.
+//!
+//! `#[cfg(test)]` modules are skipped entirely (tests may unwrap freely),
+//! as are comments and string literals.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// File path, relative to the workspace root where possible.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule id (`L1`..`L4`, or `SUPPRESS` for malformed allow directives).
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.msg)
+    }
+}
+
+/// Which crates each rule applies to (directory name under `crates/`).
+const L1_SCOPE: &[&str] = &["core", "cluster", "storage"];
+const L2_SCOPE: &[&str] = &["core", "cluster", "storage"];
+const L3_SCOPE: &[&str] = &["core", "sim", "types"];
+const L4_SCOPE: &[&str] = &["core", "cluster", "storage"];
+
+const KNOWN_RULES: &[&str] = &["L1", "L2", "L3", "L4"];
+
+/// Newtype field-name suffixes whose raw `.0` arithmetic L4 flags.
+const L4_SUFFIXES: &[&str] = &["index", "idx", "term"];
+
+/// Lint every `.rs` file under `crates/*/src` below `root`.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Violation>, String> {
+    let crates_dir = root.join("crates");
+    let mut files: Vec<(String, PathBuf)> = Vec::new();
+    let entries = fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?;
+    for entry in entries.flatten() {
+        let crate_name = entry.file_name().to_string_lossy().into_owned();
+        if crate_name == "check" {
+            continue; // the linter itself: its docs/tests spell out directives
+        }
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            collect_rs_files(&src, &crate_name, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut out = Vec::new();
+    for (crate_name, path) in files {
+        let text = fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let rel = path.strip_prefix(root).unwrap_or(&path).display().to_string();
+        out.extend(lint_source(&crate_name, &rel, &text));
+    }
+    Ok(out)
+}
+
+fn collect_rs_files(
+    dir: &Path,
+    crate_name: &str,
+    out: &mut Vec<(String, PathBuf)>,
+) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, crate_name, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push((crate_name.to_string(), path));
+        }
+    }
+    Ok(())
+}
+
+/// A parsed `// check:allow(ID): justification` directive.
+#[derive(Debug, Clone)]
+struct Allow {
+    rule: String,
+    justified: bool,
+    known: bool,
+}
+
+/// Lint a single source text. `crate_name` selects which rules apply.
+pub fn lint_source(crate_name: &str, file: &str, text: &str) -> Vec<Violation> {
+    let raw_lines: Vec<&str> = text.lines().collect();
+    let blanked = blank_comments_and_strings(text);
+    let blanked_lines: Vec<&str> = blanked.lines().collect();
+    let test_lines = cfg_test_lines(&blanked);
+
+    let l1 = L1_SCOPE.contains(&crate_name);
+    let l2 = L2_SCOPE.contains(&crate_name);
+    let l3 = L3_SCOPE.contains(&crate_name);
+    let l4 = L4_SCOPE.contains(&crate_name);
+
+    let mut out = Vec::new();
+    for (i, raw) in raw_lines.iter().enumerate() {
+        let lineno = i + 1;
+        let allows = parse_allows(raw);
+        for a in &allows {
+            if !a.known {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: lineno,
+                    rule: "SUPPRESS",
+                    msg: format!("unknown rule id in check:allow({})", a.rule),
+                });
+            } else if !a.justified {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: lineno,
+                    rule: "SUPPRESS",
+                    msg: format!(
+                        "check:allow({}) requires a justification: `// check:allow({}): why`",
+                        a.rule, a.rule
+                    ),
+                });
+            }
+        }
+        if test_lines.get(i).copied().unwrap_or(false) {
+            continue; // inside #[cfg(test)]
+        }
+        let Some(code) = blanked_lines.get(i) else { continue };
+        let allowed = |rule: &str| allows.iter().any(|a| a.rule == rule && a.justified);
+        let mut push = |rule: &'static str, msg: String| {
+            if !allowed(rule) {
+                out.push(Violation { file: file.to_string(), line: lineno, rule, msg });
+            }
+        };
+        if l1 {
+            if code.contains(".unwrap()") {
+                push("L1", "`.unwrap()` in protocol code; return a typed error".into());
+            }
+            if code.contains(".expect(") {
+                push("L1", "`.expect(...)` in protocol code; return a typed error".into());
+            }
+            if code.contains("panic!(") {
+                push("L1", "`panic!` in protocol code; return a typed error".into());
+            }
+        }
+        if l2 && has_wildcard_arm(code) {
+            push("L2", "wildcard `_ =>` arm; dispatch matches must be exhaustive".into());
+        }
+        if l3 {
+            for pat in ["Instant::now", "SystemTime::now", "thread::sleep"] {
+                if code.contains(pat) {
+                    push(
+                        "L3",
+                        format!("`{pat}` in a deterministic path; time must come from the harness"),
+                    );
+                }
+            }
+        }
+        if l4 {
+            if let Some(ident) = unchecked_newtype_arith(code) {
+                push(
+                    "L4",
+                    format!(
+                        "raw `+`/`-` on `{ident}.0`; use the LogIndex/Term wrappers (next/prev/plus/diff)"
+                    ),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Replace comment and string-literal contents with spaces, preserving line
+/// structure, so token scans cannot match inside them. Handles nested block
+/// comments, escapes, raw strings (`r"…"`, `r#"…"#`), and char literals
+/// (without tripping over lifetimes like `'a`).
+fn blank_comments_and_strings(text: &str) -> String {
+    let b = text.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        // Line comment.
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            while i < b.len() && b[i] != b'\n' {
+                out.push(b' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nesting).
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let mut depth = 1;
+            out.push(b' ');
+            out.push(b' ');
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    depth += 1;
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    depth -= 1;
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 2;
+                } else {
+                    out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw string r"…" / r#"…"# (also br…).
+        if (c == b'r' || (c == b'b' && i + 1 < b.len() && b[i + 1] == b'r')) && !prev_is_ident(&out)
+        {
+            let start = if c == b'b' { i + 1 } else { i };
+            let mut j = start + 1;
+            let mut hashes = 0;
+            while j < b.len() && b[j] == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < b.len() && b[j] == b'"' {
+                out.resize(out.len() + (j - i + 1), b' ');
+                i = j + 1;
+                // Scan to `"` followed by `hashes` *`#`.
+                'raw: while i < b.len() {
+                    if b[i] == b'"' {
+                        let mut k = i + 1;
+                        let mut seen = 0;
+                        while k < b.len() && b[k] == b'#' && seen < hashes {
+                            seen += 1;
+                            k += 1;
+                        }
+                        if seen == hashes {
+                            out.resize(out.len() + (k - i), b' ');
+                            i = k;
+                            break 'raw;
+                        }
+                    }
+                    out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // Ordinary string (also byte string b"…").
+        if c == b'"' {
+            out.push(b' ');
+            i += 1;
+            while i < b.len() {
+                if b[i] == b'\\' && i + 1 < b.len() {
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 2;
+                } else if b[i] == b'"' {
+                    out.push(b' ');
+                    i += 1;
+                    break;
+                } else {
+                    out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime: 'x' or '\n' is a literal; 'a (no closing
+        // quote within a couple of chars) is a lifetime and passes through.
+        if c == b'\'' {
+            let lit_end = if i + 2 < b.len() && b[i + 1] == b'\\' {
+                // escape: find the closing quote within a few bytes
+                (i + 2..(i + 6).min(b.len())).find(|&k| b[k] == b'\'')
+            } else if i + 2 < b.len() && b[i + 2] == b'\'' && b[i + 1] != b'\'' {
+                Some(i + 2)
+            } else {
+                None
+            };
+            if let Some(end) = lit_end {
+                out.resize(out.len() + (end - i + 1), b' ');
+                i = end + 1;
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn prev_is_ident(out: &[u8]) -> bool {
+    out.last().is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_')
+}
+
+/// Per-line flags: true when the line falls inside a `#[cfg(test)]` item
+/// (brace-matched from the attribute). Expects blanked text.
+fn cfg_test_lines(blanked: &str) -> Vec<bool> {
+    let lines: Vec<&str> = blanked.lines().collect();
+    let mut flags = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if lines[i].contains("#[cfg(test)]") {
+            // Find the opening brace of the item, then brace-match.
+            let mut depth: i32 = 0;
+            let mut opened = false;
+            let mut j = i;
+            'item: while j < lines.len() {
+                flags[j] = true;
+                for ch in lines[j].bytes() {
+                    match ch {
+                        b'{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        b'}' => depth -= 1,
+                        b';' if !opened && depth == 0 => break 'item, // braceless item
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+/// Parse every `check:allow(ID)` directive on a raw source line.
+fn parse_allows(raw: &str) -> Vec<Allow> {
+    let mut out = Vec::new();
+    let mut rest = raw;
+    while let Some(pos) = rest.find("check:allow(") {
+        rest = &rest[pos + "check:allow(".len()..];
+        let Some(close) = rest.find(')') else { break };
+        let rule = rest[..close].trim().to_string();
+        rest = &rest[close + 1..];
+        let justified = rest
+            .strip_prefix(':')
+            .map(|j| {
+                let j = j.trim();
+                !j.is_empty() && j.trim_start_matches(|c: char| !c.is_alphanumeric()).len() > 2
+            })
+            .unwrap_or(false);
+        let known = KNOWN_RULES.contains(&rule.as_str());
+        out.push(Allow { rule, justified, known });
+    }
+    out
+}
+
+/// A *bare* wildcard arm: `_` token (at start of line, after whitespace, or
+/// after `|`) followed by `=>`. Tuple positions like `(_, x) =>` and bound
+/// wildcards like `Some(_) =>` are not flagged.
+fn has_wildcard_arm(code: &str) -> bool {
+    let b = code.as_bytes();
+    for i in 0..b.len() {
+        if b[i] != b'_' {
+            continue;
+        }
+        // `_` must be a standalone token.
+        if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
+            continue;
+        }
+        if i + 1 < b.len() && (b[i + 1].is_ascii_alphanumeric() || b[i + 1] == b'_') {
+            continue;
+        }
+        let before_ok = match code[..i].trim_end().as_bytes().last() {
+            None => true,
+            Some(b'|') => true,
+            Some(_) => false,
+        };
+        if !before_ok {
+            continue;
+        }
+        let after = code[i + 1..].trim_start();
+        if after.starts_with("=>") {
+            return true;
+        }
+    }
+    false
+}
+
+/// Detect `ident.0 +` / `ident.0 -` (or `meth().0 ±`) where the identifier
+/// suffix marks a LogIndex/Term newtype. Returns the offending identifier.
+fn unchecked_newtype_arith(code: &str) -> Option<String> {
+    let b = code.as_bytes();
+    let mut i = 0;
+    while let Some(pos) = code[i..].find(".0") {
+        let at = i + pos;
+        i = at + 2;
+        // `.0` must be a field access, not part of a float or `.01`.
+        if code[at + 2..].bytes().next().is_some_and(|c| c.is_ascii_alphanumeric() || c == b'.') {
+            // `.0.to_be_bytes()` is a further method call, not arithmetic —
+            // the immediate next char being `.` or alnum means no operator.
+            if !code[at + 2..].trim_start().starts_with(['+', '-']) {
+                continue;
+            }
+        }
+        // Operator directly after?
+        let after = code[at + 2..].trim_start();
+        let op_after = after.starts_with('+') && !after.starts_with("+=")
+            || after.starts_with('-') && !after.starts_with("-=");
+        if !op_after {
+            continue;
+        }
+        // Walk back to the identifier (skipping one balanced () group for
+        // method calls like `last_index().0`).
+        let mut j = at;
+        if j > 0 && b[j - 1] == b')' {
+            let mut depth = 0;
+            while j > 0 {
+                j -= 1;
+                match b[j] {
+                    b')' => depth += 1,
+                    b'(' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let end = j;
+        let mut start = end;
+        while start > 0 && (b[start - 1].is_ascii_alphanumeric() || b[start - 1] == b'_') {
+            start -= 1;
+        }
+        if start == end {
+            continue;
+        }
+        let ident = &code[start..end];
+        let lower = ident.to_ascii_lowercase();
+        if L4_SUFFIXES.iter().any(|s| lower.ends_with(s)) {
+            return Some(ident.to_string());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(crate_name: &str, src: &str) -> Vec<&'static str> {
+        lint_source(crate_name, "t.rs", src).into_iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn l1_flags_unwrap_expect_panic() {
+        assert_eq!(rules("core", "let x = y.unwrap();"), vec!["L1"]);
+        assert_eq!(rules("core", "let x = y.expect(\"boom\");"), vec!["L1"]);
+        assert_eq!(rules("storage", "panic!(\"no\");"), vec!["L1"]);
+    }
+
+    #[test]
+    fn l1_ignores_unwrap_or_and_out_of_scope_crates() {
+        assert!(rules("core", "let x = y.unwrap_or(0);").is_empty());
+        assert!(rules("core", "let x = y.unwrap_or_else(f);").is_empty());
+        assert!(rules("sim", "let x = y.unwrap();").is_empty(), "sim is not in L1 scope");
+    }
+
+    #[test]
+    fn l1_skips_strings_comments_tests() {
+        assert!(rules("core", "// calls .unwrap() internally").is_empty());
+        assert!(rules("core", "let s = \"x.unwrap()\";").is_empty());
+        let src = "#[cfg(test)]\nmod tests {\n  fn f() { x.unwrap(); }\n}\n";
+        assert!(rules("core", src).is_empty());
+    }
+
+    #[test]
+    fn code_after_test_module_is_still_linted() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n  fn f() { x.unwrap(); }\n}\nfn g() { y.unwrap(); }\n";
+        let v = lint_source("core", "t.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 5);
+    }
+
+    #[test]
+    fn l2_flags_bare_wildcard_only() {
+        assert_eq!(rules("core", "    _ => {}"), vec!["L2"]);
+        assert_eq!(rules("cluster", "    Foo | _ => {}"), vec!["L2"]);
+        assert!(rules("core", "    Some(_) => {}").is_empty());
+        assert!(rules("core", "    (_, x) => {}").is_empty());
+        assert!(rules("core", "    map(|_| x)").is_empty());
+        assert!(rules("sim", "    _ => {}").is_empty(), "sim is not in L2 scope");
+    }
+
+    #[test]
+    fn l3_flags_wall_clock_in_deterministic_paths() {
+        assert_eq!(rules("core", "let t = Instant::now();"), vec!["L3"]);
+        assert_eq!(rules("sim", "std::thread::sleep(d);"), vec!["L3"]);
+        assert!(
+            rules("cluster", "let t = Instant::now();").is_empty(),
+            "cluster runs real threads"
+        );
+    }
+
+    #[test]
+    fn l4_flags_raw_newtype_arithmetic() {
+        assert_eq!(rules("core", "let n = idx.0 + 1;"), vec!["L4"]);
+        assert_eq!(rules("storage", "let n = last_index().0 - 1;"), vec!["L4"]);
+        assert_eq!(rules("core", "let n = some_term.0 + 2;"), vec!["L4"]);
+        assert!(rules("core", "let n = idx.0;").is_empty());
+        assert!(rules("core", "let b = idx.0.to_be_bytes();").is_empty());
+        assert!(rules("core", "let n = count.0 + 1;").is_empty(), "non-newtype suffix");
+        assert!(rules("types", "Term(self.0 + 1)").is_empty(), "ids.rs hosts the wrappers");
+    }
+
+    #[test]
+    fn suppression_needs_justification() {
+        let ok = "let x = y.unwrap(); // check:allow(L1): harness startup, abort is correct";
+        assert!(rules("core", ok).is_empty());
+        let bare = "let x = y.unwrap(); // check:allow(L1)";
+        assert_eq!(rules("core", bare), vec!["SUPPRESS", "L1"]);
+        let empty = "let x = y.unwrap(); // check:allow(L1):";
+        assert_eq!(rules("core", empty), vec!["SUPPRESS", "L1"]);
+    }
+
+    #[test]
+    fn suppression_unknown_rule_flagged() {
+        let src = "let x = 1; // check:allow(L9): whatever reason";
+        assert_eq!(rules("core", src), vec!["SUPPRESS"]);
+    }
+
+    #[test]
+    fn suppression_is_per_rule() {
+        // An L1 allow does not silence an L2 finding on the same line.
+        let src = "_ => y.unwrap(), // check:allow(L1): legacy shim pending rewrite";
+        assert_eq!(rules("core", src), vec!["L2"]);
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked() {
+        assert!(rules("core", r##"let s = r#"x.unwrap()"#;"##).is_empty());
+        assert!(rules("core", "let c = '_'; let arrow = '='; // _ =>").is_empty());
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let src = "/*\n x.unwrap()\n _ =>\n*/\nfn ok() {}\n";
+        assert!(rules("core", src).is_empty());
+    }
+}

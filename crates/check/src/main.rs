@@ -1,0 +1,189 @@
+//! `nbr-check` — protocol lint pass and exhaustive-state safety checker.
+//!
+//! Two subcommands, both wired into `scripts/ci.sh`:
+//!
+//! ```text
+//! nbr-check lint  [--root DIR]
+//! nbr-check model [--quick] [--windows 0,1,2] [--max-states N]
+//!                 [--min-states N] [--verbose]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage error.
+
+mod lint;
+mod model;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+nbr-check — protocol lint + bounded model checker for NB-Raft
+
+USAGE:
+    nbr-check lint  [--root DIR]
+    nbr-check model [--quick] [--windows W,W,...] [--max-states N]
+                    [--min-states N] [--verbose]
+
+LINT RULES (suppress per line with `// check:allow(Lx): justification`):
+    L1  no unwrap()/expect()/panic! in core, cluster, storage
+    L2  no wildcard `_ =>` match arms in core, cluster, storage
+    L3  no Instant::now/SystemTime::now/thread::sleep in core, sim, types
+    L4  no raw +/- on LogIndex/Term `.0` in core, cluster, storage
+
+MODEL: explores 3-node clusters + 1 client over window sizes 0..=2
+(0 = stock Raft) under bounded reorder/duplication/loss and one leader
+crash, asserting ElectionSafety, LogMatching, LeaderCompleteness,
+StateMachineSafety and the NB-1/NB-2/NB-3 window invariants.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(&args[1..]),
+        Some("model") => run_model(&args[1..]),
+        Some("--help") | Some("-h") | Some("help") => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_lint(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage_error("--root needs a directory"),
+            },
+            other => return usage_error(&format!("unknown lint option {other}")),
+        }
+    }
+    // Allow running from the workspace root or any subdirectory that still
+    // sees `crates/` (e.g. via `cargo run -p nbr-check`).
+    if !root.join("crates").is_dir() {
+        if let Some(parent) = find_workspace_root(&root) {
+            root = parent;
+        }
+    }
+    match lint::lint_workspace(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("nbr-check lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("nbr-check lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("nbr-check lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn find_workspace_root(start: &PathBuf) -> Option<PathBuf> {
+    let mut dir = std::fs::canonicalize(start).ok()?;
+    loop {
+        if dir.join("crates").is_dir() && dir.join("Cargo.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn run_model(args: &[String]) -> ExitCode {
+    let mut cfg = model::ModelConfig::full();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => {
+                let verbose = cfg.verbose;
+                cfg = model::ModelConfig::quick();
+                cfg.verbose = verbose;
+            }
+            "--verbose" => cfg.verbose = true,
+            "--windows" => match it.next().map(|s| parse_windows(s)) {
+                Some(Ok(ws)) => cfg.windows = ws,
+                _ => return usage_error("--windows needs a comma-separated list like 0,1,2"),
+            },
+            "--max-states" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => cfg.max_states_per_run = n,
+                None => return usage_error("--max-states needs a number"),
+            },
+            "--min-states" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => cfg.min_states_total = n,
+                None => return usage_error("--min-states needs a number"),
+            },
+            other => return usage_error(&format!("unknown model option {other}")),
+        }
+    }
+    match model::run(&cfg) {
+        Ok(report) => {
+            println!(
+                "nbr-check model: {} distinct states, {} transitions, depth <= {}, {} run(s) capped",
+                report.distinct_states, report.transitions, report.max_depth, report.truncated_runs
+            );
+            for (window, phase, states, exhausted) in &report.runs {
+                println!(
+                    "  window={window} phase={phase:<13} states={states}{}",
+                    if *exhausted { " (exhausted)" } else { " (capped)" }
+                );
+            }
+            let cov = report.coverage;
+            println!(
+                "coverage: elections<={} commits<={} applies<={} weak_accepts<={} crashes={}",
+                cov.elections, cov.commits, cov.applies, cov.weak_accepts, cov.crashes
+            );
+            if report.distinct_states < cfg.min_states_total {
+                println!(
+                    "nbr-check model: FAILED coverage floor: {} < {} distinct states",
+                    report.distinct_states, cfg.min_states_total
+                );
+                return ExitCode::FAILURE;
+            }
+            let windowed = cfg.windows.iter().any(|&w| w > 0);
+            if cov.commits == 0 || (windowed && cov.weak_accepts == 0) {
+                println!(
+                    "nbr-check model: FAILED vacuity check: no {} observed",
+                    if cov.commits == 0 { "commit" } else { "WEAK_ACCEPT" }
+                );
+                return ExitCode::FAILURE;
+            }
+            println!("nbr-check model: all invariants hold");
+            ExitCode::SUCCESS
+        }
+        Err(v) => {
+            println!("nbr-check model: VIOLATION [{}] {}", v.setting, v.invariant);
+            println!("trace ({} steps):", v.trace.len());
+            for (i, step) in v.trace.iter().enumerate() {
+                println!("  {:>3}. {step}", i + 1);
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_windows(s: &str) -> Result<Vec<usize>, ()> {
+    let ws: Result<Vec<usize>, _> = s.split(',').map(|p| p.trim().parse()).collect();
+    match ws {
+        Ok(v) if !v.is_empty() => Ok(v),
+        _ => Err(()),
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("nbr-check: {msg}");
+    eprint!("{USAGE}");
+    ExitCode::from(2)
+}

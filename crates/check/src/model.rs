@@ -1,0 +1,868 @@
+//! Exhaustive-state safety checker for the NB-Raft engine.
+//!
+//! Drives the pure sans-I/O [`nbr_core::Node`] step functions over all
+//! interleavings of a small bounded world — three replicas, one closed-loop
+//! client, a handful of client operations — and asserts the paper's safety
+//! properties in every reachable state:
+//!
+//! * **ElectionSafety** — at most one leader per term.
+//! * **LogMatching** — two logs agreeing on the term at an index agree on
+//!   every entry up to that index.
+//! * **LeaderCompleteness** — a newly elected leader holds every entry that
+//!   was committed in any earlier term.
+//! * **StateMachineSafety** — no two replicas apply different entries at the
+//!   same index, and each replica applies in strict index order.
+//!
+//! plus three NB-Raft-specific invariants:
+//!
+//! * **NB-1** — window-cached entries are adjacency-consistent and only ever
+//!   flushed to the log in index order (checked via
+//!   [`nbr_core::SlidingWindow::adjacency_consistent`] and the strict-order
+//!   apply check).
+//! * **NB-2** — a leader replies `WEAK_ACCEPT` only while weak ∪ strong
+//!   acceptances form a true majority in its `VoteList` (or the entry has
+//!   already committed).
+//! * **NB-3** — the client `opList` retry after a leader change never loses
+//!   or double-applies an operation: every committed effect executes exactly
+//!   once per replica, and a strong confirmation implies the operation is
+//!   really committed.
+//!
+//! The world is explored depth-first with fingerprint deduplication —
+//! depth-first because complete executions (election → replication → commit
+//! → crash → re-election) live 30+ transitions deep, where a breadth-first
+//! frontier exhausts its state budget on shallow interleaving permutations
+//! long before anything commits. Nondeterminism is budgeted per the paper's
+//! failure model: bounded message reorder (a per-channel reorder window of
+//! 2, which generates all permutations over time), bounded duplication and
+//! loss, and at most one leader crash. Each window size `w ∈ {0, 1, 2}`
+//! runs three fault phases — `w = 0` is stock Raft, so the same properties
+//! double as a Raft conformance check. The report carries coverage counters
+//! (elections, commits, weak accepts, crashes observed) so a vacuous run is
+//! detectable.
+
+use bytes::Bytes;
+use nbr_core::{ClientAction, Node, Output, RaftClient, Role};
+use nbr_storage::{LogStore, MemLog};
+use nbr_types::{
+    ClientId, ClientRequest, ClientResponse, Entry, LogIndex, Message, NodeId, Protocol, Time,
+    TimeDelta,
+};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+
+const N: usize = 3;
+/// Per-channel reorder window: how many queued messages of one channel are
+/// deliverable at once. 2 lets adjacent swaps accumulate into arbitrary
+/// permutations across steps while keeping the branching factor bounded.
+const REORDER_WINDOW: usize = 2;
+
+/// Fault budgets for one exploration phase.
+#[derive(Debug, Clone, Copy)]
+pub struct Phase {
+    /// Human-readable name for reports.
+    pub name: &'static str,
+    /// Client operations issued in total.
+    pub max_ops: u8,
+    /// Messages that may be duplicated.
+    pub dup: u8,
+    /// Messages that may be dropped.
+    pub drop: u8,
+    /// Leader crash-stops.
+    pub crash: u8,
+    /// Election-timeout firings.
+    pub elections: u8,
+    /// Leader heartbeat firings.
+    pub heartbeats: u8,
+    /// Client request-timeout firings.
+    pub client_ticks: u8,
+}
+
+/// The three standard phases: fault-free, lossy network, leader crash.
+pub fn standard_phases() -> Vec<Phase> {
+    vec![
+        Phase {
+            name: "fault-free",
+            max_ops: 2,
+            dup: 0,
+            drop: 0,
+            crash: 0,
+            elections: 1,
+            heartbeats: 2,
+            client_ticks: 0,
+        },
+        Phase {
+            name: "lossy-network",
+            max_ops: 2,
+            dup: 1,
+            drop: 1,
+            crash: 0,
+            elections: 1,
+            heartbeats: 1,
+            client_ticks: 1,
+        },
+        Phase {
+            name: "leader-crash",
+            max_ops: 2,
+            dup: 0,
+            drop: 0,
+            crash: 1,
+            elections: 2,
+            heartbeats: 2,
+            client_ticks: 2,
+        },
+    ]
+}
+
+/// Checker configuration.
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// Window sizes to explore (`0` = stock Raft).
+    pub windows: Vec<usize>,
+    /// Distinct-state cap per (window, phase) run.
+    pub max_states_per_run: usize,
+    /// Overall distinct-state floor; fewer explored states fails the check.
+    pub min_states_total: usize,
+    /// Print per-run statistics.
+    pub verbose: bool,
+}
+
+impl ModelConfig {
+    /// Full-depth defaults.
+    pub fn full() -> ModelConfig {
+        ModelConfig {
+            windows: vec![0, 1, 2],
+            max_states_per_run: 40_000,
+            min_states_total: 10_000,
+            verbose: false,
+        }
+    }
+
+    /// CI-friendly defaults (smaller caps, same phases and properties).
+    pub fn quick() -> ModelConfig {
+        ModelConfig { max_states_per_run: 6_000, ..ModelConfig::full() }
+    }
+}
+
+/// What the exploration actually witnessed — guards against a vacuous model
+/// that never reaches the states the invariants quantify over.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Coverage {
+    /// Most terms with an elected leader on any single path.
+    pub elections: usize,
+    /// Most committed entries on any single path.
+    pub commits: usize,
+    /// Highest applied index on any single path.
+    pub applies: u64,
+    /// WEAK_ACCEPT responses observed on any single path.
+    pub weak_accepts: u16,
+    /// Whether a leader crash was explored.
+    pub crashes: bool,
+}
+
+impl Coverage {
+    fn fold(&mut self, w: &World) {
+        self.elections = self.elections.max(w.leaders.len());
+        self.commits = self.commits.max(w.committed.len());
+        self.applies = self.applies.max(w.last_applied.iter().copied().max().unwrap_or(0));
+        self.weak_accepts = self.weak_accepts.max(w.weak_seen);
+        self.crashes |= w.crashed.iter().any(|&c| c);
+    }
+
+    fn merge(&mut self, other: Coverage) {
+        self.elections = self.elections.max(other.elections);
+        self.commits = self.commits.max(other.commits);
+        self.applies = self.applies.max(other.applies);
+        self.weak_accepts = self.weak_accepts.max(other.weak_accepts);
+        self.crashes |= other.crashes;
+    }
+}
+
+/// Statistics from one full `run`.
+#[derive(Debug, Default, Clone)]
+pub struct ModelReport {
+    /// Distinct states across all runs.
+    pub distinct_states: usize,
+    /// Transitions taken across all runs.
+    pub transitions: usize,
+    /// Deepest state reached.
+    pub max_depth: u32,
+    /// Runs that hit `max_states_per_run` before exhausting.
+    pub truncated_runs: usize,
+    /// Aggregate coverage across all runs.
+    pub coverage: Coverage,
+    /// Per-run summaries `(window, phase, states, exhausted)`.
+    pub runs: Vec<(usize, &'static str, usize, bool)>,
+}
+
+/// A safety violation with the action trace that reaches it.
+#[derive(Debug, Clone)]
+pub struct ModelViolation {
+    /// Which invariant failed.
+    pub invariant: String,
+    /// Window size and phase of the failing run.
+    pub setting: String,
+    /// Action labels from the initial state to the violation.
+    pub trace: Vec<String>,
+}
+
+/// An in-flight transmission.
+#[derive(Debug, Clone, Hash)]
+enum Wire {
+    /// Replica-to-replica protocol message.
+    Node { from: NodeId, to: NodeId, msg: Message },
+    /// Client request travelling to a replica.
+    Req { to: NodeId, req: ClientRequest },
+    /// Replica response travelling to the client.
+    Resp { resp: ClientResponse },
+}
+
+impl Wire {
+    /// Channel key for the per-channel reorder window.
+    fn channel(&self) -> (u8, u32, u32) {
+        match self {
+            Wire::Node { from, to, .. } => (0, from.0, to.0),
+            Wire::Req { to, .. } => (1, 0, to.0),
+            Wire::Resp { .. } => (2, 0, 0),
+        }
+    }
+
+    fn label(&self) -> String {
+        match self {
+            Wire::Node { from, to, msg } => format!("{} {}->{}", msg.kind(), from.0, to.0),
+            Wire::Req { to, req } => format!("req#{} ->{}", req.request.0, to.0),
+            Wire::Resp { resp } => format!("resp:{} ->client", resp.kind()),
+        }
+    }
+}
+
+/// The complete explored state: replicas, client, network, budgets, and the
+/// history observables the invariants quantify over.
+#[derive(Clone)]
+struct World {
+    nodes: Vec<Node<MemLog>>,
+    crashed: [bool; N],
+    client: RaftClient,
+    wires: Vec<Wire>,
+    now: Time,
+    ops_issued: u8,
+    budget: Phase,
+    depth: u32,
+    // History observables.
+    /// `term -> node` for every ElectedLeader output seen on this path.
+    leaders: BTreeMap<u64, u32>,
+    /// `index -> entry hash` for every committed entry on this path.
+    committed: BTreeMap<u64, u64>,
+    /// Origins `(client, request)` of committed entries.
+    committed_origins: BTreeSet<(u64, u64)>,
+    /// Highest commit index already scanned per node.
+    commit_seen: [u64; N],
+    /// `index -> entry hash` of the first apply observed at that index.
+    applied_canon: BTreeMap<u64, u64>,
+    /// Last applied index observed per node (strict-order check).
+    last_applied: [u64; N],
+    /// Per node: executed `(client, request)` effects (dedup mirror).
+    executed: [BTreeSet<(u64, u64)>; N],
+    /// Per node: highest executed request per client (the DedupTable rule).
+    dedup_max: [BTreeMap<u64, u64>; N],
+    /// WEAK_ACCEPT responses seen on this path (coverage only; deliberately
+    /// excluded from the fingerprint).
+    weak_seen: u16,
+}
+
+fn entry_hash(e: &Entry) -> u64 {
+    let mut h = DefaultHasher::new();
+    e.index.hash(&mut h);
+    e.term.hash(&mut h);
+    e.origin.hash(&mut h);
+    e.payload.hash(&mut h);
+    h.finish()
+}
+
+impl World {
+    fn new(window: usize, phase: Phase) -> World {
+        let membership: Vec<NodeId> = (1..=N as u32).map(NodeId).collect();
+        let cfg = Protocol::NbRaft.config(window);
+        let nodes = (1..=N as u32)
+            .map(|id| {
+                Node::new(NodeId(id), membership.clone(), cfg.clone(), MemLog::new(), id as u64)
+            })
+            .collect();
+        let client =
+            RaftClient::new(ClientId(1), membership, NodeId(1), TimeDelta::from_millis(150));
+        World {
+            nodes,
+            crashed: [false; N],
+            client,
+            wires: Vec::new(),
+            now: Time::ZERO,
+            ops_issued: 0,
+            budget: phase,
+            depth: 0,
+            leaders: BTreeMap::new(),
+            committed: BTreeMap::new(),
+            committed_origins: BTreeSet::new(),
+            commit_seen: [0; N],
+            applied_canon: BTreeMap::new(),
+            last_applied: [0; N],
+            executed: Default::default(),
+            dedup_max: Default::default(),
+            weak_seen: 0,
+        }
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        for n in &self.nodes {
+            n.fingerprint(&mut h);
+        }
+        self.crashed.hash(&mut h);
+        self.client.fingerprint(&mut h);
+        self.wires.hash(&mut h);
+        self.now.hash(&mut h);
+        self.ops_issued.hash(&mut h);
+        (self.budget.dup, self.budget.drop, self.budget.crash).hash(&mut h);
+        (self.budget.elections, self.budget.heartbeats, self.budget.client_ticks).hash(&mut h);
+        self.leaders.hash(&mut h);
+        self.committed.hash(&mut h);
+        self.commit_seen.hash(&mut h);
+        self.applied_canon.hash(&mut h);
+        self.last_applied.hash(&mut h);
+        h.finish()
+    }
+
+    fn node_index(&self, id: NodeId) -> usize {
+        (id.0 - 1) as usize
+    }
+
+    /// Process engine outputs of node `n`, checking the output-triggered
+    /// invariants as they appear.
+    fn absorb_outputs(&mut self, n: usize, outputs: Vec<Output>) -> Result<(), String> {
+        for out in outputs {
+            match out {
+                Output::Send { to, msg } => {
+                    self.wires.push(Wire::Node { from: self.nodes[n].id(), to, msg });
+                }
+                Output::Respond { resp, .. } => {
+                    // NB-2: a Weak reply must be backed by a true majority of
+                    // weak ∪ strong acceptances (or the entry already
+                    // committed and the tuple was retired).
+                    if let ClientResponse::Weak { index, .. } = resp {
+                        self.weak_seen = self.weak_seen.saturating_add(1);
+                        let node = &self.nodes[n];
+                        let backed = match node.vote_list().get(index) {
+                            Some(tp) => tp.accepted_count() >= node.vote_list().quorum(),
+                            None => index <= node.commit_index(),
+                        };
+                        if !backed {
+                            return Err(format!(
+                                "NB-2: node {} sent WEAK_ACCEPT for {index} without a weak+strong majority",
+                                n + 1
+                            ));
+                        }
+                    }
+                    self.wires.push(Wire::Resp { resp });
+                }
+                Output::Apply { entry } => self.observe_apply(n, &entry)?,
+                Output::ElectedLeader { term } => {
+                    let id = self.nodes[n].id().0;
+                    if let Some(&prev) = self.leaders.get(&term.0) {
+                        if prev != id {
+                            return Err(format!(
+                                "ElectionSafety: term {} has two leaders: node {prev} and node {id}",
+                                term.0
+                            ));
+                        }
+                    }
+                    self.leaders.insert(term.0, id);
+                    // LeaderCompleteness: every committed entry must be in
+                    // the new leader's log, unchanged.
+                    for (&idx, &hash) in &self.committed {
+                        match self.nodes[n].log().get(LogIndex(idx)) {
+                            Some(e) if entry_hash(&e) == hash => {}
+                            _ => {
+                                return Err(format!(
+                                    "LeaderCompleteness: new leader {id} (term {}) is missing committed entry {idx}",
+                                    term.0
+                                ))
+                            }
+                        }
+                    }
+                }
+                Output::SteppedDown { .. } => {}
+                Output::RestoreSnapshot { .. } | Output::ReadReady { .. } => {
+                    return Err(
+                        "model hole: snapshot/read outputs should not occur in the bounded world"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// StateMachineSafety + NB-1 order + NB-3 effect-exactly-once, observed
+    /// at the apply stream of node `n`.
+    fn observe_apply(&mut self, n: usize, entry: &Entry) -> Result<(), String> {
+        let idx = entry.index.0;
+        if idx != self.last_applied[n] + 1 {
+            return Err(format!(
+                "NB-1: node {} applied index {idx} after {}; applies must be in strict index order",
+                n + 1,
+                self.last_applied[n]
+            ));
+        }
+        self.last_applied[n] = idx;
+        let h = entry_hash(entry);
+        match self.applied_canon.get(&idx) {
+            Some(&prev) if prev != h => {
+                return Err(format!(
+                    "StateMachineSafety: two different entries applied at index {idx}"
+                ));
+            }
+            _ => {
+                self.applied_canon.insert(idx, h);
+            }
+        }
+        if let Some(origin) = entry.origin {
+            let key = (origin.client.0, origin.request.0);
+            let max = self.dedup_max[n].get(&key.0).copied().unwrap_or(0);
+            if key.1 > max {
+                if !self.executed[n].insert(key) {
+                    return Err(format!(
+                        "NB-3: node {} executed request {}/{} twice",
+                        n + 1,
+                        key.0,
+                        key.1
+                    ));
+                }
+                self.dedup_max[n].insert(key.0, key.1);
+            } else if !self.executed[n].contains(&key) {
+                return Err(format!(
+                    "NB-3: node {} dedup-skipped request {}/{} that never executed (lost retry)",
+                    n + 1,
+                    key.0,
+                    key.1
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn absorb_client_actions(&mut self, actions: Vec<ClientAction>) -> Result<(), String> {
+        for a in actions {
+            match a {
+                ClientAction::Send { to, request } => {
+                    self.wires.push(Wire::Req { to, req: request });
+                }
+                ClientAction::Acked { .. } => {}
+                ClientAction::Confirmed { request } => {
+                    // NB-3 (client side): a strong confirmation promises the
+                    // operation is durably committed.
+                    let key = (self.client.id().0, request.0);
+                    if !self.committed_origins.contains(&key) {
+                        return Err(format!(
+                            "NB-3: client confirmed request {} which is not committed anywhere",
+                            request.0
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whole-state invariants after every transition.
+    fn check_global(&mut self) -> Result<(), String> {
+        // NB-1: windows stay adjacency-consistent.
+        for (n, node) in self.nodes.iter().enumerate() {
+            if !node.window().adjacency_consistent() {
+                return Err(format!("NB-1: node {} window lost adjacency consistency", n + 1));
+            }
+        }
+        // Commit scan: record newly committed entries, check convergence.
+        for n in 0..N {
+            let commit = self.nodes[n].commit_index().0;
+            while self.commit_seen[n] < commit {
+                let idx = self.commit_seen[n] + 1;
+                let Some(e) = self.nodes[n].log().get(LogIndex(idx)) else {
+                    return Err(format!(
+                        "LeaderCompleteness: node {} committed index {idx} but has no such entry",
+                        n + 1
+                    ));
+                };
+                let h = entry_hash(&e);
+                if let Some(&prev) = self.committed.get(&idx) {
+                    if prev != h {
+                        return Err(format!(
+                            "StateMachineSafety: divergent committed entries at index {idx}"
+                        ));
+                    }
+                } else {
+                    self.committed.insert(idx, h);
+                }
+                if let Some(origin) = e.origin {
+                    self.committed_origins.insert((origin.client.0, origin.request.0));
+                }
+                self.commit_seen[n] = idx;
+            }
+        }
+        // LogMatching, pairwise.
+        for a in 0..N {
+            for b in a + 1..N {
+                let (la, lb) = (self.nodes[a].log(), self.nodes[b].log());
+                let lo = la.first_index().0.max(lb.first_index().0);
+                let hi = la.last_index().0.min(lb.last_index().0);
+                let mut agree_at = None;
+                for idx in (lo..=hi).rev() {
+                    if la.term_of(LogIndex(idx)) == lb.term_of(LogIndex(idx)) {
+                        agree_at = Some(idx);
+                        break;
+                    }
+                }
+                if let Some(top) = agree_at {
+                    for idx in lo..=top {
+                        let (ea, eb) = (la.get(LogIndex(idx)), lb.get(LogIndex(idx)));
+                        let same = match (&ea, &eb) {
+                            (Some(x), Some(y)) => entry_hash(x) == entry_hash(y),
+                            _ => false,
+                        };
+                        if !same {
+                            return Err(format!(
+                                "LogMatching: nodes {} and {} agree on the term at {top} but differ at index {idx}",
+                                a + 1,
+                                b + 1
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Enumerate successors. Deterministic; the explorer pops from the BACK
+    /// of this list first (depth-first), so order encodes a search heuristic:
+    /// protocol progress (deliveries, elections, client ops) is listed last
+    /// and explored first, fault injection (drops, duplicates) is listed
+    /// first and explored once the progress subtrees are done. This way the
+    /// first lineage under a state cap is a complete happy-path execution,
+    /// with faults branching off every prefix of it.
+    fn successors(&self) -> Vec<(String, Result<World, String>)> {
+        let mut out = Vec::new();
+        // Deliverable wires: the first REORDER_WINDOW per channel.
+        let mut per_channel: HashMap<(u8, u32, u32), usize> = HashMap::new();
+        let mut deliverable = Vec::new();
+        for (i, w) in self.wires.iter().enumerate() {
+            let c = per_channel.entry(w.channel()).or_insert(0);
+            if *c < REORDER_WINDOW {
+                deliverable.push(i);
+                *c += 1;
+            }
+        }
+        // Explored last: duplication and loss.
+        for &i in &deliverable {
+            if self.budget.dup > 0 {
+                if let Wire::Node { .. } = self.wires[i] {
+                    let label = format!("dup+deliver {}", self.wires[i].label());
+                    out.push((label, self.apply_deliver(i, true)));
+                }
+            }
+            if self.budget.drop > 0 {
+                let label = format!("drop {}", self.wires[i].label());
+                out.push((label, Ok(self.apply_drop(i))));
+            }
+        }
+        // Crash-stop of a leader that has committed something — crashing a
+        // freshly elected leader only burns the election budget on a subtree
+        // where nothing can commit. For windowed runs additionally require
+        // the client to hold weak-accepted ops, so the crash lands exactly
+        // in the opList-retry scenario of paper Figure 11 (NB-3).
+        for n in 0..N {
+            if self.crashed[n] || self.nodes[n].role() != Role::Leader {
+                continue;
+            }
+            let windowed = self.nodes[n].window().capacity() > 0;
+            let retry_armed = !windowed || self.client.op_list_len() > 0;
+            if self.budget.crash > 0 && self.nodes[n].commit_index().0 > 0 && retry_armed {
+                let label = format!("leader {} crashes", n + 1);
+                out.push((label, Ok(self.apply_crash(n))));
+            }
+        }
+        if self.budget.client_ticks > 0 && !self.client.ready() {
+            out.push(("client request timeout".into(), self.apply_client_tick()));
+        }
+        for n in 0..N {
+            if !self.crashed[n]
+                && self.nodes[n].role() == Role::Leader
+                && self.budget.heartbeats > 0
+            {
+                let label = format!("heartbeat timer at node {}", n + 1);
+                out.push((label, self.apply_timer(n, true)));
+            }
+        }
+        if self.ops_issued < self.budget.max_ops && self.client.ready() {
+            out.push(("client issues op".into(), self.apply_issue()));
+        }
+        for n in 0..N {
+            if !self.crashed[n] && self.nodes[n].role() != Role::Leader && self.budget.elections > 0
+            {
+                let label = format!("election timeout at node {}", n + 1);
+                out.push((label, self.apply_timer(n, false)));
+            }
+        }
+        // Explored first: message delivery.
+        for &i in &deliverable {
+            let label = format!("deliver {}", self.wires[i].label());
+            out.push((label, self.apply_deliver(i, false)));
+        }
+        out
+    }
+
+    fn apply_deliver(&self, i: usize, duplicate: bool) -> Result<World, String> {
+        let mut w = self.clone();
+        w.depth += 1;
+        let wire = if duplicate {
+            w.budget.dup -= 1;
+            w.wires[i].clone()
+        } else {
+            w.wires.remove(i)
+        };
+        match wire {
+            Wire::Node { from, to, msg } => {
+                let n = w.node_index(to);
+                if !w.crashed[n] {
+                    let mut out = Vec::new();
+                    let now = w.now;
+                    w.nodes[n].handle_message(from, msg, now, &mut out);
+                    w.absorb_outputs(n, out)?;
+                }
+            }
+            Wire::Req { to, req } => {
+                let n = w.node_index(to);
+                if !w.crashed[n] {
+                    let mut out = Vec::new();
+                    let now = w.now;
+                    w.nodes[n].handle_client(req, now, &mut out);
+                    w.absorb_outputs(n, out)?;
+                }
+            }
+            Wire::Resp { resp } => {
+                let mut actions = Vec::new();
+                let now = w.now;
+                w.client.handle_response(resp, now, &mut actions);
+                w.absorb_client_actions(actions)?;
+            }
+        }
+        w.check_global()?;
+        Ok(w)
+    }
+
+    fn apply_drop(&self, i: usize) -> World {
+        let mut w = self.clone();
+        w.depth += 1;
+        w.budget.drop -= 1;
+        w.wires.remove(i);
+        w
+    }
+
+    fn apply_issue(&self) -> Result<World, String> {
+        let mut w = self.clone();
+        w.depth += 1;
+        w.ops_issued += 1;
+        let opno = w.ops_issued;
+        let payload = Bytes::from(format!("k{opno}=v{opno}"));
+        let mut actions = Vec::new();
+        let now = w.now;
+        w.client.issue(payload, now, &mut actions);
+        w.absorb_client_actions(actions)?;
+        w.check_global()?;
+        Ok(w)
+    }
+
+    fn apply_client_tick(&self) -> Result<World, String> {
+        let mut w = self.clone();
+        w.depth += 1;
+        w.budget.client_ticks -= 1;
+        // Jump time far enough that the request timeout has elapsed.
+        w.now += TimeDelta::from_millis(200);
+        let mut actions = Vec::new();
+        let now = w.now;
+        w.client.tick(now, &mut actions);
+        w.absorb_client_actions(actions)?;
+        w.check_global()?;
+        Ok(w)
+    }
+
+    fn apply_timer(&self, n: usize, heartbeat: bool) -> Result<World, String> {
+        let mut w = self.clone();
+        w.depth += 1;
+        let deadline =
+            if heartbeat { w.nodes[n].next_heartbeat() } else { w.nodes[n].election_deadline() };
+        if heartbeat {
+            w.budget.heartbeats -= 1;
+        } else {
+            w.budget.elections -= 1;
+        }
+        w.now = w.now.max(deadline);
+        let mut out = Vec::new();
+        let now = w.now;
+        w.nodes[n].tick(now, &mut out);
+        w.absorb_outputs(n, out)?;
+        w.check_global()?;
+        Ok(w)
+    }
+
+    fn apply_crash(&self, n: usize) -> World {
+        let mut w = self.clone();
+        w.depth += 1;
+        w.budget.crash -= 1;
+        w.crashed[n] = true;
+        w
+    }
+}
+
+/// Run the checker. Returns the aggregate report or the first violation.
+pub fn run(cfg: &ModelConfig) -> Result<ModelReport, Box<ModelViolation>> {
+    let mut report = ModelReport::default();
+    for &window in &cfg.windows {
+        for phase in standard_phases() {
+            let run = explore(window, phase, cfg)?;
+            report.distinct_states += run.states;
+            report.transitions += run.transitions;
+            report.max_depth = report.max_depth.max(run.max_depth);
+            if !run.exhausted {
+                report.truncated_runs += 1;
+            }
+            report.coverage.merge(run.coverage);
+            report.runs.push((window, phase.name, run.states, run.exhausted));
+            if cfg.verbose {
+                eprintln!(
+                    "  window={window} phase={:<13} states={} transitions={} depth<={} commits={} weak={}{}",
+                    phase.name,
+                    run.states,
+                    run.transitions,
+                    run.max_depth,
+                    run.coverage.commits,
+                    run.coverage.weak_accepts,
+                    if run.exhausted { "" } else { " (capped)" }
+                );
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Outcome of one (window, phase) exploration.
+struct RunStats {
+    states: usize,
+    transitions: usize,
+    max_depth: u32,
+    exhausted: bool,
+    coverage: Coverage,
+}
+
+fn explore(
+    window: usize,
+    phase: Phase,
+    cfg: &ModelConfig,
+) -> Result<RunStats, Box<ModelViolation>> {
+    let init = World::new(window, phase);
+    let init_fp = init.fingerprint();
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut parents: HashMap<u64, (u64, String)> = HashMap::new();
+    // Depth-first: completes whole executions before permuting early steps.
+    let mut stack: Vec<World> = Vec::new();
+    seen.insert(init_fp);
+    stack.push(init);
+    let mut explored = 0usize;
+    let mut transitions = 0usize;
+    let mut max_depth = 0u32;
+    let mut exhausted = true;
+    let mut coverage = Coverage::default();
+    while let Some(w) = stack.pop() {
+        if explored >= cfg.max_states_per_run {
+            exhausted = false;
+            break;
+        }
+        explored += 1;
+        max_depth = max_depth.max(w.depth);
+        coverage.fold(&w);
+        let fp = w.fingerprint();
+        for (label, result) in w.successors() {
+            transitions += 1;
+            match result {
+                Err(invariant) => {
+                    let mut trace = vec![label];
+                    let mut cur = fp;
+                    while let Some((parent, step)) = parents.get(&cur) {
+                        trace.push(step.clone());
+                        cur = *parent;
+                    }
+                    trace.reverse();
+                    return Err(Box::new(ModelViolation {
+                        invariant,
+                        setting: format!("window={window} phase={}", phase.name),
+                        trace,
+                    }));
+                }
+                Ok(succ) => {
+                    let sfp = succ.fingerprint();
+                    if seen.insert(sfp) {
+                        parents.insert(sfp, (fp, label));
+                        stack.push(succ);
+                    }
+                }
+            }
+        }
+    }
+    Ok(RunStats { states: explored, transitions, max_depth, exhausted, coverage })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_window1_is_clean() {
+        let cfg = ModelConfig {
+            windows: vec![1],
+            max_states_per_run: 1_500,
+            min_states_total: 0,
+            verbose: false,
+        };
+        // Only the first phase, to keep the unit test fast.
+        let phase = standard_phases()[0];
+        let r = explore(1, phase, &cfg).expect("no safety violation in fault-free run");
+        assert!(r.states > 100, "explored only {} states", r.states);
+        assert!(r.transitions > r.states);
+        assert!(r.coverage.elections > 0, "model must at least elect a leader");
+    }
+
+    #[test]
+    fn window_zero_is_stock_raft_and_clean() {
+        let cfg = ModelConfig {
+            windows: vec![0],
+            max_states_per_run: 1_000,
+            min_states_total: 0,
+            verbose: false,
+        };
+        let phase = standard_phases()[0];
+        assert!(explore(0, phase, &cfg).is_ok());
+    }
+
+    #[test]
+    fn exploration_is_deterministic() {
+        let cfg = ModelConfig {
+            windows: vec![1],
+            max_states_per_run: 400,
+            min_states_total: 0,
+            verbose: false,
+        };
+        let phase = standard_phases()[0];
+        let a = explore(1, phase, &cfg).expect("clean");
+        let b = explore(1, phase, &cfg).expect("clean");
+        assert_eq!(a.states, b.states, "distinct-state counts must be reproducible");
+        assert_eq!(a.transitions, b.transitions, "transition counts must be reproducible");
+    }
+}

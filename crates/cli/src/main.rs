@@ -77,7 +77,9 @@ impl Args {
     fn protocol(&self) -> Protocol {
         match self.values.get("protocol") {
             Some(v) => parse_protocol(v).unwrap_or_else(|| {
-                eprintln!("unknown protocol {v}; one of raft|nbraft|craft|nbcraft|ecraft|kraft|vgraft");
+                eprintln!(
+                    "unknown protocol {v}; one of raft|nbraft|craft|nbcraft|ecraft|kraft|vgraft"
+                );
                 std::process::exit(2);
             }),
             None => Protocol::NbRaft,
@@ -114,7 +116,11 @@ fn cmd_sim(args: &Args) {
     println!("latency mean      {:>12.3} ms", r.latency_mean_ms);
     println!("latency p50/p99   {:>7.3} / {:.3} ms", r.latency_p50_ms, r.latency_p99_ms);
     println!("issued/acked      {:>12} / {}", r.issued, r.acked);
-    println!("weak-acked        {:>12} ({:.1}% of acks)", r.weak_acked, if r.acked == 0 { 0.0 } else { 100.0 * r.weak_acked as f64 / r.acked as f64 });
+    println!(
+        "weak-acked        {:>12} ({:.1}% of acks)",
+        r.weak_acked,
+        if r.acked == 0 { 0.0 } else { 100.0 * r.weak_acked as f64 / r.acked as f64 }
+    );
     println!("t_wait mean       {:>12.3} ms", r.twait_mean_ms);
     println!("entries parked    {:>12}", r.stats.parked);
     println!("window flushes    {:>12}", r.stats.window_flushes);
@@ -164,9 +170,7 @@ fn cmd_demo(args: &Args) {
         cluster_cfg.protocol.protocol.name()
     );
     let cluster: Cluster<KvStore> = Cluster::spawn(n, cluster_cfg);
-    let leader = cluster
-        .wait_for_leader(Duration::from_secs(5))
-        .expect("no leader elected");
+    let leader = cluster.wait_for_leader(Duration::from_secs(5)).expect("no leader elected");
     println!("leader elected: node {leader}");
 
     let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
@@ -180,10 +184,9 @@ fn cmd_demo(args: &Args) {
             let mut i = 0u64;
             while !stop.load(std::sync::atomic::Ordering::Relaxed) {
                 i += 1;
-                if let Ok((_, w)) = client.submit(
-                    Bytes::from(format!("t{t}.k{i}=v{i}")),
-                    Duration::from_secs(5),
-                ) {
+                if let Ok((_, w)) =
+                    client.submit(Bytes::from(format!("t{t}.k{i}=v{i}")), Duration::from_secs(5))
+                {
                     ops += 1;
                     if w {
                         weak += 1;

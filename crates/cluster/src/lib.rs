@@ -8,6 +8,7 @@
 
 pub mod cluster;
 pub mod network;
+pub mod sync;
 
 pub use cluster::{Cluster, ClusterClient, ClusterConfig, NodeStatus, StorageMode};
 pub use network::{NetConfig, NetControl, NetHandle, Network, Packet, CLIENT_ENDPOINT};

@@ -5,13 +5,13 @@
 //! produces out-of-order arrival), probabilistic drops, and partitions. All
 //! randomness is seeded for reproducible failure tests.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::sync::Mutex;
 use nbr_types::{ClientRequest, ClientResponse, Message, NodeId};
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -85,15 +85,11 @@ impl NetControl {
 
     /// Set the packet drop probability (0.0–1.0).
     pub fn set_drop_rate(&self, rate: f64) {
-        self.drop_per_mille
-            .store((rate.clamp(0.0, 1.0) * 1000.0) as u64, Ordering::Relaxed);
+        self.drop_per_mille.store((rate.clamp(0.0, 1.0) * 1000.0) as u64, Ordering::Relaxed);
     }
 
     fn is_cut(&self, a: u32, b: u32) -> bool {
-        self.partitions
-            .lock()
-            .iter()
-            .any(|&(x, y)| (x == a && y == b) || (x == b && y == a))
+        self.partitions.lock().iter().any(|&(x, y)| (x == a && y == b) || (x == b && y == a))
     }
 
     fn stop(&self) {
@@ -162,7 +158,7 @@ impl Network {
         node_inboxes: Vec<Sender<Packet>>,
         client_inbox: Sender<Packet>,
     ) -> Network {
-        let (tx, rx): (Sender<Routed>, Receiver<Routed>) = unbounded();
+        let (tx, rx): (Sender<Routed>, Receiver<Routed>) = channel();
         let control = Arc::new(NetControl::default());
         control
             .drop_per_mille
@@ -181,7 +177,7 @@ impl Network {
                     // Deliver everything due.
                     let now = Instant::now();
                     while heap.peek().is_some_and(|d| d.due <= now) {
-                        let d = heap.pop().unwrap();
+                        let Some(d) = heap.pop() else { break };
                         let dst = d.to_endpoint;
                         let _ = if dst == CLIENT_ENDPOINT {
                             client_inbox.send(d.packet)
@@ -203,7 +199,7 @@ impl Network {
                                 continue;
                             }
                             let dpm = ctl.drop_per_mille.load(Ordering::Relaxed);
-                            if dpm > 0 && rng.random_range(0..1000) < dpm {
+                            if dpm > 0 && rng.random_range(0..1000u64) < dpm {
                                 continue;
                             }
                             let (lo, hi) = cfg.delay;
@@ -221,12 +217,12 @@ impl Network {
                                 packet,
                             });
                         }
-                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
-                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => return,
                     }
                 }
             })
-            .expect("spawn network thread");
+            .expect("spawn network thread"); // check:allow(L1): harness startup; no thread means no cluster to run, abort is correct
         Network { handle: NetHandle { tx, control }, thread: Some(thread) }
     }
 

@@ -54,9 +54,7 @@ fn survives_leader_crash_and_keeps_committed_data() {
     let leader = cluster.wait_for_leader(Duration::from_secs(5)).expect("leader");
     let mut client = cluster.client();
     for i in 0..20 {
-        client
-            .submit(Bytes::from(format!("a{i}=b{i}")), Duration::from_secs(5))
-            .expect("submit");
+        client.submit(Bytes::from(format!("a{i}=b{i}")), Duration::from_secs(5)).expect("submit");
     }
     client.drain(Duration::from_secs(5));
     cluster.crash(leader);
@@ -91,9 +89,7 @@ fn wal_recovery_after_crash_restart() {
     cluster.wait_for_leader(Duration::from_secs(5)).expect("leader");
     let mut client = cluster.client();
     for i in 0..10 {
-        client
-            .submit(Bytes::from(format!("k{i}=v{i}")), Duration::from_secs(5))
-            .expect("submit");
+        client.submit(Bytes::from(format!("k{i}=v{i}")), Duration::from_secs(5)).expect("submit");
     }
     // Crash a follower, write more, restart it, and check it catches up
     // from its recovered log rather than from scratch.
@@ -102,9 +98,7 @@ fn wal_recovery_after_crash_restart() {
     cluster.crash(follower);
     std::thread::sleep(Duration::from_millis(200));
     for i in 10..20 {
-        client
-            .submit(Bytes::from(format!("k{i}=v{i}")), Duration::from_secs(5))
-            .expect("submit");
+        client.submit(Bytes::from(format!("k{i}=v{i}")), Duration::from_secs(5)).expect("submit");
     }
     cluster.restart(follower);
     assert!(cluster.wait_for_applied(21, Duration::from_secs(10)), "restarted node catches up");
@@ -163,9 +157,8 @@ fn raft_never_weak_acks() {
     cluster.wait_for_leader(Duration::from_secs(5)).expect("leader");
     let mut client = cluster.client();
     for i in 0..30 {
-        let (_, weak) = client
-            .submit(Bytes::from(format!("k{i}=v")), Duration::from_secs(10))
-            .expect("submit");
+        let (_, weak) =
+            client.submit(Bytes::from(format!("k{i}=v")), Duration::from_secs(10)).expect("submit");
         assert!(!weak, "original Raft must not weak-ack");
     }
 }
@@ -228,9 +221,7 @@ fn craft_cluster_commits_and_leader_applies() {
     let leader = cluster.wait_for_leader(Duration::from_secs(5)).expect("leader");
     let mut client = cluster.client();
     for i in 0..20 {
-        client
-            .submit(Bytes::from(format!("c{i}=frag")), Duration::from_secs(10))
-            .expect("submit");
+        client.submit(Bytes::from(format!("c{i}=frag")), Duration::from_secs(10)).expect("submit");
     }
     client.drain(Duration::from_secs(10));
     std::thread::sleep(Duration::from_millis(300));
@@ -277,9 +268,7 @@ fn compaction_ships_snapshots_to_restarted_followers() {
     let mut client = cluster.client();
 
     for i in 0..30 {
-        client
-            .submit(Bytes::from(format!("pre{i}=x")), Duration::from_secs(5))
-            .expect("submit");
+        client.submit(Bytes::from(format!("pre{i}=x")), Duration::from_secs(5)).expect("submit");
     }
     client.drain(Duration::from_secs(5));
     let leader = cluster.wait_for_leader(Duration::from_secs(1)).unwrap();
@@ -288,9 +277,7 @@ fn compaction_ships_snapshots_to_restarted_followers() {
 
     // Enough traffic that the missed range is compacted away on the leader.
     for i in 0..80 {
-        client
-            .submit(Bytes::from(format!("mid{i}=y")), Duration::from_secs(5))
-            .expect("submit");
+        client.submit(Bytes::from(format!("mid{i}=y")), Duration::from_secs(5)).expect("submit");
     }
     client.drain(Duration::from_secs(5));
 
@@ -311,16 +298,12 @@ fn linearizable_reads_from_leader_and_follower() {
     let cluster: Cluster<KvStore> = Cluster::spawn(3, cfg(Protocol::NbRaft, 1024));
     let leader = cluster.wait_for_leader(Duration::from_secs(5)).expect("leader");
     let mut client = cluster.client();
-    client
-        .submit(Bytes::from_static(b"city=beijing"), Duration::from_secs(5))
-        .expect("submit");
+    client.submit(Bytes::from_static(b"city=beijing"), Duration::from_secs(5)).expect("submit");
     client.drain(Duration::from_secs(5));
 
     // Leader read sees the committed write.
     let v = cluster
-        .linearizable_read(leader, Duration::from_secs(5), |kv| {
-            kv.get(b"city").map(|v| v.to_vec())
-        })
+        .linearizable_read(leader, Duration::from_secs(5), |kv| kv.get(b"city").map(|v| v.to_vec()))
         .expect("leader read");
     assert_eq!(v.as_deref(), Some(b"beijing".as_ref()));
 

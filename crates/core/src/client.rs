@@ -56,7 +56,10 @@ struct PendingOp {
 }
 
 /// The client protocol state machine.
-#[derive(Debug)]
+///
+/// `Clone` exists for the `nbr-check` model checker, which snapshots client
+/// state while exploring the protocol state graph.
+#[derive(Debug, Clone)]
 pub struct RaftClient {
     id: ClientId,
     next_request: RequestId,
@@ -81,7 +84,12 @@ pub struct RaftClient {
 
 impl RaftClient {
     /// Create a client that will first contact `target`.
-    pub fn new(id: ClientId, nodes: Vec<NodeId>, target: NodeId, request_timeout: TimeDelta) -> RaftClient {
+    pub fn new(
+        id: ClientId,
+        nodes: Vec<NodeId>,
+        target: NodeId,
+        request_timeout: TimeDelta,
+    ) -> RaftClient {
         assert!(!nodes.is_empty());
         RaftClient {
             id,
@@ -127,8 +135,37 @@ impl RaftClient {
         self.next_request.0 - 1
     }
 
+    /// Fold every piece of client protocol state into `h` (see
+    /// [`crate::Node::fingerprint`]).
+    pub fn fingerprint<H: std::hash::Hasher>(&self, h: &mut H) {
+        use std::hash::Hash;
+        self.id.hash(h);
+        self.next_request.hash(h);
+        self.target.hash(h);
+        self.list_term.hash(h);
+        self.acked_through.hash(h);
+        self.confirmed_through.hash(h);
+        for op in &self.op_list {
+            op.index.hash(h);
+            op.term.hash(h);
+            op.request.hash(h);
+            op.payload.hash(h);
+        }
+        if let Some((request, payload, first, last)) = &self.outstanding {
+            request.hash(h);
+            payload.hash(h);
+            first.hash(h);
+            last.hash(h);
+        }
+    }
+
     /// Issue a new request with `payload`. Panics if not [`Self::ready`].
-    pub fn issue(&mut self, payload: Bytes, now: Time, actions: &mut Vec<ClientAction>) -> RequestId {
+    pub fn issue(
+        &mut self,
+        payload: Bytes,
+        now: Time,
+        actions: &mut Vec<ClientAction>,
+    ) -> RequestId {
         assert!(self.ready(), "closed-loop client already has an outstanding request");
         let request = self.next_request;
         self.next_request = self.next_request.next();
@@ -141,7 +178,12 @@ impl RaftClient {
     }
 
     /// Handle a response from a replica.
-    pub fn handle_response(&mut self, resp: ClientResponse, now: Time, actions: &mut Vec<ClientAction>) {
+    pub fn handle_response(
+        &mut self,
+        resp: ClientResponse,
+        now: Time,
+        actions: &mut Vec<ClientAction>,
+    ) {
         match resp {
             ClientResponse::Weak { request, index, term } => {
                 self.observe_term(term, now, actions);
@@ -159,12 +201,13 @@ impl RaftClient {
             ClientResponse::Strong { request, index, term } => {
                 self.observe_term(term, now, actions);
                 // Log continuity: everything with index ≤ `index` committed.
-                while let Some(front) = self.op_list.front() {
-                    if front.index <= index && front.term <= term {
-                        let op = self.op_list.pop_front().unwrap();
+                while self
+                    .op_list
+                    .front()
+                    .is_some_and(|front| front.index <= index && front.term <= term)
+                {
+                    if let Some(op) = self.op_list.pop_front() {
                         self.confirm(op.request, actions);
-                    } else {
-                        break;
                     }
                 }
                 if let Some((out_id, payload, first, _)) = self.outstanding.take() {
@@ -249,7 +292,13 @@ impl RaftClient {
         self.target = self.nodes[(pos + 1) % self.nodes.len()];
     }
 
-    fn ack(&mut self, request: RequestId, issued_at: Time, weak: bool, actions: &mut Vec<ClientAction>) {
+    fn ack(
+        &mut self,
+        request: RequestId,
+        issued_at: Time,
+        weak: bool,
+        actions: &mut Vec<ClientAction>,
+    ) {
         if request > self.acked_through {
             self.acked_through = request;
             actions.push(ClientAction::Acked { request, issued_at, weak });
@@ -407,7 +456,11 @@ mod tests {
         assert_eq!(c.target(), NodeId(2));
         assert_eq!(sends(&acts), vec![(NodeId(2), r1)]);
         // Without a hint, rotate.
-        c.handle_response(ClientResponse::NotLeader { request: r1, hint: None }, Time::ZERO, &mut acts);
+        c.handle_response(
+            ClientResponse::NotLeader { request: r1, hint: None },
+            Time::ZERO,
+            &mut acts,
+        );
         assert_eq!(c.target(), NodeId(0));
     }
 

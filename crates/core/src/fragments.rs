@@ -16,7 +16,7 @@ use std::collections::BTreeMap;
 /// Encode `payload` into `n` shards with `k` data shards, as [`Fragment`]s.
 pub fn encode_fragments(payload: &Bytes, k: usize, n: usize) -> Vec<Fragment> {
     debug_assert!(k >= 1 && k <= n && n <= 255);
-    let rs = ReedSolomon::new(k, n).expect("validated geometry");
+    let rs = ReedSolomon::new(k, n).expect("validated geometry"); // check:allow(L1): k/n come from ProtocolConfig::fragment_k, always a legal geometry
     rs.encode(payload)
         .into_iter()
         .map(|s| Fragment {

@@ -141,6 +141,11 @@ impl Progress {
 
 /// The replica engine. Generic over log storage so the simulator can use
 /// [`nbr_storage::MemLog`] and the cluster runtime [`nbr_storage::WalLog`].
+///
+/// `Clone` (available when the log store is cloneable, i.e. `MemLog`) exists
+/// for the `nbr-check` model checker, which snapshots whole replicas while
+/// exploring the protocol state graph.
+#[derive(Clone)]
 pub struct Node<L: LogStore> {
     id: NodeId,
     /// All members (sorted, includes self). Bit `i` of vote/accept bitmaps
@@ -209,7 +214,13 @@ pub struct Node<L: LogStore> {
 impl<L: LogStore> Node<L> {
     /// Create a replica. `membership` must contain `id`; it is sorted
     /// internally so all replicas agree on bit positions.
-    pub fn new(id: NodeId, mut membership: Vec<NodeId>, cfg: ProtocolConfig, log: L, seed: u64) -> Node<L> {
+    pub fn new(
+        id: NodeId,
+        mut membership: Vec<NodeId>,
+        cfg: ProtocolConfig,
+        log: L,
+        seed: u64,
+    ) -> Node<L> {
         membership.sort_unstable();
         membership.dedup();
         assert!(membership.contains(&id), "membership must include self");
@@ -349,17 +360,103 @@ impl<L: LogStore> Node<L> {
         self.membership.len()
     }
 
+    /// Borrow the follower's sliding window (model checker / tests).
+    pub fn window(&self) -> &SlidingWindow {
+        &self.window
+    }
+
+    /// Borrow the leader's vote list (model checker / tests).
+    pub fn vote_list(&self) -> &VoteList {
+        &self.vote_list
+    }
+
+    /// When the election timer would fire (model checker: pass this to
+    /// [`Self::tick`] to take the timeout transition deterministically).
+    pub fn election_deadline(&self) -> Time {
+        self.election_deadline
+    }
+
+    /// When the next leader heartbeat is due (model checker hook, as above).
+    pub fn next_heartbeat(&self) -> Time {
+        self.next_heartbeat
+    }
+
+    /// Fold every protocol-relevant piece of replica state into `h`.
+    ///
+    /// Two replicas with equal fingerprints behave identically on every
+    /// future input: the `nbr-check` model checker uses this to recognize
+    /// already-explored global states. Instrumentation counters
+    /// ([`NodeStats`]) and the `t_wait` arrival bookkeeping are deliberately
+    /// excluded — they never influence a transition.
+    pub fn fingerprint<H: std::hash::Hasher>(&self, h: &mut H) {
+        use std::hash::Hash;
+        self.id.hash(h);
+        self.term.hash(h);
+        self.voted_for.hash(h);
+        (self.role as u8).hash(h);
+        self.leader_hint.hash(h);
+        self.commit_index.hash(h);
+        self.applied_index.hash(h);
+        // Log contents.
+        let (first, last) = (self.log.first_index(), self.log.last_index());
+        first.hash(h);
+        let mut i = first;
+        while i <= last {
+            if i > LogIndex::ZERO {
+                self.log.get(i).hash(h);
+            }
+            i = i.next();
+        }
+        // Window cache.
+        self.window.base().hash(h);
+        for idx in self.window.cached_indices() {
+            self.window.get(idx).hash(h);
+        }
+        // Parked entries (beyond-window / stock-Raft out-of-order).
+        for (idx, (entry, _arrival)) in &self.parked {
+            idx.hash(h);
+            entry.hash(h);
+        }
+        // Candidate and leader state.
+        self.votes.hash(h);
+        for (idx, t) in self.vote_list.iter() {
+            idx.hash(h);
+            t.term.hash(h);
+            t.origin.hash(h);
+            t.weak.hash(h);
+            t.strong.hash(h);
+            t.commit_threshold.hash(h);
+            t.weak_replied.hash(h);
+        }
+        for p in &self.progress {
+            p.match_index.hash(h);
+            p.last_seen.hash(h);
+            p.stall_rounds.hash(h);
+            p.silent_rounds.hash(h);
+        }
+        // Timers and the RNG cursor that feeds them: two replicas that agree
+        // on everything else but would jitter differently are distinct states.
+        self.election_deadline.hash(h);
+        self.next_heartbeat.hash(h);
+        rand::RngCore::next_u64(&mut self.rng.clone()).hash(h);
+        // Snapshot horizon.
+        if let Some((idx, term, image)) = &self.snapshot {
+            idx.hash(h);
+            term.hash(h);
+            image.hash(h);
+        }
+        self.pull_pending.hash(h);
+        self.reconstructed.len().hash(h);
+    }
+
     fn bit_of(&self, node: NodeId) -> u64 {
-        let pos = self
-            .membership
-            .iter()
-            .position(|&n| n == node)
-            .expect("node in membership");
+        let pos = self.membership.iter().position(|&n| n == node).expect("node in membership"); // check:allow(L1): membership is fixed at construction and routing is membership-driven
         1u64 << pos
     }
 
     fn position_of(&self, node: NodeId) -> usize {
-        self.membership.iter().position(|&n| n == node).expect("node in membership")
+        let pos = self.membership.iter().position(|&n| n == node);
+        pos.expect("node in membership") // check:allow(L1): membership is fixed at construction
     }
 
     fn quorum(&self) -> u32 {
@@ -412,7 +509,19 @@ impl<L: LogStore> Node<L> {
             let hint = match &msg {
                 Message::AppendEntry(m) => Some(m.leader),
                 Message::Heartbeat(m) => Some(m.leader),
-                _ => None,
+                // Snapshots name the leader too, but only replication
+                // traffic updates the hint (an InstallSnapshot for a newer
+                // term is immediately followed by heartbeats anyway).
+                Message::InstallSnapshot(_)
+                | Message::AppendResp(_)
+                | Message::HeartbeatResp(_)
+                | Message::RequestVote(_)
+                | Message::RequestVoteResp(_)
+                | Message::PullFragments(_)
+                | Message::PushFragments(_)
+                | Message::InstallSnapshotResp(_)
+                | Message::ReadIndexReq(_)
+                | Message::ReadIndexResp(_) => None,
             };
             self.step_down(mterm, hint, out);
         }
@@ -595,12 +704,18 @@ impl<L: LogStore> Node<L> {
             .count()
     }
 
-    fn propose(&mut self, origin: Option<Origin>, payload: Payload, now: Time, out: &mut Vec<Output>) {
+    fn propose(
+        &mut self,
+        origin: Option<Origin>,
+        payload: Payload,
+        now: Time,
+        out: &mut Vec<Output>,
+    ) {
         debug_assert_eq!(self.role, Role::Leader);
         let index = self.log.last_index().next();
         let prev_term = self.log.last_term();
         let entry = Entry { index, term: self.term, prev_term, origin, payload };
-        self.log.append(entry.clone()).expect("leader append is contiguous");
+        self.log.append(entry.clone()).expect("leader append is contiguous"); // check:allow(L1): index chosen as last+1; failure = storage fault, crash-stop
         self.stats.appends += 1;
         let threshold = self.effective_threshold();
         let self_bit = self.bit_of(self.id);
@@ -624,7 +739,12 @@ impl<L: LogStore> Node<L> {
         }
     }
 
-    fn append_msg(&self, entry: Entry, verification: Option<Verification>, relay_to: Vec<NodeId>) -> Message {
+    fn append_msg(
+        &self,
+        entry: Entry,
+        verification: Option<Verification>,
+        relay_to: Vec<NodeId>,
+    ) -> Message {
         Message::AppendEntry(AppendEntryMsg {
             term: self.term,
             leader: self.id,
@@ -669,8 +789,11 @@ impl<L: LogStore> Node<L> {
         let n = self.membership.len();
         let payload = match &entry.payload {
             Payload::Data(b) if n > 2 => b.clone(),
-            // No-ops and tiny groups replicate in full.
-            _ => return self.replicate_full(entry, out),
+            // No-ops, tiny groups and pre-fragmented entries replicate in
+            // full.
+            Payload::Data(_) | Payload::Noop | Payload::Fragment(_) => {
+                return self.replicate_full(entry, out)
+            }
         };
         let alive: Vec<NodeId> = self
             .membership
@@ -704,7 +827,10 @@ impl<L: LogStore> Node<L> {
                 origin: entry.origin,
                 payload: Payload::Fragment(frags[pos].clone()),
             };
-            out.push(Output::Send { to: member, msg: self.append_msg(frag_entry, None, Vec::new()) });
+            out.push(Output::Send {
+                to: member,
+                msg: self.append_msg(frag_entry, None, Vec::new()),
+            });
         }
         // Dead members of the original membership get nothing until they
         // revive and catch up via heartbeat repair.
@@ -718,13 +844,12 @@ impl<L: LogStore> Node<L> {
         let signature = self
             .keys
             .key(self.position_of(self.id) as u32)
-            .expect("own key")
+            .expect("own key") // check:allow(L1): KeyDirectory always holds every member position
             .sign(&digest);
         let peers: Vec<NodeId> = self.peers().collect();
         let gsize = self.cfg.verify_group_size.min(peers.len());
-        let group = (0..gsize)
-            .map(|i| peers[((entry.index.0 as usize) + i) % peers.len()])
-            .collect();
+        let group =
+            (0..gsize).map(|i| peers[((entry.index.0 as usize) + i) % peers.len()]).collect();
         Some(Verification { digest, signature: signature.0, group })
     }
 
@@ -825,15 +950,20 @@ impl<L: LogStore> Node<L> {
             // Replace: truncate the conflicting suffix, append, and move the
             // window leftwards (Figure 7).
             let min_term = entry.term;
-            self.log.truncate_from(entry.index).expect("truncate above commit");
-            self.log.append(entry).expect("contiguous after truncate");
+            self.log.truncate_from(entry.index).expect("truncate above commit"); // check:allow(L1): storage fault is unrecoverable, crash-stop
+            self.log.append(entry).expect("contiguous after truncate"); // check:allow(L1): storage fault is unrecoverable, crash-stop
             self.stats.appends += 1;
             self.window.shift_to(self.log.last_index(), min_term);
             self.reconstructed.split_off(&self.log.last_index().next());
             self.respond_strong(leader, out);
         } else {
             // Previous entry mismatch: ask for earlier entries.
-            self.respond_mismatch(leader, entry.index, prev_idx.max(self.log.first_index().prev()), out);
+            self.respond_mismatch(
+                leader,
+                entry.index,
+                prev_idx.max(self.log.first_index().prev()),
+                out,
+            );
         }
     }
 
@@ -851,7 +981,7 @@ impl<L: LogStore> Node<L> {
                         self.stats.park_wait_ns += now.since(arrived).as_nanos();
                         self.stats.park_waits += 1;
                     }
-                    self.log.append(e).expect("window flush is contiguous");
+                    self.log.append(e).expect("window flush is contiguous"); // check:allow(L1): flush run is contiguous by construction; else storage fault, crash-stop
                     self.stats.appends += 1;
                 }
                 self.respond_strong(leader, out);
@@ -884,7 +1014,7 @@ impl<L: LogStore> Node<L> {
                 self.stats.parked += 1;
                 match self.parked.get(&index) {
                     Some((existing, _)) if existing.term >= term => {}
-                    _ => {
+                    Some(_) | None => {
                         self.parked.insert(index, (entry, now));
                     }
                 }
@@ -907,7 +1037,13 @@ impl<L: LogStore> Node<L> {
         });
     }
 
-    fn respond_mismatch(&mut self, leader: NodeId, index: LogIndex, resend_from: LogIndex, out: &mut Vec<Output>) {
+    fn respond_mismatch(
+        &mut self,
+        leader: NodeId,
+        index: LogIndex,
+        resend_from: LogIndex,
+        out: &mut Vec<Output>,
+    ) {
         self.stats.mismatches += 1;
         out.push(Output::Send {
             to: leader,
@@ -938,7 +1074,9 @@ impl<L: LogStore> Node<L> {
             if !fits {
                 return;
             }
-            let (entry, arrived) = self.parked.remove(&index).expect("checked present");
+            let Some((entry, arrived)) = self.parked.remove(&index) else {
+                return;
+            };
             let entry_term = entry.term;
             match self.window.offer(entry, self.log.last_term()) {
                 WindowOutcome::Flush(run) => {
@@ -947,7 +1085,7 @@ impl<L: LogStore> Node<L> {
                         let arrived_at = self.arrivals.remove(&e.index).unwrap_or(arrived);
                         self.stats.park_wait_ns += now.since(arrived_at).as_nanos();
                         self.stats.park_waits += 1;
-                        self.log.append(e).expect("contiguous flush");
+                        self.log.append(e).expect("contiguous flush"); // check:allow(L1): as above
                         self.stats.appends += 1;
                     }
                     self.respond_strong(leader, out);
@@ -1060,7 +1198,13 @@ impl<L: LogStore> Node<L> {
 
     /// Re-send entries to a lagging or diverged follower, starting from
     /// `from_index` (capped batch).
-    fn repair_follower(&mut self, follower: NodeId, from_index: LogIndex, _now: Time, out: &mut Vec<Output>) {
+    fn repair_follower(
+        &mut self,
+        follower: NodeId,
+        from_index: LogIndex,
+        _now: Time,
+        out: &mut Vec<Output>,
+    ) {
         // Behind the compaction horizon: ship the snapshot instead.
         if from_index < self.log.first_index() {
             if let Some((last_index, last_term, data)) = &self.snapshot {
@@ -1106,7 +1250,8 @@ impl<L: LogStore> Node<L> {
     /// not yet reconstructable.
     fn repair_message_for(&mut self, follower: NodeId, entry: Entry) -> Option<Message> {
         let n = self.membership.len();
-        let fragmented = matches!(self.cfg.replication, ReplicationMode::Fragmented { .. }) && n > 2;
+        let fragmented =
+            matches!(self.cfg.replication, ReplicationMode::Fragmented { .. }) && n > 2;
         let payload_bytes: Option<Bytes> = match &entry.payload {
             Payload::Data(b) => Some(b.clone()),
             Payload::Noop => None,
@@ -1332,7 +1477,13 @@ impl<L: LogStore> Node<L> {
     /// ReadIndex protocol. On a follower, the read index is obtained from
     /// the leader and the read is served *locally* (follower read, the
     /// capability CRaft forfeits — paper Table II).
-    pub fn handle_read(&mut self, client: ClientId, request: RequestId, now: Time, out: &mut Vec<Output>) {
+    pub fn handle_read(
+        &mut self,
+        client: ClientId,
+        request: RequestId,
+        now: Time,
+        out: &mut Vec<Output>,
+    ) {
         match self.role {
             Role::Leader => {
                 let read = PendingRead {
@@ -1342,7 +1493,7 @@ impl<L: LogStore> Node<L> {
                 };
                 self.register_read(read, now, out);
             }
-            _ => match self.leader_hint {
+            Role::Follower | Role::Candidate => match self.leader_hint {
                 Some(leader) if leader != self.id => {
                     self.next_probe += 1;
                     self.read_probes.insert(self.next_probe, (client, request));
@@ -1355,7 +1506,7 @@ impl<L: LogStore> Node<L> {
                         }),
                     });
                 }
-                _ => out.push(Output::Respond {
+                Some(_) | None => out.push(Output::Respond {
                     client,
                     resp: ClientResponse::NotLeader { request, hint: self.leader_hint },
                 }),
@@ -1487,7 +1638,7 @@ impl<L: LogStore> Node<L> {
         // retransmission — just ack our position).
         let covered = self.log.term_of(m.last_index) == Some(m.last_term);
         if !covered {
-            self.log.reset(m.last_index, m.last_term).expect("log reset");
+            self.log.reset(m.last_index, m.last_term).expect("log reset"); // check:allow(L1): storage fault is unrecoverable, crash-stop
             self.window = SlidingWindow::new(self.cfg.window, m.last_index);
             self.parked.clear();
             self.arrivals.clear();
@@ -1522,7 +1673,12 @@ impl<L: LogStore> Node<L> {
         });
     }
 
-    fn on_install_snapshot_resp(&mut self, m: InstallSnapshotRespMsg, now: Time, out: &mut Vec<Output>) {
+    fn on_install_snapshot_resp(
+        &mut self,
+        m: InstallSnapshotRespMsg,
+        now: Time,
+        out: &mut Vec<Output>,
+    ) {
         if self.role != Role::Leader || m.term != self.term {
             return;
         }
@@ -1563,8 +1719,8 @@ impl<L: LogStore> Node<L> {
                         }
                     }
                 }
-                (Payload::Fragment(_), _) => return,
-                _ => entry,
+                (Payload::Fragment(_), Role::Follower | Role::Candidate) => return,
+                (Payload::Noop | Payload::Data(_), _) => entry,
             };
             out.push(Output::Apply { entry });
             self.stats.applied += 1;

@@ -123,6 +123,16 @@ impl VoteList {
         self.tuples.get(&index)
     }
 
+    /// The weak-majority threshold this list was built with.
+    pub fn quorum(&self) -> u32 {
+        self.quorum
+    }
+
+    /// Iterate all open tuples in index order (model checker / tests).
+    pub fn iter(&self) -> impl Iterator<Item = (LogIndex, &VoteTuple)> {
+        self.tuples.iter().map(|(&i, t)| (i, t))
+    }
+
     /// Record a `WEAK_ACCEPT` for `index` from the member with bit `bit`
     /// (Section III-B2). Only the matching tuple is touched.
     pub fn weak_accept(&mut self, index: LogIndex, term: Term, bit: u64) -> VoteOutcome {
@@ -169,11 +179,11 @@ impl VoteList {
             }
         }
         if let Some(limit) = commit_up_to {
-            let committed: Vec<LogIndex> =
-                self.tuples.range(..=limit).map(|(&i, _)| i).collect();
+            let committed: Vec<LogIndex> = self.tuples.range(..=limit).map(|(&i, _)| i).collect();
             for idx in committed {
-                let tp = self.tuples.remove(&idx).expect("tuple exists");
-                out.committed.push((idx, tp.term, tp.origin));
+                if let Some(tp) = self.tuples.remove(&idx) {
+                    out.committed.push((idx, tp.term, tp.origin));
+                }
             }
         }
         out

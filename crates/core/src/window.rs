@@ -56,12 +56,7 @@ impl SlidingWindow {
     /// Create a window of the given capacity over a log whose last appended
     /// index is `last_log_index`.
     pub fn new(capacity: usize, last_log_index: LogIndex) -> SlidingWindow {
-        SlidingWindow {
-            capacity,
-            slots: VecDeque::new(),
-            base: last_log_index.next(),
-            occupied: 0,
-        }
+        SlidingWindow { capacity, slots: VecDeque::new(), base: last_log_index.next(), occupied: 0 }
     }
 
     /// Capacity `w`.
@@ -143,22 +138,18 @@ impl SlidingWindow {
             // starting at slot 1 (index base + 1).
             let mut run = vec![entry];
             let mut j = 1usize;
-            loop {
-                match self.slots.get(j).and_then(|s| s.as_ref()) {
-                    Some(next) if run.last().unwrap().precedes(next) => {
-                        let e = self.slots[j].take().unwrap();
-                        self.occupied -= 1;
-                        run.push(e);
-                        j += 1;
-                    }
-                    Some(_) => {
-                        // Inconsistent successor: drop it and its suffix
-                        // (Section III-A2a applied at flush time).
-                        self.clear_from(j);
-                        break;
-                    }
-                    None => break,
+            while let Some(next) = self.slots.get(j).and_then(|s| s.as_ref()) {
+                if !run.last().is_some_and(|tail| tail.precedes(next)) {
+                    // Inconsistent successor: drop it and its suffix
+                    // (Section III-A2a applied at flush time).
+                    self.clear_from(j);
+                    break;
                 }
+                if let Some(e) = self.slots.get_mut(j).and_then(|s| s.take()) {
+                    self.occupied -= 1;
+                    run.push(e);
+                }
+                j += 1;
             }
             // Slide the window right past the flushed run.
             let advance = run.len();
@@ -257,7 +248,7 @@ impl SlidingWindow {
         for j in 1..self.slots.len() {
             let consistent = match (&self.slots[j - 1], &self.slots[j]) {
                 (Some(a), Some(b)) => a.precedes(b),
-                _ => true,
+                (Some(_), None) | (None, Some(_)) | (None, None) => true,
             };
             if !consistent {
                 // Keep the earlier entry; drop the later one and its suffix
@@ -309,10 +300,7 @@ mod tests {
     fn raft_is_window_zero() {
         let mut w = SlidingWindow::new(0, LogIndex(5));
         // In-order entry still flushes.
-        assert_eq!(
-            w.offer(e(6, 1, 1), Term(1)),
-            WindowOutcome::Flush(vec![e(6, 1, 1)])
-        );
+        assert_eq!(w.offer(e(6, 1, 1), Term(1)), WindowOutcome::Flush(vec![e(6, 1, 1)]));
         // Out-of-order entry cannot be cached.
         assert_eq!(w.offer(e(9, 1, 1), Term(1)), WindowOutcome::Beyond(e(9, 1, 1)));
         assert_eq!(w.occupied(), 0);
@@ -458,11 +446,86 @@ mod tests {
     }
 
     #[test]
+    fn offer_at_full_capacity_then_beyond() {
+        // Fill every slot 1..capacity with a consistent chain (slot 0 cannot
+        // be cached: diff == 1 always flushes), then confirm the window is
+        // saturated and further-out entries bounce.
+        let mut w = fig6_window();
+        for i in 9..=13u64 {
+            assert_eq!(w.offer(e(i, 5, 5), Term(4)), WindowOutcome::Cached);
+        }
+        assert_eq!(w.occupied(), 5);
+        assert_eq!(w.offer(e(14, 5, 5), Term(4)), WindowOutcome::Beyond(e(14, 5, 5)));
+        assert_eq!(w.occupied(), 5, "a bounced entry must not evict cached ones");
+        // A conflicting re-offer inside the full window evicts the stale
+        // suffix instead of growing past capacity.
+        assert_eq!(w.offer(e(11, 7, 6), Term(4)), WindowOutcome::Cached);
+        assert_eq!(w.cached_indices(), vec![LogIndex(9), LogIndex(11)]);
+        assert!(w.adjacency_consistent());
+    }
+
+    #[test]
+    fn lower_term_duplicate_also_replaces() {
+        // `offer` is last-writer-wins for a duplicate index: the freshest
+        // leader message is authoritative even if its term is lower (the
+        // higher-term copy must then have been from a deposed leader's
+        // in-flight duplicate; neighbour pruning keeps adjacency consistent).
+        let mut w = fig6_window();
+        assert_eq!(w.offer(e(10, 6, 6), Term(4)), WindowOutcome::Cached);
+        assert_eq!(w.offer(e(10, 5, 5), Term(4)), WindowOutcome::Cached);
+        assert_eq!(w.get(LogIndex(10)).unwrap().term, Term(5));
+        assert_eq!(w.occupied(), 1);
+        assert!(w.adjacency_consistent());
+    }
+
+    #[test]
+    fn window_wraps_after_repeated_flush_and_refill() {
+        // Two full cache-then-flush cycles: the second reuses slots freed by
+        // the first, so the base and slot ring must stay aligned.
+        let mut w = SlidingWindow::new(3, LogIndex(0));
+        // Cycle 1: cache 2,3 then flush 1..=3.
+        assert_eq!(w.offer(e(2, 1, 1), Term(0)), WindowOutcome::Cached);
+        assert_eq!(w.offer(e(3, 1, 1), Term(0)), WindowOutcome::Cached);
+        match w.offer(e(1, 1, 0), Term(0)) {
+            WindowOutcome::Flush(run) => assert_eq!(run.len(), 3),
+            other => panic!("expected flush, got {other:?}"),
+        }
+        assert_eq!(w.base(), LogIndex(4));
+        assert_eq!(w.occupied(), 0);
+        // Cycle 2: the window now covers 4..=6; 7 is beyond again.
+        assert_eq!(w.offer(e(7, 1, 1), Term(1)), WindowOutcome::Beyond(e(7, 1, 1)));
+        assert_eq!(w.offer(e(5, 1, 1), Term(0)), WindowOutcome::Cached);
+        assert_eq!(w.offer(e(6, 1, 1), Term(0)), WindowOutcome::Cached);
+        match w.offer(e(4, 1, 1), Term(1)) {
+            WindowOutcome::Flush(run) => {
+                let idx: Vec<u64> = run.iter().map(|e| e.index.0).collect();
+                assert_eq!(idx, vec![4, 5, 6]);
+            }
+            other => panic!("expected flush, got {other:?}"),
+        }
+        assert_eq!(w.base(), LogIndex(7));
+        assert_eq!(w.occupied(), 0);
+        assert!(w.adjacency_consistent());
+    }
+
+    #[test]
+    fn window_zero_still_detects_mismatch() {
+        // Stock-Raft degeneration keeps the diff == 1 previous-entry check.
+        let mut w = SlidingWindow::new(0, LogIndex(5));
+        assert_eq!(w.offer(e(6, 2, 1), Term(2)), WindowOutcome::Mismatch);
+        assert_eq!(w.offer(e(6, 2, 2), Term(2)), WindowOutcome::Flush(vec![e(6, 2, 2)]));
+        assert_eq!(w.base(), LogIndex(7));
+    }
+
+    #[test]
     fn chain_flush_after_many_caches() {
         // Fill slots 2..=6 with a consistent chain, then complete it.
         let mut w = SlidingWindow::new(10, LogIndex(0));
         for i in (2..=6).rev() {
-            assert_eq!(w.offer(e(i, 1, if i == 1 { 0 } else { 1 }), Term(0)), WindowOutcome::Cached);
+            assert_eq!(
+                w.offer(e(i, 1, if i == 1 { 0 } else { 1 }), Term(0)),
+                WindowOutcome::Cached
+            );
         }
         match w.offer(e(1, 1, 0), Term(0)) {
             WindowOutcome::Flush(run) => {

@@ -43,13 +43,8 @@ fn chaos_round(proto: Protocol, window: usize, seed: u64, n: usize, requests: u6
     for round in 0..600u64 {
         // Issue requests at whoever claims leadership.
         if issued < requests {
-            let leaders: Vec<u32> = c
-                .nodes
-                .iter()
-                .flatten()
-                .filter(|nd| nd.is_leader())
-                .map(|nd| nd.id().0)
-                .collect();
+            let leaders: Vec<u32> =
+                c.nodes.iter().flatten().filter(|nd| nd.is_leader()).map(|nd| nd.id().0).collect();
             if let Some(&l) = leaders.first() {
                 issued += 1;
                 c.client_request(l, 1, issued, format!("k{issued}=v").as_bytes());
@@ -113,13 +108,7 @@ fn chaos_round(proto: Protocol, window: usize, seed: u64, n: usize, requests: u6
     // Liveness under this bounded chaos: a leader exists and most requests
     // committed (drops may have eaten some responses, but repair + client
     // retries are not modelled here, so just require progress).
-    let max_commit = c
-        .nodes
-        .iter()
-        .flatten()
-        .map(|nd| nd.commit_index())
-        .max()
-        .unwrap();
+    let max_commit = c.nodes.iter().flatten().map(|nd| nd.commit_index()).max().unwrap();
     assert!(max_commit.0 > 1, "cluster made no progress under chaos (seed {seed})");
 }
 

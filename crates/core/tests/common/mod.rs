@@ -168,38 +168,22 @@ impl TestCluster {
 
     /// Indices of pending messages matching a predicate.
     pub fn find_pending(&self, f: impl Fn(&InFlight) -> bool) -> Vec<usize> {
-        self.pending
-            .iter()
-            .enumerate()
-            .filter(|(_, m)| f(m))
-            .map(|(i, _)| i)
-            .collect()
+        self.pending.iter().enumerate().filter(|(_, m)| f(m)).map(|(i, _)| i).collect()
     }
 
     /// Assert all living nodes hold identical (index, term) log contents up
     /// to the minimum commit index, and return that index.
     pub fn assert_committed_prefix_consistent(&self) -> LogIndex {
-        let commits: Vec<LogIndex> = self
-            .nodes
-            .iter()
-            .flatten()
-            .map(|n| n.commit_index())
-            .collect();
+        let commits: Vec<LogIndex> =
+            self.nodes.iter().flatten().map(|n| n.commit_index()).collect();
         let min_commit = commits.iter().copied().min().unwrap_or(LogIndex::ZERO);
         // Compare every index each pair of nodes both still retains (a node
         // may have compacted its prefix away after snapshotting).
         for i in 1..=min_commit.0 {
             let idx = LogIndex(i);
-            let terms: Vec<Term> = self
-                .nodes
-                .iter()
-                .flatten()
-                .filter_map(|n| n.log().term_of(idx))
-                .collect();
-            assert!(
-                terms.windows(2).all(|w| w[0] == w[1]),
-                "nodes disagree at {idx}: {terms:?}"
-            );
+            let terms: Vec<Term> =
+                self.nodes.iter().flatten().filter_map(|n| n.log().term_of(idx)).collect();
+            assert!(terms.windows(2).all(|w| w[0] == w[1]), "nodes disagree at {idx}: {terms:?}");
         }
         min_commit
     }

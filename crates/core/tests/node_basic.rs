@@ -49,13 +49,8 @@ fn follower_timeout_triggers_election() {
             break;
         }
     }
-    let leaders: Vec<u32> = c
-        .nodes
-        .iter()
-        .flatten()
-        .filter(|n| n.is_leader())
-        .map(|n| n.id().0)
-        .collect();
+    let leaders: Vec<u32> =
+        c.nodes.iter().flatten().filter(|n| n.is_leader()).map(|n| n.id().0).collect();
     assert_eq!(leaders.len(), 1, "exactly one leader, got {leaders:?}");
 }
 
@@ -203,10 +198,8 @@ fn dedup_across_leader_change() {
     c.pump();
     // Entry exists twice in the log; the *state machine* would dedup on
     // apply. Here we check both copies carry the same origin so dedup works.
-    let dupes: Vec<_> = c.applied[1]
-        .iter()
-        .filter(|e| e.origin.map(|o| o.client) == Some(ClientId(1)))
-        .collect();
+    let dupes: Vec<_> =
+        c.applied[1].iter().filter(|e| e.origin.map(|o| o.client) == Some(ClientId(1))).collect();
     assert!(!dupes.is_empty());
     for d in &dupes {
         assert_eq!(d.origin.unwrap().request, RequestId(1));

@@ -11,9 +11,7 @@ use nbr_types::*;
 /// Reverse the pending AppendEntry messages headed to one follower so they
 /// arrive out of order.
 fn reverse_appends_to(c: &mut TestCluster, to: u32) {
-    let idxs = c.find_pending(|m| {
-        m.to == NodeId(to) && matches!(m.msg, Message::AppendEntry(_))
-    });
+    let idxs = c.find_pending(|m| m.to == NodeId(to) && matches!(m.msg, Message::AppendEntry(_)));
     // Stable reversal: remove from the back, push to the back.
     let mut msgs = Vec::new();
     for &i in idxs.iter().rev() {
@@ -50,11 +48,8 @@ fn nbraft_weak_accepts_out_of_order_entries() {
     assert_eq!(c.node(0).commit_index(), LogIndex(11));
     assert_eq!(follower.last_index(), LogIndex(11));
     // Clients got weak responses before strong ones.
-    let weak = c
-        .responses_for(1)
-        .iter()
-        .filter(|r| matches!(r, ClientResponse::Weak { .. }))
-        .count();
+    let weak =
+        c.responses_for(1).iter().filter(|r| matches!(r, ClientResponse::Weak { .. })).count();
     assert!(weak > 0, "NB-Raft returns WEAK_ACCEPT to clients");
 }
 
@@ -66,11 +61,8 @@ fn raft_blocks_out_of_order_entries() {
     assert!(follower.stats.parked > 0, "out-of-order entries blocked (waited)");
     // Still correct: everything committed once the gap filled.
     assert_eq!(c.node(0).commit_index(), LogIndex(11));
-    let weak = c
-        .responses_for(1)
-        .iter()
-        .filter(|r| matches!(r, ClientResponse::Weak { .. }))
-        .count();
+    let weak =
+        c.responses_for(1).iter().filter(|r| matches!(r, ClientResponse::Weak { .. })).count();
     assert_eq!(weak, 0);
 }
 
@@ -104,7 +96,7 @@ fn weak_accept_needs_reception_quorum() {
     c.partitions = vec![(NodeId(0), NodeId(2))];
     c.client_request(0, 1, 1, b"a=1"); // index 2 (after noop)
     c.client_request(0, 1, 2, b"b=2"); // index 3
-    // Deliver ONLY the second entry (index 3) to follower 1 → cached, weak.
+                                       // Deliver ONLY the second entry (index 3) to follower 1 → cached, weak.
     let appends = c.find_pending(|m| {
         if let Message::AppendEntry(a) = &m.msg {
             m.to == NodeId(1) && a.entry.index == LogIndex(3)
@@ -257,12 +249,8 @@ fn duplicate_appends_are_idempotent() {
     c.elect(0);
     c.client_request(0, 1, 1, b"k=v");
     // Duplicate every pending append.
-    let dups: Vec<_> = c
-        .pending
-        .iter()
-        .filter(|m| matches!(m.msg, Message::AppendEntry(_)))
-        .cloned()
-        .collect();
+    let dups: Vec<_> =
+        c.pending.iter().filter(|m| matches!(m.msg, Message::AppendEntry(_))).cloned().collect();
     for d in dups {
         c.pending.push_back(d);
     }

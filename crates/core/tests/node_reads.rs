@@ -114,8 +114,8 @@ fn node_without_leader_rejects_reads() {
     let now = c.now;
     let mut out = Vec::new();
     c.node_mut(1).handle_read(ClientId(5), RequestId(1), now, &mut out);
-    let rejected = out
-        .iter()
-        .any(|o| matches!(o, nbr_core::Output::Respond { resp: ClientResponse::NotLeader { .. }, .. }));
+    let rejected = out.iter().any(|o| {
+        matches!(o, nbr_core::Output::Respond { resp: ClientResponse::NotLeader { .. }, .. })
+    });
     assert!(rejected);
 }

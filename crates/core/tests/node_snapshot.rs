@@ -23,9 +23,7 @@ fn leader_compacts_and_ships_snapshot_to_lagging_follower() {
     assert_eq!(c.node(0).commit_index(), LogIndex(31));
     // Leader applies, then compacts with a (stand-in) state machine image.
     assert_eq!(c.node(0).applied_index(), LogIndex(31));
-    c.node_mut(0)
-        .compact_with_snapshot(Bytes::from_static(b"machine image @31"))
-        .unwrap();
+    c.node_mut(0).compact_with_snapshot(Bytes::from_static(b"machine image @31")).unwrap();
     assert_eq!(c.node(0).log().first_index(), LogIndex(32), "prefix dropped");
 
     // Heal. The follower is at index 1, far behind the compaction horizon:

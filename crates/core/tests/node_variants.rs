@@ -47,11 +47,7 @@ fn craft_commit_needs_all_acceptors() {
     c.partitions = vec![(NodeId(0), NodeId(2)), (NodeId(1), NodeId(2))];
     c.client_request(0, 1, 1, &[1u8; 1000]);
     c.pump();
-    assert_eq!(
-        c.node(0).commit_index(),
-        LogIndex(1),
-        "fragmented entry needs all 3 acks (k + F)"
-    );
+    assert_eq!(c.node(0).commit_index(), LogIndex(1), "fragmented entry needs all 3 acks (k + F)");
     // Heal: the heartbeat repair path re-sends and the entry commits.
     c.partitions.clear();
     for _ in 0..8 {
@@ -86,10 +82,7 @@ fn craft_new_leader_reconstructs_committed_payload() {
     }
     // The new leader applied the data entry with the FULL payload.
     let applied = &c.applied[1];
-    let data_applies: Vec<_> = applied
-        .iter()
-        .filter(|e| e.origin.is_some())
-        .collect();
+    let data_applies: Vec<_> = applied.iter().filter(|e| e.origin.is_some()).collect();
     assert_eq!(data_applies.len(), 1, "client entry applied exactly once");
     match &data_applies[0].payload {
         Payload::Data(b) => assert_eq!(&b[..], &payload[..], "payload reconstructed"),
@@ -253,9 +246,7 @@ fn nbcraft_combines_window_and_fragments() {
     for r in 1..=6u64 {
         c.client_request(0, 1, r, &[r as u8; 1200]);
     }
-    let idxs = c.find_pending(|m| {
-        m.to == NodeId(1) && matches!(m.msg, Message::AppendEntry(_))
-    });
+    let idxs = c.find_pending(|m| m.to == NodeId(1) && matches!(m.msg, Message::AppendEntry(_)));
     let mut msgs = Vec::new();
     for &i in idxs.iter().rev() {
         msgs.push(c.pending.remove(i).unwrap());

@@ -66,8 +66,7 @@ proptest! {
                 // Each entry commits at most once.
                 prop_assert!(committed.insert(idx.0), "double commit of {idx}");
                 // Commits arrive in ascending order (log continuity).
-                prop_assert!(idx.0 > highest_commit || highest_commit == 0 || idx.0 > highest_commit,
-                    "commit went backwards");
+                prop_assert!(idx.0 > highest_commit || highest_commit == 0, "commit went backwards");
                 highest_commit = highest_commit.max(idx.0);
             }
             // The highest committed entry must itself have reached the
@@ -81,8 +80,9 @@ proptest! {
                 );
             }
             for (idx, _, _) in &outcome.weak_ready {
+                // A weak reply may coincide with (or follow) the commit of the
+                // same entry; the only invariant here is at-most-once.
                 prop_assert!(weak_replied.insert(idx.0), "duplicate weak reply for {idx}");
-                prop_assert!(!committed.contains(&idx.0) || true);
             }
         }
 

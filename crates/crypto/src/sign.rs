@@ -58,9 +58,7 @@ pub struct KeyDirectory {
 impl KeyDirectory {
     /// Derive keys for nodes `0..n` from a cluster secret.
     pub fn new(cluster_secret: &[u8], n: usize) -> KeyDirectory {
-        KeyDirectory {
-            keys: (0..n as u32).map(|i| Keypair::derive(cluster_secret, i)).collect(),
-        }
+        KeyDirectory { keys: (0..n as u32).map(|i| Keypair::derive(cluster_secret, i)).collect() }
     }
 
     /// The key for `node`, if in range.

@@ -76,10 +76,7 @@ impl ReedSolomon {
         // are preserved because we multiplied by an invertible matrix.
         let v = Matrix::vandermonde(n, k);
         let top: Vec<usize> = (0..k).collect();
-        let top_inv = v
-            .select_rows(&top)
-            .inverse()
-            .expect("top Vandermonde block is invertible");
+        let top_inv = v.select_rows(&top).inverse().expect("top Vandermonde block is invertible");
         let enc = v.mul(&top_inv);
         Ok(ReedSolomon { k, n, enc })
     }
@@ -278,10 +275,7 @@ mod tests {
         let p = payload(8);
         let mut shards = rs.encode(&p);
         shards[1].data.push(0);
-        assert!(matches!(
-            rs.reconstruct(&shards, p.len()),
-            Err(RsError::InconsistentShards(_))
-        ));
+        assert!(matches!(rs.reconstruct(&shards, p.len()), Err(RsError::InconsistentShards(_))));
     }
 
     #[test]

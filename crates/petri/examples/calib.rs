@@ -2,11 +2,20 @@ use nbr_petri::*;
 fn main() {
     for (nb, n) in [(false, 256), (true, 256), (false, 1024), (true, 1024)] {
         let r = ReplicationModel::build(ModelConfig {
-            n_clients: n, n_dispatchers: n, non_blocking: nb, ..Default::default()
-        }).run(3000);
+            n_clients: n,
+            n_dispatchers: n,
+            non_blocking: nb,
+            ..Default::default()
+        })
+        .run(3000);
         println!("nb={nb} clients={n}: tput={:.0}/s", r.throughput);
         for p in &r.phases {
-            println!("   {:14} {:8.1}us  {:5.1}%", p.name, p.per_entry_ns/1000.0, 100.0*r.proportion(p.name));
+            println!(
+                "   {:14} {:8.1}us  {:5.1}%",
+                p.name,
+                p.per_entry_ns / 1000.0,
+                100.0 * r.proportion(p.name)
+            );
         }
     }
 }

@@ -20,11 +20,8 @@ impl Net {
         let _ = writeln!(out, "  node [fontname=\"Helvetica\"];");
 
         for (i, p) in self.place_report().iter().enumerate() {
-            let _ = writeln!(
-                out,
-                "  p{i} [shape=circle, label=\"{}\\n{} tok\"];",
-                p.name, p.resident
-            );
+            let _ =
+                writeln!(out, "  p{i} [shape=circle, label=\"{}\\n{} tok\"];", p.name, p.resident);
         }
         for (i, t) in self.trans_report().iter().enumerate() {
             let _ = writeln!(

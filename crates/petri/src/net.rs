@@ -587,14 +587,7 @@ mod tests {
         let mut net = Net::new(9);
         let src = net.place("src", 20);
         let dst = net.place("dst", 0);
-        net.transition(
-            "work",
-            vec![(src, Selector::Fifo)],
-            vec![dst],
-            Delay::Exp(MS),
-            1,
-            None,
-        );
+        net.transition("work", vec![(src, Selector::Fifo)], vec![dst], Delay::Exp(MS), 1, None);
         net.run_until(1000 * MS);
         assert_eq!(net.tokens_in(dst), 20);
     }

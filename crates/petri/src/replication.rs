@@ -417,11 +417,7 @@ impl ReplicationModel {
             Phase { name: "t_commit(L)", per_entry_ns: per_firing(self.t_commit) },
             Phase { name: "t_apply(L)", per_entry_ns: per_firing(self.t_apply) },
         ];
-        ModelReport {
-            applied,
-            throughput: applied as f64 / (horizon as f64 / 1e9),
-            phases,
-        }
+        ModelReport { applied, throughput: applied as f64 / (horizon as f64 / 1e9), phases }
     }
 
     /// Access the model configuration.

@@ -5,7 +5,8 @@ fn main() {
     for tmo in [20u64, 100, 400] {
         let mut c = SimConfig {
             protocol: Protocol::NbRaft,
-            n_clients: 768, n_dispatchers: 768,
+            n_clients: 768,
+            n_dispatchers: 768,
             warmup: TimeDelta::from_millis(200),
             duration: TimeDelta::from_millis(1500),
             timeouts: TimeoutConfig {
@@ -26,7 +27,13 @@ fn main() {
         c.costs.straggler_prob = 0.01;
         c.costs.straggler_delay = TimeDelta::from_millis(120);
         let r = run(c);
-        println!("tmo={tmo}ms issued={} survived={} lost={} elections={} final={:?}",
-            r.issued, r.survived, r.issued - r.survived, r.elections, r.final_state);
+        println!(
+            "tmo={tmo}ms issued={} survived={} lost={} elections={} final={:?}",
+            r.issued,
+            r.survived,
+            r.issued - r.survived,
+            r.elections,
+            r.final_state
+        );
     }
 }

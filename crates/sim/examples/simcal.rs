@@ -10,17 +10,29 @@ fn main() {
                 print!("{n:5} clients:");
                 for p in [Protocol::Raft, Protocol::NbRaft, Protocol::CRaft, Protocol::NbCRaft] {
                     let r = run(SimConfig {
-                        protocol: p, n_clients: n, n_dispatchers: n,
+                        protocol: p,
+                        n_clients: n,
+                        n_dispatchers: n,
                         ..Default::default()
                     });
-                    print!("  {}={:6.1}k/{:5.1}ms", p.name(), r.throughput/1e3, r.latency_mean_ms);
+                    print!(
+                        "  {}={:6.1}k/{:5.1}ms",
+                        p.name(),
+                        r.throughput / 1e3,
+                        r.latency_mean_ms
+                    );
                 }
                 println!();
             }
         }
         "detail" => {
             for p in [Protocol::Raft, Protocol::NbRaft] {
-                let r = run(SimConfig { protocol: p, n_clients: 1024, n_dispatchers: 1024, ..Default::default() });
+                let r = run(SimConfig {
+                    protocol: p,
+                    n_clients: 1024,
+                    n_dispatchers: 1024,
+                    ..Default::default()
+                });
                 println!("{}: tput={:.0} acked={} issued={} weak={} twait={:.3}ms parked={} elections={} lat(mean/p99)={:.2}/{:.2}ms",
                     p.name(), r.throughput, r.acked, r.issued, r.weak_acked, r.twait_mean_ms, r.stats.parked, r.elections, r.latency_mean_ms, r.latency_p99_ms);
             }
@@ -30,10 +42,13 @@ fn main() {
                 print!("{kb:4}KB:");
                 for p in [Protocol::Raft, Protocol::NbRaft, Protocol::CRaft, Protocol::NbCRaft] {
                     let r = run(SimConfig {
-                        protocol: p, n_clients: 1024, n_dispatchers: 1024,
-                        payload: kb * 1024, ..Default::default()
+                        protocol: p,
+                        n_clients: 1024,
+                        n_dispatchers: 1024,
+                        payload: kb * 1024,
+                        ..Default::default()
                     });
-                    print!("  {}={:6.1}k", p.name(), r.throughput/1e3);
+                    print!("  {}={:6.1}k", p.name(), r.throughput / 1e3);
                 }
                 println!();
             }
@@ -43,10 +58,13 @@ fn main() {
                 print!("{n} replicas:");
                 for p in [Protocol::Raft, Protocol::NbRaft, Protocol::CRaft, Protocol::NbCRaft] {
                     let r = run(SimConfig {
-                        protocol: p, n_replicas: n, n_clients: 1024, n_dispatchers: 1024,
+                        protocol: p,
+                        n_replicas: n,
+                        n_clients: 1024,
+                        n_dispatchers: 1024,
                         ..Default::default()
                     });
-                    print!("  {}={:6.1}k", p.name(), r.throughput/1e3);
+                    print!("  {}={:6.1}k", p.name(), r.throughput / 1e3);
                 }
                 println!();
             }

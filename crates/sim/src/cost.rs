@@ -179,11 +179,11 @@ impl GeoMatrix {
         // One-way ms between regions (symmetric).
         const M: [[u64; 5]; 5] = [
             // BJ   GZ   SH   HZ   CD
-            [0, 21, 13, 14, 19],  // Beijing
-            [21, 0, 14, 13, 16],  // Guangzhou
-            [13, 14, 0, 3, 17],   // Shanghai
-            [14, 13, 3, 0, 16],   // Hangzhou
-            [19, 16, 17, 16, 0],  // Chengdu
+            [0, 21, 13, 14, 19], // Beijing
+            [21, 0, 14, 13, 16], // Guangzhou
+            [13, 14, 0, 3, 17],  // Shanghai
+            [14, 13, 3, 0, 16],  // Hangzhou
+            [19, 16, 17, 16, 0], // Chengdu
         ];
         GeoMatrix {
             lat: M

@@ -140,12 +140,28 @@ enum Ev {
     /// Arrival of work at a node. `txed` is when the sender's NIC finished
     /// serializing it: packets whose transmission had not completed when the
     /// sender was killed die with the sender's queue.
-    Work { node: usize, item: WorkItem, txed: Time },
-    WorkDone { node: usize, item: WorkItem },
-    ClientRecv { client: usize, resp: ClientResponse },
-    ClientIssue { client: usize },
-    ClientTick { client: usize },
-    NodeTick { node: usize },
+    Work {
+        node: usize,
+        item: WorkItem,
+        txed: Time,
+    },
+    WorkDone {
+        node: usize,
+        item: WorkItem,
+    },
+    ClientRecv {
+        client: usize,
+        resp: ClientResponse,
+    },
+    ClientIssue {
+        client: usize,
+    },
+    ClientTick {
+        client: usize,
+    },
+    NodeTick {
+        node: usize,
+    },
     Kill,
 }
 
@@ -185,12 +201,8 @@ impl Servers {
     /// Schedule a job arriving at `ready` with service time `cost`; returns
     /// its completion time.
     fn schedule(&mut self, ready: Time, cost: TimeDelta) -> Time {
-        let (i, _) = self
-            .free
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, t)| *t)
-            .expect("at least one server");
+        let (i, _) =
+            self.free.iter().enumerate().min_by_key(|&(_, t)| *t).expect("at least one server");
         let start = self.free[i].max(ready);
         let done = start + cost;
         self.free[i] = done;
@@ -270,9 +282,8 @@ impl Simulator {
             .collect();
         let window_start = Time::ZERO + cfg.warmup;
         let window_end = window_start + cfg.duration;
-        let channels = (0..n)
-            .map(|_| (0..n).map(|_| Servers::new(cfg.n_dispatchers)).collect())
-            .collect();
+        let channels =
+            (0..n).map(|_| (0..n).map(|_| Servers::new(cfg.n_dispatchers)).collect()).collect();
         Simulator {
             now: Time::ZERO,
             seq: 0,
@@ -403,19 +414,18 @@ impl Simulator {
                     if self.clients.get(cidx).is_some_and(|c| c.is_some()) {
                         // Leader NIC + link back to the client machine.
                         let size = 256; // responses are small and fixed
-                        let t1 = self.node_nic[from]
-                            .schedule(self.now, self.cfg.costs.tx_time(size));
+                        let t1 =
+                            self.node_nic[from].schedule(self.now, self.cfg.costs.tx_time(size));
                         let lat = self.client_link_latency(from) + self.sched_noise(1.0);
                         self.push(t1 + lat, Ev::ClientRecv { client: cidx, resp });
                     }
                 }
                 Output::Apply { entry } => {
                     // Charge apply CPU occupancy (no completion action).
-                    let cost = self
-                        .cfg
-                        .costs
-                        .t_apply
-                        .scale(self.cfg.costs.contention(self.resident[from] as usize) * self.cfg.cpu_scale);
+                    let cost = self.cfg.costs.t_apply.scale(
+                        self.cfg.costs.contention(self.resident[from] as usize)
+                            * self.cfg.cpu_scale,
+                    );
                     let _ = self.node_cpu[from].schedule(self.now, cost);
                     let _ = entry;
                 }
@@ -449,8 +459,7 @@ impl Simulator {
             let p = self.cfg.costs.straggler_prob;
             match (&msg, p > 0.0) {
                 (Message::AppendEntry(m), true) => {
-                    let mut h = m.entry.index.0
-                        .wrapping_mul(0x9E3779B97F4A7C15)
+                    let mut h = m.entry.index.0.wrapping_mul(0x9E3779B97F4A7C15)
                         ^ self.cfg.seed.wrapping_mul(0xD1B54A32D192ED03);
                     h ^= h >> 29;
                     h = h.wrapping_mul(0xBF58476D1CE4E5B9);
@@ -472,9 +481,7 @@ impl Simulator {
             // mean proportionally more interleaved traffic per entry
             // (Section V-C: consecutive requests to one follower interleave
             // with requests to the others).
-            let fanout = ((self.cfg.n_replicas.saturating_sub(1)) as f64 / 2.0)
-                .powf(0.8)
-                .max(0.75);
+            let fanout = ((self.cfg.n_replicas.saturating_sub(1)) as f64 / 2.0).powf(0.8).max(0.75);
             let scale = 1.3 * fanout * (size as f64 / 4096.0).powf(0.7).clamp(0.35, 6.0);
             let lat = self.link_latency(from, to) + self.sched_noise(scale) + straggle;
             self.channels[from][to].schedule(t_nic, lat)

@@ -95,8 +95,12 @@ fn kraft_is_no_better_than_raft() {
     let mut raft5 = quick(Protocol::Raft, 256);
     raft5.n_replicas = 5;
     let raft5 = run(raft5);
-    assert!(kraft.throughput <= raft5.throughput * 1.05,
-        "KRaft {:.0} vs Raft(5) {:.0}", kraft.throughput, raft5.throughput);
+    assert!(
+        kraft.throughput <= raft5.throughput * 1.05,
+        "KRaft {:.0} vs Raft(5) {:.0}",
+        kraft.throughput,
+        raft5.throughput
+    );
     let _ = raft;
 }
 
@@ -134,12 +138,7 @@ fn loss_on_leader_failure_is_tiny_and_nb_loses_more() {
     }
     // NB's loss should be >= Raft's on average (more in-flight); allow a
     // small tolerance since both are a handful of entries.
-    assert!(
-        nb_loss >= raft_loss * 0.7,
-        "NB {} vs Raft {} (seed sums)",
-        nb_loss,
-        raft_loss
-    );
+    assert!(nb_loss >= raft_loss * 0.7, "NB {} vs Raft {} (seed sums)", nb_loss, raft_loss);
 }
 
 #[test]

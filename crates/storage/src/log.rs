@@ -64,7 +64,7 @@ pub trait LogStore {
 
     /// Number of retained entries.
     fn len(&self) -> usize {
-        (self.last_index().0 + 1).saturating_sub(self.first_index().0) as usize
+        (self.last_index().0 + 1).saturating_sub(self.first_index().0) as usize // check:allow(L4): saturating length arithmetic, cannot wrap
     }
 
     /// True when no entries are retained.
@@ -105,7 +105,7 @@ impl MemLog {
         if idx.0 <= self.offset {
             return None;
         }
-        let s = (idx.0 - self.offset - 1) as usize;
+        let s = (idx.0 - self.offset - 1) as usize; // check:allow(L4): guarded by idx.0 > offset above
         (s < self.entries.len()).then_some(s)
     }
 }
@@ -151,11 +151,9 @@ impl LogStore for MemLog {
 
     fn truncate_from(&mut self, idx: LogIndex) -> Result<()> {
         if idx.0 <= self.offset {
-            return Err(Error::Storage(format!(
-                "cannot truncate into compacted prefix at {idx}"
-            )));
+            return Err(Error::Storage(format!("cannot truncate into compacted prefix at {idx}")));
         }
-        let keep = (idx.0 - self.offset - 1) as usize;
+        let keep = (idx.0 - self.offset - 1) as usize; // check:allow(L4): guarded by idx.0 > offset above
         if keep < self.entries.len() {
             self.entries.truncate(keep);
         }
@@ -177,7 +175,7 @@ impl LogStore for MemLog {
                 self.last_index()
             )));
         }
-        let drop = (idx.0 - self.offset) as usize;
+        let drop = (idx.0 - self.offset) as usize; // check:allow(L4): guarded by idx.0 > offset above
         self.offset_term = self.entries[drop - 1].term;
         self.entries.drain(..drop);
         self.offset = idx.0;

@@ -43,10 +43,16 @@ impl Snapshot {
         if &bytes[..8] != MAGIC {
             return Err(err("bad magic"));
         }
-        let last_index = LogIndex(u64::from_le_bytes(bytes[8..16].try_into().unwrap()));
-        let last_term = Term(u64::from_le_bytes(bytes[16..24].try_into().unwrap()));
-        let crc = u32::from_le_bytes(bytes[24..28].try_into().unwrap());
-        let len = u64::from_le_bytes(bytes[28..36].try_into().unwrap()) as usize;
+        let last_index = LogIndex(u64::from_le_bytes(
+            bytes[8..16].try_into().map_err(|_| err("truncated header"))?,
+        ));
+        let last_term = Term(u64::from_le_bytes(
+            bytes[16..24].try_into().map_err(|_| err("truncated header"))?,
+        ));
+        let crc =
+            u32::from_le_bytes(bytes[24..28].try_into().map_err(|_| err("truncated header"))?);
+        let len = u64::from_le_bytes(bytes[28..36].try_into().map_err(|_| err("truncated header"))?)
+            as usize;
         if bytes.len() != 36 + len {
             return Err(err("length mismatch"));
         }

@@ -39,7 +39,7 @@ impl DedupTable {
     pub fn insert(&mut self, client: ClientId, request: RequestId) -> bool {
         match self.seen.get(&client) {
             Some(&r) if r >= request => false,
-            _ => {
+            Some(_) | None => {
                 self.seen.insert(client, request);
                 true
             }
@@ -146,20 +146,20 @@ impl StateMachine for KvStore {
         if b.len() < 8 {
             return Err(err());
         }
-        let n = u64::from_le_bytes(b[..8].try_into().unwrap()) as usize;
+        let n = u64::from_le_bytes(b[..8].try_into().map_err(|_| err())?) as usize;
         let mut pos = 8usize;
         for _ in 0..n {
             if b.len() < pos + 4 {
                 return Err(err());
             }
-            let klen = u32::from_le_bytes(b[pos..pos + 4].try_into().unwrap()) as usize;
+            let klen = u32::from_le_bytes(b[pos..pos + 4].try_into().map_err(|_| err())?) as usize;
             pos += 4;
             if b.len() < pos + klen + 4 {
                 return Err(err());
             }
             let k = b[pos..pos + klen].to_vec();
             pos += klen;
-            let vlen = u32::from_le_bytes(b[pos..pos + 4].try_into().unwrap()) as usize;
+            let vlen = u32::from_le_bytes(b[pos..pos + 4].try_into().map_err(|_| err())?) as usize;
             pos += 4;
             if b.len() < pos + vlen {
                 return Err(err());

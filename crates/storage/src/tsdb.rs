@@ -56,16 +56,16 @@ pub fn decode_batch(data: &[u8]) -> Result<Vec<Point>> {
     if data.len() < 4 {
         return Err(err());
     }
-    let n = u32::from_le_bytes(data[..4].try_into().unwrap()) as usize;
+    let n = u32::from_le_bytes(data[..4].try_into().map_err(|_| err())?) as usize;
     if data.len() < 4 + n * POINT_BYTES {
         return Err(err());
     }
     let mut out = Vec::with_capacity(n);
     let mut pos = 4usize;
     for _ in 0..n {
-        let series = u64::from_le_bytes(data[pos..pos + 8].try_into().unwrap());
-        let timestamp = u64::from_le_bytes(data[pos + 8..pos + 16].try_into().unwrap());
-        let value = f64::from_le_bytes(data[pos + 16..pos + 24].try_into().unwrap());
+        let series = u64::from_le_bytes(data[pos..pos + 8].try_into().map_err(|_| err())?);
+        let timestamp = u64::from_le_bytes(data[pos + 8..pos + 16].try_into().map_err(|_| err())?);
+        let value = f64::from_le_bytes(data[pos + 16..pos + 24].try_into().map_err(|_| err())?);
         out.push(Point { series, timestamp, value });
         pos += POINT_BYTES;
     }
@@ -165,11 +165,8 @@ impl TsStore {
     pub fn latest(&self, series: u64) -> Option<(u64, f64)> {
         let s = self.series.get(&series)?;
         let mem = s.memtable.iter().copied().max_by_key(|&(ts, _)| ts);
-        let chunk = s
-            .chunks
-            .iter()
-            .filter_map(|c| c.points.last().copied())
-            .max_by_key(|&(ts, _)| ts);
+        let chunk =
+            s.chunks.iter().filter_map(|c| c.points.last().copied()).max_by_key(|&(ts, _)| ts);
         match (mem, chunk) {
             (Some(a), Some(b)) => Some(if a.0 >= b.0 { a } else { b }),
             (a, b) => a.or(b),
@@ -238,7 +235,7 @@ impl StateMachine for TsStore {
         if b.len() < 8 {
             return Err(err());
         }
-        let nseries = u64::from_le_bytes(b[..8].try_into().unwrap());
+        let nseries = u64::from_le_bytes(b[..8].try_into().map_err(|_| err())?);
         let mut pos = 8usize;
         let mut series = BTreeMap::new();
         let mut total = 0u64;
@@ -246,16 +243,17 @@ impl StateMachine for TsStore {
             if b.len() < pos + 16 {
                 return Err(err());
             }
-            let id = u64::from_le_bytes(b[pos..pos + 8].try_into().unwrap());
-            let npts = u64::from_le_bytes(b[pos + 8..pos + 16].try_into().unwrap()) as usize;
+            let id = u64::from_le_bytes(b[pos..pos + 8].try_into().map_err(|_| err())?);
+            let npts =
+                u64::from_le_bytes(b[pos + 8..pos + 16].try_into().map_err(|_| err())?) as usize;
             pos += 16;
             if b.len() < pos + npts * 16 {
                 return Err(err());
             }
             let mut points = Vec::with_capacity(npts);
             for _ in 0..npts {
-                let ts = u64::from_le_bytes(b[pos..pos + 8].try_into().unwrap());
-                let v = f64::from_le_bytes(b[pos + 8..pos + 16].try_into().unwrap());
+                let ts = u64::from_le_bytes(b[pos..pos + 8].try_into().map_err(|_| err())?);
+                let v = f64::from_le_bytes(b[pos + 8..pos + 16].try_into().map_err(|_| err())?);
                 points.push((ts, v));
                 pos += 16;
             }

@@ -103,11 +103,7 @@ impl WalLog {
     /// Open (creating if missing) a WAL at `path` and recover its contents.
     pub fn open(path: impl AsRef<Path>, sync: SyncPolicy) -> Result<WalLog> {
         let path = path.as_ref().to_path_buf();
-        let mut file = OpenOptions::new()
-            .read(true)
-            .create(true)
-            .append(true)
-            .open(&path)?;
+        let mut file = OpenOptions::new().read(true).create(true).append(true).open(&path)?;
 
         let mut buf = Vec::new();
         file.read_to_end(&mut buf)?;
@@ -170,9 +166,7 @@ impl WalLog {
             let mut idx = self.mem.first_index();
             while idx <= self.mem.last_index() {
                 if let Some(e) = self.mem.get(idx) {
-                    bytes.extend_from_slice(&nbr_types::wire::encode_frame(&WalRecord::Append(
-                        e,
-                    )));
+                    bytes.extend_from_slice(&nbr_types::wire::encode_frame(&WalRecord::Append(e)));
                 }
                 idx = idx.next();
             }

@@ -14,7 +14,7 @@ use bytes::Bytes;
 /// A payload of `orig_len` bytes is encoded with a systematic
 /// Reed–Solomon(`k`, `n`) code into `n` shards of which any `k` reconstruct
 /// the original. Each follower stores exactly one shard.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Fragment {
     /// Which of the `n` shards this is (0-based).
     pub shard: u8,
@@ -29,7 +29,7 @@ pub struct Fragment {
 }
 
 /// The payload of a log entry.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Payload {
     /// Leader-start no-op; committed to establish the new leader's term.
     Noop,
@@ -60,7 +60,7 @@ impl Payload {
 
 /// Origin of an entry: which client issued it and its per-client sequence
 /// number. `None` for leader no-ops.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Origin {
     /// Issuing client connection.
     pub client: ClientId,
@@ -69,7 +69,7 @@ pub struct Origin {
 }
 
 /// A replicated log entry.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Entry {
     /// Position in the log (1-based; index 0 is the empty-log sentinel).
     pub index: LogIndex,

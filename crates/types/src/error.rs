@@ -81,10 +81,7 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(
-            Error::NotLeader { hint: Some(NodeId(2)) }.to_string(),
-            "not leader; try n2"
-        );
+        assert_eq!(Error::NotLeader { hint: Some(NodeId(2)) }.to_string(), "not leader; try n2");
         assert_eq!(Error::NotLeader { hint: None }.to_string(), "not leader; leader unknown");
         assert_eq!(
             Error::NotEnoughShards { have: 1, need: 3 }.to_string(),

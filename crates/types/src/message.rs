@@ -11,7 +11,7 @@ use crate::ids::{ClientId, LogIndex, NodeId, RequestId, Term};
 use bytes::Bytes;
 
 /// The follower's verdict on a received entry (Section III-A).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AcceptState {
     /// The entry (and everything before it) is appended to the follower's
     /// log. Equivalent to a vote in original Raft; counts toward commit.
@@ -46,7 +46,7 @@ pub enum AcceptState {
 /// VGRaft verification material attached to an entry: a digest of the entry
 /// body and the leader's signature over it, checked by the per-round
 /// verification group.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Verification {
     /// SHA-256 digest of the serialized entry body.
     pub digest: [u8; 32],
@@ -58,7 +58,7 @@ pub struct Verification {
 }
 
 /// Replicate one entry to a follower.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct AppendEntryMsg {
     /// Leader's term.
     pub term: Term,
@@ -76,7 +76,7 @@ pub struct AppendEntryMsg {
 }
 
 /// Follower's response to an [`AppendEntryMsg`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AppendRespMsg {
     /// Responder's current term (a higher term tells the leader it is stale —
     /// Figure 11).
@@ -91,7 +91,7 @@ pub struct AppendRespMsg {
 /// Periodic leader heartbeat; doubles as commit-index propagation and as a
 /// progress probe (the response reports the follower's last entry so the
 /// leader can re-send missing suffixes).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct HeartbeatMsg {
     /// Leader's term.
     pub term: Term,
@@ -106,7 +106,7 @@ pub struct HeartbeatMsg {
 }
 
 /// Follower's response to a heartbeat.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct HeartbeatRespMsg {
     /// Responder's current term.
     pub term: Term,
@@ -119,7 +119,7 @@ pub struct HeartbeatRespMsg {
 }
 
 /// Candidate requests a vote (standard Raft election).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RequestVoteMsg {
     /// Candidate's term.
     pub term: Term,
@@ -132,7 +132,7 @@ pub struct RequestVoteMsg {
 }
 
 /// Vote response.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RequestVoteRespMsg {
     /// Responder's current term.
     pub term: Term,
@@ -144,7 +144,7 @@ pub struct RequestVoteRespMsg {
 
 /// CRaft recovery: a leader that only holds a fragment of a committed entry
 /// pulls shards from peers to reconstruct the full payload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PullFragmentsMsg {
     /// Requester's term.
     pub term: Term,
@@ -157,7 +157,7 @@ pub struct PullFragmentsMsg {
 }
 
 /// CRaft recovery: shards for the requested range.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PushFragmentsMsg {
     /// Responder's term.
     pub term: Term,
@@ -170,7 +170,7 @@ pub struct PushFragmentsMsg {
 /// Leader → lagging follower: replace your log with this state machine
 /// snapshot (the follower is so far behind that the leader has compacted the
 /// entries it would need).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct InstallSnapshotMsg {
     /// Leader's term.
     pub term: Term,
@@ -187,7 +187,7 @@ pub struct InstallSnapshotMsg {
 }
 
 /// Follower's acknowledgement of a snapshot installation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct InstallSnapshotRespMsg {
     /// Responder's current term.
     pub term: Term,
@@ -200,7 +200,7 @@ pub struct InstallSnapshotRespMsg {
 /// Follower → leader: what is a safe read index? (ReadIndex protocol for
 /// linearizable follower reads — the capability the paper's Table II notes
 /// CRaft gives up.)
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ReadIndexReqMsg {
     /// Requester's term.
     pub term: Term,
@@ -213,7 +213,7 @@ pub struct ReadIndexReqMsg {
 /// Leader → follower: reads at `read_index` are linearizable once your
 /// applied index reaches it (sent only after the leader re-confirms its
 /// leadership with a heartbeat quorum).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ReadIndexRespMsg {
     /// Leader's term.
     pub term: Term,
@@ -224,7 +224,7 @@ pub struct ReadIndexRespMsg {
 }
 
 /// All replica-to-replica messages.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Message {
     /// Replicate one entry.
     AppendEntry(AppendEntryMsg),
@@ -320,7 +320,7 @@ impl Message {
 }
 
 /// A client request as it arrives at the leader.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ClientRequest {
     /// Issuing client connection.
     pub client: ClientId,
@@ -331,7 +331,7 @@ pub struct ClientRequest {
 }
 
 /// Leader-to-client response (Section III-B/III-C).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ClientResponse {
     /// NB-Raft: a living quorum has *received* the entry (weak + strong
     /// accepts form a majority). The client may issue its next request but

@@ -242,15 +242,11 @@ impl Wire for Fragment {
         let k = r.u8()?;
         let n = r.u8()?;
         if k == 0 || n == 0 || k > n || shard >= n {
-            return Err(Error::Codec(format!("invalid fragment geometry k={k} n={n} shard={shard}")));
+            return Err(Error::Codec(format!(
+                "invalid fragment geometry k={k} n={n} shard={shard}"
+            )));
         }
-        Ok(Fragment {
-            shard,
-            k,
-            n,
-            orig_len: r.u32()?,
-            data: Bytes::copy_from_slice(r.bytes()?),
-        })
+        Ok(Fragment { shard, k, n, orig_len: r.u32()?, data: Bytes::copy_from_slice(r.bytes()?) })
     }
 }
 

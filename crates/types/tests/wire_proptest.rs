@@ -49,7 +49,13 @@ fn arb_payload() -> impl Strategy<Value = Payload> {
 
 fn arb_entry() -> impl Strategy<Value = Entry> {
     (arb_index(), arb_term(), arb_term(), arb_origin(), arb_payload()).prop_map(
-        |(index, term, prev_term, origin, payload)| Entry { index, term, prev_term, origin, payload },
+        |(index, term, prev_term, origin, payload)| Entry {
+            index,
+            term,
+            prev_term,
+            origin,
+            payload,
+        },
     )
 }
 
@@ -70,7 +76,11 @@ fn arb_verification() -> impl Strategy<Value = Option<Verification>> {
             proptest::array::uniform32(any::<u8>()),
             proptest::collection::vec(arb_node(), 0..4),
         )
-            .prop_map(|(digest, signature, group)| Verification { digest, signature, group }),
+            .prop_map(|(digest, signature, group)| Verification {
+                digest,
+                signature,
+                group,
+            }),
     )
 }
 
@@ -94,15 +104,18 @@ fn arb_message() -> impl Strategy<Value = Message> {
                     relay_to,
                 })
             }),
-        (arb_term(), arb_node(), arb_accept())
-            .prop_map(|(term, from, state)| Message::AppendResp(AppendRespMsg {
-                term,
-                from,
-                state
-            })),
+        (arb_term(), arb_node(), arb_accept()).prop_map(|(term, from, state)| Message::AppendResp(
+            AppendRespMsg { term, from, state }
+        )),
         (arb_term(), arb_node(), arb_index(), arb_term(), arb_index()).prop_map(
             |(term, leader, last_index, last_term, leader_commit)| {
-                Message::Heartbeat(HeartbeatMsg { term, leader, last_index, last_term, leader_commit })
+                Message::Heartbeat(HeartbeatMsg {
+                    term,
+                    leader,
+                    last_index,
+                    last_term,
+                    leader_commit,
+                })
             }
         ),
         (arb_term(), arb_node(), arb_index(), arb_term()).prop_map(
@@ -112,7 +125,12 @@ fn arb_message() -> impl Strategy<Value = Message> {
         ),
         (arb_term(), arb_node(), arb_index(), arb_term()).prop_map(
             |(term, candidate, last_log_index, last_log_term)| {
-                Message::RequestVote(RequestVoteMsg { term, candidate, last_log_index, last_log_term })
+                Message::RequestVote(RequestVoteMsg {
+                    term,
+                    candidate,
+                    last_log_index,
+                    last_log_term,
+                })
             }
         ),
         (arb_term(), arb_node(), any::<bool>()).prop_map(|(term, from, granted)| {

@@ -35,9 +35,7 @@ fn main() {
         handles.push(std::thread::spawn(move || {
             let mut gen = RequestGenerator::new(wl, g as u64, GATEWAYS as u64);
             for _ in 0..REQUESTS_PER_GATEWAY {
-                client
-                    .submit(gen.next_request(), Duration::from_secs(10))
-                    .expect("ingest batch");
+                client.submit(gen.next_request(), Duration::from_secs(10)).expect("ingest batch");
             }
             client.drain(Duration::from_secs(10));
         }));

@@ -15,9 +15,7 @@ fn main() {
     let clients: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(512);
     let payload_kb: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
 
-    println!(
-        "protocol comparison: {clients} clients, {payload_kb} KB requests, 3 replicas\n"
-    );
+    println!("protocol comparison: {clients} clients, {payload_kb} KB requests, 3 replicas\n");
     println!(
         "{:<16} {:>12} {:>12} {:>12} {:>10} {:>12}",
         "protocol", "ops/s", "mean ms", "p99 ms", "weak %", "t_wait ms"
@@ -38,11 +36,8 @@ fn main() {
         if protocol == Protocol::Raft {
             raft_tput = Some(r.throughput);
         }
-        let weak_pct = if r.acked == 0 {
-            0.0
-        } else {
-            100.0 * r.weak_acked as f64 / r.acked as f64
-        };
+        let weak_pct =
+            if r.acked == 0 { 0.0 } else { 100.0 * r.weak_acked as f64 / r.acked as f64 };
         println!(
             "{:<16} {:>12.0} {:>12.2} {:>12.2} {:>9.1}% {:>12.3}",
             protocol.name(),

@@ -24,18 +24,16 @@ fn main() {
     };
     let cluster: Cluster<KvStore> = Cluster::spawn(3, cfg);
 
-    let leader = cluster
-        .wait_for_leader(Duration::from_secs(5))
-        .expect("a leader should be elected");
+    let leader =
+        cluster.wait_for_leader(Duration::from_secs(5)).expect("a leader should be elected");
     println!("node {leader} won the election");
 
     let mut client = cluster.client();
     let mut weak_acks = 0u32;
     for i in 0..100 {
         let payload = Bytes::from(format!("sensor{:02}=reading-{i}", i % 10));
-        let (req, weak) = client
-            .submit(payload, Duration::from_secs(5))
-            .expect("request should replicate");
+        let (req, weak) =
+            client.submit(payload, Duration::from_secs(5)).expect("request should replicate");
         if weak {
             weak_acks += 1;
         }

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate. Every step must pass before merge.
+#
+#   ./scripts/ci.sh          # build + tests + lint + bounded model check
+#   CI_FULL=1 ./scripts/ci.sh  # additionally run the full workspace test
+#                              # suite (slow: the sim soak tests alone take
+#                              # several minutes) and the full model run
+#
+# Requires only the rust toolchain; rustfmt/clippy steps are skipped with a
+# notice when the components are not installed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "cargo build --release"
+cargo build --release
+
+step "cargo test -q"
+cargo test -q
+
+if [ "${CI_FULL:-0}" = "1" ]; then
+    step "cargo test -q --workspace (full suite, slow)"
+    cargo test -q --workspace
+fi
+
+if command -v rustfmt >/dev/null 2>&1; then
+    step "cargo fmt --check"
+    cargo fmt --all --check
+else
+    echo "note: rustfmt not installed, skipping format check"
+fi
+
+if command -v cargo-clippy >/dev/null 2>&1; then
+    step "cargo clippy -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "note: clippy not installed, skipping lint"
+fi
+
+step "nbr-check lint"
+./target/release/nbr-check lint --root .
+
+if [ "${CI_FULL:-0}" = "1" ]; then
+    step "nbr-check model (full)"
+    ./target/release/nbr-check model
+else
+    step "nbr-check model --quick"
+    ./target/release/nbr-check model --quick
+fi
+
+printf '\nci.sh: all checks passed\n'

@@ -23,7 +23,12 @@ fn wal_plus_snapshot_restart_cycle() {
 
     // Phase 1: ingest workload batches through the WAL into the TSDB.
     let mut gen = RequestGenerator::new(
-        WorkloadConfig { devices: 3, sensors_per_device: 2, request_size: 512, sample_interval_ms: 50 },
+        WorkloadConfig {
+            devices: 3,
+            sensors_per_device: 2,
+            request_size: 512,
+            sample_interval_ms: 50,
+        },
         0,
         1,
     );

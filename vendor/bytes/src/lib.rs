@@ -1,0 +1,295 @@
+//! Offline stand-in for the external `bytes` crate.
+//!
+//! Provides the [`Bytes`] type this workspace uses: a cheaply cloneable,
+//! immutable, contiguous byte buffer. Cloning and slicing are O(1) — the
+//! backing allocation is shared through an `Arc` and views carry an
+//! offset/length pair — which preserves the zero-copy behaviour the protocol
+//! and storage layers rely on for large payloads.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// Shared backing storage: either a static slice (no allocation, no
+/// refcount traffic) or an `Arc`'d vector.
+#[derive(Clone)]
+enum Repr {
+    Static(&'static [u8]),
+    Shared(Arc<Vec<u8>>),
+}
+
+/// A cheaply cloneable, immutable slice of bytes.
+#[derive(Clone)]
+pub struct Bytes {
+    repr: Repr,
+    off: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// The empty buffer (no allocation).
+    pub const fn new() -> Bytes {
+        Bytes { repr: Repr::Static(&[]), off: 0, len: 0 }
+    }
+
+    /// Wrap a `'static` slice without copying.
+    pub const fn from_static(s: &'static [u8]) -> Bytes {
+        Bytes { repr: Repr::Static(s), off: 0, len: s.len() }
+    }
+
+    /// Copy `data` into a new shared buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn backing(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Static(s) => s,
+            Repr::Shared(v) => v.as_slice(),
+        }
+    }
+
+    /// The bytes as a plain slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.backing()[self.off..self.off + self.len]
+    }
+
+    /// O(1) sub-view of `range` (shares the backing storage).
+    ///
+    /// # Panics
+    /// Panics when the range is out of bounds or inverted.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(start <= end, "slice start {start} > end {end}");
+        assert!(end <= self.len, "slice end {end} out of range {}", self.len);
+        Bytes { repr: self.repr.clone(), off: self.off + start, len: end - start }
+    }
+
+    /// Split off and return the tail `[at, len)`, leaving `[0, at)` in
+    /// `self`. O(1).
+    pub fn split_off(&mut self, at: usize) -> Bytes {
+        let tail = self.slice(at..);
+        self.len = at;
+        tail
+    }
+
+    /// Split off and return the head `[0, at)`, advancing `self` to
+    /// `[at, len)`. O(1).
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        let head = self.slice(..at);
+        self.off += at;
+        self.len -= at;
+        head
+    }
+
+    /// Copy out to a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let len = v.len();
+        Bytes { repr: Repr::Shared(Arc::new(v)), off: 0, len }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Bytes {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Bytes {
+        Bytes::from_static(s.as_bytes())
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<T: IntoIterator<Item = u8>>(iter: T) -> Bytes {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice().iter().take(64) {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        if self.len > 64 {
+            write!(f, "...({} bytes)", self.len)?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl IntoIterator for Bytes {
+    type Item = u8;
+    type IntoIter = std::vec::IntoIter<u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.to_vec().into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_storage() {
+        let a = Bytes::from(vec![1u8, 2, 3, 4]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(b.as_slice(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn slice_views() {
+        let a = Bytes::from(vec![0u8, 1, 2, 3, 4, 5]);
+        let mid = a.slice(2..5);
+        assert_eq!(mid.as_slice(), &[2, 3, 4]);
+        let tail = a.slice(3..);
+        assert_eq!(tail.as_slice(), &[3, 4, 5]);
+        let head = a.slice(..2);
+        assert_eq!(head.as_slice(), &[0, 1]);
+        assert_eq!(a.slice(..).len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_out_of_range_panics() {
+        Bytes::from(vec![1u8]).slice(..9);
+    }
+
+    #[test]
+    fn split_off_and_to() {
+        let mut a = Bytes::from(vec![1u8, 2, 3, 4]);
+        let tail = a.split_off(2);
+        assert_eq!(a.as_slice(), &[1, 2]);
+        assert_eq!(tail.as_slice(), &[3, 4]);
+
+        let mut b = Bytes::from(vec![1u8, 2, 3, 4]);
+        let head = b.split_to(1);
+        assert_eq!(head.as_slice(), &[1]);
+        assert_eq!(b.as_slice(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn static_and_conversions() {
+        let s = Bytes::from_static(b"hello");
+        assert_eq!(s.len(), 5);
+        assert_eq!(&s[1..3], b"el");
+        assert_eq!(s.to_vec(), b"hello".to_vec());
+        let t: Bytes = String::from("hi").into();
+        assert_eq!(t.as_slice(), b"hi");
+        let c: Bytes = [9u8, 9].iter().copied().collect();
+        assert_eq!(c.as_slice(), &[9, 9]);
+    }
+}

@@ -1,0 +1,201 @@
+//! Offline stand-in for the external `criterion` crate.
+//!
+//! Implements the API subset the workspace's benches use — `Criterion`,
+//! benchmark groups, `iter` / `iter_batched`, `BenchmarkId`, `Throughput` —
+//! with a plain wall-clock measurement loop (median of timed batches)
+//! instead of criterion's statistical machinery. Good enough to compare
+//! hot paths release-to-release in an offline environment.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How batched inputs are sized; only a hint here.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+}
+
+/// Optional throughput annotation for a group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A named benchmark id, `name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled by `iter`/`iter_batched`.
+    ns_per_iter: f64,
+}
+
+/// Target wall-clock spent measuring each benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fit in ~1/20 of the budget?
+        let t0 = Instant::now();
+        black_box(routine());
+        let one = t0.elapsed().max(Duration::from_nanos(20));
+        let per_batch =
+            ((MEASURE_BUDGET.as_nanos() / 20 / one.as_nanos()).max(1) as u64).min(1 << 20);
+        let mut samples = Vec::new();
+        let deadline = Instant::now() + MEASURE_BUDGET;
+        while Instant::now() < deadline && samples.len() < 50 {
+            let t = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / per_batch as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+
+    /// Time `routine` over fresh inputs produced by `setup` (setup excluded
+    /// from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut samples = Vec::new();
+        let deadline = Instant::now() + MEASURE_BUDGET;
+        while Instant::now() < deadline && samples.len() < 200 {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            samples.push(t.elapsed().as_nanos() as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+fn report(id: &str, ns: f64, throughput: Option<Throughput>) {
+    let time = if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    };
+    match throughput {
+        Some(Throughput::Bytes(b)) => {
+            let gbps = b as f64 / ns; // bytes/ns == GB/s
+            println!("{id:<48} {time:>12}   {gbps:>8.3} GiB/s");
+        }
+        Some(Throughput::Elements(e)) => {
+            let meps = e as f64 / ns * 1e3;
+            println!("{id:<48} {time:>12}   {meps:>8.3} Melem/s");
+        }
+        None => println!("{id:<48} {time:>12}"),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benches with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Hint accepted for API compatibility; sampling here is time-budgeted.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Display, mut f: F) {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, name), b.ns_per_iter, self.throughput);
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), b.ns_per_iter, self.throughput);
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _parent: self }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        report(&name.to_string(), b.ns_per_iter, None);
+        self
+    }
+}
+
+/// Define a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

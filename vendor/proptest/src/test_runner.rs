@@ -1,0 +1,76 @@
+//! Test execution: configuration, deterministic seeding, case errors.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test function runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single generated case failed.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failed property with a message.
+    pub fn fail(msg: String) -> TestCaseError {
+        TestCaseError(msg)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Drives one test function: owns the RNG and the case budget.
+///
+/// Seeding is derived from the test name, so every run of the suite
+/// explores the same inputs — reproducibility is worth more than novelty
+/// in CI, and there is no shrinker to rediscover failures.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Build a runner for the named test.
+    pub fn new(config: ProptestConfig, test_name: &str) -> TestRunner {
+        let mut h = DefaultHasher::new();
+        test_name.hash(&mut h);
+        0x6e62_7261_6674u64.hash(&mut h); // workspace-wide salt ("nbraft")
+        let rng = StdRng::seed_from_u64(h.finish());
+        TestRunner { config, rng }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// Draw one value from `strategy`.
+    pub fn sample<S: Strategy>(&mut self, strategy: &S) -> S::Value {
+        strategy.sample(&mut self.rng)
+    }
+}

@@ -1,0 +1,211 @@
+//! Offline stand-in for the external `rand` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the small slice of the `rand` 0.10 API it actually
+//! uses: a seedable [`rngs::StdRng`] plus [`RngExt::random_range`] over
+//! integer and float ranges. The generator is xoshiro256++ seeded through
+//! SplitMix64 — deterministic, fast, and plenty for simulation jitter and
+//! test-case generation (nothing here is cryptographic).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Minimal core-RNG trait: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Next uniform 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next uniform 32-bit value.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of an RNG from seed material.
+pub trait SeedableRng: Sized {
+    /// Build the generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    /// Deterministic xoshiro256++ generator (stand-in for `rand`'s `StdRng`;
+    /// not cryptographically secure, which this workspace never needs).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::StdRng;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // All-zero state would be a fixed point; splitmix64 cannot produce
+        // four zeros from any seed, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 1;
+        }
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256++ (Blackman & Vigna).
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// A range that can be sampled uniformly.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draw one uniform value; panics on an empty range, matching `rand`.
+    fn sample_from(self, rng: &mut dyn FnMut() -> u64) -> Self::Output;
+}
+
+/// Debiased uniform draw from `[0, span)` (Lemire-style by widening; a
+/// simple modulo would bias tiny ranges, which jitter tests would notice).
+fn uniform_below(draw: &mut dyn FnMut() -> u64, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Rejection sampling over the largest multiple of `span`.
+    let zone = u64::MAX - (u64::MAX % span);
+    loop {
+        let v = draw();
+        if v < zone {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_from(self, rng: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let off = uniform_below(rng, span);
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from(self, rng: &mut dyn FnMut() -> u64) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng() as $t; // full-width range
+                }
+                let off = uniform_below(rng, span + 1);
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample_from(self, rng: &mut dyn FnMut() -> u64) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange for Range<f32> {
+    type Output = f32;
+    fn sample_from(self, rng: &mut dyn FnMut() -> u64) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (rng() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        (self.start as f64 + unit * (self.end as f64 - self.start as f64)) as f32
+    }
+}
+
+/// Convenience sampling methods, mirroring the slice of `rand`'s `Rng`
+/// extension trait this workspace uses.
+pub trait RngExt: RngCore {
+    /// Uniform value from `range`.
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        let mut draw = || self.next_u64();
+        range.sample_from(&mut draw)
+    }
+
+    /// A coin flip with probability `p` of `true`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.random_range(0.0f64..1.0) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> RngExt for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.random_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let f = rng.random_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let i = rng.random_range(-5i64..=5);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn small_ranges_hit_every_value() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            seen[rng.random_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
