@@ -9,15 +9,66 @@
 
 use nbr_bench::{run_figure, Scale, ALL_FIGURES};
 
+/// Best-effort git revision of the working tree, for provenance stamping.
+fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn json_str_list(items: &[String]) -> String {
+    let quoted: Vec<String> = items.iter().map(|s| format!("\"{s}\"")).collect();
+    format!("[{}]", quoted.join(","))
+}
+
+/// Sidecar `meta.json` recording how this batch of CSVs was produced: the
+/// exact commit, sweep scale, seeds and figure list make a `bench_out/`
+/// directory self-describing long after the run.
+fn write_meta(out_dir: &str, scale: &Scale, quick: bool, figures: &[String]) {
+    let unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let loss_seeds: Vec<String> = scale.loss_seeds.iter().map(|s| s.to_string()).collect();
+    let protocols: Vec<String> = scale.protocols.iter().map(|p| p.name().to_string()).collect();
+    let meta = format!(
+        "{{\n  \"git_sha\": \"{}\",\n  \"unix_time\": {},\n  \"scale\": \"{}\",\n  \
+         \"warmup_ms\": {},\n  \"duration_ms\": {},\n  \"protocols\": {},\n  \
+         \"loss_seeds\": [{}],\n  \"figures\": {}\n}}\n",
+        git_sha(),
+        unix,
+        if quick { "quick" } else { "paper" },
+        scale.warmup.as_millis_f64(),
+        scale.duration.as_millis_f64(),
+        json_str_list(&protocols),
+        loss_seeds.join(","),
+        json_str_list(figures),
+    );
+    let _ = std::fs::create_dir_all(out_dir);
+    let path = format!("{out_dir}/meta.json");
+    if let Err(e) = std::fs::write(&path, meta) {
+        eprintln!("warning: could not write {path}: {e}");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::paper();
+    let mut quick = false;
     let mut out_dir = String::from("bench_out");
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--quick" => scale = Scale::quick(),
+            "--quick" => {
+                scale = Scale::quick();
+                quick = true;
+            }
             "--out" => out_dir = it.next().expect("--out needs a directory"),
             "all" => wanted.extend(ALL_FIGURES.iter().map(|s| s.to_string())),
             other => wanted.push(other.to_string()),
@@ -28,6 +79,7 @@ fn main() {
         eprintln!("figures: {}", ALL_FIGURES.join(" "));
         std::process::exit(2);
     }
+    write_meta(&out_dir, &scale, quick, &wanted);
     for id in wanted {
         let start = std::time::Instant::now();
         match run_figure(&id, &scale) {

@@ -11,6 +11,7 @@ use crate::report::Table;
 
 /// A sweep point: x-axis label plus a configuration mutation.
 type SweepPoint = (String, Box<dyn Fn(&mut SimConfig)>);
+use nbr_obs::{analyze, EngineProbe};
 use nbr_petri::{CostProfile, ModelConfig, ReplicationModel};
 use nbr_sim::{run, CostModel, FailurePlan, GeoMatrix, SimConfig};
 use nbr_types::{Protocol, Time, TimeDelta, TimeoutConfig};
@@ -588,6 +589,51 @@ pub fn ablation_jitter(scale: &Scale) -> Vec<Table> {
     vec![t]
 }
 
+/// Lifecycle figure (beyond the paper): replay a probe trace of the same
+/// workload at increasing window sizes and report the analyzer's `t_wait(F)`
+/// distribution directly — the measured counterpart of the Petri net's
+/// `t_wait(F)` phase in Figure 4. At `w = 0` every out-of-order arrival
+/// parks (stock Raft's blocking loop); a modest window absorbs most of them
+/// and the mean wait collapses.
+pub fn lifecycle(scale: &Scale) -> Vec<Table> {
+    let mut t = Table::new(
+        "lifecycle",
+        "Lifecycle: t_wait(F) from probe traces vs window size (256 clients, 4KB)",
+        "Window w",
+        vec![
+            "t_wait mean ms".into(),
+            "t_wait p99 ms".into(),
+            "in order".into(),
+            "absorbed".into(),
+            "parked".into(),
+            "occupancy mean".into(),
+        ],
+        "mixed",
+    );
+    for w in [0usize, 4, 16, 64] {
+        let (probe, buf) = EngineProbe::shared();
+        let mut cfg = scale.base(Protocol::NbRaft);
+        cfg.window = w;
+        cfg.n_clients = 256;
+        cfg.n_dispatchers = 256;
+        cfg.trace = probe;
+        let _ = run(cfg);
+        let rep = analyze(&buf.take());
+        t.row(
+            w,
+            vec![
+                rep.twait.mean() / 1e6,
+                rep.twait.p99() as f64 / 1e6,
+                rep.in_order as f64,
+                rep.absorbed as f64,
+                rep.blocked as f64,
+                rep.occ_window.mean(),
+            ],
+        );
+    }
+    vec![t]
+}
+
 /// All figure ids, in paper order (plus the ablations).
 pub const ALL_FIGURES: &[&str] = &[
     "fig4",
@@ -605,6 +651,7 @@ pub const ALL_FIGURES: &[&str] = &[
     "headline",
     "ablation_window",
     "ablation_jitter",
+    "lifecycle",
 ];
 
 /// Run one figure by id.
@@ -625,6 +672,7 @@ pub fn run_figure(id: &str, scale: &Scale) -> Option<Vec<Table>> {
         "headline" => headline(scale),
         "ablation_window" => ablation_window(scale),
         "ablation_jitter" => ablation_jitter(scale),
+        "lifecycle" => lifecycle(scale),
         _ => return None,
     })
 }

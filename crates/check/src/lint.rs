@@ -11,9 +11,10 @@
 //!   and RPC dispatch must be exhaustive so that adding a `Message` variant
 //!   forces every handler to be revisited.
 //! * **L3** — no wall-clock reads (`Instant::now`, `SystemTime::now`) or
-//!   `thread::sleep` in the deterministic paths (`core`, `sim`, `types`).
-//!   Time enters the sans-I/O engine only as explicit [`nbr_types::Time`]
-//!   values.
+//!   `thread::sleep` in the deterministic paths (`core`, `obs`, `sim`,
+//!   `types`). Time enters the sans-I/O engine only as explicit
+//!   [`nbr_types::Time`] values — probe timestamps included, which is what
+//!   keeps traces replayable and the sim bit-identical across runs.
 //! * **L4** — no unchecked `+` / `-` directly on the raw `.0` of
 //!   `LogIndex` / `Term`-like newtypes in `core`, `cluster`, `storage`.
 //!   Use the sanctioned wrappers (`next()`, `prev()`, `plus()`, `diff()`)
@@ -52,7 +53,7 @@ impl fmt::Display for Violation {
 /// Which crates each rule applies to (directory name under `crates/`).
 const L1_SCOPE: &[&str] = &["core", "cluster", "storage"];
 const L2_SCOPE: &[&str] = &["core", "cluster", "storage"];
-const L3_SCOPE: &[&str] = &["core", "sim", "types"];
+const L3_SCOPE: &[&str] = &["core", "obs", "sim", "types"];
 const L4_SCOPE: &[&str] = &["core", "cluster", "storage"];
 
 const KNOWN_RULES: &[&str] = &["L1", "L2", "L3", "L4"];

@@ -7,12 +7,14 @@
 //! nbraft-cli petri [--clients N] [--dispatchers N] [--non-blocking]
 //!              [--ratis] [--horizon-ms MS] [--dot FILE]
 //! nbraft-cli demo  [--protocol P] [--replicas N] [--clients N] [--seconds S]
+//! nbraft-cli trace FILE | --compare [--window W]
 //! ```
 
 use bytes::Bytes;
 use nbr_cluster::{Cluster, ClusterConfig};
+use nbr_obs::{analyze, EngineProbe, TraceEvent};
 use nbr_petri::{CostProfile, ModelConfig, ReplicationModel};
-use nbr_sim::{run, CostModel, GeoMatrix, SimConfig};
+use nbr_sim::{run, CostModel, GeoMatrix, SimConfig, SimResult};
 use nbr_storage::KvStore;
 use nbr_types::{Protocol, TimeDelta};
 use std::collections::HashMap;
@@ -89,6 +91,13 @@ impl Args {
 
 fn cmd_sim(args: &Args) {
     let clients = args.get("clients", 256usize);
+    let trace_path = args.values.get("trace").cloned();
+    let (probe, buf) = if trace_path.is_some() {
+        let (p, b) = EngineProbe::shared();
+        (p, Some(b))
+    } else {
+        (EngineProbe::Off, None)
+    };
     let cfg = SimConfig {
         protocol: args.protocol(),
         window: args.get("window", 10_000usize),
@@ -102,6 +111,7 @@ fn cmd_sim(args: &Args) {
         geo: args.has("geo").then(GeoMatrix::alibaba_five_cities),
         cpu_scale: args.get("cpu-scale", 1.0f64),
         seed: args.get("seed", 42u64),
+        trace: probe,
         ..Default::default()
     };
     println!(
@@ -125,6 +135,81 @@ fn cmd_sim(args: &Args) {
     println!("entries parked    {:>12}", r.stats.parked);
     println!("window flushes    {:>12}", r.stats.window_flushes);
     println!("elections         {:>12}", r.elections);
+    if let (Some(path), Some(buf)) = (trace_path, buf) {
+        let events = buf.take();
+        if let Err(e) = std::fs::write(&path, nbr_obs::trace::to_jsonl(&events)) {
+            eprintln!("failed to write trace {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "wrote {} trace events to {path} (analyze: nbraft-cli trace {path})",
+            events.len()
+        );
+    }
+}
+
+/// One traced simulation run for `trace --compare`; identical configuration
+/// apart from the window size (window 0 == stock Raft on the same engine).
+fn traced_sim(args: &Args, window: usize) -> (SimResult, Vec<TraceEvent>) {
+    let (probe, buf) = EngineProbe::shared();
+    let clients = args.get("clients", 64usize);
+    let cfg = SimConfig {
+        protocol: args.protocol(),
+        window,
+        n_replicas: args.get("replicas", 3usize),
+        n_clients: clients,
+        n_dispatchers: args.get("dispatchers", clients),
+        payload: args.get("payload", 1024usize),
+        duration: TimeDelta::from_millis(args.get("duration-ms", 400u64)),
+        warmup: TimeDelta::from_millis(args.get("warmup-ms", 100u64)),
+        costs: if args.has("cloud") { CostModel::cloud() } else { CostModel::default() },
+        geo: args.has("geo").then(GeoMatrix::alibaba_five_cities),
+        seed: args.get("seed", 42u64),
+        trace: probe,
+        ..Default::default()
+    };
+    let r = run(cfg);
+    (r, buf.take())
+}
+
+fn cmd_trace(file: Option<&str>, args: &Args) {
+    if args.has("compare") {
+        let w = args.get("window", 8usize).max(4);
+        println!("tracing window=0 (stock Raft) vs window={w} (NB-Raft), same workload/seed...");
+        let (r0, e0) = traced_sim(args, 0);
+        let (rw, ew) = traced_sim(args, w);
+        let rep0 = analyze(&e0);
+        let repw = analyze(&ew);
+        println!("--- window=0 --- ({:.0} ops/s)", r0.throughput);
+        print!("{}", rep0.render());
+        println!("--- window={w} --- ({:.0} ops/s)", rw.throughput);
+        print!("{}", repw.render());
+        let (m0, mw) = (rep0.twait.mean(), repw.twait.mean());
+        println!(
+            "mean t_wait(F): window=0 {:.3}ms vs window={w} {:.3}ms — {}",
+            m0 / 1e6,
+            mw / 1e6,
+            if m0 > mw {
+                "blocking cost confirmed (stock Raft waits strictly longer)"
+            } else {
+                "NO separation (increase load/jitter or duration)"
+            }
+        );
+        return;
+    }
+    let Some(path) = file else {
+        eprintln!("trace: missing FILE operand (or use --compare to run paired traced sims)");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let events = nbr_obs::trace::from_jsonl(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(1);
+    });
+    print!("{}", analyze(&events).render());
 }
 
 fn cmd_petri(args: &Args) {
@@ -223,7 +308,7 @@ fn cmd_demo(args: &Args) {
 fn usage() -> ! {
     eprintln!(
         "nbraft-cli — Non-Blocking Raft reproduction CLI\n\n\
-         USAGE:\n  nbraft-cli sim   [--protocol P] [--clients N] [--replicas N] [--payload B]\n               [--dispatchers N] [--window W] [--duration-ms MS] [--seed S]\n               [--geo] [--cloud] [--cpu-scale F]\n  nbraft-cli petri [--clients N] [--dispatchers N] [--non-blocking] [--ratis]\n               [--horizon-ms MS] [--dot FILE]\n  nbraft-cli demo  [--protocol P] [--replicas N] [--clients N] [--seconds S]\n\n\
+         USAGE:\n  nbraft-cli sim   [--protocol P] [--clients N] [--replicas N] [--payload B]\n               [--dispatchers N] [--window W] [--duration-ms MS] [--seed S]\n               [--geo] [--cloud] [--cpu-scale F] [--trace FILE]\n  nbraft-cli petri [--clients N] [--dispatchers N] [--non-blocking] [--ratis]\n               [--horizon-ms MS] [--dot FILE]\n  nbraft-cli demo  [--protocol P] [--replicas N] [--clients N] [--seconds S]\n  nbraft-cli trace FILE            analyze a JSONL trace (entry lifecycles,\n               t_wait(F), window occupancy)\n  nbraft-cli trace --compare [--window W] [sim opts]   paired traced sims:\n               window=0 (stock Raft) vs window=W\n\n\
          protocols: raft nbraft craft nbcraft ecraft kraft vgraft"
     );
     std::process::exit(2)
@@ -232,11 +317,22 @@ fn usage() -> ! {
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = raw.first() else { usage() };
-    let args = Args::parse(&raw[1..]);
+    let mut rest = &raw[1..];
+    // `trace` takes one positional FILE operand; peel it before the
+    // `--key value` parser (which rejects positionals).
+    let mut file = None;
+    if cmd == "trace" {
+        if let Some(f) = rest.first().filter(|f| !f.starts_with("--")) {
+            file = Some(f.as_str());
+            rest = &rest[1..];
+        }
+    }
+    let args = Args::parse(rest);
     match cmd.as_str() {
         "sim" => cmd_sim(&args),
         "petri" => cmd_petri(&args),
         "demo" => cmd_demo(&args),
+        "trace" => cmd_trace(file, &args),
         _ => usage(),
     }
 }

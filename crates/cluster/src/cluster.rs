@@ -7,6 +7,7 @@
 use crate::network::{NetConfig, NetHandle, Network, Packet, CLIENT_ENDPOINT};
 use crate::sync::Mutex;
 use nbr_core::{Node, Output};
+use nbr_obs::{EngineProbe, ProbeEvent, Registry};
 use nbr_storage::{LogStore, MemLog, StateMachine, SyncPolicy, WalLog};
 use nbr_types::*;
 use std::collections::HashMap;
@@ -39,6 +40,10 @@ pub struct ClusterConfig {
     pub compact_after: Option<u64>,
     /// Seed for node RNGs.
     pub seed: u64,
+    /// Protocol tracing hook threaded into every replica's engine.
+    /// `EngineProbe::Off` (the default) keeps the hot path allocation-free;
+    /// a shared probe collects [`nbr_obs::TraceEvent`]s for `nbraft-cli trace`.
+    pub probe: EngineProbe,
 }
 
 impl Default for ClusterConfig {
@@ -59,6 +64,7 @@ impl Default for ClusterConfig {
             storage: StorageMode::Memory,
             compact_after: None,
             seed: 42,
+            probe: EngineProbe::Off,
         }
     }
 }
@@ -138,6 +144,7 @@ enum Control {
 struct Replica {
     control: Sender<Control>,
     status: Arc<Mutex<NodeStatus>>,
+    registry: Arc<Registry>,
     thread: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -182,6 +189,7 @@ impl<M: StateMachine + Send + Default + 'static> Cluster<M> {
         for (i, rx) in receivers.into_iter().enumerate() {
             let (ctl_tx, ctl_rx) = channel::<Control>();
             let status = Arc::new(Mutex::new(NodeStatus::default()));
+            let registry = Arc::new(Registry::new(i.to_string()));
             let thread = spawn_replica(
                 NodeId(i as u32),
                 membership.clone(),
@@ -192,8 +200,9 @@ impl<M: StateMachine + Send + Default + 'static> Cluster<M> {
                 net.handle(),
                 Arc::clone(&machines[i]),
                 Arc::clone(&status),
+                Arc::clone(&registry),
             );
-            replicas.push(Replica { control: ctl_tx, status, thread: Some(thread) });
+            replicas.push(Replica { control: ctl_tx, status, registry, thread: Some(thread) });
         }
 
         // Client response router.
@@ -244,6 +253,17 @@ impl<M: StateMachine + Send + Default + 'static> Cluster<M> {
     /// The state machine of one replica.
     pub fn machine(&self, node: usize) -> Arc<Mutex<M>> {
         Arc::clone(&self.machines[node])
+    }
+
+    /// The metrics registry of one replica (updated by its node thread).
+    pub fn registry(&self, node: usize) -> Arc<Registry> {
+        Arc::clone(&self.replicas[node].registry)
+    }
+
+    /// Prometheus text-format exposition of every replica's metrics.
+    pub fn prometheus(&self) -> String {
+        let snaps: Vec<_> = self.replicas.iter().map(|r| r.registry.snapshot()).collect();
+        nbr_obs::export::prometheus(&snaps)
     }
 
     /// Fault injection controls.
@@ -364,6 +384,7 @@ fn spawn_replica<M: StateMachine + Send + Default + 'static>(
     net: NetHandle,
     machine: Arc<Mutex<M>>,
     status: Arc<Mutex<NodeStatus>>,
+    registry: Arc<Registry>,
 ) -> std::thread::JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("nbr-node-{}", id.0))
@@ -403,9 +424,15 @@ fn spawn_replica<M: StateMachine + Send + Default + 'static>(
             // Outstanding harness reads keyed by synthetic request id.
             let mut read_replies: HashMap<u64, Sender<Result<()>>> = HashMap::new();
             let mut next_read_id = 0u64;
-            let mut node: Option<Node<ClusterLog>> = Some({
-                let mut n =
-                    Node::new(id, membership.clone(), cfg.protocol.clone(), open_log(), cfg.seed);
+            let mut node: Option<Node<ClusterLog, EngineProbe>> = Some({
+                let mut n = Node::with_probe(
+                    id,
+                    membership.clone(),
+                    cfg.protocol.clone(),
+                    open_log(),
+                    cfg.seed,
+                    cfg.probe.clone(),
+                );
                 if let Some((t, v)) = load_hard_state() {
                     n.restore_hard_state(t, v);
                 }
@@ -420,12 +447,16 @@ fn spawn_replica<M: StateMachine + Send + Default + 'static>(
                     match c {
                         Control::Stop => return,
                         Control::Crash => {
+                            if let EngineProbe::Shared(p) = &cfg.probe {
+                                p.record(id, now_since(epoch), ProbeEvent::Crashed);
+                            }
                             node = None;
                             // The state machine is volatile node state: a
                             // restarted replica rebuilds it by re-applying
                             // its recovered log from the start.
                             *machine.lock() = M::default();
                             status.lock().alive = false;
+                            registry.gauge("alive").set(0);
                         }
                         Control::Read(reply) => {
                             if let Some(n) = node.as_mut() {
@@ -444,12 +475,13 @@ fn spawn_replica<M: StateMachine + Send + Default + 'static>(
                         }
                         Control::Restart => {
                             if node.is_none() {
-                                let mut n = Node::new(
+                                let mut n = Node::with_probe(
                                     id,
                                     membership.clone(),
                                     cfg.protocol.clone(),
                                     open_log(),
                                     cfg.seed ^ 0xBEEF,
+                                    cfg.probe.clone(),
                                 );
                                 if let Some((t, v)) = load_hard_state() {
                                     n.restore_hard_state(t, v);
@@ -538,13 +570,36 @@ fn spawn_replica<M: StateMachine + Send + Default + 'static>(
                     }
 
                     // Status snapshot.
-                    let mut s = status.lock();
-                    s.alive = true;
-                    s.is_leader = n.is_leader();
-                    s.term = n.term().0;
-                    s.commit = n.commit_index().0;
-                    s.last_index = n.last_index().0;
-                    s.applied = machine.lock().applied_index().0;
+                    let applied = machine.lock().applied_index().0;
+                    {
+                        let mut s = status.lock();
+                        s.alive = true;
+                        s.is_leader = n.is_leader();
+                        s.term = n.term().0;
+                        s.commit = n.commit_index().0;
+                        s.last_index = n.last_index().0;
+                        s.applied = applied;
+                    }
+
+                    // Metrics registry: protocol counters mirrored from the
+                    // engine's stats, plus replica-state gauges.
+                    let st = &n.stats;
+                    registry.counter("appends").set(st.appends);
+                    registry.counter("weak_accepts").set(st.weak_accepts);
+                    registry.counter("strong_accepts").set(st.strong_accepts);
+                    registry.counter("parked").set(st.parked);
+                    registry.counter("park_wait_ns").set(st.park_wait_ns);
+                    registry.counter("window_flushes").set(st.window_flushes);
+                    registry.counter("elections").set(st.elections);
+                    registry.counter("messages").set(st.messages);
+                    registry.counter("committed").set(st.committed);
+                    registry.counter("applied").set(st.applied);
+                    registry.counter("proposals").set(st.proposals);
+                    registry.gauge("term").set(n.term().0 as i64);
+                    registry.gauge("commit_index").set(n.commit_index().0 as i64);
+                    registry.gauge("last_index").set(n.last_index().0 as i64);
+                    registry.gauge("is_leader").set(n.is_leader() as i64);
+                    registry.gauge("alive").set(1);
                 } else {
                     // Crashed: drain and ignore.
                     let _ = packet;

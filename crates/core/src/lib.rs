@@ -43,6 +43,7 @@ pub mod window;
 
 pub use client::{ClientAction, RaftClient};
 pub use event::Output;
+pub use nbr_obs::{NoProbe, Probe, ProbeEvent};
 pub use node::{Node, NodeStats, Role};
 pub use votelist::{VoteList, VoteOutcome, VoteTuple};
 pub use window::{SlidingWindow, WindowOutcome};

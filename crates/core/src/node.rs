@@ -19,6 +19,7 @@ use crate::votelist::{VoteList, VoteOutcome};
 use crate::window::{SlidingWindow, WindowOutcome};
 use bytes::Bytes;
 use nbr_crypto::{KeyDirectory, Signature};
+use nbr_obs::{NoProbe, Probe, ProbeEvent};
 use nbr_storage::LogStore;
 use nbr_types::*;
 use rand::rngs::StdRng;
@@ -140,13 +141,15 @@ impl Progress {
 }
 
 /// The replica engine. Generic over log storage so the simulator can use
-/// [`nbr_storage::MemLog`] and the cluster runtime [`nbr_storage::WalLog`].
+/// [`nbr_storage::MemLog`] and the cluster runtime [`nbr_storage::WalLog`],
+/// and over an observability [`Probe`] — the default [`NoProbe`] compiles
+/// every emission to a no-op, so untraced builds pay nothing.
 ///
 /// `Clone` (available when the log store is cloneable, i.e. `MemLog`) exists
 /// for the `nbr-check` model checker, which snapshots whole replicas while
 /// exploring the protocol state graph.
 #[derive(Clone)]
-pub struct Node<L: LogStore> {
+pub struct Node<L: LogStore, P: Probe = NoProbe> {
     id: NodeId,
     /// All members (sorted, includes self). Bit `i` of vote/accept bitmaps
     /// refers to `membership[i]`.
@@ -209,18 +212,41 @@ pub struct Node<L: LogStore> {
     rng: StdRng,
     /// Counters for instrumentation.
     pub stats: NodeStats,
+
+    /// Observability hook (`NoProbe` = disabled).
+    probe: P,
+    /// Instant of the input currently being processed, captured at each
+    /// public entry point purely for probe timestamps. Instrumentation
+    /// only — excluded from [`Self::fingerprint`] so the model-checker
+    /// state space is unchanged by tracing.
+    probe_now: Time,
 }
 
 impl<L: LogStore> Node<L> {
-    /// Create a replica. `membership` must contain `id`; it is sorted
-    /// internally so all replicas agree on bit positions.
+    /// Create a replica with observability disabled. `membership` must
+    /// contain `id`; it is sorted internally so all replicas agree on bit
+    /// positions.
     pub fn new(
+        id: NodeId,
+        membership: Vec<NodeId>,
+        cfg: ProtocolConfig,
+        log: L,
+        seed: u64,
+    ) -> Node<L> {
+        Node::with_probe(id, membership, cfg, log, seed, NoProbe)
+    }
+}
+
+impl<L: LogStore, P: Probe> Node<L, P> {
+    /// Create a replica emitting protocol events into `probe`.
+    pub fn with_probe(
         id: NodeId,
         mut membership: Vec<NodeId>,
         cfg: ProtocolConfig,
         log: L,
         seed: u64,
-    ) -> Node<L> {
+        probe: P,
+    ) -> Node<L, P> {
         membership.sort_unstable();
         membership.dedup();
         assert!(membership.contains(&id), "membership must include self");
@@ -261,7 +287,15 @@ impl<L: LogStore> Node<L> {
             last_alive: n,
             rng,
             stats: NodeStats::default(),
+            probe,
+            probe_now: Time::ZERO,
         }
+    }
+
+    /// Record one protocol event at the current input's instant.
+    #[inline]
+    fn emit(&mut self, event: ProbeEvent) {
+        self.probe.emit(self.id, self.probe_now, event);
     }
 
     // ---------------------------------------------------------------- views
@@ -386,8 +420,10 @@ impl<L: LogStore> Node<L> {
     /// Two replicas with equal fingerprints behave identically on every
     /// future input: the `nbr-check` model checker uses this to recognize
     /// already-explored global states. Instrumentation counters
-    /// ([`NodeStats`]) and the `t_wait` arrival bookkeeping are deliberately
-    /// excluded — they never influence a transition.
+    /// ([`NodeStats`]), the `t_wait` arrival bookkeeping, and the probe
+    /// (including `probe_now`) are deliberately excluded — they never
+    /// influence a transition, so tracing leaves the model-checker state
+    /// space unchanged.
     pub fn fingerprint<H: std::hash::Hasher>(&self, h: &mut H) {
         use std::hash::Hash;
         self.id.hash(h);
@@ -473,6 +509,7 @@ impl<L: LogStore> Node<L> {
     /// Advance timers: elections for followers/candidates, heartbeats and
     /// catch-up for leaders.
     pub fn tick(&mut self, now: Time, out: &mut Vec<Output>) {
+        self.probe_now = now;
         match self.role {
             Role::Follower | Role::Candidate => {
                 if now >= self.election_deadline {
@@ -489,6 +526,7 @@ impl<L: LogStore> Node<L> {
 
     /// Feed one client request (only meaningful at the leader).
     pub fn handle_client(&mut self, req: ClientRequest, now: Time, out: &mut Vec<Output>) {
+        self.probe_now = now;
         if self.role != Role::Leader {
             out.push(Output::Respond {
                 client: req.client,
@@ -503,6 +541,7 @@ impl<L: LogStore> Node<L> {
 
     /// Feed one protocol message from a peer.
     pub fn handle_message(&mut self, from: NodeId, msg: Message, now: Time, out: &mut Vec<Output>) {
+        self.probe_now = now;
         self.stats.messages += 1;
         let mterm = msg.term();
         if mterm > self.term {
@@ -547,6 +586,7 @@ impl<L: LogStore> Node<L> {
     /// Start an election immediately (also used by tests/harnesses to
     /// bootstrap a leader deterministically).
     pub fn campaign(&mut self, now: Time, out: &mut Vec<Output>) {
+        self.probe_now = now;
         self.start_election(now, out);
     }
 
@@ -557,6 +597,7 @@ impl<L: LogStore> Node<L> {
         self.stats.elections += 1;
         self.role = Role::Candidate;
         self.term = self.term.next();
+        self.emit(ProbeEvent::ElectionStarted { term: self.term });
         self.voted_for = Some(self.id);
         self.votes = self.bit_of(self.id);
         self.leader_hint = None;
@@ -621,6 +662,7 @@ impl<L: LogStore> Node<L> {
         }
         self.role = Role::Leader;
         self.leader_hint = Some(self.id);
+        self.emit(ProbeEvent::Elected { term: self.term });
         self.vote_list = VoteList::new(self.quorum());
         self.progress = vec![Progress::new(); self.membership.len()];
         self.next_heartbeat = now; // heartbeat immediately
@@ -646,6 +688,7 @@ impl<L: LogStore> Node<L> {
                 });
             }
             out.push(Output::SteppedDown { term: new_term });
+            self.emit(ProbeEvent::SteppedDown { term: new_term });
         }
         if new_term > self.term {
             self.term = new_term;
@@ -717,9 +760,11 @@ impl<L: LogStore> Node<L> {
         let entry = Entry { index, term: self.term, prev_term, origin, payload };
         self.log.append(entry.clone()).expect("leader append is contiguous"); // check:allow(L1): index chosen as last+1; failure = storage fault, crash-stop
         self.stats.appends += 1;
+        self.emit(ProbeEvent::Appended { index });
         let threshold = self.effective_threshold();
         let self_bit = self.bit_of(self.id);
         self.vote_list.track(index, self.term, origin, self_bit, threshold);
+        self.emit(ProbeEvent::VoteTracked { index, threshold });
         self.replicate_entry(&entry, out);
         // Single-node groups commit immediately (bit 0 = evaluate only).
         let outcome = self.vote_list.strong_accept(index, 0, self.term);
@@ -909,10 +954,17 @@ impl<L: LogStore> Node<L> {
 
         let leader = m.leader;
         let before = self.log.last_index();
+        self.emit(ProbeEvent::EntryReceived { index: m.entry.index, term: m.entry.term });
         self.accept_entry(m.entry, leader, now, out);
         if self.log.last_index() != before {
             // Progress: the leader is alive and feeding us appendable data.
             self.election_deadline = now + jitter(&mut self.rng, self.cfg.timeouts);
+        }
+        if self.probe.enabled() {
+            self.emit(ProbeEvent::WindowOccupancy {
+                occupied: self.window.occupied() as u32,
+                parked: self.parked.len() as u32,
+            });
         }
         self.advance_commit(m.leader_commit, out);
     }
@@ -950,9 +1002,11 @@ impl<L: LogStore> Node<L> {
             // Replace: truncate the conflicting suffix, append, and move the
             // window leftwards (Figure 7).
             let min_term = entry.term;
+            let index = entry.index;
             self.log.truncate_from(entry.index).expect("truncate above commit"); // check:allow(L1): storage fault is unrecoverable, crash-stop
             self.log.append(entry).expect("contiguous after truncate"); // check:allow(L1): storage fault is unrecoverable, crash-stop
             self.stats.appends += 1;
+            self.emit(ProbeEvent::Appended { index });
             self.window.shift_to(self.log.last_index(), min_term);
             self.reconstructed.split_off(&self.log.last_index().next());
             self.respond_strong(leader, out);
@@ -975,20 +1029,30 @@ impl<L: LogStore> Node<L> {
         match self.window.offer(entry, self.log.last_term()) {
             WindowOutcome::Flush(run) => {
                 self.stats.window_flushes += 1;
+                if let Some(f) = run.first() {
+                    self.emit(ProbeEvent::WindowFlushed {
+                        index: f.index,
+                        run_len: run.len() as u32,
+                    });
+                }
                 for e in run {
                     // t_wait accounting: cached entries waited since arrival.
                     if let Some(arrived) = self.arrivals.remove(&e.index) {
                         self.stats.park_wait_ns += now.since(arrived).as_nanos();
                         self.stats.park_waits += 1;
                     }
+                    let e_index = e.index;
                     self.log.append(e).expect("window flush is contiguous"); // check:allow(L1): flush run is contiguous by construction; else storage fault, crash-stop
                     self.stats.appends += 1;
+                    self.emit(ProbeEvent::Appended { index: e_index });
                 }
                 self.respond_strong(leader, out);
             }
             WindowOutcome::Cached => {
                 self.arrivals.insert(index, now);
                 self.stats.weak_accepts += 1;
+                self.emit(ProbeEvent::WindowCached { index });
+                self.emit(ProbeEvent::WeakAccepted { index });
                 out.push(Output::Send {
                     to: leader,
                     msg: Message::AppendResp(AppendRespMsg {
@@ -1012,6 +1076,7 @@ impl<L: LogStore> Node<L> {
                     return;
                 }
                 self.stats.parked += 1;
+                self.emit(ProbeEvent::Parked { index });
                 match self.parked.get(&index) {
                     Some((existing, _)) if existing.term >= term => {}
                     Some(_) | None => {
@@ -1024,6 +1089,7 @@ impl<L: LogStore> Node<L> {
 
     fn respond_strong(&mut self, leader: NodeId, out: &mut Vec<Output>) {
         self.stats.strong_accepts += 1;
+        self.emit(ProbeEvent::StrongAccepted { last_index: self.log.last_index() });
         out.push(Output::Send {
             to: leader,
             msg: Message::AppendResp(AppendRespMsg {
@@ -1081,12 +1147,20 @@ impl<L: LogStore> Node<L> {
             match self.window.offer(entry, self.log.last_term()) {
                 WindowOutcome::Flush(run) => {
                     self.stats.window_flushes += 1;
+                    if let Some(f) = run.first() {
+                        self.emit(ProbeEvent::WindowFlushed {
+                            index: f.index,
+                            run_len: run.len() as u32,
+                        });
+                    }
                     for e in run {
                         let arrived_at = self.arrivals.remove(&e.index).unwrap_or(arrived);
                         self.stats.park_wait_ns += now.since(arrived_at).as_nanos();
                         self.stats.park_waits += 1;
+                        let e_index = e.index;
                         self.log.append(e).expect("contiguous flush"); // check:allow(L1): as above
                         self.stats.appends += 1;
+                        self.emit(ProbeEvent::Appended { index: e_index });
                     }
                     self.respond_strong(leader, out);
                 }
@@ -1094,6 +1168,8 @@ impl<L: LogStore> Node<L> {
                     // Moved from parked into the window: now weakly accepted.
                     self.arrivals.insert(index, arrived);
                     self.stats.weak_accepts += 1;
+                    self.emit(ProbeEvent::WindowCached { index });
+                    self.emit(ProbeEvent::WeakAccepted { index });
                     out.push(Output::Send {
                         to: leader,
                         msg: Message::AppendResp(AppendRespMsg {
@@ -1119,6 +1195,13 @@ impl<L: LogStore> Node<L> {
     fn advance_commit(&mut self, leader_commit: LogIndex, out: &mut Vec<Output>) {
         let target = leader_commit.min(self.log.last_index());
         if target > self.commit_index {
+            if self.probe.enabled() {
+                let mut i = self.commit_index.next();
+                while i <= target {
+                    self.emit(ProbeEvent::Committed { index: i });
+                    i = i.next();
+                }
+            }
             self.commit_index = target;
             self.emit_applies(out);
         }
@@ -1159,6 +1242,14 @@ impl<L: LogStore> Node<L> {
     }
 
     fn process_vote_outcome(&mut self, outcome: VoteOutcome, out: &mut Vec<Output>) {
+        if self.probe.enabled() {
+            for &(index, _, _) in &outcome.weak_ready {
+                self.emit(ProbeEvent::WeakQuorum { index });
+            }
+            for &(index, _, _) in &outcome.committed {
+                self.emit(ProbeEvent::Committed { index });
+            }
+        }
         // Weak majorities: early return to clients (Figure 10) — only
         // meaningful for the non-blocking variants.
         if self.cfg.window > 0 {
@@ -1484,6 +1575,7 @@ impl<L: LogStore> Node<L> {
         now: Time,
         out: &mut Vec<Output>,
     ) {
+        self.probe_now = now;
         match self.role {
             Role::Leader => {
                 let read = PendingRead {
@@ -1724,6 +1816,7 @@ impl<L: LogStore> Node<L> {
             };
             out.push(Output::Apply { entry });
             self.stats.applied += 1;
+            self.emit(ProbeEvent::Applied { index: idx });
             self.applied_index = idx;
             self.frag_store.release_through(idx);
         }

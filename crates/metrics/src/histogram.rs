@@ -9,8 +9,12 @@
 const SUB_BUCKETS: u64 = 64;
 const SUB_BITS: u32 = 6; // log2(SUB_BUCKETS)
 /// Total bucket count: values < SUB_BUCKETS are exact, then one group of
-/// SUB_BUCKETS/2 per further power of two.
-const GROUPS: usize = 64;
+/// SUB_BUCKETS/2 per further power of two. The group of a value is
+/// `msb - SUB_BITS + 1` and the largest possible msb is 63, so exactly
+/// `63 - SUB_BITS + 1 = 58` groups are reachable: the top bucket
+/// (`BUCKETS - 1`) is `bucket_index(u64::MAX)` and the saturating clamp in
+/// [`Histogram::record`] is the guard at that boundary.
+const GROUPS: usize = 63 - SUB_BITS as usize + 1;
 const BUCKETS: usize = SUB_BUCKETS as usize + GROUPS * (SUB_BUCKETS as usize / 2);
 
 /// A fixed-memory histogram of `u64` values (nanoseconds by convention).
@@ -123,8 +127,11 @@ impl Histogram {
         self.quantile(0.99)
     }
 
-    /// Merge another histogram into this one.
+    /// Merge another histogram into this one. Correct for any mix of
+    /// populations, including merging into (or from) an empty histogram:
+    /// the min/max sentinels of an empty side never leak into the result.
     pub fn merge(&mut self, other: &Histogram) {
+        debug_assert_eq!(self.counts.len(), other.counts.len());
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
@@ -241,5 +248,63 @@ mod tests {
         h.record(u64::MAX / 2);
         assert_eq!(h.count(), 2);
         assert!(h.quantile(1.0) >= h.quantile(0.5), "quantiles stay monotone");
+    }
+
+    #[test]
+    fn top_bucket_is_exactly_reachable() {
+        // Regression: GROUPS used to over-allocate 192 unreachable buckets,
+        // which made the saturating clamp in `record` dead code. The top
+        // bucket must be the one u64::MAX lands in.
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.counts[BUCKETS - 1], 1);
+        assert_eq!(h.quantile(1.0), u64::MAX); // clamped by the exact max
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn merge_into_empty_and_from_empty() {
+        // Regression: an empty histogram's min sentinel (u64::MAX) must not
+        // leak through a merge in either direction.
+        let mut populated = Histogram::new();
+        populated.record(500);
+        populated.record(1500);
+
+        let mut empty = Histogram::new();
+        empty.merge(&populated);
+        assert_eq!(empty.count(), 2);
+        assert_eq!(empty.min(), 500);
+        assert_eq!(empty.max(), 1500);
+        assert_eq!(empty.mean(), 1000.0);
+
+        let before = (populated.count(), populated.min(), populated.max());
+        populated.merge(&Histogram::new());
+        assert_eq!((populated.count(), populated.min(), populated.max()), before);
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        // Merging two differently-populated histograms must agree with one
+        // histogram that recorded every value directly.
+        let mut low = Histogram::new();
+        let mut high = Histogram::new();
+        let mut all = Histogram::new();
+        for v in 1..=1000u64 {
+            low.record(v);
+            all.record(v);
+        }
+        for v in (1_000_000..2_000_000u64).step_by(1000) {
+            high.record(v);
+            all.record(v);
+        }
+        low.merge(&high);
+        assert_eq!(low.count(), all.count());
+        assert_eq!(low.min(), all.min());
+        assert_eq!(low.max(), all.max());
+        assert_eq!(low.mean(), all.mean());
+        for q in [0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(low.quantile(q), all.quantile(q), "q={q}");
+        }
     }
 }

@@ -1,0 +1,174 @@
+//! Snapshot exporters: Prometheus text exposition, CSV, and JSONL.
+//!
+//! All exporters take a slice of [`Snapshot`]s (one per node) and return a
+//! `String`; callers decide where it goes (HTTP response, file, stdout).
+//! Output is deterministic: snapshots are emitted in slice order and metrics
+//! in name order (the snapshot maps are sorted).
+
+use crate::registry::Snapshot;
+use std::fmt::Write as _;
+
+/// Prefix applied to every exported metric name.
+const NAMESPACE: &str = "nbr";
+
+fn fmt_f64(v: f64) -> String {
+    // Prometheus requires a decimal point or exponent for float samples;
+    // {:?} gives shortest-roundtrip which always includes one.
+    format!("{v:?}")
+}
+
+/// Render snapshots in the Prometheus text exposition format (version 0.0.4).
+/// Counters and gauges become one sample each with a `node` label; timers
+/// become a summary (`_count`, `_sum` approximated as `count * mean`, and
+/// `quantile` samples for p50/p99).
+pub fn prometheus(snaps: &[Snapshot]) -> String {
+    let mut out = String::new();
+    let mut typed: Vec<(String, &str)> = Vec::new();
+    let mut type_line = |out: &mut String, name: &str, kind: &'static str| {
+        if !typed.iter().any(|(n, _)| n == name) {
+            typed.push((name.to_string(), kind));
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+        }
+    };
+    for s in snaps {
+        let node = &s.label;
+        for (name, v) in &s.counters {
+            let full = format!("{NAMESPACE}_{name}");
+            type_line(&mut out, &full, "counter");
+            let _ = writeln!(out, "{full}{{node=\"{node}\"}} {v}");
+        }
+        for (name, v) in &s.gauges {
+            let full = format!("{NAMESPACE}_{name}");
+            type_line(&mut out, &full, "gauge");
+            let _ = writeln!(out, "{full}{{node=\"{node}\"}} {v}");
+        }
+        for (name, t) in &s.timers {
+            let full = format!("{NAMESPACE}_{name}");
+            type_line(&mut out, &full, "summary");
+            let _ = writeln!(out, "{full}{{node=\"{node}\",quantile=\"0.5\"}} {}", t.p50_ns);
+            let _ = writeln!(out, "{full}{{node=\"{node}\",quantile=\"0.99\"}} {}", t.p99_ns);
+            let sum = t.mean_ns * t.count as f64;
+            let _ = writeln!(out, "{full}_sum{{node=\"{node}\"}} {}", fmt_f64(sum));
+            let _ = writeln!(out, "{full}_count{{node=\"{node}\"}} {}", t.count);
+        }
+    }
+    out
+}
+
+/// Render snapshots as CSV with one row per exported sample:
+/// `node,kind,name,value`. Timers expand to `count/mean_ns/p50_ns/p99_ns/
+/// min_ns/max_ns` rows so the file stays rectangular.
+pub fn csv(snaps: &[Snapshot]) -> String {
+    let mut out = String::from("node,kind,name,value\n");
+    for s in snaps {
+        let node = &s.label;
+        for (name, v) in &s.counters {
+            let _ = writeln!(out, "{node},counter,{name},{v}");
+        }
+        for (name, v) in &s.gauges {
+            let _ = writeln!(out, "{node},gauge,{name},{v}");
+        }
+        for (name, t) in &s.timers {
+            let _ = writeln!(out, "{node},timer,{name}_count,{}", t.count);
+            let _ = writeln!(out, "{node},timer,{name}_mean_ns,{}", fmt_f64(t.mean_ns));
+            let _ = writeln!(out, "{node},timer,{name}_p50_ns,{}", t.p50_ns);
+            let _ = writeln!(out, "{node},timer,{name}_p99_ns,{}", t.p99_ns);
+            let _ = writeln!(out, "{node},timer,{name}_min_ns,{}", t.min_ns);
+            let _ = writeln!(out, "{node},timer,{name}_max_ns,{}", t.max_ns);
+        }
+    }
+    out
+}
+
+/// Render snapshots as JSONL: one flat object per node. Metric names are
+/// registry-controlled identifiers (`[a-z0-9_]`), so no string escaping is
+/// required beyond the label, which the registry also controls.
+pub fn jsonl(snaps: &[Snapshot]) -> String {
+    let mut out = String::new();
+    for s in snaps {
+        let _ = write!(out, "{{\"node\":\"{}\"", s.label);
+        for (name, v) in &s.counters {
+            let _ = write!(out, ",\"{name}\":{v}");
+        }
+        for (name, v) in &s.gauges {
+            let _ = write!(out, ",\"{name}\":{v}");
+        }
+        for (name, t) in &s.timers {
+            let _ = write!(
+                out,
+                ",\"{name}\":{{\"count\":{},\"mean_ns\":{},\"p50_ns\":{},\"p99_ns\":{},\"min_ns\":{},\"max_ns\":{}}}",
+                t.count,
+                fmt_f64(t.mean_ns),
+                t.p50_ns,
+                t.p99_ns,
+                t.min_ns,
+                t.max_ns
+            );
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample() -> Vec<Snapshot> {
+        let r0 = Registry::new("node0");
+        r0.counter("entries_appended").add(42);
+        r0.gauge("commit_index").set(40);
+        let t = r0.timer("t_wait_ns");
+        t.record(1000);
+        t.record(3000);
+        let r1 = Registry::new("node1");
+        r1.counter("entries_appended").add(17);
+        vec![r0.snapshot(), r1.snapshot()]
+    }
+
+    #[test]
+    fn prometheus_golden() {
+        let got = prometheus(&sample());
+        let want = "\
+# TYPE nbr_entries_appended counter
+nbr_entries_appended{node=\"node0\"} 42
+# TYPE nbr_commit_index gauge
+nbr_commit_index{node=\"node0\"} 40
+# TYPE nbr_t_wait_ns summary
+nbr_t_wait_ns{node=\"node0\",quantile=\"0.5\"} 1000
+nbr_t_wait_ns{node=\"node0\",quantile=\"0.99\"} 2944
+nbr_t_wait_ns_sum{node=\"node0\"} 4000.0
+nbr_t_wait_ns_count{node=\"node0\"} 2
+nbr_entries_appended{node=\"node1\"} 17
+";
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn csv_golden() {
+        let got = csv(&sample());
+        let want = "\
+node,kind,name,value
+node0,counter,entries_appended,42
+node0,gauge,commit_index,40
+node0,timer,t_wait_ns_count,2
+node0,timer,t_wait_ns_mean_ns,2000.0
+node0,timer,t_wait_ns_p50_ns,1000
+node0,timer,t_wait_ns_p99_ns,2944
+node0,timer,t_wait_ns_min_ns,1000
+node0,timer,t_wait_ns_max_ns,3000
+node1,counter,entries_appended,17
+";
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn jsonl_golden() {
+        let got = jsonl(&sample());
+        let want = "{\"node\":\"node0\",\"entries_appended\":42,\"commit_index\":40,\
+\"t_wait_ns\":{\"count\":2,\"mean_ns\":2000.0,\"p50_ns\":1000,\"p99_ns\":2944,\
+\"min_ns\":1000,\"max_ns\":3000}}\n{\"node\":\"node1\",\"entries_appended\":17}\n";
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,22 @@
+//! Observability for the NB-Raft reproduction.
+//!
+//! Four pieces, layered so the engine stays sans-I/O:
+//!
+//! - [`probe`]: the [`Probe`] trait and [`ProbeEvent`] taxonomy that
+//!   `nbr_core::Node` emits into. [`NoProbe`] (the engine default) compiles
+//!   to a no-op; [`EngineProbe`]/[`SharedProbe`] buffer events for harnesses.
+//! - [`registry`]: named counters/gauges/histogram timers per node, with
+//!   deterministic name-sorted [`Snapshot`]s.
+//! - [`export`]: snapshot renderers — Prometheus text, CSV, JSONL.
+//! - [`trace`] + [`analyze`]: the JSONL trace format and its replay into
+//!   per-entry timelines and the `t_wait(F)` report (`nbraft-cli trace`).
+
+pub mod analyze;
+pub mod export;
+pub mod probe;
+pub mod registry;
+pub mod trace;
+
+pub use analyze::{analyze, timelines, Lifecycle, TraceReport};
+pub use probe::{EngineProbe, NoProbe, Probe, ProbeEvent, SharedProbe, TraceBuffer, TraceEvent};
+pub use registry::{Counter, Gauge, Registry, Snapshot, Timer, TimerStats};

@@ -18,6 +18,7 @@
 use crate::cost::{CostModel, GeoMatrix};
 use nbr_core::{ClientAction, Node, NodeStats, Output, RaftClient};
 use nbr_metrics::{Histogram, Throughput};
+use nbr_obs::{EngineProbe, ProbeEvent};
 use nbr_storage::{LogStore, MemLog};
 use nbr_types::*;
 use nbr_workload::{RequestGenerator, WorkloadConfig};
@@ -73,6 +74,10 @@ pub struct SimConfig {
     pub failure: FailurePlan,
     /// Seed for all randomness.
     pub seed: u64,
+    /// Protocol tracing: `EngineProbe::Off` (default) or a shared buffer
+    /// every replica emits into (`EngineProbe::shared()`), exported as
+    /// JSONL for `nbraft-cli trace`.
+    pub trace: EngineProbe,
 }
 
 impl Default for SimConfig {
@@ -93,6 +98,7 @@ impl Default for SimConfig {
             timeouts: TimeoutConfig::default(),
             failure: FailurePlan::default(),
             seed: 42,
+            trace: EngineProbe::Off,
         }
     }
 }
@@ -218,7 +224,7 @@ pub struct Simulator {
     heap: BinaryHeap<Reverse<HeapEntry>>,
     rng: StdRng,
 
-    nodes: Vec<Option<Node<MemLog>>>,
+    nodes: Vec<Option<Node<MemLog, EngineProbe>>>,
     node_cpu: Vec<Servers>,
     node_nic: Vec<Servers>,
     client_nic: Servers,
@@ -256,13 +262,20 @@ impl Simulator {
         let membership: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
         let mut pcfg = cfg.protocol.config(cfg.window);
         pcfg.timeouts = cfg.timeouts;
-        let nodes: Vec<Option<Node<MemLog>>> = membership
+        let nodes: Vec<Option<Node<MemLog, EngineProbe>>> = membership
             .iter()
             .map(|&id| {
                 if cfg.failure.dead_from_start.contains(&id.0) {
                     None
                 } else {
-                    Some(Node::new(id, membership.clone(), pcfg.clone(), MemLog::new(), cfg.seed))
+                    Some(Node::with_probe(
+                        id,
+                        membership.clone(),
+                        pcfg.clone(),
+                        MemLog::new(),
+                        cfg.seed,
+                        cfg.trace.clone(),
+                    ))
                 }
             })
             .collect();
@@ -687,6 +700,9 @@ impl Simulator {
                     if let Some(l) = self.leader_index() {
                         self.nodes[l] = None;
                         self.dead_node = Some(l as u32);
+                        if let EngineProbe::Shared(p) = &self.cfg.trace {
+                            p.record(NodeId(l as u32), self.now, ProbeEvent::Crashed);
+                        }
                     }
                     if self.cfg.failure.kill_clients {
                         for c in self.clients.iter_mut() {

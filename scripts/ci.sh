@@ -14,7 +14,9 @@ cd "$(dirname "$0")/.."
 step() { printf '\n== %s ==\n' "$*"; }
 
 step "cargo build --release"
-cargo build --release
+# The root package plus the binaries later steps invoke: `cargo build` at the
+# workspace root only builds the root package, so name them explicitly.
+cargo build --release -p nbraft -p nbr-check -p nbr-cli
 
 step "cargo test -q"
 cargo test -q
@@ -40,6 +42,16 @@ fi
 
 step "nbr-check lint"
 ./target/release/nbr-check lint --root .
+
+# A short traced run through the full observability pipeline: probe -> JSONL
+# trace -> analyzer. The trace is archived as a workflow artifact so a CI run
+# leaves an inspectable record of protocol behaviour at that commit.
+step "traced sim smoke (t_wait analyzer)"
+mkdir -p target/ci-artifacts
+./target/release/nbraft-cli sim --window 8 --clients 48 --duration-ms 300 \
+    --trace target/ci-artifacts/trace.jsonl
+./target/release/nbraft-cli trace target/ci-artifacts/trace.jsonl
+./target/release/nbraft-cli trace --compare --clients 48 --duration-ms 300
 
 if [ "${CI_FULL:-0}" = "1" ]; then
     step "nbr-check model (full)"
