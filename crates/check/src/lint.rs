@@ -5,14 +5,16 @@
 //! rules only need token-level precision:
 //!
 //! * **L1** — no `.unwrap()` / `.expect(` / `panic!(` in protocol crates
-//!   (`core`, `cluster`, `storage`). A replica must degrade by returning
-//!   typed errors, not by tearing down the process mid-protocol.
+//!   (`core`, `cluster`, `storage`, `net`). A replica must degrade by
+//!   returning typed errors, not by tearing down the process mid-protocol.
 //! * **L2** — no wildcard `_ =>` match arms in those same crates. Message
 //!   and RPC dispatch must be exhaustive so that adding a `Message` variant
 //!   forces every handler to be revisited.
 //! * **L3** — no wall-clock reads (`Instant::now`, `SystemTime::now`) or
 //!   `thread::sleep` in the deterministic paths (`core`, `obs`, `sim`,
-//!   `types`). Time enters the sans-I/O engine only as explicit
+//!   `types`) or scattered through `net` (whose single sanctioned
+//!   wall-clock boundary is `nbr-net::clock`, each use justified inline).
+//!   Time enters the sans-I/O engine only as explicit
 //!   [`nbr_types::Time`] values — probe timestamps included, which is what
 //!   keeps traces replayable and the sim bit-identical across runs.
 //! * **L4** — no unchecked `+` / `-` directly on the raw `.0` of
@@ -51,10 +53,10 @@ impl fmt::Display for Violation {
 }
 
 /// Which crates each rule applies to (directory name under `crates/`).
-const L1_SCOPE: &[&str] = &["core", "cluster", "storage"];
-const L2_SCOPE: &[&str] = &["core", "cluster", "storage"];
-const L3_SCOPE: &[&str] = &["core", "obs", "sim", "types"];
-const L4_SCOPE: &[&str] = &["core", "cluster", "storage"];
+const L1_SCOPE: &[&str] = &["core", "cluster", "storage", "net"];
+const L2_SCOPE: &[&str] = &["core", "cluster", "storage", "net"];
+const L3_SCOPE: &[&str] = &["core", "obs", "sim", "types", "net"];
+const L4_SCOPE: &[&str] = &["core", "cluster", "storage", "net"];
 
 const KNOWN_RULES: &[&str] = &["L1", "L2", "L3", "L4"];
 

@@ -4,15 +4,16 @@
 //! real concurrency, real crypto/coding work, crash/restart with recovery —
 //! complementing the deterministic simulator used for the figures.
 
-use crate::network::{NetConfig, NetHandle, Network, Packet, CLIENT_ENDPOINT};
+use crate::network::{NetConfig, NetControl, Network, Packet, CLIENT_ENDPOINT};
 use crate::sync::Mutex;
+use crate::transport::{Transport, TransportInboxes, NODE_INBOX_DEPTH};
 use nbr_core::{Node, Output};
 use nbr_obs::{EngineProbe, ProbeEvent, Registry};
 use nbr_storage::{LogStore, MemLog, StateMachine, SyncPolicy, WalLog};
 use nbr_types::*;
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -142,6 +143,9 @@ enum Control {
 
 /// One replica's harness-side handles.
 struct Replica {
+    /// This replica's node id (local replicas may be a subset of the
+    /// membership when peers live in other processes).
+    id: u32,
     control: Sender<Control>,
     status: Arc<Mutex<NodeStatus>>,
     registry: Arc<Registry>,
@@ -149,11 +153,18 @@ struct Replica {
 }
 
 /// A running cluster with state machines of type `M`.
+///
+/// A `Cluster` hosts the replicas of `local` node ids in this process —
+/// all of them for [`Cluster::spawn`] (the classic single-process harness),
+/// or a subset (typically one) for [`Cluster::spawn_with_transport`] when
+/// the rest of the membership is reached over a real transport. Indexed
+/// accessors ([`Cluster::status`], [`Cluster::machine`], …) take the *local
+/// position* of a replica, which equals its node id in the full-local case.
 pub struct Cluster<M: StateMachine + Send + 'static> {
     /// Configuration the cluster was spawned with.
     pub cfg: ClusterConfig,
     epoch: Instant,
-    net: Network,
+    transport: Arc<dyn Transport>,
     replicas: Vec<Replica>,
     machines: Vec<Arc<Mutex<M>>>,
     /// Client response demultiplexer registry.
@@ -168,41 +179,63 @@ fn now_since(epoch: Instant) -> Time {
 }
 
 impl<M: StateMachine + Send + Default + 'static> Cluster<M> {
-    /// Spawn an `n`-replica cluster.
+    /// Spawn an `n`-replica cluster, all replicas local, connected by the
+    /// in-process router ([`Network`]).
     pub fn spawn(n: usize, cfg: ClusterConfig) -> Cluster<M> {
+        let net_cfg = cfg.net.clone();
+        let local: Vec<u32> = (0..n as u32).collect();
+        Self::spawn_with_transport(n, &local, cfg, |inboxes| {
+            Arc::new(Network::spawn(net_cfg, inboxes))
+        })
+    }
+
+    /// Spawn the replicas of `local` node ids (a subset of the `n`-node
+    /// membership) on a transport built by `make`. The builder receives the
+    /// local replicas' inboxes and must deliver every inbound packet
+    /// addressed to them there; `serve`-style single-replica processes pass
+    /// one id and a TCP transport.
+    pub fn spawn_with_transport<F>(
+        n: usize,
+        local: &[u32],
+        cfg: ClusterConfig,
+        make: F,
+    ) -> Cluster<M>
+    where
+        F: FnOnce(TransportInboxes) -> Arc<dyn Transport>,
+    {
         let epoch = Instant::now();
         let membership: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
         let mut inboxes = Vec::new();
         let mut receivers = Vec::new();
-        for _ in 0..n {
-            let (tx, rx) = channel::<Packet>();
-            inboxes.push(tx);
-            receivers.push(rx);
+        for &id in local {
+            let (tx, rx) = sync_channel::<Packet>(NODE_INBOX_DEPTH);
+            inboxes.push((id, tx));
+            receivers.push((id, rx));
         }
         let (client_tx, client_rx) = channel::<Packet>();
-        let net = Network::spawn(cfg.net.clone(), inboxes, client_tx);
+        let transport = make(TransportInboxes { nodes: inboxes, client: client_tx });
 
         let machines: Vec<Arc<Mutex<M>>> =
-            (0..n).map(|_| Arc::new(Mutex::new(M::default()))).collect();
+            (0..local.len()).map(|_| Arc::new(Mutex::new(M::default()))).collect();
 
         let mut replicas = Vec::new();
-        for (i, rx) in receivers.into_iter().enumerate() {
+        for (i, (id, rx)) in receivers.into_iter().enumerate() {
             let (ctl_tx, ctl_rx) = channel::<Control>();
             let status = Arc::new(Mutex::new(NodeStatus::default()));
-            let registry = Arc::new(Registry::new(i.to_string()));
+            let registry = Arc::new(Registry::new(id.to_string()));
             let thread = spawn_replica(
-                NodeId(i as u32),
+                NodeId(id),
                 membership.clone(),
                 cfg.clone(),
                 epoch,
                 rx,
                 ctl_rx,
-                net.handle(),
+                Arc::clone(&transport),
                 Arc::clone(&machines[i]),
                 Arc::clone(&status),
                 Arc::clone(&registry),
             );
-            replicas.push(Replica { control: ctl_tx, status, registry, thread: Some(thread) });
+            replicas.push(Replica { id, control: ctl_tx, status, registry, thread: Some(thread) });
         }
 
         // Client response router.
@@ -225,7 +258,7 @@ impl<M: StateMachine + Send + Default + 'static> Cluster<M> {
         Cluster {
             cfg,
             epoch,
-            net,
+            transport,
             replicas,
             machines,
             client_routes,
@@ -235,7 +268,7 @@ impl<M: StateMachine + Send + Default + 'static> Cluster<M> {
         }
     }
 
-    /// Group size.
+    /// Membership size (including replicas hosted in other processes).
     pub fn len(&self) -> usize {
         self.n
     }
@@ -245,7 +278,17 @@ impl<M: StateMachine + Send + Default + 'static> Cluster<M> {
         self.n == 0
     }
 
-    /// Status snapshot of one replica.
+    /// Number of replicas hosted in this process.
+    pub fn local_len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Node id of the replica at local position `node`.
+    pub fn node_id(&self, node: usize) -> u32 {
+        self.replicas[node].id
+    }
+
+    /// Status snapshot of one replica (by local position).
     pub fn status(&self, node: usize) -> NodeStatus {
         self.replicas[node].status.lock().clone()
     }
@@ -260,22 +303,33 @@ impl<M: StateMachine + Send + Default + 'static> Cluster<M> {
         Arc::clone(&self.replicas[node].registry)
     }
 
-    /// Prometheus text-format exposition of every replica's metrics.
+    /// Prometheus text-format exposition of every replica's metrics, plus
+    /// the transport's own registry (delivery accounting, socket stats).
     pub fn prometheus(&self) -> String {
-        let snaps: Vec<_> = self.replicas.iter().map(|r| r.registry.snapshot()).collect();
+        let mut snaps: Vec<_> = self.replicas.iter().map(|r| r.registry.snapshot()).collect();
+        if let Some(t) = self.transport.scrape() {
+            snaps.push(t);
+        }
         nbr_obs::export::prometheus(&snaps)
     }
 
-    /// Fault injection controls.
-    pub fn net(&self) -> Arc<crate::network::NetControl> {
-        Arc::clone(&self.net.handle().control)
+    /// Fault injection controls, when the transport supports injection
+    /// (the in-process router does; real sockets fail on their own).
+    pub fn net(&self) -> Option<Arc<NetControl>> {
+        self.transport.control()
     }
 
-    /// Wait until some replica believes it is leader; returns its index.
+    /// The transport this cluster runs on.
+    pub fn transport(&self) -> Arc<dyn Transport> {
+        Arc::clone(&self.transport)
+    }
+
+    /// Wait until some locally hosted replica believes it is leader;
+    /// returns its local index.
     pub fn wait_for_leader(&self, timeout: Duration) -> Option<usize> {
         let deadline = Instant::now() + timeout;
         while Instant::now() < deadline {
-            for i in 0..self.n {
+            for i in 0..self.replicas.len() {
                 let s = self.status(i);
                 if s.alive && s.is_leader {
                     return Some(i);
@@ -286,11 +340,12 @@ impl<M: StateMachine + Send + Default + 'static> Cluster<M> {
         None
     }
 
-    /// Wait until every live replica's applied count reaches `target`.
+    /// Wait until every live locally hosted replica's applied count
+    /// reaches `target`.
     pub fn wait_for_applied(&self, target: u64, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
         while Instant::now() < deadline {
-            let ok = (0..self.n).all(|i| {
+            let ok = (0..self.replicas.len()).all(|i| {
                 let s = self.status(i);
                 !s.alive || s.applied >= target
             });
@@ -348,7 +403,7 @@ impl<M: StateMachine + Send + Default + 'static> Cluster<M> {
                 TimeDelta::from_millis(300),
             ),
             rx,
-            net: self.net.handle(),
+            net: Arc::clone(&self.transport),
             epoch: self.epoch,
             routes: Arc::clone(&self.client_routes),
         }
@@ -381,7 +436,7 @@ fn spawn_replica<M: StateMachine + Send + Default + 'static>(
     epoch: Instant,
     inbox: Receiver<Packet>,
     control: Receiver<Control>,
-    net: NetHandle,
+    net: Arc<dyn Transport>,
     machine: Arc<Mutex<M>>,
     status: Arc<Mutex<NodeStatus>>,
     registry: Arc<Registry>,
@@ -493,17 +548,30 @@ fn spawn_replica<M: StateMachine + Send + Default + 'static>(
                     }
                 }
 
-                // Input.
+                // Input: block briefly for the first packet, then drain a
+                // batch so the fixed per-iteration work below (hard-state
+                // persistence, status snapshot, metrics mirroring) amortizes
+                // across bursts instead of being paid once per packet.
                 let packet = inbox.recv_timeout(Duration::from_millis(2));
                 let now = now_since(epoch);
                 if let Some(n) = node.as_mut() {
-                    match packet {
-                        Ok(Packet::Peer { from, msg }) => {
-                            n.handle_message(from, msg, now, &mut outputs)
+                    let handle = |p: Packet,
+                                  n: &mut Node<ClusterLog, EngineProbe>,
+                                  outputs: &mut Vec<Output>| {
+                        match p {
+                            Packet::Peer { from, msg } => n.handle_message(from, msg, now, outputs),
+                            Packet::Request(req) => n.handle_client(req, now, outputs),
+                            Packet::Response { .. } => {}
                         }
-                        Ok(Packet::Request(req)) => n.handle_client(req, now, &mut outputs),
-                        Ok(Packet::Response { .. }) => {}
-                        Err(_) => {}
+                    };
+                    if let Ok(p) = packet {
+                        handle(p, n, &mut outputs);
+                        for _ in 0..255 {
+                            match inbox.try_recv() {
+                                Ok(p) => handle(p, n, &mut outputs),
+                                Err(_) => break,
+                            }
+                        }
                     }
                     n.tick(now, &mut outputs);
 
@@ -614,7 +682,7 @@ fn spawn_replica<M: StateMachine + Send + Default + 'static>(
 pub struct ClusterClient {
     inner: nbr_core::RaftClient,
     rx: Receiver<ClientResponse>,
-    net: NetHandle,
+    net: Arc<dyn Transport>,
     epoch: Instant,
     routes: Arc<Mutex<HashMap<ClientId, Sender<ClientResponse>>>>,
 }

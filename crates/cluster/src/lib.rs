@@ -9,6 +9,8 @@
 pub mod cluster;
 pub mod network;
 pub mod sync;
+pub mod transport;
 
 pub use cluster::{Cluster, ClusterClient, ClusterConfig, NodeStatus, StorageMode};
-pub use network::{NetConfig, NetControl, NetHandle, Network, Packet, CLIENT_ENDPOINT};
+pub use network::{NetConfig, NetControl, NetHandle, NetStats, Network, Packet, CLIENT_ENDPOINT};
+pub use transport::{Transport, TransportInboxes, NODE_INBOX_DEPTH};

@@ -6,12 +6,14 @@
 //! randomness is seeded for reproducible failure tests.
 
 use crate::sync::Mutex;
+use crate::transport::{Transport, TransportInboxes};
+use nbr_obs::{Registry, Snapshot};
 use nbr_types::{ClientRequest, ClientResponse, Message, NodeId};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -57,7 +59,10 @@ impl Default for NetConfig {
     }
 }
 
-/// Shared runtime switches for fault injection.
+/// Shared runtime switches for fault injection, plus explicit delivery
+/// accounting: every packet the router does *not* deliver is counted under
+/// the reason it was lost, so tests (and the obs registry) can distinguish
+/// injected faults from genuine delivery-layer problems.
 #[derive(Debug, Default)]
 pub struct NetControl {
     /// Pairs (a, b) whose traffic is dropped, both directions. Endpoint
@@ -66,6 +71,41 @@ pub struct NetControl {
     /// Per-mille drop rate override (atomic for cheap reads).
     drop_per_mille: AtomicU64,
     stopped: AtomicBool,
+    /// Packets handed to an inbox.
+    delivered: AtomicU64,
+    /// Packets cut by an active partition (injected fault).
+    dropped_partition: AtomicU64,
+    /// Packets dropped by the random-loss dial (injected fault).
+    dropped_rate: AtomicU64,
+    /// Packets addressed to an endpoint that does not exist.
+    dropped_unroutable: AtomicU64,
+    /// Packets whose destination inbox was closed (stopped replica).
+    dropped_closed: AtomicU64,
+    /// Packets that exhausted their backpressure retry budget against a
+    /// persistently full inbox. Never incremented silently alongside a
+    /// successful delivery claim — this is real loss, visible to tests.
+    dropped_full: AtomicU64,
+    /// Deliveries deferred (and re-queued) because the inbox was full.
+    requeued_full: AtomicU64,
+}
+
+/// Point-in-time copy of the router's delivery accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Packets handed to an inbox.
+    pub delivered: u64,
+    /// Packets cut by an active partition.
+    pub dropped_partition: u64,
+    /// Packets dropped by the random-loss dial.
+    pub dropped_rate: u64,
+    /// Packets addressed to a nonexistent endpoint.
+    pub dropped_unroutable: u64,
+    /// Packets whose destination inbox was closed.
+    pub dropped_closed: u64,
+    /// Packets dropped after exhausting the full-inbox retry budget.
+    pub dropped_full: u64,
+    /// Delivery attempts deferred because the inbox was full.
+    pub requeued_full: u64,
 }
 
 /// Endpoint id for clients in partition specs.
@@ -95,6 +135,19 @@ impl NetControl {
     fn stop(&self) {
         self.stopped.store(true, Ordering::Relaxed);
     }
+
+    /// Delivery accounting snapshot.
+    pub fn stats(&self) -> NetStats {
+        NetStats {
+            delivered: self.delivered.load(Ordering::Relaxed),
+            dropped_partition: self.dropped_partition.load(Ordering::Relaxed),
+            dropped_rate: self.dropped_rate.load(Ordering::Relaxed),
+            dropped_unroutable: self.dropped_unroutable.load(Ordering::Relaxed),
+            dropped_closed: self.dropped_closed.load(Ordering::Relaxed),
+            dropped_full: self.dropped_full.load(Ordering::Relaxed),
+            requeued_full: self.requeued_full.load(Ordering::Relaxed),
+        }
+    }
 }
 
 struct Delayed {
@@ -102,7 +155,16 @@ struct Delayed {
     seq: u64,
     to_endpoint: u32,
     packet: Packet,
+    /// Times this delivery has been deferred against a full inbox.
+    retries: u32,
 }
+
+/// How often a delivery may be deferred against a full inbox before it is
+/// dropped (with explicit `dropped_full` accounting). 64 retries at
+/// [`FULL_RETRY_DELAY`] each ≈ 16 ms of sustained backpressure.
+const FULL_RETRY_BUDGET: u32 = 64;
+/// Deferral interval for deliveries against a full inbox.
+const FULL_RETRY_DELAY: Duration = Duration::from_micros(250);
 
 impl PartialEq for Delayed {
     fn eq(&self, other: &Self) -> bool {
@@ -151,19 +213,25 @@ pub struct Network {
 }
 
 impl Network {
-    /// Build a network delivering to `node_inboxes` (endpoint = index) and
-    /// `client_inbox` (endpoint [`CLIENT_ENDPOINT`]).
-    pub fn spawn(
-        cfg: NetConfig,
-        node_inboxes: Vec<Sender<Packet>>,
-        client_inbox: Sender<Packet>,
-    ) -> Network {
+    /// Build a network delivering into `inboxes` (node endpoints are bounded
+    /// `SyncSender`s; the client endpoint [`CLIENT_ENDPOINT`] is unbounded).
+    ///
+    /// Node inboxes are *bounded*, so the router never blocks on a slow
+    /// replica: a delivery against a full inbox is re-queued with a short
+    /// delay (counted in [`NetStats::requeued_full`]) and only dropped —
+    /// with explicit [`NetStats::dropped_full`] accounting — after
+    /// [`FULL_RETRY_BUDGET`] deferrals. Every non-delivery is counted by
+    /// cause; nothing is lost silently, and `Response` packets get exactly
+    /// the same treatment as `Peer` messages.
+    pub fn spawn(cfg: NetConfig, inboxes: TransportInboxes) -> Network {
         let (tx, rx): (Sender<Routed>, Receiver<Routed>) = channel();
         let control = Arc::new(NetControl::default());
         control
             .drop_per_mille
             .store((cfg.drop_rate.clamp(0.0, 1.0) * 1000.0) as u64, Ordering::Relaxed);
         let ctl = Arc::clone(&control);
+        let node_inboxes: HashMap<u32, SyncSender<Packet>> = inboxes.nodes.into_iter().collect();
+        let client_inbox = inboxes.client;
         let thread = std::thread::Builder::new()
             .name("nbr-network".into())
             .spawn(move || {
@@ -178,14 +246,40 @@ impl Network {
                     let now = Instant::now();
                     while heap.peek().is_some_and(|d| d.due <= now) {
                         let Some(d) = heap.pop() else { break };
-                        let dst = d.to_endpoint;
-                        let _ = if dst == CLIENT_ENDPOINT {
-                            client_inbox.send(d.packet)
-                        } else if let Some(inbox) = node_inboxes.get(dst as usize) {
-                            inbox.send(d.packet)
-                        } else {
-                            Ok(())
+                        if d.to_endpoint == CLIENT_ENDPOINT {
+                            match client_inbox.send(d.packet) {
+                                Ok(()) => ctl.delivered.fetch_add(1, Ordering::Relaxed),
+                                Err(_) => ctl.dropped_closed.fetch_add(1, Ordering::Relaxed),
+                            };
+                            continue;
+                        }
+                        let Some(inbox) = node_inboxes.get(&d.to_endpoint) else {
+                            ctl.dropped_unroutable.fetch_add(1, Ordering::Relaxed);
+                            continue;
                         };
+                        match inbox.try_send(d.packet) {
+                            Ok(()) => {
+                                ctl.delivered.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(TrySendError::Full(packet)) => {
+                                if d.retries >= FULL_RETRY_BUDGET {
+                                    ctl.dropped_full.fetch_add(1, Ordering::Relaxed);
+                                } else {
+                                    ctl.requeued_full.fetch_add(1, Ordering::Relaxed);
+                                    seq += 1;
+                                    heap.push(Delayed {
+                                        due: Instant::now() + FULL_RETRY_DELAY,
+                                        seq,
+                                        to_endpoint: d.to_endpoint,
+                                        packet,
+                                        retries: d.retries + 1,
+                                    });
+                                }
+                            }
+                            Err(TrySendError::Disconnected(_)) => {
+                                ctl.dropped_closed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
                     }
                     // Wait for new traffic until the next deadline.
                     let timeout = heap
@@ -196,10 +290,12 @@ impl Network {
                     match rx.recv_timeout(timeout) {
                         Ok((from, to, packet)) => {
                             if ctl.is_cut(from, to) {
+                                ctl.dropped_partition.fetch_add(1, Ordering::Relaxed);
                                 continue;
                             }
                             let dpm = ctl.drop_per_mille.load(Ordering::Relaxed);
                             if dpm > 0 && rng.random_range(0..1000u64) < dpm {
+                                ctl.dropped_rate.fetch_add(1, Ordering::Relaxed);
                                 continue;
                             }
                             let (lo, hi) = cfg.delay;
@@ -215,6 +311,7 @@ impl Network {
                                 seq,
                                 to_endpoint: to,
                                 packet,
+                                retries: 0,
                             });
                         }
                         Err(RecvTimeoutError::Timeout) => {}
@@ -232,11 +329,133 @@ impl Network {
     }
 }
 
+impl Transport for Network {
+    fn send(&self, from: u32, to: u32, packet: Packet) {
+        self.handle.send(from, to, packet);
+    }
+
+    fn control(&self) -> Option<Arc<NetControl>> {
+        Some(Arc::clone(&self.handle.control))
+    }
+
+    fn scrape(&self) -> Option<Snapshot> {
+        // Mirror the router's accounting into a named registry so the
+        // Prometheus export carries delivery-layer counters alongside the
+        // per-replica protocol metrics.
+        let reg = Registry::new("net");
+        let s = self.handle.control.stats();
+        reg.counter("net_delivered").set(s.delivered);
+        reg.counter("net_dropped_partition").set(s.dropped_partition);
+        reg.counter("net_dropped_rate").set(s.dropped_rate);
+        reg.counter("net_dropped_unroutable").set(s.dropped_unroutable);
+        reg.counter("net_dropped_closed").set(s.dropped_closed);
+        reg.counter("net_dropped_full").set(s.dropped_full);
+        reg.counter("net_requeued_full").set(s.requeued_full);
+        Some(reg.snapshot())
+    }
+}
+
 impl Drop for Network {
     fn drop(&mut self) {
         self.handle.control.stop();
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use nbr_types::{ClientId, RequestId};
+
+    fn request_packet() -> Packet {
+        Packet::Request(ClientRequest {
+            client: ClientId(1),
+            request: RequestId(1),
+            payload: Bytes::from_static(b"x"),
+        })
+    }
+
+    fn instant_net(nodes: Vec<(u32, std::sync::mpsc::SyncSender<Packet>)>) -> Network {
+        let (client_tx, _client_rx) = channel();
+        // Leak the client receiver is fine for these tests; zero delay keeps
+        // them fast and deterministic-enough to assert counters.
+        std::mem::forget(_client_rx);
+        Network::spawn(
+            NetConfig { delay: (Duration::ZERO, Duration::ZERO), drop_rate: 0.0, seed: 1 },
+            TransportInboxes { nodes, client: client_tx },
+        )
+    }
+
+    fn wait_until(mut ok: impl FnMut() -> bool) -> bool {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline {
+            if ok() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        false
+    }
+
+    #[test]
+    fn unroutable_and_partitioned_packets_are_counted() {
+        let (tx0, rx0) = std::sync::mpsc::sync_channel(16);
+        let net = instant_net(vec![(0, tx0)]);
+        let h = net.handle();
+
+        h.send(1, 99, request_packet()); // endpoint 99 does not exist
+        assert!(wait_until(|| h.control().stats().dropped_unroutable == 1));
+
+        h.control().partition(1, 0);
+        h.send(1, 0, request_packet());
+        assert!(wait_until(|| h.control().stats().dropped_partition == 1));
+        h.control().heal();
+
+        h.send(1, 0, request_packet());
+        assert!(wait_until(|| h.control().stats().delivered == 1));
+        assert!(rx0.try_recv().is_ok());
+    }
+
+    #[test]
+    fn full_inbox_requeues_then_drops_with_accounting() {
+        // Depth-1 inbox that is never drained: the first packet is
+        // delivered, the second must exhaust its retry budget and be
+        // counted in dropped_full — no silent loss.
+        let (tx0, rx0) = std::sync::mpsc::sync_channel(1);
+        let net = instant_net(vec![(0, tx0)]);
+        let h = net.handle();
+        h.send(1, 0, request_packet());
+        h.send(1, 0, request_packet());
+        assert!(wait_until(|| h.control().stats().dropped_full == 1));
+        let s = h.control().stats();
+        assert_eq!(s.delivered, 1);
+        assert!(s.requeued_full >= u64::from(FULL_RETRY_BUDGET));
+        drop(rx0);
+    }
+
+    #[test]
+    fn closed_inbox_counts_dropped_closed() {
+        let (tx0, rx0) = std::sync::mpsc::sync_channel(16);
+        let net = instant_net(vec![(0, tx0)]);
+        drop(rx0); // replica stopped
+        let h = net.handle();
+        h.send(1, 0, request_packet());
+        assert!(wait_until(|| h.control().stats().dropped_closed == 1));
+    }
+
+    #[test]
+    fn scrape_exports_delivery_counters() {
+        let (tx0, _rx0) = std::sync::mpsc::sync_channel(16);
+        let net = instant_net(vec![(0, tx0)]);
+        net.send(1, 99, request_packet());
+        assert!(wait_until(|| net.control().is_some_and(|c| c.stats().dropped_unroutable == 1)));
+        let snap = net.scrape().expect("router scrapes");
+        assert_eq!(snap.label, "net");
+        assert_eq!(snap.counters["net_dropped_unroutable"], 1);
+        assert!(snap.counters.contains_key("net_requeued_full"));
+        assert!(snap.counters.contains_key("net_dropped_full"));
     }
 }

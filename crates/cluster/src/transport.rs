@@ -1,0 +1,64 @@
+//! The [`Transport`] abstraction: how packets move between endpoints.
+//!
+//! The cluster runtime is *sans-delivery*: replica threads produce and
+//! consume [`Packet`]s and never touch the mechanism that moves them. Two
+//! implementations exist:
+//!
+//! * [`crate::network::Network`] — the in-process router thread with seeded
+//!   delay jitter, drops and partitions (the original harness transport);
+//! * `nbr_net::TcpTransport` — a real TCP delivery layer with per-peer
+//!   outbound connections, framing, reconnect and keepalive.
+//!
+//! [`Cluster`](crate::Cluster) is constructed against `Arc<dyn Transport>`
+//! and runs unchanged on either. Addressing is flat: node endpoints are the
+//! replica ids `0..n`, and [`CLIENT_ENDPOINT`](crate::network::CLIENT_ENDPOINT)
+//! names "the client side" (the transport decides which client connection a
+//! `Response` packet belongs to by its `ClientId`).
+//!
+//! Inbound delivery is inverted: a transport is *given* the inboxes of the
+//! endpoints hosted in this process ([`TransportInboxes`]) at construction
+//! and pushes decoded packets into them. Node inboxes are bounded
+//! (`SyncSender`) so a stalled replica exerts backpressure on the delivery
+//! layer instead of growing an unbounded queue.
+
+use crate::network::{NetControl, Packet};
+use nbr_obs::Snapshot;
+use std::sync::mpsc::{Sender, SyncSender};
+use std::sync::Arc;
+
+/// Bounded capacity of each local node inbox. Deep enough to absorb bursts
+/// (heartbeats + a full replication window), shallow enough that a wedged
+/// replica surfaces as transport backpressure rather than silent memory
+/// growth.
+pub const NODE_INBOX_DEPTH: usize = 4096;
+
+/// Delivery targets for the endpoints hosted in this process.
+pub struct TransportInboxes {
+    /// `(node id, inbox)` for every locally hosted replica.
+    pub nodes: Vec<(u32, SyncSender<Packet>)>,
+    /// Inbox for client-bound [`Packet::Response`]s routed to this process.
+    pub client: Sender<Packet>,
+}
+
+/// Endpoint-addressed packet delivery. Implementations must be cheap to
+/// share across threads (`send` is called from every replica thread and
+/// every client).
+pub trait Transport: Send + Sync + 'static {
+    /// Send `packet` from endpoint `from` to endpoint `to`. Delivery is
+    /// best-effort and unordered — exactly the guarantees Raft assumes of
+    /// its network.
+    fn send(&self, from: u32, to: u32, packet: Packet);
+
+    /// Fault-injection and delivery-accounting switches, when the transport
+    /// has them (the in-process router does; a real network's faults need no
+    /// injecting).
+    fn control(&self) -> Option<Arc<NetControl>> {
+        None
+    }
+
+    /// A point-in-time snapshot of the transport's own metrics registry,
+    /// merged into [`crate::Cluster::prometheus`] exports.
+    fn scrape(&self) -> Option<Snapshot> {
+        None
+    }
+}

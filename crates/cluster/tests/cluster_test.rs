@@ -239,14 +239,14 @@ fn partition_heals_and_cluster_continues() {
     let cluster: Cluster<KvStore> = Cluster::spawn(3, cfg(Protocol::NbRaft, 1024));
     let leader = cluster.wait_for_leader(Duration::from_secs(5)).expect("leader");
     let follower = (0..3).find(|&i| i != leader).unwrap() as u32;
-    cluster.net().partition(leader as u32, follower);
+    cluster.net().expect("in-proc transport").partition(leader as u32, follower);
     let mut client = cluster.client();
     for i in 0..10 {
         client
             .submit(Bytes::from(format!("p{i}=x")), Duration::from_secs(10))
             .expect("majority still commits");
     }
-    cluster.net().heal();
+    cluster.net().expect("in-proc transport").heal();
     client.drain(Duration::from_secs(10));
     assert!(
         cluster.wait_for_applied(11, Duration::from_secs(15)),

@@ -1,0 +1,21 @@
+//! The crate's single wall-clock boundary.
+//!
+//! `nbr-net` is delivery plumbing: reconnect backoff, keepalive idling and
+//! accept-loop polling are inherently wall-clock activities, unlike the
+//! sans-I/O protocol crates where `nbr-check` lint rule L3 bans real time.
+//! Every wall-clock read and sleep in this crate funnels through these two
+//! functions so the L3 exemption is a single, auditable point rather than
+//! scattered through the transport.
+
+use std::time::{Duration, Instant};
+
+/// Current instant (socket-layer deadlines only — protocol time still
+/// enters the engine as explicit `nbr_types::Time` values).
+pub(crate) fn now() -> Instant {
+    Instant::now() // check:allow(L3): the transport's one wall-clock read; sockets live in real time
+}
+
+/// Sleep the calling thread (backoff, poll intervals).
+pub(crate) fn sleep(d: Duration) {
+    std::thread::sleep(d) // check:allow(L3): the transport's one real sleep; backoff/poll are wall-clock by nature
+}

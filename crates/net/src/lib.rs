@@ -1,0 +1,33 @@
+//! # nbr-net — real TCP transport and multi-process cluster runtime
+//!
+//! Everything below `nbr-cluster` in this workspace is sans-I/O; this
+//! crate is where NB-Raft meets actual sockets. It provides:
+//!
+//! * [`TcpTransport`] — an implementation of [`nbr_cluster::Transport`]
+//!   carrying the standard `len || crc || body` wire framing (via the
+//!   [`nbr_types::netframe::NetFrame`] envelope) over per-peer TCP
+//!   connections: supervised reconnect with capped exponential backoff and
+//!   jitter, write coalescing, bounded send queues with explicit
+//!   drop accounting, idle keepalives, handshake validation.
+//! * [`NodeServer`] — the one-replica-per-process runtime behind
+//!   `nbraft-cli serve`, reusing the unmodified `nbr-cluster` replica loop.
+//! * [`NetClient`] — a synchronous client that drives the sans-I/O
+//!   [`nbr_core::RaftClient`] engine over TCP, preserving NB-Raft's
+//!   opList/listTerm retry semantics across leader failures.
+//! * [`MetricsServer`] — a minimal HTTP endpoint exposing replica and
+//!   transport metrics in Prometheus text format.
+//!
+//! The same [`nbr_cluster::Cluster`] drives simulations over the
+//! in-process router and real deployments over this transport; the only
+//! difference is the closure handed to `Cluster::spawn_with_transport`.
+
+pub mod client;
+pub(crate) mod clock;
+pub mod metrics;
+pub mod server;
+pub mod transport;
+
+pub use client::NetClient;
+pub use metrics::MetricsServer;
+pub use server::{NodeServer, ServeConfig};
+pub use transport::{TcpConfig, TcpTransport};

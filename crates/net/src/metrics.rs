@@ -1,0 +1,87 @@
+//! Minimal HTTP metrics endpoint for Prometheus scrapes.
+//!
+//! Deliberately tiny: one polling accept loop, one request per
+//! connection, HTTP/1.0 `Connection: close` semantics. Anything beyond
+//! `GET` of any path gets the same metrics body — this is a diagnostics
+//! port, not a web server.
+
+use crate::clock;
+use nbr_types::{Error, Result};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A background HTTP endpoint serving `scrape()` output on every request.
+pub struct MetricsServer {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+    addr: Option<SocketAddr>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (port 0 allowed) and serve until dropped.
+    pub fn spawn(
+        addr: SocketAddr,
+        scrape: Arc<dyn Fn() -> String + Send + Sync>,
+    ) -> Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| Error::Cluster(format!("metrics bind {addr}: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| Error::Cluster(format!("metrics nonblocking: {e}")))?;
+        let local = listener.local_addr().ok();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("nbr-net-metrics".into())
+            .spawn(move || serve(listener, scrape, stop2))
+            .map_err(|e| Error::Cluster(format!("metrics thread: {e}")))?;
+        Ok(MetricsServer { stop, thread: Some(thread), addr: local })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn serve(
+    listener: TcpListener,
+    scrape: Arc<dyn Fn() -> String + Send + Sync>,
+    stop: Arc<AtomicBool>,
+) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => answer(stream, &scrape),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                clock::sleep(Duration::from_millis(20));
+            }
+            Err(_) => clock::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+fn answer(mut stream: TcpStream, scrape: &Arc<dyn Fn() -> String + Send + Sync>) {
+    // Read (and discard) the request line + headers, bounded.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut req = [0u8; 4096];
+    let _ = stream.read(&mut req);
+    let body = scrape();
+    let resp = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let _ = stream.write_all(resp.as_bytes());
+}

@@ -1,0 +1,130 @@
+//! One-replica-per-process cluster runtime: the `serve` building block.
+//!
+//! [`NodeServer`] hosts a single NB-Raft replica of an `n`-node membership,
+//! wiring a [`TcpTransport`] into [`nbr_cluster::Cluster`] (which runs the
+//! identical replica loop it uses in-process) plus an optional HTTP
+//! metrics endpoint for Prometheus scrapes.
+
+use crate::metrics::MetricsServer;
+use crate::transport::{TcpConfig, TcpTransport};
+use nbr_cluster::{Cluster, ClusterConfig};
+use nbr_storage::StateMachine;
+use nbr_types::{Error, Result};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::Arc;
+
+/// Configuration for one replica process.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Cluster instance id (handshake-checked on every connection).
+    pub cluster_id: u64,
+    /// This process's node id within the membership.
+    pub node_id: u32,
+    /// Address to listen on for peer and client connections.
+    pub bind: SocketAddr,
+    /// `(node id, address)` of every other member.
+    pub peers: Vec<(u32, SocketAddr)>,
+    /// Protocol / replica configuration (identical to in-process runs).
+    pub cluster: ClusterConfig,
+    /// Bind address of the HTTP metrics endpoint, if wanted.
+    pub metrics_bind: Option<SocketAddr>,
+    /// Artificial one-hop peer-link delay (WAN emulation; zero for real
+    /// deployments). See [`TcpConfig::link_delay`].
+    pub link_delay: std::time::Duration,
+    /// Parallel TCP connections per peer. See [`TcpConfig::peer_lanes`].
+    pub peer_lanes: usize,
+    /// Percentage of peer frames dropped (loss emulation). See
+    /// [`TcpConfig::link_loss_pct`].
+    pub link_loss_pct: f64,
+}
+
+/// A running single-replica process member.
+pub struct NodeServer<M: StateMachine + Send + Default + 'static> {
+    cluster: Cluster<M>,
+    transport_addr: Option<SocketAddr>,
+    metrics: Option<MetricsServer>,
+}
+
+impl<M: StateMachine + Send + Default + 'static> NodeServer<M> {
+    /// Bind `cfg.bind` and start serving. Membership size is derived from
+    /// the highest node id present (all `0..=max` ids must exist).
+    pub fn spawn(cfg: ServeConfig) -> Result<NodeServer<M>> {
+        let listener = TcpListener::bind(cfg.bind)
+            .map_err(|e| Error::Cluster(format!("bind {}: {e}", cfg.bind)))?;
+        Self::spawn_on(cfg, listener)
+    }
+
+    /// Start serving on a pre-bound listener (tests bind port 0 first and
+    /// read back the OS-assigned address, avoiding port races).
+    pub fn spawn_on(cfg: ServeConfig, listener: TcpListener) -> Result<NodeServer<M>> {
+        let max_id = cfg.peers.iter().map(|&(n, _)| n).chain([cfg.node_id]).max().unwrap_or(0);
+        let n = max_id as usize + 1;
+        if cfg.peers.len() != n - 1 {
+            return Err(Error::Cluster(format!(
+                "membership has node ids up to {max_id} but only {} peers given",
+                cfg.peers.len()
+            )));
+        }
+        let tcp = TcpConfig {
+            cluster_id: cfg.cluster_id,
+            node_id: cfg.node_id,
+            peers: cfg.peers.clone(),
+            link_delay: cfg.link_delay,
+            peer_lanes: cfg.peer_lanes,
+            link_loss_pct: cfg.link_loss_pct,
+            ..TcpConfig::default()
+        };
+        let mut transport_addr = None;
+        let cluster: Cluster<M> =
+            Cluster::spawn_with_transport(n, &[cfg.node_id], cfg.cluster.clone(), |inboxes| {
+                let t = TcpTransport::spawn(tcp, listener, inboxes);
+                transport_addr = t.local_addr();
+                Arc::new(t)
+            });
+        let metrics = match cfg.metrics_bind {
+            Some(addr) => {
+                let c = cluster_scraper(&cluster);
+                Some(MetricsServer::spawn(addr, c)?)
+            }
+            None => None,
+        };
+        Ok(NodeServer { cluster, transport_addr, metrics })
+    }
+
+    /// The cluster handle (one local replica).
+    pub fn cluster(&self) -> &Cluster<M> {
+        &self.cluster
+    }
+
+    /// Address the transport accepted connections on.
+    pub fn transport_addr(&self) -> Option<SocketAddr> {
+        self.transport_addr
+    }
+
+    /// Address the metrics endpoint is serving on, if enabled.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics.as_ref().and_then(MetricsServer::local_addr)
+    }
+
+    /// Prometheus exposition of replica + transport metrics.
+    pub fn prometheus(&self) -> String {
+        self.cluster.prometheus()
+    }
+}
+
+/// Build the scrape closure for the metrics endpoint. The cluster handle
+/// cannot be cloned into the endpoint thread, so we snapshot through the
+/// pieces that are `Arc`-shared: per-replica registries and the transport.
+fn cluster_scraper<M: StateMachine + Send + Default + 'static>(
+    cluster: &Cluster<M>,
+) -> Arc<dyn Fn() -> String + Send + Sync> {
+    let registries: Vec<_> = (0..cluster.local_len()).map(|i| cluster.registry(i)).collect();
+    let transport = cluster.transport();
+    Arc::new(move || {
+        let mut snaps: Vec<_> = registries.iter().map(|r| r.snapshot()).collect();
+        if let Some(t) = transport.scrape() {
+            snaps.push(t);
+        }
+        nbr_obs::export::prometheus(&snaps)
+    })
+}

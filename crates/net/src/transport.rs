@@ -1,0 +1,743 @@
+//! The TCP transport: [`nbr_cluster::Transport`] over real sockets.
+//!
+//! Topology: every replica process binds one listening socket and keeps one
+//! *outbound* connection per peer, managed by a supervisor thread
+//! (connect → handshake → write loop → reconnect with capped exponential
+//! backoff + jitter). Links are simplex, as in etcd's rafthttp layer:
+//! sends always travel over the local node's outbound connection, and the
+//! accept loop only ever reads. Client sessions are the exception — they
+//! are duplex, with responses written back on the connection the request
+//! arrived on (demultiplexed by `ClientId`).
+//!
+//! Delivery policy, chosen edge by edge:
+//!
+//! * **replica → socket** (outbound queue): bounded; a full queue *sheds*
+//!   the frame with explicit `net_dropped_queue_full` accounting rather
+//!   than blocking the replica thread — Raft's retry machinery already
+//!   tolerates loss, while a blocked replica misses heartbeats and
+//!   destabilizes the whole group.
+//! * **socket → replica** (inbound): true backpressure; the reader thread
+//!   waits for inbox space, stops reading, and lets the kernel's TCP
+//!   window throttle the remote sender.
+//!
+//! Frames are the [`NetFrame`] envelope inside the standard
+//! `len || crc || body` wire framing, decoded with a transport-tier size
+//! cap ([`TcpConfig::max_frame`]) so a corrupt or hostile length prefix
+//! cannot pin memory. A connection's first frame must be a valid
+//! [`NetFrame::Hello`]; version or cluster-id mismatches are counted and
+//! the connection dropped. Writers coalesce queued frames into a single
+//! `write_all` per wakeup and emit [`NetFrame::Ping`] keepalives when idle.
+
+use crate::clock;
+use nbr_cluster::network::{NetControl, Packet, CLIENT_ENDPOINT};
+use nbr_cluster::sync::Mutex;
+use nbr_cluster::transport::{Transport, TransportInboxes};
+use nbr_obs::{Counter, Gauge, Registry, Snapshot};
+use nbr_types::wire::{decode_frame_capped, encode_frame};
+use nbr_types::{ClientId, HelloMsg, NetFrame, NodeId, PeerKind, NET_PROTOCOL_VERSION};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// TCP transport configuration.
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Cluster instance id; connections from other clusters are refused.
+    pub cluster_id: u64,
+    /// Node id of the (single) replica this process hosts.
+    pub node_id: u32,
+    /// `(node id, address)` of every *remote* peer.
+    pub peers: Vec<(u32, SocketAddr)>,
+    /// Depth of each bounded outbound frame queue.
+    pub send_queue: usize,
+    /// Largest frame accepted off a socket (codec cap still applies).
+    pub max_frame: usize,
+    /// First reconnect delay; doubles per failure up to `backoff_cap`.
+    pub backoff_initial: Duration,
+    /// Reconnect delay ceiling.
+    pub backoff_cap: Duration,
+    /// Idle interval after which a writer emits a keepalive ping.
+    pub keepalive: Duration,
+    /// Per-attempt connect timeout.
+    pub connect_timeout: Duration,
+    /// Artificial store-and-forward delay applied to every outbound peer
+    /// batch, jittered ±50% per batch (WAN emulation for benches; zero —
+    /// the default — for real deployments). Client traffic is never
+    /// delayed.
+    pub link_delay: Duration,
+    /// Parallel TCP connections per peer; outbound frames round-robin
+    /// across them. One lane (the default) preserves TCP's in-order
+    /// delivery; more lanes reproduce the multi-dispatcher reordering of
+    /// the paper's IoT setting, which the non-blocking window absorbs and
+    /// stock Raft blocks on.
+    pub peer_lanes: usize,
+    /// Percentage of outbound peer protocol frames to drop (lossy-network
+    /// emulation; zero — the default — for real deployments). Raft's
+    /// heartbeat repair re-sends lost entries, so this stalls stock Raft's
+    /// in-order pipeline for whole repair rounds while a non-blocking
+    /// window keeps weak-accepting around the gap. Handshakes, keepalives
+    /// and client traffic are never dropped.
+    pub link_loss_pct: f64,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            cluster_id: 1,
+            node_id: 0,
+            peers: Vec::new(),
+            send_queue: 1024,
+            max_frame: 16 << 20,
+            backoff_initial: Duration::from_millis(25),
+            backoff_cap: Duration::from_secs(2),
+            keepalive: Duration::from_millis(500),
+            connect_timeout: Duration::from_secs(1),
+            link_delay: Duration::ZERO,
+            peer_lanes: 1,
+            link_loss_pct: 0.0,
+        }
+    }
+}
+
+/// Interned metric handles (one `fetch_add`, no name lookup, per event).
+struct Stats {
+    connects: Arc<Counter>,
+    connect_retries: Arc<Counter>,
+    disconnects: Arc<Counter>,
+    accepts: Arc<Counter>,
+    frames_in: Arc<Counter>,
+    frames_out: Arc<Counter>,
+    bytes_in: Arc<Counter>,
+    bytes_out: Arc<Counter>,
+    decode_errors: Arc<Counter>,
+    handshake_rejects: Arc<Counter>,
+    proto_errors: Arc<Counter>,
+    dropped_queue_full: Arc<Counter>,
+    dropped_unroutable: Arc<Counter>,
+    frames_lost: Arc<Counter>,
+    keepalives: Arc<Counter>,
+    peer_links_up: Arc<Gauge>,
+    clients_connected: Arc<Gauge>,
+    send_queue_depth: Arc<Gauge>,
+}
+
+impl Stats {
+    fn new(reg: &Registry) -> Stats {
+        Stats {
+            connects: reg.counter("net_tcp_connects"),
+            connect_retries: reg.counter("net_tcp_connect_retries"),
+            disconnects: reg.counter("net_tcp_disconnects"),
+            accepts: reg.counter("net_tcp_accepts"),
+            frames_in: reg.counter("net_frames_in"),
+            frames_out: reg.counter("net_frames_out"),
+            bytes_in: reg.counter("net_bytes_in"),
+            bytes_out: reg.counter("net_bytes_out"),
+            decode_errors: reg.counter("net_decode_errors"),
+            handshake_rejects: reg.counter("net_handshake_rejects"),
+            proto_errors: reg.counter("net_proto_errors"),
+            dropped_queue_full: reg.counter("net_dropped_queue_full"),
+            dropped_unroutable: reg.counter("net_dropped_unroutable"),
+            frames_lost: reg.counter("net_frames_lost"),
+            keepalives: reg.counter("net_keepalives"),
+            peer_links_up: reg.gauge("net_peer_links_up"),
+            clients_connected: reg.gauge("net_clients_connected"),
+            send_queue_depth: reg.gauge("net_send_queue_depth"),
+        }
+    }
+}
+
+/// A client session's response route: the writer queue of the connection
+/// its requests arrive on, tagged with the connection generation so a stale
+/// session cannot deregister its successor after a reconnect.
+struct ClientRoute {
+    conn: u64,
+    tx: SyncSender<NetFrame>,
+}
+
+struct Shared {
+    cfg: TcpConfig,
+    stop: AtomicBool,
+    /// Inboxes of locally hosted replicas.
+    nodes: HashMap<u32, SyncSender<Packet>>,
+    /// Inbox for responses to in-process `ClusterClient`s (full-local mode);
+    /// over TCP, client responses are routed by `clients` instead.
+    client_inbox: Sender<Packet>,
+    clients: Mutex<HashMap<ClientId, ClientRoute>>,
+    /// Open sockets (clones) so shutdown can unblock reader/writer threads.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+    registry: Arc<Registry>,
+    stats: Stats,
+}
+
+impl Shared {
+    fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    fn register_conn(&self, stream: &TcpStream) -> u64 {
+        let id = self.next_conn.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            self.conns.lock().insert(id, clone);
+        }
+        id
+    }
+
+    fn deregister_conn(&self, id: u64) {
+        self.conns.lock().remove(&id);
+    }
+
+    /// Sleep `total` in short slices so shutdown is never blocked behind a
+    /// long backoff.
+    fn sleep_checked(&self, total: Duration) {
+        let mut left = total;
+        while !self.stopped() && left > Duration::ZERO {
+            let slice = left.min(Duration::from_millis(50));
+            clock::sleep(slice);
+            left = left.saturating_sub(slice);
+        }
+    }
+
+    /// Push a packet into a local replica inbox with *blocking*
+    /// backpressure: the caller (a socket reader) waits for space, which
+    /// stops it reading and lets TCP flow control throttle the sender.
+    fn deliver_local(&self, to: u32, packet: Packet) {
+        let Some(tx) = self.nodes.get(&to) else {
+            self.stats.dropped_unroutable.inc();
+            return;
+        };
+        let mut p = packet;
+        loop {
+            match tx.try_send(p) {
+                Ok(()) => return,
+                Err(TrySendError::Full(back)) => {
+                    if self.stopped() {
+                        return;
+                    }
+                    p = back;
+                    clock::sleep(Duration::from_micros(500));
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    self.stats.dropped_unroutable.inc();
+                    return;
+                }
+            }
+        }
+    }
+}
+
+struct PeerLink {
+    tx: SyncSender<NetFrame>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+/// All lanes to one peer, with a round-robin cursor for striping.
+struct PeerLinks {
+    lanes: Vec<PeerLink>,
+    rr: AtomicU64,
+}
+
+/// The TCP transport. Construct with [`TcpTransport::spawn`] inside
+/// [`nbr_cluster::Cluster::spawn_with_transport`]'s builder closure.
+pub struct TcpTransport {
+    shared: Arc<Shared>,
+    peers: HashMap<u32, PeerLinks>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    local_addr: Option<SocketAddr>,
+}
+
+impl TcpTransport {
+    /// Start the transport on a pre-bound listener (bind first so callers
+    /// can use port 0 for OS-assigned, collision-free test ports), serving
+    /// the local inboxes in `inboxes` and dialing out to `cfg.peers`.
+    pub fn spawn(cfg: TcpConfig, listener: TcpListener, inboxes: TransportInboxes) -> TcpTransport {
+        let registry = Arc::new(Registry::new(format!("net{}", cfg.node_id)));
+        let stats = Stats::new(&registry);
+        let local_addr = listener.local_addr().ok();
+        let shared = Arc::new(Shared {
+            nodes: inboxes.nodes.into_iter().collect(),
+            client_inbox: inboxes.client,
+            clients: Mutex::new(HashMap::new()),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            registry,
+            stats,
+            cfg,
+        });
+
+        let mut peers = HashMap::new();
+        for &(peer_id, addr) in &shared.cfg.peers {
+            let lanes = (0..shared.cfg.peer_lanes.max(1))
+                .map(|lane| {
+                    let (tx, rx) = sync_channel::<NetFrame>(shared.cfg.send_queue);
+                    let sh = Arc::clone(&shared);
+                    let thread = std::thread::Builder::new()
+                        .name(format!("nbr-net-peer-{}-{}.{}", shared.cfg.node_id, peer_id, lane))
+                        .spawn(move || supervise_peer(sh, peer_id, lane, addr, rx))
+                        .expect("spawn peer supervisor"); // check:allow(L1): transport bring-up; a node that cannot dial peers cannot serve, abort is correct
+                    PeerLink { tx, thread: Some(thread) }
+                })
+                .collect();
+            peers.insert(peer_id, PeerLinks { lanes, rr: AtomicU64::new(0) });
+        }
+
+        let sh = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("nbr-net-accept-{}", shared.cfg.node_id))
+            .spawn(move || accept_loop(sh, listener))
+            .expect("spawn accept loop"); // check:allow(L1): transport bring-up; without the accept loop no peer can reach us, abort is correct
+
+        TcpTransport { shared, peers, accept_thread: Some(accept_thread), local_addr }
+    }
+
+    /// The address the accept loop is listening on.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.local_addr
+    }
+
+    /// This transport's metrics registry (shared with [`Transport::scrape`]).
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.shared.registry)
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&self, _from: u32, to: u32, packet: Packet) {
+        if self.shared.stopped() {
+            return;
+        }
+        let stats = &self.shared.stats;
+        if to == CLIENT_ENDPOINT {
+            // Responses: route to the TCP client session if one is
+            // registered, otherwise to the in-process client inbox (a
+            // ClusterClient of a full-local cluster on this transport).
+            let Packet::Response { client, resp } = packet else {
+                stats.proto_errors.inc();
+                return;
+            };
+            let routed = {
+                let routes = self.shared.clients.lock();
+                routes.get(&client).map(|r| r.tx.clone())
+            };
+            match routed {
+                Some(tx) => match tx.try_send(NetFrame::Response { client, resp }) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(_)) => stats.dropped_queue_full.inc(),
+                    Err(TrySendError::Disconnected(_)) => stats.dropped_unroutable.inc(),
+                },
+                None => {
+                    let _ = self.shared.client_inbox.send(Packet::Response { client, resp });
+                }
+            }
+            return;
+        }
+        if self.shared.nodes.contains_key(&to) {
+            // Self-send or co-hosted replica: skip the wire.
+            self.shared.deliver_local(to, packet);
+            return;
+        }
+        let Some(links) = self.peers.get(&to) else {
+            stats.dropped_unroutable.inc();
+            return;
+        };
+        let frame = match packet {
+            Packet::Peer { from, msg } => NetFrame::Peer { from, to: NodeId(to), msg },
+            Packet::Request(req) => NetFrame::Request { to: NodeId(to), req },
+            Packet::Response { .. } => {
+                // Replica-to-replica responses do not exist in the protocol.
+                stats.proto_errors.inc();
+                return;
+            }
+        };
+        let lane = links.rr.fetch_add(1, Ordering::Relaxed) as usize % links.lanes.len();
+        match links.lanes[lane].tx.try_send(frame) {
+            Ok(()) => stats.send_queue_depth.add(1),
+            // Shed rather than block the replica thread; explicit accounting.
+            Err(TrySendError::Full(_)) => stats.dropped_queue_full.inc(),
+            Err(TrySendError::Disconnected(_)) => stats.dropped_unroutable.inc(),
+        }
+    }
+
+    fn control(&self) -> Option<Arc<NetControl>> {
+        None // real sockets: no fault injection dial
+    }
+
+    fn scrape(&self) -> Option<Snapshot> {
+        Some(self.shared.registry.snapshot())
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        // Unblock any thread parked in read()/write() on a live socket.
+        for (_, c) in self.shared.conns.lock().iter() {
+            let _ = c.shutdown(Shutdown::Both);
+        }
+        for (_, links) in self.peers.iter_mut() {
+            for lane in links.lanes.iter_mut() {
+                if let Some(t) = lane.thread.take() {
+                    let _ = t.join();
+                }
+            }
+        }
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Outbound link supervisor: connect, handshake, write loop, reconnect.
+fn supervise_peer(
+    sh: Arc<Shared>,
+    peer_id: u32,
+    lane: usize,
+    addr: SocketAddr,
+    rx: Receiver<NetFrame>,
+) {
+    // Jitter is seeded per-lane so two replicas restarting together do not
+    // reconnect in lockstep (thundering-herd on the surviving node) and so
+    // parallel lanes drift apart under an emulated link delay.
+    let mut rng = StdRng::seed_from_u64(
+        0x9E37 ^ (u64::from(sh.cfg.node_id) << 32) ^ (u64::from(peer_id) << 8) ^ lane as u64,
+    );
+    let mut backoff = sh.cfg.backoff_initial;
+    while !sh.stopped() {
+        let stream = match TcpStream::connect_timeout(&addr, sh.cfg.connect_timeout) {
+            Ok(s) => s,
+            Err(_) => {
+                sh.stats.connect_retries.inc();
+                // Full jitter: uniform in [backoff/2, backoff).
+                let ns = backoff.as_nanos() as u64;
+                let wait = Duration::from_nanos(ns / 2 + rng.random_range(0..ns.max(2) / 2));
+                sh.sleep_checked(wait);
+                backoff = (backoff * 2).min(sh.cfg.backoff_cap);
+                continue;
+            }
+        };
+        let _ = stream.set_nodelay(true);
+        let conn = sh.register_conn(&stream);
+        sh.stats.connects.inc();
+        sh.stats.peer_links_up.add(1);
+        backoff = sh.cfg.backoff_initial;
+        run_peer_writer(&sh, stream, &rx, &mut rng);
+        sh.stats.peer_links_up.add(-1);
+        sh.stats.disconnects.inc();
+        sh.deregister_conn(conn);
+    }
+}
+
+/// Write loop of one connected outbound link. Returns on error (caller
+/// reconnects) or shutdown.
+fn run_peer_writer(sh: &Shared, mut stream: TcpStream, rx: &Receiver<NetFrame>, rng: &mut StdRng) {
+    let hello = NetFrame::Hello(HelloMsg {
+        version: NET_PROTOCOL_VERSION,
+        cluster_id: sh.cfg.cluster_id,
+        kind: PeerKind::Node(NodeId(sh.cfg.node_id)),
+    });
+    if write_frames(sh, &mut stream, std::slice::from_ref(&hello)).is_err() {
+        return;
+    }
+    let mut batch = Vec::with_capacity(64);
+    let mut nonce = 0u64;
+    // Loss emulation in basis points so the draw stays in integers.
+    let loss_bp = (sh.cfg.link_loss_pct.clamp(0.0, 100.0) * 100.0) as u64;
+    loop {
+        if sh.stopped() {
+            return;
+        }
+        batch.clear();
+        match rx.recv_timeout(sh.cfg.keepalive) {
+            Ok(frame) => {
+                batch.push(frame);
+                // Coalesce everything already queued into one write.
+                while batch.len() < 256 {
+                    match rx.try_recv() {
+                        Ok(f) => batch.push(f),
+                        Err(_) => break,
+                    }
+                }
+                sh.stats.send_queue_depth.add(-(batch.len() as i64));
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                nonce += 1;
+                sh.stats.keepalives.inc();
+                batch.push(NetFrame::Ping { nonce });
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+        if loss_bp > 0 {
+            // Drop protocol frames only: the peer's Raft engine repairs
+            // them, which is the behaviour under test. Everything else
+            // (handshake already sent, keepalives) stays reliable.
+            batch.retain(|f| {
+                let lose =
+                    matches!(f, NetFrame::Peer { .. }) && rng.random_range(0..10_000u64) < loss_bp;
+                if lose {
+                    sh.stats.frames_lost.inc();
+                }
+                !lose
+            });
+            if batch.is_empty() {
+                continue;
+            }
+        }
+        if !sh.cfg.link_delay.is_zero() {
+            // One-hop latency emulation: hold the whole coalesced batch for
+            // the configured delay ±50%. The jitter makes parallel lanes
+            // drift, so striped frames really do arrive out of order.
+            let ns = sh.cfg.link_delay.as_nanos() as u64;
+            sh.sleep_checked(Duration::from_nanos(ns / 2 + rng.random_range(0..ns.max(1))));
+        }
+        if write_frames(sh, &mut stream, &batch).is_err() {
+            return; // frames in `batch` are lost with the connection; Raft retries
+        }
+    }
+}
+
+/// Encode `frames` into one buffer and write it in a single syscall.
+fn write_frames(sh: &Shared, stream: &mut TcpStream, frames: &[NetFrame]) -> std::io::Result<()> {
+    let mut buf = Vec::with_capacity(frames.len() * 64);
+    for f in frames {
+        buf.extend_from_slice(&encode_frame(f));
+    }
+    stream.write_all(&buf)?;
+    sh.stats.frames_out.add(frames.len() as u64);
+    sh.stats.bytes_out.add(buf.len() as u64);
+    Ok(())
+}
+
+/// Accept loop: non-blocking poll so shutdown is prompt, one reader thread
+/// per accepted connection.
+fn accept_loop(sh: Arc<Shared>, listener: TcpListener) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    while !sh.stopped() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                sh.stats.accepts.inc();
+                let _ = stream.set_nodelay(true);
+                let sh2 = Arc::clone(&sh);
+                let name = format!("nbr-net-read-{}", sh.cfg.node_id);
+                if std::thread::Builder::new()
+                    .name(name)
+                    .spawn(move || run_reader(sh2, stream))
+                    .is_err()
+                {
+                    sh.stats.proto_errors.inc(); // thread exhaustion; drop conn
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                clock::sleep(Duration::from_millis(5));
+            }
+            Err(_) => clock::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Identity a connection proved in its handshake.
+enum ConnIdentity {
+    Unknown,
+    Node(NodeId),
+    Client(ClientId),
+}
+
+/// Inbound connection reader: handshake, then decode-and-route until EOF,
+/// error, or shutdown.
+fn run_reader(sh: Arc<Shared>, mut stream: TcpStream) {
+    let conn = sh.register_conn(&stream);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut identity = ConnIdentity::Unknown;
+    let mut resp_writer: Option<SyncSender<NetFrame>> = None;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut pos = 0usize; // decoded prefix of `buf`
+    let mut tmp = [0u8; 64 << 10];
+    'conn: loop {
+        if sh.stopped() {
+            break;
+        }
+        let n = match stream.read(&mut tmp) {
+            Ok(0) => break, // EOF
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        sh.stats.bytes_in.add(n as u64);
+        buf.extend_from_slice(&tmp[..n]);
+        loop {
+            match decode_frame_capped::<NetFrame>(&buf[pos..], sh.cfg.max_frame) {
+                Ok(Some((frame, used))) => {
+                    pos += used;
+                    sh.stats.frames_in.inc();
+                    if !handle_frame(&sh, frame, &mut identity, &mut resp_writer, &stream, conn) {
+                        break 'conn;
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    // Corrupt stream: there is no way to resynchronize a
+                    // length-prefixed stream after a bad frame; drop it.
+                    sh.stats.decode_errors.inc();
+                    break 'conn;
+                }
+            }
+        }
+        // Compact the consumed prefix occasionally (amortized O(1)).
+        if pos > 0 && (pos >= buf.len() || pos > 64 << 10) {
+            buf.drain(..pos);
+            pos = 0;
+        }
+    }
+    // Deregister this connection's client route (only if still ours).
+    if let ConnIdentity::Client(id) = identity {
+        let mut routes = sh.clients.lock();
+        if routes.get(&id).is_some_and(|r| r.conn == conn) {
+            routes.remove(&id);
+            sh.stats.clients_connected.add(-1);
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+    sh.deregister_conn(conn);
+}
+
+/// Route one inbound frame. Returns `false` to drop the connection.
+fn handle_frame(
+    sh: &Arc<Shared>,
+    frame: NetFrame,
+    identity: &mut ConnIdentity,
+    resp_writer: &mut Option<SyncSender<NetFrame>>,
+    stream: &TcpStream,
+    conn: u64,
+) -> bool {
+    match (frame, &identity) {
+        (NetFrame::Hello(h), ConnIdentity::Unknown) => {
+            if h.version != NET_PROTOCOL_VERSION || h.cluster_id != sh.cfg.cluster_id {
+                sh.stats.handshake_rejects.inc();
+                return false;
+            }
+            match h.kind {
+                PeerKind::Node(n) => *identity = ConnIdentity::Node(n),
+                PeerKind::Client(c) => {
+                    // Client sessions are duplex: responses flow back over
+                    // a writer thread on a clone of this socket.
+                    let Ok(wstream) = stream.try_clone() else {
+                        sh.stats.proto_errors.inc();
+                        return false;
+                    };
+                    let (tx, rx) = sync_channel::<NetFrame>(sh.cfg.send_queue);
+                    let sh2 = Arc::clone(sh);
+                    let spawned = std::thread::Builder::new()
+                        .name(format!("nbr-net-cresp-{}", sh.cfg.node_id))
+                        .spawn(move || client_writer(sh2, wstream, rx));
+                    if spawned.is_err() {
+                        sh.stats.proto_errors.inc();
+                        return false;
+                    }
+                    sh.clients.lock().insert(c, ClientRoute { conn, tx: tx.clone() });
+                    sh.stats.clients_connected.add(1);
+                    *resp_writer = Some(tx);
+                    *identity = ConnIdentity::Client(c);
+                }
+            }
+            true
+        }
+        (NetFrame::Hello(_), _) => {
+            sh.stats.proto_errors.inc(); // second handshake on one connection
+            false
+        }
+        (_, ConnIdentity::Unknown) => {
+            sh.stats.handshake_rejects.inc(); // traffic before Hello
+            false
+        }
+        (NetFrame::Peer { from, to, msg }, ConnIdentity::Node(peer)) => {
+            if from != *peer {
+                sh.stats.proto_errors.inc(); // spoofed peer id
+                return false;
+            }
+            sh.deliver_local(to.0, Packet::Peer { from, msg });
+            true
+        }
+        (NetFrame::Peer { .. }, ConnIdentity::Client(_)) => {
+            sh.stats.proto_errors.inc(); // clients may not inject peer traffic
+            false
+        }
+        (NetFrame::Request { to, req }, ConnIdentity::Client(c)) => {
+            if req.client != *c {
+                sh.stats.proto_errors.inc(); // spoofed client id
+                return false;
+            }
+            sh.deliver_local(to.0, Packet::Request(req));
+            true
+        }
+        (NetFrame::Request { to, req }, ConnIdentity::Node(_)) => {
+            // A relayed client request from a peer process (e.g. a
+            // co-hosted client whose target moved): deliver; responses
+            // will route via that process's client session, not ours.
+            sh.deliver_local(to.0, Packet::Request(req));
+            true
+        }
+        (NetFrame::Response { client, resp }, ConnIdentity::Node(_)) => {
+            // Response relayed between processes: hand to the local client
+            // inbox (in-process ClusterClient router).
+            let _ = sh.client_inbox.send(Packet::Response { client, resp });
+            true
+        }
+        (NetFrame::Response { .. }, ConnIdentity::Client(_)) => {
+            sh.stats.proto_errors.inc();
+            false
+        }
+        (NetFrame::Ping { nonce }, ConnIdentity::Client(_)) => {
+            // Duplex session: answer so the client can measure liveness.
+            if let Some(tx) = resp_writer {
+                let _ = tx.try_send(NetFrame::Pong { nonce });
+            }
+            true
+        }
+        (NetFrame::Ping { .. }, ConnIdentity::Node(_)) => {
+            sh.stats.keepalives.inc(); // simplex peer link: ping is pure liveness traffic
+            true
+        }
+        (NetFrame::Pong { .. }, _) => true,
+    }
+}
+
+/// Writer thread for one client session's responses.
+fn client_writer(sh: Arc<Shared>, mut stream: TcpStream, rx: Receiver<NetFrame>) {
+    let conn = sh.register_conn(&stream);
+    loop {
+        if sh.stopped() {
+            break;
+        }
+        match rx.recv_timeout(Duration::from_millis(200)) {
+            Ok(frame) => {
+                let mut batch = vec![frame];
+                while batch.len() < 64 {
+                    match rx.try_recv() {
+                        Ok(f) => batch.push(f),
+                        Err(_) => break,
+                    }
+                }
+                if write_frames(&sh, &mut stream, &batch).is_err() {
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+    sh.deregister_conn(conn);
+}

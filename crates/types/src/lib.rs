@@ -25,6 +25,7 @@ pub mod entry;
 pub mod error;
 pub mod ids;
 pub mod message;
+pub mod netframe;
 pub mod time;
 pub mod wire;
 
@@ -38,4 +39,5 @@ pub use message::{
     PushFragmentsMsg, ReadIndexReqMsg, ReadIndexRespMsg, RequestVoteMsg, RequestVoteRespMsg,
     Verification,
 };
+pub use netframe::{HelloMsg, NetFrame, PeerKind, NET_PROTOCOL_VERSION};
 pub use time::{Time, TimeDelta};

@@ -1,0 +1,280 @@
+//! Socket-level envelope frames for the TCP transport (`nbr-net`).
+//!
+//! The in-process router moves [`Message`]s between endpoints as Rust
+//! values; a real transport needs a self-describing envelope that also
+//! carries *addressing* (which local endpoint a frame is for) and a
+//! connection *handshake*. [`NetFrame`] is that envelope. It rides inside
+//! the same `len || crc || body` framing as every other wire value (see
+//! [`crate::wire::encode_frame`]), so the delivery layer inherits the
+//! codec's length guards and CRC integrity checking.
+//!
+//! Connection lifecycle: the first frame on any connection must be a
+//! [`NetFrame::Hello`] declaring the protocol version, the cluster id and
+//! who is connecting ([`PeerKind::Node`] for replica-to-replica links,
+//! [`PeerKind::Client`] for client sessions). A receiver drops connections
+//! whose version or cluster id does not match its own — this is what stops
+//! a mis-configured process from silently joining the wrong cluster.
+//! [`NetFrame::Ping`]/[`NetFrame::Pong`] are idle keepalives; the nonce
+//! lets a sender match a pong to its ping.
+
+use crate::error::{Error, Result};
+use crate::ids::{ClientId, NodeId};
+use crate::message::{ClientRequest, ClientResponse, Message};
+use crate::wire::{Reader, Wire, Writer};
+
+/// Version of the socket envelope protocol. Bump on any change to
+/// [`NetFrame`]'s encoding; handshakes with a different version are refused.
+pub const NET_PROTOCOL_VERSION: u16 = 1;
+
+/// Who is on the remote end of a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerKind {
+    /// A replica, identified by its node id.
+    Node(NodeId),
+    /// A client session, identified by its client id.
+    Client(ClientId),
+}
+
+/// Connection handshake: the mandatory first frame on every connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HelloMsg {
+    /// Envelope protocol version ([`NET_PROTOCOL_VERSION`]).
+    pub version: u16,
+    /// Cluster instance id; both sides must agree.
+    pub cluster_id: u64,
+    /// Identity of the connecting side.
+    pub kind: PeerKind,
+}
+
+/// One frame on a transport connection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetFrame {
+    /// Handshake (first frame, exactly once).
+    Hello(HelloMsg),
+    /// Replica-to-replica protocol message addressed to node `to`.
+    Peer {
+        /// Sending replica.
+        from: NodeId,
+        /// Destination replica (the remote process may host several).
+        to: NodeId,
+        /// The protocol message.
+        msg: Message,
+    },
+    /// Client request addressed to node `to`.
+    Request {
+        /// Destination replica.
+        to: NodeId,
+        /// The request.
+        req: ClientRequest,
+    },
+    /// Response to a client session.
+    Response {
+        /// Destination client.
+        client: ClientId,
+        /// The response.
+        resp: ClientResponse,
+    },
+    /// Idle keepalive probe.
+    Ping {
+        /// Echoed back in the matching [`NetFrame::Pong`].
+        nonce: u64,
+    },
+    /// Keepalive reply.
+    Pong {
+        /// Nonce of the ping being answered.
+        nonce: u64,
+    },
+}
+
+impl Wire for PeerKind {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            PeerKind::Node(n) => {
+                w.u8(0);
+                n.encode(w);
+            }
+            PeerKind::Client(c) => {
+                w.u8(1);
+                c.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        match r.u8()? {
+            0 => Ok(PeerKind::Node(NodeId::decode(r)?)),
+            1 => Ok(PeerKind::Client(ClientId::decode(r)?)),
+            v => Err(Error::Codec(format!("invalid peer kind tag {v}"))),
+        }
+    }
+}
+
+impl Wire for HelloMsg {
+    fn encode(&self, w: &mut Writer) {
+        w.u32(self.version as u32);
+        w.u64(self.cluster_id);
+        self.kind.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let version = r.u32()?;
+        if version > u16::MAX as u32 {
+            return Err(Error::Codec(format!("implausible protocol version {version}")));
+        }
+        Ok(HelloMsg { version: version as u16, cluster_id: r.u64()?, kind: PeerKind::decode(r)? })
+    }
+}
+
+impl Wire for NetFrame {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            NetFrame::Hello(h) => {
+                w.u8(0);
+                h.encode(w);
+            }
+            NetFrame::Peer { from, to, msg } => {
+                w.u8(1);
+                from.encode(w);
+                to.encode(w);
+                msg.encode(w);
+            }
+            NetFrame::Request { to, req } => {
+                w.u8(2);
+                to.encode(w);
+                req.encode(w);
+            }
+            NetFrame::Response { client, resp } => {
+                w.u8(3);
+                client.encode(w);
+                resp.encode(w);
+            }
+            NetFrame::Ping { nonce } => {
+                w.u8(4);
+                w.u64(*nonce);
+            }
+            NetFrame::Pong { nonce } => {
+                w.u8(5);
+                w.u64(*nonce);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        match r.u8()? {
+            0 => Ok(NetFrame::Hello(HelloMsg::decode(r)?)),
+            1 => Ok(NetFrame::Peer {
+                from: NodeId::decode(r)?,
+                to: NodeId::decode(r)?,
+                msg: Message::decode(r)?,
+            }),
+            2 => Ok(NetFrame::Request { to: NodeId::decode(r)?, req: ClientRequest::decode(r)? }),
+            3 => Ok(NetFrame::Response {
+                client: ClientId::decode(r)?,
+                resp: ClientResponse::decode(r)?,
+            }),
+            4 => Ok(NetFrame::Ping { nonce: r.u64()? }),
+            5 => Ok(NetFrame::Pong { nonce: r.u64()? }),
+            v => Err(Error::Codec(format!("invalid net frame tag {v}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{LogIndex, RequestId, Term};
+    use crate::message::HeartbeatMsg;
+    use crate::wire::{decode_frame, encode_frame};
+    use bytes::Bytes;
+
+    fn samples() -> Vec<NetFrame> {
+        vec![
+            NetFrame::Hello(HelloMsg {
+                version: NET_PROTOCOL_VERSION,
+                cluster_id: 0xC0FFEE,
+                kind: PeerKind::Node(NodeId(2)),
+            }),
+            NetFrame::Hello(HelloMsg {
+                version: NET_PROTOCOL_VERSION,
+                cluster_id: 1,
+                kind: PeerKind::Client(ClientId(77)),
+            }),
+            NetFrame::Peer {
+                from: NodeId(1),
+                to: NodeId(0),
+                msg: Message::Heartbeat(HeartbeatMsg {
+                    term: Term(4),
+                    leader: NodeId(1),
+                    last_index: LogIndex(9),
+                    last_term: Term(4),
+                    leader_commit: LogIndex(8),
+                }),
+            },
+            NetFrame::Request {
+                to: NodeId(0),
+                req: ClientRequest {
+                    client: ClientId(5),
+                    request: RequestId(6),
+                    payload: Bytes::from_static(b"temp=21.5"),
+                },
+            },
+            NetFrame::Response {
+                client: ClientId(5),
+                resp: ClientResponse::Weak {
+                    request: RequestId(6),
+                    index: LogIndex(10),
+                    term: Term(4),
+                },
+            },
+            NetFrame::Ping { nonce: 42 },
+            NetFrame::Pong { nonce: 42 },
+        ]
+    }
+
+    #[test]
+    fn net_frames_round_trip() {
+        for f in samples() {
+            let bytes = encode_frame(&f);
+            let (back, used) = decode_frame::<NetFrame>(&bytes).unwrap().unwrap();
+            assert_eq!(back, f);
+            assert_eq!(used, bytes.len());
+        }
+    }
+
+    #[test]
+    fn streamed_frames_decode_in_sequence() {
+        // Concatenate every sample into one buffer and pull frames off the
+        // front, the way a socket reader does.
+        let frames = samples();
+        let mut buf = Vec::new();
+        for f in &frames {
+            buf.extend_from_slice(&encode_frame(f));
+        }
+        let mut got = Vec::new();
+        let mut pos = 0;
+        while let Some((f, used)) = decode_frame::<NetFrame>(&buf[pos..]).unwrap() {
+            got.push(f);
+            pos += used;
+        }
+        assert_eq!(got, frames);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn invalid_tags_rejected() {
+        let mut w = Writer::new();
+        w.u8(9); // no frame tag 9
+        let body = w.into_bytes();
+        let mut r = Reader::new(&body);
+        assert!(NetFrame::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn implausible_version_rejected() {
+        let mut w = Writer::new();
+        w.u8(0); // Hello tag
+        w.u32(u32::MAX); // version far beyond u16
+        w.u64(0);
+        PeerKind::Node(NodeId(0)).encode(&mut w);
+        let body = w.into_bytes();
+        let mut r = Reader::new(&body);
+        assert!(NetFrame::decode(&mut r).is_err());
+    }
+}

@@ -52,20 +52,25 @@ impl Writer {
         self.buf
     }
 
-    fn u8(&mut self, v: u8) {
+    /// Append one byte.
+    pub fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
-    fn u32(&mut self, v: u32) {
+    /// Append a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn u64(&mut self, v: u64) {
+    /// Append a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn bytes(&mut self, v: &[u8]) {
+    /// Append a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
         self.u32(v.len() as u32);
         self.buf.extend_from_slice(v);
     }
-    fn bool(&mut self, v: bool) {
+    /// Append a bool as one byte.
+    pub fn bool(&mut self, v: bool) {
         self.u8(v as u8);
     }
 }
@@ -100,16 +105,22 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8> {
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8> {
         Ok(self.take(1)?[0])
     }
-    fn u32(&mut self) -> Result<u32> {
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
-    fn u64(&mut self) -> Result<u64> {
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
-    fn bytes(&mut self) -> Result<&'a [u8]> {
+    /// Read a length-prefixed byte string (length-checked against both the
+    /// remaining frame and [`MAX_FRAME_LEN`], so a corrupt prefix cannot
+    /// trigger an oversized allocation).
+    pub fn bytes(&mut self) -> Result<&'a [u8]> {
         let len = self.u32()? as usize;
         if len > MAX_FRAME_LEN {
             return Err(Error::Codec(format!("byte string too long: {len}")));
@@ -714,12 +725,23 @@ pub fn encode_frame<T: Wire>(value: &T) -> Vec<u8> {
 /// number of bytes consumed (header + body), or `Ok(None)` if the buffer does
 /// not yet hold a complete frame (streaming use).
 pub fn decode_frame<T: Wire>(buf: &[u8]) -> Result<Option<(T, usize)>> {
+    decode_frame_capped(buf, MAX_FRAME_LEN)
+}
+
+/// [`decode_frame`] with a caller-supplied frame-size cap (still bounded by
+/// [`MAX_FRAME_LEN`]). A network transport accepting frames from untrusted
+/// connections should pass the largest frame it legitimately expects: the
+/// length prefix is attacker-controlled, and the cap is what stops a corrupt
+/// or hostile prefix from pinning `max_len` bytes of reassembly buffer per
+/// connection while the reader waits for a body that never comes.
+pub fn decode_frame_capped<T: Wire>(buf: &[u8], max_len: usize) -> Result<Option<(T, usize)>> {
+    let max_len = max_len.min(MAX_FRAME_LEN);
     if buf.len() < 8 {
         return Ok(None);
     }
     let len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
-    if len > MAX_FRAME_LEN {
-        return Err(Error::Codec(format!("frame length {len} exceeds maximum")));
+    if len > max_len {
+        return Err(Error::Codec(format!("frame length {len} exceeds maximum {max_len}")));
     }
     if buf.len() < 8 + len {
         return Ok(None);

@@ -61,4 +61,10 @@ else
     ./target/release/nbr-check model --quick
 fi
 
+# Multi-process TCP smoke: 3 serve processes on loopback, real socket
+# traffic, leader kill, re-election + opList retry. Prometheus scrapes
+# land in target/ci-artifacts/net-smoke/ alongside the trace artifact.
+step "net smoke (3-process loopback cluster)"
+./scripts/net_smoke.sh
+
 printf '\nci.sh: all checks passed\n'
