@@ -21,6 +21,12 @@
 //!   `LogIndex` / `Term`-like newtypes in `core`, `cluster`, `storage`.
 //!   Use the sanctioned wrappers (`next()`, `prev()`, `plus()`, `diff()`)
 //!   in `nbr-types::ids`, which centralize the overflow story.
+//! * **L5** — no blocking transport write (`write_all`, `write_frames`,
+//!   `flush`) while a `let`-bound `.lock()` guard is still in scope, in
+//!   `cluster` and `net`. The batched hot path coalesces frames *outside*
+//!   any shared lock; holding one across a socket write would let a slow
+//!   peer stall every thread contending for that lock. Guards released
+//!   with an explicit `drop(guard)` or a closed block are fine.
 //!
 //! A finding can be suppressed per line with a trailing
 //! `// check:allow(L1): justification` comment. The justification is
@@ -40,7 +46,7 @@ pub struct Violation {
     pub file: String,
     /// 1-based line number.
     pub line: usize,
-    /// Rule id (`L1`..`L4`, or `SUPPRESS` for malformed allow directives).
+    /// Rule id (`L1`..`L5`, or `SUPPRESS` for malformed allow directives).
     pub rule: &'static str,
     /// Human-readable description.
     pub msg: String,
@@ -57,11 +63,15 @@ const L1_SCOPE: &[&str] = &["core", "cluster", "storage", "net"];
 const L2_SCOPE: &[&str] = &["core", "cluster", "storage", "net"];
 const L3_SCOPE: &[&str] = &["core", "obs", "sim", "types", "net"];
 const L4_SCOPE: &[&str] = &["core", "cluster", "storage", "net"];
+const L5_SCOPE: &[&str] = &["cluster", "net"];
 
-const KNOWN_RULES: &[&str] = &["L1", "L2", "L3", "L4"];
+const KNOWN_RULES: &[&str] = &["L1", "L2", "L3", "L4", "L5"];
 
 /// Newtype field-name suffixes whose raw `.0` arithmetic L4 flags.
 const L4_SUFFIXES: &[&str] = &["index", "idx", "term"];
+
+/// Blocking transport-write calls L5 refuses under a held lock guard.
+const L5_WRITES: &[&str] = &[".write_all(", "write_frames(", ".flush()"];
 
 /// Lint every `.rs` file under `crates/*/src` below `root`.
 pub fn lint_workspace(root: &Path) -> Result<Vec<Violation>, String> {
@@ -126,6 +136,12 @@ pub fn lint_source(crate_name: &str, file: &str, text: &str) -> Vec<Violation> {
     let l2 = L2_SCOPE.contains(&crate_name);
     let l3 = L3_SCOPE.contains(&crate_name);
     let l4 = L4_SCOPE.contains(&crate_name);
+    let l5 = L5_SCOPE.contains(&crate_name);
+
+    // L5 tracks guard lifetimes across lines, so it runs as a pre-pass;
+    // findings land on the write line and honor that line's allows.
+    let l5_hits: Vec<(usize, String)> =
+        if l5 { lock_held_writes(&blanked_lines) } else { Vec::new() };
 
     let mut out = Vec::new();
     for (i, raw) in raw_lines.iter().enumerate() {
@@ -195,8 +211,85 @@ pub fn lint_source(crate_name: &str, file: &str, text: &str) -> Vec<Violation> {
                 );
             }
         }
+        for (_, guard) in l5_hits.iter().filter(|(at, _)| *at == i) {
+            push(
+                "L5",
+                format!(
+                    "blocking transport write while `.lock()` guard `{guard}` is live; drop the guard before I/O"
+                ),
+            );
+        }
     }
     out
+}
+
+/// L5 scanner: walk blanked source lines tracking `let`-bound `.lock()`
+/// guards by brace depth; report `(line index, guard name)` for every
+/// blocking write reached while at least one guard is still in scope. A
+/// guard dies when its binding block closes or an explicit `drop(guard)`
+/// runs. Single-expression locks (no `let`) drop at end of statement and
+/// are never tracked.
+fn lock_held_writes(blanked_lines: &[&str]) -> Vec<(usize, String)> {
+    let mut depth: i32 = 0;
+    let mut guards: Vec<(String, i32)> = Vec::new();
+    let mut out = Vec::new();
+    for (i, line) in blanked_lines.iter().enumerate() {
+        // Explicit early release.
+        if let Some(pos) = line.find("drop(") {
+            let arg = line[pos + "drop(".len()..]
+                .split(')')
+                .next()
+                .unwrap_or("")
+                .trim()
+                .trim_start_matches("&mut ")
+                .trim_start_matches('&');
+            guards.retain(|(g, _)| g != arg);
+        }
+        if !guards.is_empty() {
+            for pat in L5_WRITES {
+                if line.contains(pat) {
+                    if let Some((g, _)) = guards.last() {
+                        out.push((i, g.clone()));
+                    }
+                    break;
+                }
+            }
+        }
+        if line.contains(".lock()") {
+            if let Some(g) = let_binding_ident(line) {
+                guards.push((g, depth));
+            }
+        }
+        for ch in line.bytes() {
+            match ch {
+                b'{' => depth += 1,
+                b'}' => depth -= 1,
+                _ => {}
+            }
+        }
+        // A guard bound at depth d lives while the surrounding block does.
+        guards.retain(|&(_, d)| depth >= d);
+    }
+    out
+}
+
+/// Identifier bound by a `let [mut] <ident> = ...` (or `if/while let
+/// Ok(<ident>)`-style) line, if any.
+fn let_binding_ident(line: &str) -> Option<String> {
+    let at = line.find("let ")?;
+    let rest = line[at + 4..].trim_start();
+    // Peel pattern wrappers like `Ok(mut g)` / `Some(g)`.
+    let rest = match rest.split_once('(') {
+        Some((head, inner)) if head.chars().all(|c| c.is_alphanumeric() || c == '_') => inner,
+        _ => rest,
+    };
+    let rest = rest.trim_start().strip_prefix("mut ").unwrap_or(rest.trim_start());
+    let ident: String = rest.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+    if ident.is_empty() || ident == "_" {
+        None
+    } else {
+        Some(ident)
+    }
 }
 
 /// Replace comment and string-literal contents with spaces, preserving line
@@ -541,6 +634,29 @@ mod tests {
         assert!(rules("core", "let b = idx.0.to_be_bytes();").is_empty());
         assert!(rules("core", "let n = count.0 + 1;").is_empty(), "non-newtype suffix");
         assert!(rules("types", "Term(self.0 + 1)").is_empty(), "ids.rs hosts the wrappers");
+    }
+
+    #[test]
+    fn l5_flags_write_under_held_lock_guard() {
+        let src =
+            "fn f() {\n  let mut routes = self.routes.lock();\n  stream.write_all(&buf);\n}\n";
+        assert_eq!(rules("net", src), vec!["L5"]);
+        let helper = "fn f() {\n  let g = m.lock();\n  write_frames(sh, stream, &batch, buf);\n}\n";
+        assert_eq!(rules("cluster", helper), vec!["L5"]);
+    }
+
+    #[test]
+    fn l5_released_guard_is_clean() {
+        let dropped = "fn f() {\n  let g = m.lock();\n  drop(g);\n  stream.write_all(&buf);\n}\n";
+        assert!(rules("net", dropped).is_empty());
+        let scoped = "fn f() {\n  {\n    let g = m.lock();\n  }\n  stream.write_all(&buf);\n}\n";
+        assert!(rules("net", scoped).is_empty());
+        let no_guard = "fn f() {\n  stream.write_all(&buf);\n}\n";
+        assert!(rules("net", no_guard).is_empty());
+        let nonblocking = "fn f() {\n  let g = m.lock();\n  g.try_send(frame);\n}\n";
+        assert!(rules("net", nonblocking).is_empty(), "try_send is non-blocking");
+        let src = "fn f() {\n  let g = m.lock();\n  stream.write_all(&buf);\n}\n";
+        assert!(rules("core", src).is_empty(), "core is not in L5 scope");
     }
 
     #[test]

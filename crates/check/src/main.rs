@@ -4,8 +4,8 @@
 //!
 //! ```text
 //! nbr-check lint  [--root DIR]
-//! nbr-check model [--quick] [--windows 0,1,2] [--max-states N]
-//!                 [--min-states N] [--verbose]
+//! nbr-check model [--quick] [--windows 0,1,2] [--batches 1,2]
+//!                 [--max-states N] [--min-states N] [--verbose]
 //! ```
 //!
 //! Exit codes: `0` clean, `1` violations found, `2` usage error.
@@ -21,19 +21,22 @@ nbr-check — protocol lint + bounded model checker for NB-Raft
 
 USAGE:
     nbr-check lint  [--root DIR]
-    nbr-check model [--quick] [--windows W,W,...] [--max-states N]
-                    [--min-states N] [--verbose]
+    nbr-check model [--quick] [--windows W,W,...] [--batches B,B,...]
+                    [--max-states N] [--min-states N] [--verbose]
 
 LINT RULES (suppress per line with `// check:allow(Lx): justification`):
     L1  no unwrap()/expect()/panic! in core, cluster, storage
     L2  no wildcard `_ =>` match arms in core, cluster, storage
     L3  no Instant::now/SystemTime::now/thread::sleep in core, sim, types
     L4  no raw +/- on LogIndex/Term `.0` in core, cluster, storage
+    L5  no transport/socket write while holding a `.lock()` guard in
+        cluster, net (batching must release sync locks before I/O)
 
 MODEL: explores 3-node clusters + 1 client over window sizes 0..=2
-(0 = stock Raft) under bounded reorder/duplication/loss and one leader
-crash, asserting ElectionSafety, LogMatching, LeaderCompleteness,
-StateMachineSafety and the NB-1/NB-2/NB-3 window invariants.
+(0 = stock Raft) and append-batch caps 1..=2 (1 = unbatched) under
+bounded reorder/duplication/loss and one leader crash, asserting
+ElectionSafety, LogMatching, LeaderCompleteness, StateMachineSafety
+and the NB-1/NB-2/NB-3 window invariants.
 ";
 
 fn main() -> ExitCode {
@@ -113,9 +116,13 @@ fn run_model(args: &[String]) -> ExitCode {
                 cfg.verbose = verbose;
             }
             "--verbose" => cfg.verbose = true,
-            "--windows" => match it.next().map(|s| parse_windows(s)) {
+            "--windows" => match it.next().map(|s| parse_list(s)) {
                 Some(Ok(ws)) => cfg.windows = ws,
                 _ => return usage_error("--windows needs a comma-separated list like 0,1,2"),
+            },
+            "--batches" => match it.next().map(|s| parse_list(s)) {
+                Some(Ok(bs)) if bs.iter().all(|&b| b >= 1) => cfg.batches = bs,
+                _ => return usage_error("--batches needs a comma-separated list like 1,2"),
             },
             "--max-states" => match it.next().and_then(|s| s.parse().ok()) {
                 Some(n) => cfg.max_states_per_run = n,
@@ -134,16 +141,17 @@ fn run_model(args: &[String]) -> ExitCode {
                 "nbr-check model: {} distinct states, {} transitions, depth <= {}, {} run(s) capped",
                 report.distinct_states, report.transitions, report.max_depth, report.truncated_runs
             );
-            for (window, phase, states, exhausted) in &report.runs {
+            for (window, batch, phase, states, exhausted) in &report.runs {
                 println!(
-                    "  window={window} phase={phase:<13} states={states}{}",
+                    "  window={window} batch={batch} phase={phase:<13} states={states}{}",
                     if *exhausted { " (exhausted)" } else { " (capped)" }
                 );
             }
             let cov = report.coverage;
             println!(
-                "coverage: elections<={} commits<={} applies<={} weak_accepts<={} crashes={}",
-                cov.elections, cov.commits, cov.applies, cov.weak_accepts, cov.crashes
+                "coverage: elections<={} commits<={} applies<={} weak_accepts<={} crashes={} append_batch<={}",
+                cov.elections, cov.commits, cov.applies, cov.weak_accepts, cov.crashes,
+                cov.append_batch
             );
             if report.distinct_states < cfg.min_states_total {
                 println!(
@@ -157,6 +165,13 @@ fn run_model(args: &[String]) -> ExitCode {
                 println!(
                     "nbr-check model: FAILED vacuity check: no {} observed",
                     if cov.commits == 0 { "commit" } else { "WEAK_ACCEPT" }
+                );
+                return ExitCode::FAILURE;
+            }
+            if cfg.batches.iter().any(|&b| b > 1) && cov.append_batch < 2 {
+                println!(
+                    "nbr-check model: FAILED vacuity check: batched runs never \
+                     delivered a multi-entry AppendEntry"
                 );
                 return ExitCode::FAILURE;
             }
@@ -174,7 +189,7 @@ fn run_model(args: &[String]) -> ExitCode {
     }
 }
 
-fn parse_windows(s: &str) -> Result<Vec<usize>, ()> {
+fn parse_list(s: &str) -> Result<Vec<usize>, ()> {
     let ws: Result<Vec<usize>, _> = s.split(',').map(|p| p.trim().parse()).collect();
     match ws {
         Ok(v) if !v.is_empty() => Ok(v),

@@ -36,7 +36,12 @@
 //! 2, which generates all permutations over time), bounded duplication and
 //! loss, and at most one leader crash. Each window size `w ∈ {0, 1, 2}`
 //! runs three fault phases — `w = 0` is stock Raft, so the same properties
-//! double as a Raft conformance check. The report carries coverage counters
+//! double as a Raft conformance check. Every (window, phase) pair is
+//! additionally explored per append-batch cap `b ∈ {1, 2}`: each node's
+//! outbound Appends pass through [`nbr_core::coalesce_appends`] and, as in
+//! the replica loop's burst drain, may merge into the channel's newest
+//! still-queued frame — so multi-entry frames face the same reorder, dup,
+//! and loss adversary as singles. The report carries coverage counters
 //! (elections, commits, weak accepts, crashes observed) so a vacuous run is
 //! detectable.
 
@@ -119,6 +124,13 @@ pub fn standard_phases() -> Vec<Phase> {
 pub struct ModelConfig {
     /// Window sizes to explore (`0` = stock Raft).
     pub windows: Vec<usize>,
+    /// Append batch caps to explore (`1` = unbatched). Each cap coalesces a
+    /// node's outbound Appends through [`nbr_core::coalesce_appends`] and —
+    /// mirroring the replica loop's burst drain, where outputs of many
+    /// deliveries share one transport flush — merges new Appends into the
+    /// channel's newest still-queued frame, so batched frames face the same
+    /// adversarial reorder/dup/loss schedules as singles.
+    pub batches: Vec<usize>,
     /// Distinct-state cap per (window, phase) run.
     pub max_states_per_run: usize,
     /// Overall distinct-state floor; fewer explored states fails the check.
@@ -132,6 +144,7 @@ impl ModelConfig {
     pub fn full() -> ModelConfig {
         ModelConfig {
             windows: vec![0, 1, 2],
+            batches: vec![1, 2],
             max_states_per_run: 40_000,
             min_states_total: 10_000,
             verbose: false,
@@ -158,6 +171,9 @@ pub struct Coverage {
     pub weak_accepts: u16,
     /// Whether a leader crash was explored.
     pub crashes: bool,
+    /// Largest entry count in any in-flight `AppendEntry` — proves the
+    /// batched runs actually delivered multi-entry frames.
+    pub append_batch: u8,
 }
 
 impl Coverage {
@@ -167,6 +183,11 @@ impl Coverage {
         self.applies = self.applies.max(w.last_applied.iter().copied().max().unwrap_or(0));
         self.weak_accepts = self.weak_accepts.max(w.weak_seen);
         self.crashes |= w.crashed.iter().any(|&c| c);
+        for wire in &w.wires {
+            if let Wire::Node { msg: Message::AppendEntry(m), .. } = wire {
+                self.append_batch = self.append_batch.max(m.entries.len() as u8);
+            }
+        }
     }
 
     fn merge(&mut self, other: Coverage) {
@@ -175,6 +196,7 @@ impl Coverage {
         self.applies = self.applies.max(other.applies);
         self.weak_accepts = self.weak_accepts.max(other.weak_accepts);
         self.crashes |= other.crashes;
+        self.append_batch = self.append_batch.max(other.append_batch);
     }
 }
 
@@ -191,8 +213,8 @@ pub struct ModelReport {
     pub truncated_runs: usize,
     /// Aggregate coverage across all runs.
     pub coverage: Coverage,
-    /// Per-run summaries `(window, phase, states, exhausted)`.
-    pub runs: Vec<(usize, &'static str, usize, bool)>,
+    /// Per-run summaries `(window, batch, phase, states, exhausted)`.
+    pub runs: Vec<(usize, usize, &'static str, usize, bool)>,
 }
 
 /// A safety violation with the action trace that reaches it.
@@ -242,6 +264,9 @@ impl Wire {
 struct World {
     nodes: Vec<Node<MemLog>>,
     crashed: [bool; N],
+    /// Outbound Append coalescing cap applied to every node's outputs
+    /// (`1` = unbatched; constant over a run, so excluded from fingerprints).
+    batch: usize,
     client: RaftClient,
     wires: Vec<Wire>,
     now: Time,
@@ -280,7 +305,7 @@ fn entry_hash(e: &Entry) -> u64 {
 }
 
 impl World {
-    fn new(window: usize, phase: Phase) -> World {
+    fn new(window: usize, phase: Phase, batch: usize) -> World {
         let membership: Vec<NodeId> = (1..=N as u32).map(NodeId).collect();
         let cfg = Protocol::NbRaft.config(window);
         let nodes = (1..=N as u32)
@@ -293,6 +318,7 @@ impl World {
         World {
             nodes,
             crashed: [false; N],
+            batch,
             client,
             wires: Vec::new(),
             now: Time::ZERO,
@@ -337,11 +363,36 @@ impl World {
 
     /// Process engine outputs of node `n`, checking the output-triggered
     /// invariants as they appear.
-    fn absorb_outputs(&mut self, n: usize, outputs: Vec<Output>) -> Result<(), String> {
+    fn absorb_outputs(&mut self, n: usize, mut outputs: Vec<Output>) -> Result<(), String> {
+        // Batch outbound Appends exactly as the replica loop does before
+        // transport, so the checker exercises multi-entry frames under the
+        // same reorder/dup/loss adversary as singles (batch=1 is a no-op).
+        nbr_core::coalesce_appends(&mut outputs, self.batch);
         for out in outputs {
             match out {
                 Output::Send { to, msg } => {
-                    self.wires.push(Wire::Node { from: self.nodes[n].id(), to, msg });
+                    let from = self.nodes[n].id();
+                    // Cross-step coalescing: the replica loop drains a burst
+                    // of deliveries into one transport flush, so an Append
+                    // may still merge with the channel's *newest* queued
+                    // Append. Only the final queued message of a channel can
+                    // grow, so per-channel order is preserved.
+                    if self.batch > 1 {
+                        if let Message::AppendEntry(m) = &msg {
+                            let newest = self.wires.iter_mut().rev().find_map(|w| match w {
+                                Wire::Node { from: f, to: t, msg } if *f == from && *t == to => {
+                                    Some(msg)
+                                }
+                                Wire::Node { .. } | Wire::Req { .. } | Wire::Resp { .. } => None,
+                            });
+                            if let Some(Message::AppendEntry(prev)) = newest {
+                                if prev.merge(m, self.batch) {
+                                    continue;
+                                }
+                            }
+                        }
+                    }
+                    self.wires.push(Wire::Node { from, to, msg });
                 }
                 Output::Respond { resp, .. } => {
                     // NB-2: a Weak reply must be backed by a true majority of
@@ -601,9 +652,6 @@ impl World {
                 out.push((label, self.apply_timer(n, true)));
             }
         }
-        if self.ops_issued < self.budget.max_ops && self.client.ready() {
-            out.push(("client issues op".into(), self.apply_issue()));
-        }
         for n in 0..N {
             if !self.crashed[n] && self.nodes[n].role() != Role::Leader && self.budget.elections > 0
             {
@@ -611,10 +659,17 @@ impl World {
                 out.push((label, self.apply_timer(n, false)));
             }
         }
-        // Explored first: message delivery.
+        // Explored first: message delivery, then — ahead of everything —
+        // issuing the next client op. Issuing before draining the wires puts
+        // pipelined executions (several entries in flight, the regime where
+        // transport batching and the NB window actually matter) on the very
+        // first lineage instead of deep in sibling order.
         for &i in &deliverable {
             let label = format!("deliver {}", self.wires[i].label());
             out.push((label, self.apply_deliver(i, false)));
+        }
+        if self.ops_issued < self.budget.max_ops && self.client.ready() {
+            out.push(("client issues op".into(), self.apply_issue()));
         }
         out
     }
@@ -726,27 +781,29 @@ impl World {
 pub fn run(cfg: &ModelConfig) -> Result<ModelReport, Box<ModelViolation>> {
     let mut report = ModelReport::default();
     for &window in &cfg.windows {
-        for phase in standard_phases() {
-            let run = explore(window, phase, cfg)?;
-            report.distinct_states += run.states;
-            report.transitions += run.transitions;
-            report.max_depth = report.max_depth.max(run.max_depth);
-            if !run.exhausted {
-                report.truncated_runs += 1;
-            }
-            report.coverage.merge(run.coverage);
-            report.runs.push((window, phase.name, run.states, run.exhausted));
-            if cfg.verbose {
-                eprintln!(
-                    "  window={window} phase={:<13} states={} transitions={} depth<={} commits={} weak={}{}",
-                    phase.name,
-                    run.states,
-                    run.transitions,
-                    run.max_depth,
-                    run.coverage.commits,
-                    run.coverage.weak_accepts,
-                    if run.exhausted { "" } else { " (capped)" }
-                );
+        for &batch in &cfg.batches {
+            for phase in standard_phases() {
+                let run = explore(window, batch, phase, cfg)?;
+                report.distinct_states += run.states;
+                report.transitions += run.transitions;
+                report.max_depth = report.max_depth.max(run.max_depth);
+                if !run.exhausted {
+                    report.truncated_runs += 1;
+                }
+                report.coverage.merge(run.coverage);
+                report.runs.push((window, batch, phase.name, run.states, run.exhausted));
+                if cfg.verbose {
+                    eprintln!(
+                        "  window={window} batch={batch} phase={:<13} states={} transitions={} depth<={} commits={} weak={}{}",
+                        phase.name,
+                        run.states,
+                        run.transitions,
+                        run.max_depth,
+                        run.coverage.commits,
+                        run.coverage.weak_accepts,
+                        if run.exhausted { "" } else { " (capped)" }
+                    );
+                }
             }
         }
     }
@@ -764,10 +821,11 @@ struct RunStats {
 
 fn explore(
     window: usize,
+    batch: usize,
     phase: Phase,
     cfg: &ModelConfig,
 ) -> Result<RunStats, Box<ModelViolation>> {
-    let init = World::new(window, phase);
+    let init = World::new(window, phase, batch);
     let init_fp = init.fingerprint();
     let mut seen: HashSet<u64> = HashSet::new();
     let mut parents: HashMap<u64, (u64, String)> = HashMap::new();
@@ -802,7 +860,7 @@ fn explore(
                     trace.reverse();
                     return Err(Box::new(ModelViolation {
                         invariant,
-                        setting: format!("window={window} phase={}", phase.name),
+                        setting: format!("window={window} batch={batch} phase={}", phase.name),
                         trace,
                     }));
                 }
@@ -827,13 +885,14 @@ mod tests {
     fn fault_free_window1_is_clean() {
         let cfg = ModelConfig {
             windows: vec![1],
+            batches: vec![1],
             max_states_per_run: 1_500,
             min_states_total: 0,
             verbose: false,
         };
         // Only the first phase, to keep the unit test fast.
         let phase = standard_phases()[0];
-        let r = explore(1, phase, &cfg).expect("no safety violation in fault-free run");
+        let r = explore(1, 1, phase, &cfg).expect("no safety violation in fault-free run");
         assert!(r.states > 100, "explored only {} states", r.states);
         assert!(r.transitions > r.states);
         assert!(r.coverage.elections > 0, "model must at least elect a leader");
@@ -843,25 +902,46 @@ mod tests {
     fn window_zero_is_stock_raft_and_clean() {
         let cfg = ModelConfig {
             windows: vec![0],
+            batches: vec![1],
             max_states_per_run: 1_000,
             min_states_total: 0,
             verbose: false,
         };
         let phase = standard_phases()[0];
-        assert!(explore(0, phase, &cfg).is_ok());
+        assert!(explore(0, 1, phase, &cfg).is_ok());
+    }
+
+    #[test]
+    fn batched_appends_window1_is_clean() {
+        let cfg = ModelConfig {
+            windows: vec![1],
+            batches: vec![2],
+            max_states_per_run: 1_500,
+            min_states_total: 0,
+            verbose: false,
+        };
+        let phase = standard_phases()[0];
+        let r = explore(1, 2, phase, &cfg).expect("no safety violation with batched appends");
+        assert!(r.states > 100, "explored only {} states", r.states);
+        assert!(r.coverage.commits > 0, "batched run must still commit entries");
+        assert!(
+            r.coverage.append_batch >= 2,
+            "batched run never put a multi-entry Append on the wire (vacuous)"
+        );
     }
 
     #[test]
     fn exploration_is_deterministic() {
         let cfg = ModelConfig {
             windows: vec![1],
+            batches: vec![1],
             max_states_per_run: 400,
             min_states_total: 0,
             verbose: false,
         };
         let phase = standard_phases()[0];
-        let a = explore(1, phase, &cfg).expect("clean");
-        let b = explore(1, phase, &cfg).expect("clean");
+        let a = explore(1, 1, phase, &cfg).expect("clean");
+        let b = explore(1, 1, phase, &cfg).expect("clean");
         assert_eq!(a.states, b.states, "distinct-state counts must be reproducible");
         assert_eq!(a.transitions, b.transitions, "transition counts must be reproducible");
     }

@@ -392,15 +392,41 @@ fn cmd_serve(args: &Args) {
     }
 }
 
+/// Aggregated result of one closed-loop client drive.
+struct NetBenchRun {
+    ops: u64,
+    weak: u64,
+    elapsed: f64,
+    /// Commit (durable-confirmation) latency samples in nanoseconds:
+    /// request issue → cumulative `Confirmed` watermark covering it.
+    commit_lat_ns: Vec<u64>,
+}
+
+impl NetBenchRun {
+    fn throughput(&self) -> f64 {
+        self.ops as f64 / self.elapsed.max(1e-9)
+    }
+
+    /// Percentile over the commit-latency samples, in milliseconds.
+    fn commit_pctl_ms(&mut self, p: f64) -> f64 {
+        if self.commit_lat_ns.is_empty() {
+            return 0.0;
+        }
+        self.commit_lat_ns.sort_unstable();
+        let idx = ((self.commit_lat_ns.len() - 1) as f64 * p).round() as usize;
+        self.commit_lat_ns[idx] as f64 / 1e6
+    }
+}
+
 /// Drive `clients` closed-loop socket clients against `members` for
-/// `seconds`; returns (ops, weak_acked, elapsed_secs).
+/// `seconds`.
 fn drive_net_clients(
     cluster_id: u64,
     members: &[(u32, SocketAddr)],
     clients: usize,
     seconds: u64,
     payload: usize,
-) -> (u64, u64, f64) {
+) -> NetBenchRun {
     let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
     let started = std::time::Instant::now();
     let mut handles = Vec::new();
@@ -417,33 +443,57 @@ fn drive_net_clients(
             let mut ops = 0u64;
             let mut weak = 0u64;
             let mut i = 0u64;
+            // Issue instants of requests not yet covered by a Confirmed
+            // watermark. Confirmed{N} is cumulative (everything ≤ N is
+            // committed), so each watermark drains a whole prefix.
+            let mut pending: std::collections::BTreeMap<u64, std::time::Instant> =
+                std::collections::BTreeMap::new();
+            let mut lats: Vec<u64> = Vec::new();
+            let reap = |client: &mut NetClient,
+                        pending: &mut std::collections::BTreeMap<u64, std::time::Instant>,
+                        lats: &mut Vec<u64>| {
+                for r in client.take_confirmed() {
+                    let done = std::time::Instant::now();
+                    let covered: Vec<u64> = pending.range(..=r.0).map(|(&k, _)| k).collect();
+                    for k in covered {
+                        if let Some(at) = pending.remove(&k) {
+                            lats.push(done.duration_since(at).as_nanos() as u64);
+                        }
+                    }
+                }
+            };
             while !stop.load(std::sync::atomic::Ordering::Relaxed) {
                 i += 1;
                 let body = format!("t{t}.k{i}=");
                 let mut buf = Vec::with_capacity(body.len() + payload);
                 buf.extend_from_slice(body.as_bytes());
                 buf.resize(body.len() + payload, b'x');
-                if let Ok((_, w)) = client.submit(Bytes::from(buf), Duration::from_secs(5)) {
+                let issued = std::time::Instant::now();
+                if let Ok((id, w)) = client.submit(Bytes::from(buf), Duration::from_secs(5)) {
                     ops += 1;
                     if w {
                         weak += 1;
                     }
+                    pending.insert(id.0, issued);
                 }
+                reap(&mut client, &mut pending, &mut lats);
             }
             client.drain(Duration::from_secs(5));
-            (ops, weak)
+            reap(&mut client, &mut pending, &mut lats);
+            (ops, weak, lats)
         }));
     }
     std::thread::sleep(Duration::from_secs(seconds));
     stop.store(true, std::sync::atomic::Ordering::Relaxed);
-    let mut ops = 0u64;
-    let mut weak = 0u64;
+    let mut run = NetBenchRun { ops: 0, weak: 0, elapsed: 0.0, commit_lat_ns: Vec::new() };
     for h in handles {
-        let (o, w) = h.join().expect("client thread");
-        ops += o;
-        weak += w;
+        let (o, w, lats) = h.join().expect("client thread");
+        run.ops += o;
+        run.weak += w;
+        run.commit_lat_ns.extend(lats);
     }
-    (ops, weak, started.elapsed().as_secs_f64())
+    run.elapsed = started.elapsed().as_secs_f64();
+    run
 }
 
 /// One self-hosted `bench-net` run's knobs (everything but the window,
@@ -461,8 +511,8 @@ struct BenchNet {
 }
 
 /// Spawn a self-hosted loopback TCP cluster and drive it with closed-loop
-/// socket clients; returns (ops, weak_acked, elapsed_secs).
-fn bench_net_once(b: BenchNet, window: usize) -> (u64, u64, f64) {
+/// socket clients.
+fn bench_net_once(b: BenchNet, window: usize) -> NetBenchRun {
     const CLUSTER_ID: u64 = 1;
     // Bind all listeners first so the OS hands out conflict-free ports,
     // then exchange addresses — same trick as the loopback tests.
@@ -510,10 +560,9 @@ fn bench_net_once(b: BenchNet, window: usize) -> (u64, u64, f64) {
         std::thread::sleep(Duration::from_millis(10));
     }
 
-    let (ops, weak, elapsed) =
-        drive_net_clients(CLUSTER_ID, &members, b.clients, b.seconds, b.payload);
+    let run = drive_net_clients(CLUSTER_ID, &members, b.clients, b.seconds, b.payload);
     drop(servers);
-    (ops, weak, elapsed)
+    run
 }
 
 fn cmd_bench_net(args: &Args) {
@@ -523,15 +572,17 @@ fn cmd_bench_net(args: &Args) {
     let payload = args.get("payload", 256usize);
     let window = args.get("window", 10_000usize);
     // Loopback TCP is in-order and lossless, so followers never block on a
-    // log gap and weak acks buy nothing over strong ones. A jittered RTT,
-    // several lanes per peer and a little frame loss reproduce the
-    // imperfect multi-dispatcher network of the paper's IoT setting — the
-    // regime the window exists for: a lost entry stalls stock Raft's
-    // in-order pipeline for whole heartbeat-repair rounds, while window>=4
-    // keeps weak-accepting around the gap. Pass --rtt-ms 0 --lanes 1
+    // log gap and weak acks buy nothing over strong ones. A jittered RTT
+    // and a little frame loss reproduce the imperfect network of the
+    // paper's IoT setting — the regime the window exists for: a lost entry
+    // stalls stock Raft's in-order pipeline for whole heartbeat-repair
+    // rounds, while window>=4 keeps weak-accepting around the gap. The
+    // default single lane per peer matches the transport default (batched
+    // frames make one FIFO connection the right shape); pass --lanes N to
+    // add the paper's multi-dispatcher reordering on top, or --rtt-ms 0
     // --loss-pct 0 for raw loopback numbers.
     let rtt_ms = args.get("rtt-ms", 10u64);
-    let lanes = args.get("lanes", 4usize);
+    let lanes = args.get("lanes", 1usize);
     let loss_pct = args.get("loss-pct", 2.0f64);
     let protocol = args.protocol();
     if let Some(list) = args.values.get("peers") {
@@ -541,14 +592,8 @@ fn cmd_bench_net(args: &Args) {
         println!(
             "bench-net: external cluster {list}, {clients} clients, {seconds}s, {payload}B payloads"
         );
-        let (ops, weak, elapsed) =
-            drive_net_clients(cluster_id, &members, clients, seconds, payload);
-        println!("throughput    {:>12.0} ops/s", ops as f64 / elapsed);
-        println!("ops           {ops:>12}");
-        println!(
-            "weak-acked    {weak:>12} ({:.1}% of acks)",
-            if ops == 0 { 0.0 } else { 100.0 * weak as f64 / ops as f64 }
-        );
+        let mut run = drive_net_clients(cluster_id, &members, clients, seconds, payload);
+        print_bench_net_run(&mut run);
         return;
     }
     if args.has("compare") {
@@ -558,11 +603,19 @@ fn cmd_bench_net(args: &Args) {
              {loss_pct}% loss"
         );
         let b = BenchNet { replicas, clients, seconds, payload, protocol, rtt_ms, lanes, loss_pct };
-        let (o0, w0, e0) = bench_net_once(b, 0);
-        let (ow, ww, ew) = bench_net_once(b, window);
-        let (t0, tw) = (o0 as f64 / e0, ow as f64 / ew);
-        println!("window=0        {t0:>10.0} ops/s   ({w0} weak-acked)");
-        println!("window={window:<7} {tw:>10.0} ops/s   ({ww} weak-acked)");
+        let mut r0 = bench_net_once(b, 0);
+        let mut rw = bench_net_once(b, window);
+        let (t0, tw) = (r0.throughput(), rw.throughput());
+        let (p50_0, p99_0) = (r0.commit_pctl_ms(0.50), r0.commit_pctl_ms(0.99));
+        let (p50_w, p99_w) = (rw.commit_pctl_ms(0.50), rw.commit_pctl_ms(0.99));
+        println!(
+            "window=0        {t0:>10.0} ops/s   ({} weak-acked)  commit p50 {p50_0:.1}ms p99 {p99_0:.1}ms",
+            r0.weak,
+        );
+        println!(
+            "window={window:<7} {tw:>10.0} ops/s   ({} weak-acked)  commit p50 {p50_w:.1}ms p99 {p99_w:.1}ms",
+            rw.weak,
+        );
         println!(
             "speedup {:.2}x — {}",
             tw / t0.max(1e-9),
@@ -580,12 +633,23 @@ fn cmd_bench_net(args: &Args) {
          {loss_pct}% loss"
     );
     let b = BenchNet { replicas, clients, seconds, payload, protocol, rtt_ms, lanes, loss_pct };
-    let (ops, weak, elapsed) = bench_net_once(b, window);
-    println!("throughput    {:>12.0} ops/s", ops as f64 / elapsed);
-    println!("ops           {ops:>12}");
+    let mut run = bench_net_once(b, window);
+    print_bench_net_run(&mut run);
+}
+
+/// Shared result block for the self-host and `--peers` bench-net modes.
+fn print_bench_net_run(run: &mut NetBenchRun) {
+    println!("throughput    {:>12.0} ops/s", run.throughput());
+    println!("ops           {:>12}", run.ops);
     println!(
-        "weak-acked    {weak:>12} ({:.1}% of acks)",
-        if ops == 0 { 0.0 } else { 100.0 * weak as f64 / ops as f64 }
+        "weak-acked    {:>12} ({:.1}% of acks)",
+        run.weak,
+        if run.ops == 0 { 0.0 } else { 100.0 * run.weak as f64 / run.ops as f64 }
+    );
+    println!(
+        "commit p50    {:>12.1} ms\ncommit p99    {:>12.1} ms",
+        run.commit_pctl_ms(0.50),
+        run.commit_pctl_ms(0.99)
     );
 }
 

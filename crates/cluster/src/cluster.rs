@@ -495,6 +495,7 @@ fn spawn_replica<M: StateMachine + Send + Default + 'static>(
             });
             let mut last_hs = node.as_ref().map(|n| n.hard_state());
             let mut outputs: Vec<Output> = Vec::new();
+            let mut burst: Vec<Packet> = Vec::new();
 
             loop {
                 // Control commands.
@@ -565,15 +566,29 @@ fn spawn_replica<M: StateMachine + Send + Default + 'static>(
                         }
                     };
                     if let Ok(p) = packet {
-                        handle(p, n, &mut outputs);
+                        burst.push(p);
                         for _ in 0..255 {
                             match inbox.try_recv() {
-                                Ok(p) => handle(p, n, &mut outputs),
+                                Ok(p) => burst.push(p),
                                 Err(_) => break,
                             }
                         }
+                        // Strong accepts are cumulative (the engine counts
+                        // every index ≤ last_index), so within one burst only
+                        // a peer's furthest Strong response per term matters —
+                        // drop the superseded ones before paying a full
+                        // handle_message pass for each.
+                        compress_strong_resps(&mut burst);
+                        for p in burst.drain(..) {
+                            handle(p, n, &mut outputs);
+                        }
                     }
                     n.tick(now, &mut outputs);
+                    // Merge same-peer contiguous appends into batched frames
+                    // before they hit the transport. One burst of client
+                    // requests becomes a handful of multi-entry Appends per
+                    // follower instead of hundreds of single-entry frames.
+                    nbr_core::coalesce_appends(&mut outputs, MAX_APPEND_BATCH);
 
                     // Persist hard state before acting on outputs.
                     let hs = n.hard_state();
@@ -676,6 +691,41 @@ fn spawn_replica<M: StateMachine + Send + Default + 'static>(
             }
         })
         .expect("spawn replica thread") // check:allow(L1): harness startup; a cluster without its replica threads is useless
+}
+
+/// Drop Strong `AppendResp`s that a later response in the same inbound burst
+/// supersedes: same peer, same term, and the later response's `last_index`
+/// is at least as far. [`nbr_core::VoteList::strong_accept`] counts every
+/// index up to `last_index`, so handling only the furthest response is
+/// semantically identical. Weak and Mismatch responses are never touched.
+fn compress_strong_resps(burst: &mut Vec<Packet>) {
+    // (peer, term) → furthest last_index of a LATER kept Strong response.
+    let mut kept: HashMap<(u32, u64), u64> = HashMap::new();
+    let mut drop = vec![false; burst.len()];
+    let mut any = false;
+    for i in (0..burst.len()).rev() {
+        if let Packet::Peer { from, msg: Message::AppendResp(r) } = &burst[i] {
+            if let AcceptState::Strong { last_index, .. } = r.state {
+                match kept.get(&(from.0, r.term.0)) {
+                    Some(&li) if last_index.0 <= li => {
+                        drop[i] = true;
+                        any = true;
+                    }
+                    Some(_) | None => {
+                        kept.insert((from.0, r.term.0), last_index.0);
+                    }
+                }
+            }
+        }
+    }
+    if any {
+        let mut i = 0;
+        burst.retain(|_| {
+            let d = drop[i];
+            i += 1;
+            !d
+        });
+    }
 }
 
 /// A synchronous client bound to one cluster.

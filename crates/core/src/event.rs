@@ -81,3 +81,156 @@ impl Output {
         }
     }
 }
+
+/// Coalesce same-peer `Append` sends in an output buffer into batched
+/// messages, in place.
+///
+/// Two appends to the same peer merge when [`nbr_types::AppendEntryMsg::merge`]
+/// allows it: same term and leader, no verification or relay fan-out, the
+/// runs are contiguous, and the merged batch stays within
+/// `max_batch.min(MAX_APPEND_BATCH)`. A non-append send to a peer closes
+/// that peer's open batch, so per-peer message order is preserved exactly;
+/// outputs that go elsewhere (client responses, applies) impose no ordering
+/// against peer traffic and are left where they are. Delivering the
+/// coalesced buffer is semantically identical to delivering the original —
+/// a follower absorbs a batch entry-by-entry — so callers (replica loop,
+/// leader repair, model checker) can apply this at any output boundary.
+pub fn coalesce_appends(outputs: &mut Vec<Output>, max_batch: usize) {
+    if max_batch <= 1 {
+        return;
+    }
+    let mut coalesced: Vec<Output> = Vec::with_capacity(outputs.len());
+    // Per-peer position of the still-open (mergeable) append in `coalesced`.
+    let mut open: std::collections::HashMap<NodeId, usize> = std::collections::HashMap::new();
+    for o in outputs.drain(..) {
+        match o {
+            Output::Send { to, msg: Message::AppendEntry(m) } => {
+                if let Some(&at) = open.get(&to) {
+                    if let Output::Send { msg: Message::AppendEntry(prev), .. } = &mut coalesced[at]
+                    {
+                        if prev.merge(&m, max_batch) {
+                            continue;
+                        }
+                    }
+                }
+                open.insert(to, coalesced.len());
+                coalesced.push(Output::Send { to, msg: Message::AppendEntry(m) });
+            }
+            Output::Send { to, msg } => {
+                open.remove(&to);
+                coalesced.push(Output::Send { to, msg });
+            }
+            other => coalesced.push(other),
+        }
+    }
+    *outputs = coalesced;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbr_types::message::{AppendEntryMsg, HeartbeatMsg, MAX_APPEND_BATCH};
+    use nbr_types::Payload;
+
+    fn entry(i: u64) -> Entry {
+        Entry {
+            index: LogIndex(i),
+            term: Term(1),
+            prev_term: Term(if i == 1 { 0 } else { 1 }),
+            origin: None,
+            payload: Payload::Data(Bytes::from(format!("e{i}"))),
+        }
+    }
+
+    fn send(to: u32, entries: Vec<Entry>) -> Output {
+        Output::Send {
+            to: NodeId(to),
+            msg: Message::AppendEntry(AppendEntryMsg {
+                term: Term(1),
+                leader: NodeId(0),
+                entries,
+                leader_commit: LogIndex(0),
+                verification: None,
+                relay_to: vec![],
+            }),
+        }
+    }
+
+    #[test]
+    fn interleaved_peers_coalesce_independently() {
+        // The leader's natural output order: entry 1 to peers 1,2 then
+        // entry 2 to peers 1,2 — coalesces to one batch per peer.
+        let mut out = vec![
+            send(1, vec![entry(1)]),
+            send(2, vec![entry(1)]),
+            send(1, vec![entry(2)]),
+            send(2, vec![entry(2)]),
+        ];
+        coalesce_appends(&mut out, MAX_APPEND_BATCH);
+        assert_eq!(out.len(), 2);
+        for o in &out {
+            let Output::Send { msg: Message::AppendEntry(m), .. } = o else {
+                panic!("expected append");
+            };
+            assert_eq!(m.entries.len(), 2);
+        }
+    }
+
+    #[test]
+    fn non_append_send_closes_the_batch() {
+        let hb = Message::Heartbeat(HeartbeatMsg {
+            term: Term(1),
+            leader: NodeId(0),
+            last_index: LogIndex(1),
+            last_term: Term(1),
+            leader_commit: LogIndex(0),
+        });
+        let mut out = vec![
+            send(1, vec![entry(1)]),
+            Output::Send { to: NodeId(1), msg: hb.clone() },
+            send(1, vec![entry(2)]),
+        ];
+        coalesce_appends(&mut out, MAX_APPEND_BATCH);
+        // Order to peer 1 must be preserved: append(1), heartbeat, append(2).
+        assert_eq!(out.len(), 3);
+        let Output::Send { msg: Message::AppendEntry(first), .. } = &out[0] else {
+            panic!("expected append first");
+        };
+        assert_eq!(first.entries.len(), 1);
+
+        // A heartbeat to a DIFFERENT peer does not interrupt the batch.
+        let mut out = vec![
+            send(1, vec![entry(1)]),
+            Output::Send { to: NodeId(2), msg: hb },
+            send(1, vec![entry(2)]),
+        ];
+        coalesce_appends(&mut out, MAX_APPEND_BATCH);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn batch_cap_splits_runs() {
+        let mut out: Vec<Output> = (1..=5).map(|i| send(1, vec![entry(i)])).collect();
+        coalesce_appends(&mut out, 2);
+        let sizes: Vec<usize> = out
+            .iter()
+            .map(|o| match o {
+                Output::Send { msg: Message::AppendEntry(m), .. } => m.entries.len(),
+                _ => panic!("expected append"),
+            })
+            .collect();
+        assert_eq!(sizes, vec![2, 2, 1]);
+
+        // max_batch <= 1 disables coalescing entirely.
+        let mut out: Vec<Output> = (1..=3).map(|i| send(1, vec![entry(i)])).collect();
+        coalesce_appends(&mut out, 1);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn gaps_do_not_merge() {
+        let mut out = vec![send(1, vec![entry(1)]), send(1, vec![entry(3)])];
+        coalesce_appends(&mut out, MAX_APPEND_BATCH);
+        assert_eq!(out.len(), 2, "non-contiguous appends must stay separate");
+    }
+}

@@ -42,7 +42,7 @@ pub mod votelist;
 pub mod window;
 
 pub use client::{ClientAction, RaftClient};
-pub use event::Output;
+pub use event::{coalesce_appends, Output};
 pub use nbr_obs::{NoProbe, Probe, ProbeEvent};
 pub use node::{Node, NodeStats, Role};
 pub use votelist::{VoteList, VoteOutcome, VoteTuple};

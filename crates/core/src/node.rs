@@ -35,7 +35,10 @@ const CLUSTER_SECRET: &[u8] = b"nbraft-reproduction-cluster";
 /// the follower answers `Mismatch` to push back on the leader.
 const MAX_PARKED: usize = 65_536;
 
-/// Entries resent per catch-up round when a follower lags.
+/// Entries resent per catch-up round when a follower lags. One round fits
+/// a single batched Append frame; larger rounds measurably hurt under
+/// loss, because overlapping repair triggers (heartbeat responses and
+/// Mismatch pushback) then ship mostly-duplicate suffixes.
 const CATCHUP_BATCH: usize = 64;
 
 /// Consecutive unchanged heartbeat responses before the leader re-sends.
@@ -140,6 +143,21 @@ impl Progress {
     }
 }
 
+/// Follower gap-hint damping state: a window-cached entry proves the log
+/// has a gap starting at `start`. The repair hint is sent at most once per
+/// distinct gap start, and only once the gap has *persisted* for a quarter
+/// heartbeat interval — transient dispatcher reorder fills gaps on its own
+/// within network-jitter timescales, and hinting on every momentary gap
+/// amplifies repair traffic (duplicate catch-up rounds) instead of cutting
+/// latency. A persistent gap means a lost frame, which otherwise waits
+/// multiple heartbeat rounds for the leader's stall detector.
+#[derive(Clone, Copy, Debug)]
+struct GapHint {
+    start: LogIndex,
+    since: Time,
+    sent: bool,
+}
+
 /// The replica engine. Generic over log storage so the simulator can use
 /// [`nbr_storage::MemLog`] and the cluster runtime [`nbr_storage::WalLog`],
 /// and over an observability [`Probe`] — the default [`NoProbe`] compiles
@@ -171,6 +189,12 @@ pub struct Node<L: LogStore, P: Probe = NoProbe> {
     parked: BTreeMap<LogIndex, (Entry, Time)>,
     /// Arrival times of window-cached entries, for `t_wait` accounting.
     arrivals: BTreeMap<LogIndex, Time>,
+    /// Follower gap-repair hint state: caching an out-of-order entry
+    /// reveals a gap at the log tip, and one `Mismatch` per distinct
+    /// persistent gap start lets the leader re-send within a round trip
+    /// instead of waiting out the heartbeat stall detector. Cleared
+    /// whenever the log advances.
+    gap_hint: Option<GapHint>,
     election_deadline: Time,
 
     // ---- candidate state ----
@@ -270,6 +294,7 @@ impl<L: LogStore, P: Probe> Node<L, P> {
             applied_index: LogIndex::ZERO,
             parked: BTreeMap::new(),
             arrivals: BTreeMap::new(),
+            gap_hint: None,
             election_deadline,
             votes: 0,
             vote_list: VoteList::new(quorum),
@@ -786,14 +811,15 @@ impl<L: LogStore, P: Probe> Node<L, P> {
 
     fn append_msg(
         &self,
-        entry: Entry,
+        entries: Vec<Entry>,
         verification: Option<Verification>,
         relay_to: Vec<NodeId>,
     ) -> Message {
+        debug_assert!(!entries.is_empty());
         Message::AppendEntry(AppendEntryMsg {
             term: self.term,
             leader: self.id,
-            entry,
+            entries,
             leader_commit: self.commit_index,
             verification,
             relay_to,
@@ -805,7 +831,7 @@ impl<L: LogStore, P: Probe> Node<L, P> {
         for peer in self.peers().collect::<Vec<_>>() {
             out.push(Output::Send {
                 to: peer,
-                msg: self.append_msg(entry.clone(), verification.clone(), Vec::new()),
+                msg: self.append_msg(vec![entry.clone()], verification.clone(), Vec::new()),
             });
         }
     }
@@ -826,7 +852,10 @@ impl<L: LogStore, P: Probe> Node<L, P> {
                 .filter(|&(j, _)| j % bucket.len() == i)
                 .map(|(_, &n)| n)
                 .collect();
-            out.push(Output::Send { to: b, msg: self.append_msg(entry.clone(), None, targets) });
+            out.push(Output::Send {
+                to: b,
+                msg: self.append_msg(vec![entry.clone()], None, targets),
+            });
         }
     }
 
@@ -874,7 +903,7 @@ impl<L: LogStore, P: Probe> Node<L, P> {
             };
             out.push(Output::Send {
                 to: member,
-                msg: self.append_msg(frag_entry, None, Vec::new()),
+                msg: self.append_msg(vec![frag_entry], None, Vec::new()),
             });
         }
         // Dead members of the original membership get nothing until they
@@ -928,11 +957,16 @@ impl<L: LogStore, P: Probe> Node<L, P> {
         // receives E2. It is blocked because E1 does not arrive. When the
         // timeout ends, an election starts." Heartbeats always reset.
 
-        // VGRaft: verify when we are in the verification group.
+        // VGRaft: verify when we are in the verification group. Verified
+        // messages carry exactly one entry (the decoder enforces this for
+        // remote peers; in-process producers never batch them).
         if let Some(v) = &m.verification {
+            let [entry] = &m.entries[..] else {
+                return; // protocol violation: drop
+            };
             if self.cfg.verify && v.group.contains(&self.id) {
                 self.stats.verifications += 1;
-                let digest = verification_digest(&m.entry);
+                let digest = verification_digest(entry);
                 let leader_pos = self.position_of(m.leader) as u32;
                 let ok = digest == v.digest
                     && self.keys.verify(leader_pos, &digest, &Signature(v.signature));
@@ -942,7 +976,7 @@ impl<L: LogStore, P: Probe> Node<L, P> {
             }
         }
 
-        // KRaft relay duty.
+        // KRaft relay duty: forward the whole batch onward.
         if !m.relay_to.is_empty() {
             let targets = m.relay_to.clone();
             let mut fwd = m.clone();
@@ -954,8 +988,15 @@ impl<L: LogStore, P: Probe> Node<L, P> {
 
         let leader = m.leader;
         let before = self.log.last_index();
-        self.emit(ProbeEvent::EntryReceived { index: m.entry.index, term: m.entry.term });
-        self.accept_entry(m.entry, leader, now, out);
+        // Accept the run entry-by-entry: a batch is *defined* as equivalent
+        // to its entries arriving back-to-back, so window and VoteList
+        // semantics carry over unchanged from the single-entry protocol.
+        let resp_from = out.len();
+        for entry in m.entries {
+            self.emit(ProbeEvent::EntryReceived { index: entry.index, term: entry.term });
+            self.accept_entry(entry, leader, now, out);
+        }
+        self.dedup_strong_responses(out, resp_from, leader);
         if self.log.last_index() != before {
             // Progress: the leader is alive and feeding us appendable data.
             self.election_deadline = now + jitter(&mut self.rng, self.cfg.timeouts);
@@ -967,6 +1008,41 @@ impl<L: LogStore, P: Probe> Node<L, P> {
             });
         }
         self.advance_commit(m.leader_commit, out);
+    }
+
+    /// Batch response compression: STRONG_ACCEPT is cumulative (it reports
+    /// the follower's log tail), so of the Strong responses produced while
+    /// absorbing one batch only the last is informative — drop the rest.
+    /// Weak and Mismatch responses are per-index and are all kept.
+    fn dedup_strong_responses(&self, out: &mut Vec<Output>, from: usize, leader: NodeId) {
+        let is_strong = |o: &Output| {
+            matches!(
+                o,
+                Output::Send {
+                    to,
+                    msg: Message::AppendResp(AppendRespMsg {
+                        state: AcceptState::Strong { .. },
+                        ..
+                    }),
+                } if *to == leader
+            )
+        };
+        let total = out[from..].iter().filter(|o| is_strong(o)).count();
+        if total <= 1 {
+            return;
+        }
+        let mut pos = 0usize;
+        let mut seen = 0usize;
+        out.retain(|o| {
+            let keep = if pos >= from && is_strong(o) {
+                seen += 1;
+                seen == total
+            } else {
+                true
+            };
+            pos += 1;
+            keep
+        });
     }
 
     /// Core follower acceptance logic (Section III-A).
@@ -1061,6 +1137,30 @@ impl<L: LogStore, P: Probe> Node<L, P> {
                         state: AcceptState::Weak { index, term },
                     }),
                 });
+                // A cached entry proves everything from our log tip up to
+                // it is missing. If the same gap persists across cached
+                // arrivals for a quarter heartbeat interval it is a lost
+                // frame, not in-flight reorder: ask for the repair now
+                // rather than letting the leader's stall detector notice
+                // whole heartbeat rounds later — the strong-accept
+                // watermark is frozen until the gap fills. Damped to one
+                // hint per distinct gap start so a burst of cached
+                // entries (or retries) cannot fan out into duplicate
+                // repair rounds; see [`GapHint`].
+                let missing = self.log.last_index().next();
+                let hint = match self.gap_hint {
+                    Some(h) if h.start == missing => h,
+                    Some(_) | None => {
+                        let h = GapHint { start: missing, since: now, sent: false };
+                        self.gap_hint = Some(h);
+                        h
+                    }
+                };
+                let patience = self.cfg.timeouts.heartbeat_interval.as_nanos() / 4;
+                if !hint.sent && (now - hint.since).as_nanos() >= patience {
+                    self.gap_hint = Some(GapHint { sent: true, ..hint });
+                    self.respond_mismatch(leader, index, missing, out);
+                }
             }
             WindowOutcome::Mismatch => {
                 // diff == 1 but the previous-entry check failed: our last
@@ -1088,6 +1188,8 @@ impl<L: LogStore, P: Probe> Node<L, P> {
     }
 
     fn respond_strong(&mut self, leader: NodeId, out: &mut Vec<Output>) {
+        // The log advanced, so any hinted gap start is stale.
+        self.gap_hint = None;
         self.stats.strong_accepts += 1;
         self.emit(ProbeEvent::StrongAccepted { last_index: self.log.last_index() });
         out.push(Output::Send {
@@ -1320,20 +1422,28 @@ impl<L: LogStore, P: Probe> Node<L, P> {
         }
         let mut sent = 0usize;
         let mut idx = start;
+        // Collect per-entry messages, then coalesce contiguous unverified
+        // runs into batched frames — catch-up is where batching pays most,
+        // since the whole suffix is ready to ship at once.
+        let mut repairs: Vec<Output> = Vec::new();
         while idx <= last && sent < CATCHUP_BATCH {
             if let Some(entry) = self.log.get(idx) {
                 if let Some(msg) = self.repair_message_for(follower, entry) {
-                    out.push(Output::Send { to: follower, msg });
+                    repairs.push(Output::Send { to: follower, msg });
                     sent += 1;
                 } else {
                     // Fragment entry we cannot materialize yet: pull shards
                     // first, repair resumes when they arrive.
+                    crate::event::coalesce_appends(&mut repairs, MAX_APPEND_BATCH);
+                    out.append(&mut repairs);
                     self.request_fragments(idx, out);
-                    break;
+                    return;
                 }
             }
             idx = idx.next();
         }
+        crate::event::coalesce_appends(&mut repairs, MAX_APPEND_BATCH);
+        out.append(&mut repairs);
     }
 
     /// Build the repair AppendEntry for one log entry, honouring the
@@ -1364,7 +1474,7 @@ impl<L: LogStore, P: Probe> Node<L, P> {
             (_, _, None) => entry,
         };
         let verification = self.make_verification(&send_entry);
-        Some(self.append_msg(send_entry, verification, Vec::new()))
+        Some(self.append_msg(vec![send_entry], verification, Vec::new()))
     }
 
     // ------------------------------------------------------- heartbeats

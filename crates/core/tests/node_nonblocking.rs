@@ -99,7 +99,7 @@ fn weak_accept_needs_reception_quorum() {
                                        // Deliver ONLY the second entry (index 3) to follower 1 → cached, weak.
     let appends = c.find_pending(|m| {
         if let Message::AppendEntry(a) = &m.msg {
-            m.to == NodeId(1) && a.entry.index == LogIndex(3)
+            m.to == NodeId(1) && a.entries.iter().any(|e| e.index == LogIndex(3))
         } else {
             false
         }
@@ -158,7 +158,7 @@ fn weakly_accepted_entries_lost_on_leader_failure() {
     for to in [1u32, 2] {
         let last_append = c.find_pending(|m| {
             if let Message::AppendEntry(a) = &m.msg {
-                m.to == NodeId(to) && a.entry.index == LogIndex(4)
+                m.to == NodeId(to) && a.entries.iter().any(|e| e.index == LogIndex(4))
             } else {
                 false
             }
@@ -220,7 +220,7 @@ fn window_discards_old_leader_entries_on_new_term() {
     for idx_val in [3u64, 4] {
         let pos = c.find_pending(|m| {
             if let Message::AppendEntry(a) = &m.msg {
-                m.to == NodeId(2) && a.entry.index == LogIndex(idx_val)
+                m.to == NodeId(2) && a.entries.iter().any(|e| e.index == LogIndex(idx_val))
             } else {
                 false
             }

@@ -213,8 +213,8 @@ fn vgraft_rejects_tampered_entries() {
     // Tamper with the payload of every in-flight append without re-signing.
     for m in c.pending.iter_mut() {
         if let Message::AppendEntry(a) = &mut m.msg {
-            if a.entry.origin.is_some() {
-                a.entry.payload = Payload::Data(bytes::Bytes::from_static(b"tampered!"));
+            if a.entries[0].origin.is_some() {
+                a.entries[0].payload = Payload::Data(bytes::Bytes::from_static(b"tampered!"));
             }
         }
     }

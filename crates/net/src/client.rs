@@ -38,6 +38,9 @@ pub struct NetClient {
     resp_rx: Receiver<ClientResponse>,
     epoch: Instant,
     max_frame: usize,
+    /// Durable-confirmation watermarks observed since the last
+    /// [`NetClient::take_confirmed`] call.
+    confirmed: Vec<RequestId>,
 }
 
 impl NetClient {
@@ -61,6 +64,7 @@ impl NetClient {
             resp_rx,
             epoch: clock::now(),
             max_frame: 16 << 20,
+            confirmed: Vec::new(),
         }
     }
 
@@ -77,6 +81,14 @@ impl NetClient {
     /// Requests weakly accepted but not yet durably confirmed.
     pub fn op_list_len(&self) -> usize {
         self.inner.op_list_len()
+    }
+
+    /// Take the durable-confirmation watermarks that arrived since the last
+    /// call. Each returned id is *cumulative*: `Confirmed{N}` means every
+    /// request of this client with id ≤ N is committed — callers measuring
+    /// commit latency must drain everything at or below it.
+    pub fn take_confirmed(&mut self) -> Vec<RequestId> {
+        std::mem::take(&mut self.confirmed)
     }
 
     fn now(&self) -> Time {
@@ -131,7 +143,6 @@ impl NetClient {
         &mut self,
         actions: Vec<nbr_core::ClientAction>,
         acked: &mut Option<(RequestId, bool)>,
-        confirmed: &mut Vec<RequestId>,
     ) {
         for a in actions {
             match a {
@@ -150,7 +161,7 @@ impl NetClient {
                 nbr_core::ClientAction::Acked { request, weak, .. } => {
                     *acked = Some((request, weak));
                 }
-                nbr_core::ClientAction::Confirmed { request } => confirmed.push(request),
+                nbr_core::ClientAction::Confirmed { request } => self.confirmed.push(request),
             }
         }
     }
@@ -178,11 +189,10 @@ impl NetClient {
     ) -> Result<(RequestId, bool)> {
         let deadline = clock::now() + timeout;
         let mut acked = None;
-        let mut confirmed = Vec::new();
         let mut actions = Vec::new();
         let now = self.now();
         let id = self.inner.issue(payload, now, &mut actions);
-        self.dispatch(actions, &mut acked, &mut confirmed);
+        self.dispatch(actions, &mut acked);
         while clock::now() < deadline {
             if let Some((r, weak)) = acked {
                 if r >= id {
@@ -191,7 +201,7 @@ impl NetClient {
             }
             let mut actions = Vec::new();
             self.step(&mut actions);
-            self.dispatch(actions, &mut acked, &mut confirmed);
+            self.dispatch(actions, &mut acked);
         }
         Err(Error::Cluster(format!("request {id} timed out")))
     }
@@ -207,8 +217,7 @@ impl NetClient {
             let mut actions = Vec::new();
             self.step(&mut actions);
             let mut acked = None;
-            let mut confirmed = Vec::new();
-            self.dispatch(actions, &mut acked, &mut confirmed);
+            self.dispatch(actions, &mut acked);
         }
         false
     }

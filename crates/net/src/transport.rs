@@ -1,13 +1,16 @@
 //! The TCP transport: [`nbr_cluster::Transport`] over real sockets.
 //!
-//! Topology: every replica process binds one listening socket and keeps one
-//! *outbound* connection per peer, managed by a supervisor thread
-//! (connect → handshake → write loop → reconnect with capped exponential
-//! backoff + jitter). Links are simplex, as in etcd's rafthttp layer:
-//! sends always travel over the local node's outbound connection, and the
-//! accept loop only ever reads. Client sessions are the exception — they
-//! are duplex, with responses written back on the connection the request
-//! arrived on (demultiplexed by `ClientId`).
+//! Topology: every replica process binds one listening socket and keeps
+//! exactly **one TCP connection per peer pair** (per lane): the lower node
+//! id dials, the higher id accepts, and both directions of protocol
+//! traffic ride the same duplex socket. The dialing side runs a supervisor
+//! thread (connect → handshake → write loop → reconnect with capped
+//! exponential backoff + jitter) plus a reader on the same socket; the
+//! accepting side answers the `Hello` with its own and attaches a writer
+//! to the accepted connection, registered in a per-peer route table until
+//! the connection dies. Client sessions are likewise duplex, with
+//! responses written back on the connection the request arrived on
+//! (demultiplexed by `ClientId`).
 //!
 //! Delivery policy, chosen edge by edge:
 //!
@@ -29,18 +32,19 @@
 //! `write_all` per wakeup and emit [`NetFrame::Ping`] keepalives when idle.
 
 use crate::clock;
+use bytes::Bytes;
 use nbr_cluster::network::{NetControl, Packet, CLIENT_ENDPOINT};
 use nbr_cluster::sync::Mutex;
 use nbr_cluster::transport::{Transport, TransportInboxes};
 use nbr_obs::{Counter, Gauge, Registry, Snapshot};
-use nbr_types::wire::{decode_frame_capped, encode_frame};
+use nbr_types::wire::{decode_frame_shared, encode_frame_into};
 use nbr_types::{ClientId, HelloMsg, NetFrame, NodeId, PeerKind, NET_PROTOCOL_VERSION};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::time::Duration;
@@ -160,6 +164,23 @@ struct ClientRoute {
     tx: SyncSender<NetFrame>,
 }
 
+/// An outbound route to a peer that dialed *us* (connection dedup: the
+/// lower node id dials, the higher id sends back over the accepted
+/// socket). Tagged with the connection id so the reader can drop exactly
+/// its own route when the connection dies.
+struct PeerRoute {
+    conn: u64,
+    tx: SyncSender<NetFrame>,
+    /// Frames queued but not yet drained by this route's writer; see
+    /// [`pick_lane`].
+    depth: Arc<AtomicI64>,
+}
+
+/// One dial direction per pair: the lower node id owns the connection.
+fn dials(local: u32, peer: u32) -> bool {
+    local < peer
+}
+
 struct Shared {
     cfg: TcpConfig,
     stop: AtomicBool,
@@ -169,6 +190,10 @@ struct Shared {
     /// over TCP, client responses are routed by `clients` instead.
     client_inbox: Sender<Packet>,
     clients: Mutex<HashMap<ClientId, ClientRoute>>,
+    /// Writer queues of accepted duplex peer connections (lanes from one
+    /// peer append in accept order; sends round-robin across them).
+    peer_routes: Mutex<HashMap<u32, Vec<PeerRoute>>>,
+    route_rr: AtomicU64,
     /// Open sockets (clones) so shutdown can unblock reader/writer threads.
     conns: Mutex<HashMap<u64, TcpStream>>,
     next_conn: AtomicU64,
@@ -234,6 +259,9 @@ impl Shared {
 
 struct PeerLink {
     tx: SyncSender<NetFrame>,
+    /// Frames queued but not yet drained by this lane's writer; see
+    /// [`pick_lane`].
+    depth: Arc<AtomicI64>,
     thread: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -241,6 +269,32 @@ struct PeerLink {
 struct PeerLinks {
     lanes: Vec<PeerLink>,
     rr: AtomicU64,
+}
+
+/// Backlog (frames queued or mid-write) at which a lane counts as
+/// saturated and traffic spills to the next one. Matches the replica
+/// layer's append batch cap: one spill means a full batch is already
+/// waiting ahead.
+const LANE_SPILL_DEPTH: i64 = 256;
+
+/// Primary-lane-with-spill choice. Now that the replica layer coalesces
+/// each burst into batched frames, one connection has ample capacity and
+/// FIFO order is worth keeping: striping frames round-robin over lanes
+/// with independent delay jitter reorders the append stream, which stalls
+/// the follower's contiguous strong-accept watermark and turns frame loss
+/// into repair backlog. So frames stay on the first lane whose backlog is
+/// under [`LANE_SPILL_DEPTH`] — joining its forming batch rides one
+/// store-and-forward delay and one syscall — and later lanes only see
+/// traffic when every earlier lane is saturated or mid-reconnect, where
+/// capacity matters more than ordering. Round-robin is the last resort
+/// when everything is backed up.
+fn pick_lane<T>(lanes: &[T], depth: impl Fn(&T) -> i64, rr: &AtomicU64) -> usize {
+    for (i, lane) in lanes.iter().enumerate() {
+        if depth(lane) < LANE_SPILL_DEPTH {
+            return i;
+        }
+    }
+    rr.fetch_add(1, Ordering::Relaxed) as usize % lanes.len()
 }
 
 /// The TCP transport. Construct with [`TcpTransport::spawn`] inside
@@ -264,6 +318,8 @@ impl TcpTransport {
             nodes: inboxes.nodes.into_iter().collect(),
             client_inbox: inboxes.client,
             clients: Mutex::new(HashMap::new()),
+            peer_routes: Mutex::new(HashMap::new()),
+            route_rr: AtomicU64::new(0),
             conns: Mutex::new(HashMap::new()),
             next_conn: AtomicU64::new(0),
             stop: AtomicBool::new(false),
@@ -274,15 +330,22 @@ impl TcpTransport {
 
         let mut peers = HashMap::new();
         for &(peer_id, addr) in &shared.cfg.peers {
+            if !dials(shared.cfg.node_id, peer_id) {
+                // The peer dials us; our sends ride back over its accepted
+                // connection once the handshake registers a route.
+                continue;
+            }
             let lanes = (0..shared.cfg.peer_lanes.max(1))
                 .map(|lane| {
                     let (tx, rx) = sync_channel::<NetFrame>(shared.cfg.send_queue);
+                    let depth = Arc::new(AtomicI64::new(0));
                     let sh = Arc::clone(&shared);
+                    let d = Arc::clone(&depth);
                     let thread = std::thread::Builder::new()
                         .name(format!("nbr-net-peer-{}-{}.{}", shared.cfg.node_id, peer_id, lane))
-                        .spawn(move || supervise_peer(sh, peer_id, lane, addr, rx))
+                        .spawn(move || supervise_peer(sh, peer_id, lane, addr, rx, d))
                         .expect("spawn peer supervisor"); // check:allow(L1): transport bring-up; a node that cannot dial peers cannot serve, abort is correct
-                    PeerLink { tx, thread: Some(thread) }
+                    PeerLink { tx, depth, thread: Some(thread) }
                 })
                 .collect();
             peers.insert(peer_id, PeerLinks { lanes, rr: AtomicU64::new(0) });
@@ -343,10 +406,6 @@ impl Transport for TcpTransport {
             self.shared.deliver_local(to, packet);
             return;
         }
-        let Some(links) = self.peers.get(&to) else {
-            stats.dropped_unroutable.inc();
-            return;
-        };
         let frame = match packet {
             Packet::Peer { from, msg } => NetFrame::Peer { from, to: NodeId(to), msg },
             Packet::Request(req) => NetFrame::Request { to: NodeId(to), req },
@@ -356,12 +415,48 @@ impl Transport for TcpTransport {
                 return;
             }
         };
-        let lane = links.rr.fetch_add(1, Ordering::Relaxed) as usize % links.lanes.len();
-        match links.lanes[lane].tx.try_send(frame) {
+        if let Some(links) = self.peers.get(&to) {
+            // We dial this peer: batch-aware striping over the outbound
+            // lanes. The depth is bumped *before* try_send so a concurrent
+            // pick_lane never sees a lane emptier than it is.
+            let lane = pick_lane(&links.lanes, |l| l.depth.load(Ordering::Relaxed), &links.rr);
+            let link = &links.lanes[lane];
+            link.depth.fetch_add(1, Ordering::Relaxed);
+            match link.tx.try_send(frame) {
+                Ok(()) => stats.send_queue_depth.add(1),
+                // Shed rather than block the replica thread; explicit accounting.
+                Err(TrySendError::Full(_)) => {
+                    link.depth.fetch_sub(1, Ordering::Relaxed);
+                    stats.dropped_queue_full.inc();
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    link.depth.fetch_sub(1, Ordering::Relaxed);
+                    stats.dropped_unroutable.inc();
+                }
+            }
+            return;
+        }
+        // The peer dials us: send over its accepted duplex connection(s).
+        // try_send never blocks, so holding the route lock here is safe.
+        let routes = self.shared.peer_routes.lock();
+        let Some(lanes) = routes.get(&to).filter(|l| !l.is_empty()) else {
+            // Link not (re)established yet; Raft's retry machinery re-sends.
+            stats.dropped_unroutable.inc();
+            return;
+        };
+        let lane = pick_lane(lanes, |l| l.depth.load(Ordering::Relaxed), &self.shared.route_rr);
+        let route = &lanes[lane];
+        route.depth.fetch_add(1, Ordering::Relaxed);
+        match route.tx.try_send(frame) {
             Ok(()) => stats.send_queue_depth.add(1),
-            // Shed rather than block the replica thread; explicit accounting.
-            Err(TrySendError::Full(_)) => stats.dropped_queue_full.inc(),
-            Err(TrySendError::Disconnected(_)) => stats.dropped_unroutable.inc(),
+            Err(TrySendError::Full(_)) => {
+                route.depth.fetch_sub(1, Ordering::Relaxed);
+                stats.dropped_queue_full.inc();
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                route.depth.fetch_sub(1, Ordering::Relaxed);
+                stats.dropped_unroutable.inc();
+            }
         }
     }
 
@@ -401,6 +496,7 @@ fn supervise_peer(
     lane: usize,
     addr: SocketAddr,
     rx: Receiver<NetFrame>,
+    depth: Arc<AtomicI64>,
 ) {
     // Jitter is seeded per-lane so two replicas restarting together do not
     // reconnect in lockstep (thundering-herd on the surviving node) and so
@@ -410,7 +506,7 @@ fn supervise_peer(
     );
     let mut backoff = sh.cfg.backoff_initial;
     while !sh.stopped() {
-        let stream = match TcpStream::connect_timeout(&addr, sh.cfg.connect_timeout) {
+        let mut stream = match TcpStream::connect_timeout(&addr, sh.cfg.connect_timeout) {
             Ok(s) => s,
             Err(_) => {
                 sh.stats.connect_retries.inc();
@@ -427,7 +523,22 @@ fn supervise_peer(
         sh.stats.connects.inc();
         sh.stats.peer_links_up.add(1);
         backoff = sh.cfg.backoff_initial;
-        run_peer_writer(&sh, stream, &rx, &mut rng);
+        // The pair's single connection is duplex: the peer's traffic to us
+        // comes back over this socket, read by a sibling thread running the
+        // standard handshake-then-route loop.
+        let reader = stream.try_clone().ok().and_then(|rstream| {
+            let sh2 = Arc::clone(&sh);
+            std::thread::Builder::new()
+                .name(format!("nbr-net-dread-{}-{}", sh.cfg.node_id, peer_id))
+                .spawn(move || run_reader(sh2, rstream))
+                .ok()
+        });
+        run_peer_writer(&sh, &mut stream, &rx, &mut rng, &depth);
+        // Unblock the duplex reader before joining it.
+        let _ = stream.shutdown(Shutdown::Both);
+        if let Some(t) = reader {
+            let _ = t.join();
+        }
         sh.stats.peer_links_up.add(-1);
         sh.stats.disconnects.inc();
         sh.deregister_conn(conn);
@@ -436,17 +547,43 @@ fn supervise_peer(
 
 /// Write loop of one connected outbound link. Returns on error (caller
 /// reconnects) or shutdown.
-fn run_peer_writer(sh: &Shared, mut stream: TcpStream, rx: &Receiver<NetFrame>, rng: &mut StdRng) {
+fn run_peer_writer(
+    sh: &Shared,
+    stream: &mut TcpStream,
+    rx: &Receiver<NetFrame>,
+    rng: &mut StdRng,
+    depth: &AtomicI64,
+) {
     let hello = NetFrame::Hello(HelloMsg {
         version: NET_PROTOCOL_VERSION,
         cluster_id: sh.cfg.cluster_id,
         kind: PeerKind::Node(NodeId(sh.cfg.node_id)),
     });
-    if write_frames(sh, &mut stream, std::slice::from_ref(&hello)).is_err() {
+    let mut wbuf = Vec::with_capacity(8 << 10);
+    if write_frames(sh, stream, std::slice::from_ref(&hello), &mut wbuf).is_err() {
         return;
     }
+    pump_peer_frames(sh, stream, rx, rng, &mut wbuf, depth);
+}
+
+/// The shared peer write loop: batch, emulate WAN loss/delay, write. Used
+/// by both the dialing supervisor and accepted-route writers so the two
+/// directions of a deduplicated link behave identically. Returns on error
+/// or shutdown.
+fn pump_peer_frames(
+    sh: &Shared,
+    stream: &mut TcpStream,
+    rx: &Receiver<NetFrame>,
+    rng: &mut StdRng,
+    wbuf: &mut Vec<u8>,
+    depth: &AtomicI64,
+) {
     let mut batch = Vec::with_capacity(64);
     let mut nonce = 0u64;
+    // Never pull more per wakeup than the bounded queue holds: the shed
+    // accounting in `send` is sized against `send_queue`, so a larger batch
+    // window would just hide queue pressure from the metrics.
+    let max_coalesce = sh.cfg.send_queue.clamp(1, 256);
     // Loss emulation in basis points so the draw stays in integers.
     let loss_bp = (sh.cfg.link_loss_pct.clamp(0.0, 100.0) * 100.0) as u64;
     loop {
@@ -454,17 +591,24 @@ fn run_peer_writer(sh: &Shared, mut stream: TcpStream, rx: &Receiver<NetFrame>, 
             return;
         }
         batch.clear();
+        // Frames stay counted in the lane's `depth` until the write lands:
+        // the store-and-forward delay below is exactly the window in which
+        // `pick_lane` should see this lane as busy, so later frames join
+        // its queue (riding the next batch) instead of waking an idle lane
+        // into its own full delay.
+        let mut drained = 0i64;
         match rx.recv_timeout(sh.cfg.keepalive) {
             Ok(frame) => {
                 batch.push(frame);
                 // Coalesce everything already queued into one write.
-                while batch.len() < 256 {
+                while batch.len() < max_coalesce {
                     match rx.try_recv() {
                         Ok(f) => batch.push(f),
                         Err(_) => break,
                     }
                 }
-                sh.stats.send_queue_depth.add(-(batch.len() as i64));
+                drained = batch.len() as i64;
+                sh.stats.send_queue_depth.add(-drained);
             }
             Err(RecvTimeoutError::Timeout) => {
                 nonce += 1;
@@ -486,6 +630,7 @@ fn run_peer_writer(sh: &Shared, mut stream: TcpStream, rx: &Receiver<NetFrame>, 
                 !lose
             });
             if batch.is_empty() {
+                depth.fetch_sub(drained, Ordering::Relaxed);
                 continue;
             }
         }
@@ -496,19 +641,55 @@ fn run_peer_writer(sh: &Shared, mut stream: TcpStream, rx: &Receiver<NetFrame>, 
             let ns = sh.cfg.link_delay.as_nanos() as u64;
             sh.sleep_checked(Duration::from_nanos(ns / 2 + rng.random_range(0..ns.max(1))));
         }
-        if write_frames(sh, &mut stream, &batch).is_err() {
+        let res = write_frames(sh, stream, &batch, wbuf);
+        depth.fetch_sub(drained, Ordering::Relaxed);
+        if res.is_err() {
             return; // frames in `batch` are lost with the connection; Raft retries
         }
     }
 }
 
-/// Encode `frames` into one buffer and write it in a single syscall.
-fn write_frames(sh: &Shared, stream: &mut TcpStream, frames: &[NetFrame]) -> std::io::Result<()> {
-    let mut buf = Vec::with_capacity(frames.len() * 64);
-    for f in frames {
-        buf.extend_from_slice(&encode_frame(f));
+/// Writer for one accepted duplex peer connection: announce ourselves,
+/// then run the standard peer pump (same batching and WAN emulation as the
+/// dialing side).
+fn accepted_peer_writer(
+    sh: Arc<Shared>,
+    mut stream: TcpStream,
+    rx: Receiver<NetFrame>,
+    seed: u64,
+    depth: Arc<AtomicI64>,
+) {
+    let conn = sh.register_conn(&stream);
+    sh.stats.peer_links_up.add(1);
+    let mut rng = StdRng::seed_from_u64(0xACC3 ^ seed);
+    let hello = NetFrame::Hello(HelloMsg {
+        version: NET_PROTOCOL_VERSION,
+        cluster_id: sh.cfg.cluster_id,
+        kind: PeerKind::Node(NodeId(sh.cfg.node_id)),
+    });
+    let mut wbuf = Vec::with_capacity(8 << 10);
+    if write_frames(&sh, &mut stream, std::slice::from_ref(&hello), &mut wbuf).is_ok() {
+        pump_peer_frames(&sh, &mut stream, &rx, &mut rng, &mut wbuf, &depth);
     }
-    stream.write_all(&buf)?;
+    sh.stats.peer_links_up.add(-1);
+    let _ = stream.shutdown(Shutdown::Both);
+    sh.deregister_conn(conn);
+}
+
+/// Encode `frames` into the caller's reusable buffer and write them in a
+/// single syscall. The buffer is cleared first and keeps its allocation
+/// across calls, so steady-state writes are allocation-free.
+fn write_frames(
+    sh: &Shared,
+    stream: &mut TcpStream,
+    frames: &[NetFrame],
+    buf: &mut Vec<u8>,
+) -> std::io::Result<()> {
+    buf.clear();
+    for f in frames {
+        encode_frame_into(f, buf);
+    }
+    stream.write_all(buf)?;
     sh.stats.frames_out.add(frames.len() as u64);
     sh.stats.bytes_out.add(buf.len() as u64);
     Ok(())
@@ -557,8 +738,13 @@ fn run_reader(sh: Arc<Shared>, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
     let mut identity = ConnIdentity::Unknown;
     let mut resp_writer: Option<SyncSender<NetFrame>> = None;
-    let mut buf: Vec<u8> = Vec::new();
-    let mut pos = 0usize; // decoded prefix of `buf`
+    // Zero-copy framing: accumulate raw socket bytes in `buf`; once at
+    // least one complete frame is present, freeze the whole staging buffer
+    // into a shared `Bytes` (O(1)) and decode with the borrowing path —
+    // payloads (entry data, snapshot chunks) alias the frame allocation
+    // instead of being re-copied per message. Only a partial trailing
+    // frame is ever copied back to staging.
+    let mut buf: Vec<u8> = Vec::with_capacity(64 << 10);
     let mut tmp = [0u8; 64 << 10];
     'conn: loop {
         if sh.stopped() {
@@ -577,16 +763,29 @@ fn run_reader(sh: Arc<Shared>, mut stream: TcpStream) {
         };
         sh.stats.bytes_in.add(n as u64);
         buf.extend_from_slice(&tmp[..n]);
-        loop {
-            match decode_frame_capped::<NetFrame>(&buf[pos..], sh.cfg.max_frame) {
+        if buf.len() < 8 {
+            continue;
+        }
+        let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        if len > sh.cfg.max_frame {
+            // A hostile or corrupt length prefix must not pin memory.
+            sh.stats.decode_errors.inc();
+            break 'conn;
+        }
+        if buf.len() < 8 + len {
+            continue; // first frame incomplete; read more
+        }
+        let mut shared = Bytes::from(std::mem::take(&mut buf));
+        while !shared.is_empty() {
+            match decode_frame_shared::<NetFrame>(&shared, sh.cfg.max_frame) {
                 Ok(Some((frame, used))) => {
-                    pos += used;
+                    shared.split_to(used);
                     sh.stats.frames_in.inc();
                     if !handle_frame(&sh, frame, &mut identity, &mut resp_writer, &stream, conn) {
                         break 'conn;
                     }
                 }
-                Ok(None) => break,
+                Ok(None) => break, // partial tail; spill back to staging
                 Err(_) => {
                     // Corrupt stream: there is no way to resynchronize a
                     // length-prefixed stream after a bad frame; drop it.
@@ -595,18 +794,23 @@ fn run_reader(sh: Arc<Shared>, mut stream: TcpStream) {
                 }
             }
         }
-        // Compact the consumed prefix occasionally (amortized O(1)).
-        if pos > 0 && (pos >= buf.len() || pos > 64 << 10) {
-            buf.drain(..pos);
-            pos = 0;
-        }
+        buf.extend_from_slice(&shared);
     }
-    // Deregister this connection's client route (only if still ours).
+    // Deregister this connection's routes (only if still ours).
     if let ConnIdentity::Client(id) = identity {
         let mut routes = sh.clients.lock();
         if routes.get(&id).is_some_and(|r| r.conn == conn) {
             routes.remove(&id);
             sh.stats.clients_connected.add(-1);
+        }
+    }
+    if let ConnIdentity::Node(peer) = identity {
+        let mut routes = sh.peer_routes.lock();
+        if let Some(lanes) = routes.get_mut(&peer.0) {
+            lanes.retain(|r| r.conn != conn);
+            if lanes.is_empty() {
+                routes.remove(&peer.0);
+            }
         }
     }
     let _ = stream.shutdown(Shutdown::Both);
@@ -629,7 +833,37 @@ fn handle_frame(
                 return false;
             }
             match h.kind {
-                PeerKind::Node(n) => *identity = ConnIdentity::Node(n),
+                PeerKind::Node(n) => {
+                    if !dials(sh.cfg.node_id, n.0) && sh.cfg.node_id != n.0 {
+                        // Connection dedup: this peer owns the pair's single
+                        // socket, so our outbound frames to it must ride
+                        // back over this accepted connection. Attach a
+                        // writer and register the route.
+                        let Ok(wstream) = stream.try_clone() else {
+                            sh.stats.proto_errors.inc();
+                            return false;
+                        };
+                        let (tx, rx) = sync_channel::<NetFrame>(sh.cfg.send_queue);
+                        let depth = Arc::new(AtomicI64::new(0));
+                        let d = Arc::clone(&depth);
+                        let sh2 = Arc::clone(sh);
+                        let seed =
+                            (u64::from(sh.cfg.node_id) << 40) ^ (u64::from(n.0) << 16) ^ conn;
+                        let spawned = std::thread::Builder::new()
+                            .name(format!("nbr-net-presp-{}-{}", sh.cfg.node_id, n.0))
+                            .spawn(move || accepted_peer_writer(sh2, wstream, rx, seed, d));
+                        if spawned.is_err() {
+                            sh.stats.proto_errors.inc();
+                            return false;
+                        }
+                        sh.peer_routes.lock().entry(n.0).or_default().push(PeerRoute {
+                            conn,
+                            tx,
+                            depth,
+                        });
+                    }
+                    *identity = ConnIdentity::Node(n)
+                }
                 PeerKind::Client(c) => {
                     // Client sessions are duplex: responses flow back over
                     // a writer thread on a clone of this socket.
@@ -717,6 +951,8 @@ fn handle_frame(
 /// Writer thread for one client session's responses.
 fn client_writer(sh: Arc<Shared>, mut stream: TcpStream, rx: Receiver<NetFrame>) {
     let conn = sh.register_conn(&stream);
+    let max_coalesce = sh.cfg.send_queue.clamp(1, 64);
+    let mut wbuf = Vec::with_capacity(4 << 10);
     loop {
         if sh.stopped() {
             break;
@@ -724,13 +960,13 @@ fn client_writer(sh: Arc<Shared>, mut stream: TcpStream, rx: Receiver<NetFrame>)
         match rx.recv_timeout(Duration::from_millis(200)) {
             Ok(frame) => {
                 let mut batch = vec![frame];
-                while batch.len() < 64 {
+                while batch.len() < max_coalesce {
                     match rx.try_recv() {
                         Ok(f) => batch.push(f),
                         Err(_) => break,
                     }
                 }
-                if write_frames(&sh, &mut stream, &batch).is_err() {
+                if write_frames(&sh, &mut stream, &batch, &mut wbuf).is_err() {
                     break;
                 }
             }

@@ -397,7 +397,8 @@ impl Simulator {
                 Message::AppendEntry(m) => {
                     let mut t = c.msg_handle + c.t_append;
                     if m.verification.is_some() {
-                        t += c.sha_cost(m.entry.payload.size_bytes());
+                        // Verified appends are always single-entry batches.
+                        t += c.sha_cost(m.entries[0].payload.size_bytes());
                     }
                     t
                 }
@@ -472,7 +473,7 @@ impl Simulator {
             let p = self.cfg.costs.straggler_prob;
             match (&msg, p > 0.0) {
                 (Message::AppendEntry(m), true) => {
-                    let mut h = m.entry.index.0.wrapping_mul(0x9E3779B97F4A7C15)
+                    let mut h = m.entries[0].index.0.wrapping_mul(0x9E3779B97F4A7C15)
                         ^ self.cfg.seed.wrapping_mul(0xD1B54A32D192ED03);
                     h ^= h >> 29;
                     h = h.wrapping_mul(0xBF58476D1CE4E5B9);

@@ -37,7 +37,7 @@ pub use message::{
     AcceptState, AppendEntryMsg, AppendRespMsg, ClientRequest, ClientResponse, HeartbeatMsg,
     HeartbeatRespMsg, InstallSnapshotMsg, InstallSnapshotRespMsg, Message, PullFragmentsMsg,
     PushFragmentsMsg, ReadIndexReqMsg, ReadIndexRespMsg, RequestVoteMsg, RequestVoteRespMsg,
-    Verification,
+    Verification, MAX_APPEND_BATCH,
 };
 pub use netframe::{HelloMsg, NetFrame, PeerKind, NET_PROTOCOL_VERSION};
 pub use time::{Time, TimeDelta};

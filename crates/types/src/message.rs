@@ -2,9 +2,15 @@
 //!
 //! Replication in the paper is *per entry*: the leader indexes each client
 //! request into one [`crate::Entry`] and hands it to a dispatcher pool, one
-//! queue per follower (Figure 3b). Each [`AppendEntryMsg`] therefore carries a
-//! single entry; batching is a transport concern. Heartbeats are separate
-//! messages that also propagate the commit index and probe follower progress.
+//! queue per follower (Figure 3b). On the wire, however, an
+//! [`AppendEntryMsg`] carries a *contiguous run* of entries
+//! (`entries[i].precedes(entries[i+1])`): accepting a batch is defined as
+//! accepting each entry in order, so a batched message is semantically
+//! identical to the same entries sent back-to-back — batching only cuts
+//! per-message overhead (framing, syscalls, continuity checks). Producers
+//! that need per-entry semantics (VGRaft verification) simply send
+//! single-entry batches. Heartbeats are separate messages that also
+//! propagate the commit index and probe follower progress.
 
 use crate::entry::{Entry, Fragment};
 use crate::ids::{ClientId, LogIndex, NodeId, RequestId, Term};
@@ -57,22 +63,62 @@ pub struct Verification {
     pub group: Vec<NodeId>,
 }
 
-/// Replicate one entry to a follower.
+/// Most entries a single [`AppendEntryMsg`] may carry. Producers (leader
+/// repair, replica-loop coalescing) batch up to this; the decoder rejects
+/// anything larger so a hostile peer cannot smuggle oversized batches.
+pub const MAX_APPEND_BATCH: usize = 64;
+
+/// Replicate a contiguous run of entries to a follower.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct AppendEntryMsg {
     /// Leader's term.
     pub term: Term,
     /// Leader's id (for client redirection and relay bookkeeping).
     pub leader: NodeId,
-    /// The entry; its `prev_term` field is the continuity check value.
-    pub entry: Entry,
+    /// The entries, in index order, each `precedes` the next. Never empty;
+    /// `entries[0].prev_term` is the continuity check value for the run.
+    pub entries: Vec<Entry>,
     /// Leader's commit index at send time.
     pub leader_commit: LogIndex,
-    /// VGRaft: digest + signature to verify before accepting.
+    /// VGRaft: digest + signature to verify before accepting. Only valid on
+    /// single-entry messages; verified entries are never batched.
     pub verification: Option<Verification>,
-    /// KRaft: nodes this recipient must relay the entry to (empty for the
+    /// KRaft: nodes this recipient must relay the entries to (empty for the
     /// Raft family and for relay leaves).
     pub relay_to: Vec<NodeId>,
+}
+
+impl AppendEntryMsg {
+    /// Whether `next` can be folded into `self` as a continuation batch:
+    /// same leader and term, no per-message extras (verification, relay
+    /// fan-out), contiguous run, and under the batch cap. `max` lets callers
+    /// tighten the bound below [`MAX_APPEND_BATCH`].
+    pub fn can_merge(&self, next: &AppendEntryMsg, max: usize) -> bool {
+        self.term == next.term
+            && self.leader == next.leader
+            && self.verification.is_none()
+            && next.verification.is_none()
+            && self.relay_to.is_empty()
+            && next.relay_to.is_empty()
+            && self.entries.len() + next.entries.len() <= max.min(MAX_APPEND_BATCH)
+            && match (self.entries.last(), next.entries.first()) {
+                (Some(a), Some(b)) => a.precedes(b),
+                _ => false,
+            }
+    }
+
+    /// Fold `next` into `self` if [`Self::can_merge`] allows it. Returns
+    /// `false` (leaving both untouched) otherwise. The merged message is
+    /// semantically identical to delivering `self` then `next`: the entry
+    /// run is concatenated and the commit index advances to the later one.
+    pub fn merge(&mut self, next: &AppendEntryMsg, max: usize) -> bool {
+        if !self.can_merge(next, max) {
+            return false;
+        }
+        self.entries.extend(next.entries.iter().cloned());
+        self.leader_commit = self.leader_commit.max(next.leader_commit);
+        true
+    }
 }
 
 /// Follower's response to an [`AppendEntryMsg`].
@@ -226,7 +272,7 @@ pub struct ReadIndexRespMsg {
 /// All replica-to-replica messages.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Message {
-    /// Replicate one entry.
+    /// Replicate a contiguous run of entries.
     AppendEntry(AppendEntryMsg),
     /// Verdict on a replicated entry.
     AppendResp(AppendRespMsg),
@@ -261,7 +307,7 @@ impl Message {
         match self {
             Message::AppendEntry(m) => {
                 FIXED
-                    + m.entry.size_bytes()
+                    + m.entries.iter().map(Entry::size_bytes).sum::<usize>()
                     + m.verification.as_ref().map_or(0, |v| 64 + 4 * v.group.len())
                     + 4 * m.relay_to.len()
             }
@@ -415,7 +461,7 @@ mod tests {
         let small = Message::AppendEntry(AppendEntryMsg {
             term: Term(1),
             leader: NodeId(0),
-            entry: entry(1, 1, 0, 100),
+            entries: vec![entry(1, 1, 0, 100)],
             leader_commit: LogIndex(0),
             verification: None,
             relay_to: vec![],
@@ -423,12 +469,21 @@ mod tests {
         let large = Message::AppendEntry(AppendEntryMsg {
             term: Term(1),
             leader: NodeId(0),
-            entry: entry(1, 1, 0, 4096),
+            entries: vec![entry(1, 1, 0, 4096)],
             leader_commit: LogIndex(0),
             verification: None,
             relay_to: vec![],
         });
         assert!(large.size_bytes() - small.size_bytes() == 4096 - 100);
+        let batched = Message::AppendEntry(AppendEntryMsg {
+            term: Term(1),
+            leader: NodeId(0),
+            entries: vec![entry(1, 1, 0, 100), entry(2, 1, 1, 100)],
+            leader_commit: LogIndex(0),
+            verification: None,
+            relay_to: vec![],
+        });
+        assert_eq!(batched.size_bytes() - small.size_bytes(), entry(2, 1, 1, 100).size_bytes());
     }
 
     #[test]
@@ -436,7 +491,7 @@ mod tests {
         let mut msg = AppendEntryMsg {
             term: Term(1),
             leader: NodeId(0),
-            entry: entry(1, 1, 0, 64),
+            entries: vec![entry(1, 1, 0, 64)],
             leader_commit: LogIndex(0),
             verification: None,
             relay_to: vec![],
@@ -449,6 +504,52 @@ mod tests {
         });
         let signed = Message::AppendEntry(msg).size_bytes();
         assert_eq!(signed, plain + 64 + 8);
+    }
+
+    fn append(entries: Vec<Entry>, commit: u64) -> AppendEntryMsg {
+        AppendEntryMsg {
+            term: Term(1),
+            leader: NodeId(0),
+            entries,
+            leader_commit: LogIndex(commit),
+            verification: None,
+            relay_to: vec![],
+        }
+    }
+
+    #[test]
+    fn merge_requires_contiguity() {
+        let mut a = append(vec![entry(1, 1, 0, 8)], 0);
+        let b = append(vec![entry(2, 1, 1, 8)], 1);
+        assert!(a.merge(&b, MAX_APPEND_BATCH));
+        assert_eq!(a.entries.len(), 2);
+        assert_eq!(a.leader_commit, LogIndex(1));
+
+        // A gap (index 4 after 2) must refuse to merge.
+        let gap = append(vec![entry(4, 1, 1, 8)], 1);
+        assert!(!a.merge(&gap, MAX_APPEND_BATCH));
+        assert_eq!(a.entries.len(), 2);
+
+        // A term-mismatched continuation (prev_term disagrees) refuses too.
+        let wrong_prev = append(vec![entry(3, 1, 9, 8)], 1);
+        assert!(!a.merge(&wrong_prev, MAX_APPEND_BATCH));
+    }
+
+    #[test]
+    fn merge_respects_cap_and_extras() {
+        let mut a = append(vec![entry(1, 1, 0, 8)], 0);
+        let b = append(vec![entry(2, 1, 1, 8)], 0);
+        assert!(!a.merge(&b, 1), "cap of 1 forbids any batching");
+
+        let mut signed = append(vec![entry(1, 1, 0, 8)], 0);
+        signed.verification =
+            Some(Verification { digest: [0; 32], signature: [0; 32], group: vec![] });
+        assert!(!signed.clone().merge(&b, MAX_APPEND_BATCH), "verified messages never batch");
+        assert!(!a.merge(&signed, MAX_APPEND_BATCH));
+
+        let mut relayed = append(vec![entry(2, 1, 1, 8)], 0);
+        relayed.relay_to = vec![NodeId(2)];
+        assert!(!a.merge(&relayed, MAX_APPEND_BATCH), "relay fan-out never batches");
     }
 
     #[test]

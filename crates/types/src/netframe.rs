@@ -24,7 +24,8 @@ use crate::wire::{Reader, Wire, Writer};
 
 /// Version of the socket envelope protocol. Bump on any change to
 /// [`NetFrame`]'s encoding; handshakes with a different version are refused.
-pub const NET_PROTOCOL_VERSION: u16 = 1;
+/// v2: `Append` carries a contiguous entry batch instead of a single entry.
+pub const NET_PROTOCOL_VERSION: u16 = 2;
 
 /// Who is on the remote end of a connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

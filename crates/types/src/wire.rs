@@ -23,7 +23,7 @@ use crate::message::{
     AcceptState, AppendEntryMsg, AppendRespMsg, ClientRequest, ClientResponse, HeartbeatMsg,
     HeartbeatRespMsg, InstallSnapshotMsg, InstallSnapshotRespMsg, Message, PullFragmentsMsg,
     PushFragmentsMsg, ReadIndexReqMsg, ReadIndexRespMsg, RequestVoteMsg, RequestVoteRespMsg,
-    Verification,
+    Verification, MAX_APPEND_BATCH,
 };
 use bytes::Bytes;
 
@@ -50,6 +50,22 @@ impl Writer {
     /// Finish and take the encoded bytes.
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Drop the contents but keep the allocation, so one `Writer` can encode
+    /// many frames without reallocating (hot-path buffer reuse).
+    pub fn clear(&mut self) {
+        self.buf.clear();
     }
 
     /// Append one byte.
@@ -80,12 +96,22 @@ impl Writer {
 pub struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
+    /// When the body lives in a reference-counted [`Bytes`] buffer (shared
+    /// decode path), byte-string fields can alias it instead of copying.
+    /// Invariant: `backing[..] == buf`.
+    backing: Option<&'a Bytes>,
 }
 
 impl<'a> Reader<'a> {
     /// Decode from a body slice.
     pub fn new(buf: &'a [u8]) -> Reader<'a> {
-        Reader { buf, pos: 0 }
+        Reader { buf, pos: 0, backing: None }
+    }
+
+    /// Decode from a reference-counted body: [`Self::bytes_shared`] then
+    /// returns zero-copy slices of `backing` instead of fresh allocations.
+    pub fn shared(backing: &'a Bytes) -> Reader<'a> {
+        Reader { buf: backing, pos: 0, backing: Some(backing) }
     }
 
     /// Bytes not yet consumed.
@@ -126,6 +152,23 @@ impl<'a> Reader<'a> {
             return Err(Error::Codec(format!("byte string too long: {len}")));
         }
         self.take(len)
+    }
+
+    /// Read a length-prefixed byte string as owned [`Bytes`]. On a
+    /// [`Self::shared`] reader this is a zero-copy slice of the backing
+    /// buffer; on a plain reader it copies (same behaviour as before the
+    /// shared path existed).
+    pub fn bytes_shared(&mut self) -> Result<Bytes> {
+        let len = self.u32()? as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(Error::Codec(format!("byte string too long: {len}")));
+        }
+        let start = self.pos;
+        let s = self.take(len)?;
+        Ok(match self.backing {
+            Some(b) => b.slice(start..start + len),
+            None => Bytes::copy_from_slice(s),
+        })
     }
     fn bool(&mut self) -> Result<bool> {
         match self.u8()? {
@@ -257,7 +300,7 @@ impl Wire for Fragment {
                 "invalid fragment geometry k={k} n={n} shard={shard}"
             )));
         }
-        Ok(Fragment { shard, k, n, orig_len: r.u32()?, data: Bytes::copy_from_slice(r.bytes()?) })
+        Ok(Fragment { shard, k, n, orig_len: r.u32()?, data: r.bytes_shared()? })
     }
 }
 
@@ -278,7 +321,7 @@ impl Wire for Payload {
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
         match r.u8()? {
             0 => Ok(Payload::Noop),
-            1 => Ok(Payload::Data(Bytes::copy_from_slice(r.bytes()?))),
+            1 => Ok(Payload::Data(r.bytes_shared()?)),
             2 => Ok(Payload::Fragment(Fragment::decode(r)?)),
             v => Err(Error::Codec(format!("invalid payload tag {v}"))),
         }
@@ -369,20 +412,46 @@ impl Wire for AppendEntryMsg {
     fn encode(&self, w: &mut Writer) {
         self.term.encode(w);
         self.leader.encode(w);
-        self.entry.encode(w);
+        self.entries.encode(w);
         self.leader_commit.encode(w);
         self.verification.encode(w);
         self.relay_to.encode(w);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
-        Ok(AppendEntryMsg {
-            term: Term::decode(r)?,
-            leader: NodeId::decode(r)?,
-            entry: Entry::decode(r)?,
+        let term = Term::decode(r)?;
+        let leader = NodeId::decode(r)?;
+        let entries = Vec::<Entry>::decode(r)?;
+        // Batch hardening: a hostile peer must not smuggle empty, oversized,
+        // or non-contiguous batches past the accept loop.
+        if entries.is_empty() {
+            return Err(Error::Codec("append batch is empty".into()));
+        }
+        if entries.len() > MAX_APPEND_BATCH {
+            return Err(Error::Codec(format!(
+                "append batch of {} exceeds cap {MAX_APPEND_BATCH}",
+                entries.len()
+            )));
+        }
+        for pair in entries.windows(2) {
+            if !pair[0].precedes(&pair[1]) {
+                return Err(Error::Codec(format!(
+                    "append batch not contiguous at index {}",
+                    pair[1].index.0
+                )));
+            }
+        }
+        let msg = AppendEntryMsg {
+            term,
+            leader,
+            entries,
             leader_commit: LogIndex::decode(r)?,
             verification: Option::<Verification>::decode(r)?,
             relay_to: Vec::<NodeId>::decode(r)?,
-        })
+        };
+        if msg.verification.is_some() && msg.entries.len() != 1 {
+            return Err(Error::Codec("verified append batches must carry one entry".into()));
+        }
+        Ok(msg)
     }
 }
 
@@ -528,7 +597,7 @@ impl Wire for InstallSnapshotMsg {
             last_index: LogIndex::decode(r)?,
             last_term: Term::decode(r)?,
             leader_commit: LogIndex::decode(r)?,
-            data: Bytes::copy_from_slice(r.bytes()?),
+            data: r.bytes_shared()?,
         })
     }
 }
@@ -656,7 +725,7 @@ impl Wire for ClientRequest {
         Ok(ClientRequest {
             client: ClientId::decode(r)?,
             request: RequestId::decode(r)?,
-            payload: Bytes::copy_from_slice(r.bytes()?),
+            payload: r.bytes_shared()?,
         })
     }
 }
@@ -711,14 +780,27 @@ impl Wire for ClientResponse {
 
 /// Encode a value into a self-describing frame: `len || crc || body`.
 pub fn encode_frame<T: Wire>(value: &T) -> Vec<u8> {
-    let mut w = Writer::new();
-    value.encode(&mut w);
-    let body = w.into_bytes();
-    let mut out = Vec::with_capacity(body.len() + 8);
-    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
-    out.extend_from_slice(&crc32(&body).to_le_bytes());
-    out.extend_from_slice(&body);
+    let mut out = Vec::new();
+    encode_frame_into(value, &mut out);
     out
+}
+
+/// Append a `len || crc || body` frame to `out` without allocating a
+/// scratch body buffer: the body is encoded in place after an 8-byte header
+/// placeholder, then the header is patched. Callers that `clear()` and
+/// reuse `out` across frames amortize the allocation to zero — this is the
+/// transport writer's hot path.
+pub fn encode_frame_into<T: Wire>(value: &T, out: &mut Vec<u8>) {
+    let start = out.len();
+    out.extend_from_slice(&[0u8; 8]);
+    let mut w = Writer { buf: std::mem::take(out) };
+    value.encode(&mut w);
+    let mut buf = w.into_bytes();
+    let body_len = buf.len() - start - 8;
+    let crc = crc32(&buf[start + 8..]);
+    buf[start..start + 4].copy_from_slice(&(body_len as u32).to_le_bytes());
+    buf[start + 4..start + 8].copy_from_slice(&crc.to_le_bytes());
+    *out = buf;
 }
 
 /// Decode one frame from the front of `buf`. Returns the value and the total
@@ -757,6 +839,35 @@ pub fn decode_frame_capped<T: Wire>(buf: &[u8], max_len: usize) -> Result<Option
     Ok(Some((v, 8 + len)))
 }
 
+/// [`decode_frame_capped`] over a reference-counted buffer: byte-string
+/// fields of the decoded value ([`Payload::Data`], snapshot images, client
+/// payloads) are zero-copy slices sharing `buf`'s allocation instead of
+/// fresh copies. A streaming reader that accumulates into `bytes::BytesMut`
+/// and `split_to(..).freeze()`s whole frames gets an allocation-free decode
+/// path for bulk data.
+pub fn decode_frame_shared<T: Wire>(buf: &Bytes, max_len: usize) -> Result<Option<(T, usize)>> {
+    let max_len = max_len.min(MAX_FRAME_LEN);
+    if buf.len() < 8 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+    if len > max_len {
+        return Err(Error::Codec(format!("frame length {len} exceeds maximum {max_len}")));
+    }
+    if buf.len() < 8 + len {
+        return Ok(None);
+    }
+    let expect_crc = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+    let body = buf.slice(8..8 + len);
+    if crc32(&body) != expect_crc {
+        return Err(Error::Codec("frame checksum mismatch".into()));
+    }
+    let mut r = Reader::shared(&body);
+    let v = T::decode(&mut r)?;
+    r.finish()?;
+    Ok(Some((v, 8 + len)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -765,13 +876,13 @@ mod tests {
         Message::AppendEntry(AppendEntryMsg {
             term: Term(3),
             leader: NodeId(0),
-            entry: Entry {
+            entries: vec![Entry {
                 index: LogIndex(11),
                 term: Term(3),
                 prev_term: Term(2),
                 origin: Some(Origin { client: ClientId(7), request: RequestId(42) }),
                 payload: Payload::Data(Bytes::from_static(b"sensor-reading")),
-            },
+            }],
             leader_commit: LogIndex(9),
             verification: Some(Verification {
                 digest: [1; 32],
@@ -782,6 +893,29 @@ mod tests {
         })
     }
 
+    fn run(first: u64, term: u64, prev: u64, n: usize) -> Vec<Entry> {
+        (0..n as u64)
+            .map(|i| Entry {
+                index: LogIndex(first + i),
+                term: Term(term),
+                prev_term: Term(if i == 0 { prev } else { term }),
+                origin: None,
+                payload: Payload::Data(Bytes::from(format!("e{}", first + i))),
+            })
+            .collect()
+    }
+
+    fn batch(entries: Vec<Entry>) -> Message {
+        Message::AppendEntry(AppendEntryMsg {
+            term: Term(3),
+            leader: NodeId(0),
+            entries,
+            leader_commit: LogIndex(9),
+            verification: None,
+            relay_to: vec![],
+        })
+    }
+
     #[test]
     fn frame_round_trip() {
         let msg = sample_append();
@@ -789,6 +923,127 @@ mod tests {
         let (decoded, used) = decode_frame::<Message>(&frame).unwrap().unwrap();
         assert_eq!(decoded, msg);
         assert_eq!(used, frame.len());
+    }
+
+    #[test]
+    fn batched_append_round_trips() {
+        for n in [1usize, 2, 7, MAX_APPEND_BATCH] {
+            let msg = batch(run(5, 3, 2, n));
+            let frame = encode_frame(&msg);
+            let (back, used) = decode_frame::<Message>(&frame).unwrap().unwrap();
+            assert_eq!(back, msg);
+            assert_eq!(used, frame.len());
+        }
+    }
+
+    #[test]
+    fn hostile_append_batches_rejected() {
+        // Empty batch.
+        let mut w = Writer::new();
+        Term(3).encode(&mut w);
+        NodeId(0).encode(&mut w);
+        Vec::<Entry>::new().encode(&mut w);
+        LogIndex(0).encode(&mut w);
+        Option::<Verification>::None.encode(&mut w);
+        Vec::<NodeId>::new().encode(&mut w);
+        let body = w.into_bytes();
+        let mut r = Reader::new(&body);
+        assert!(AppendEntryMsg::decode(&mut r).is_err(), "empty batch must be rejected");
+
+        // Over the batch cap.
+        let over = batch(run(1, 3, 0, MAX_APPEND_BATCH + 1));
+        let frame = encode_frame(&over);
+        assert!(matches!(decode_frame::<Message>(&frame), Err(Error::Codec(_))));
+
+        // Index gap inside the run.
+        let mut gapped = run(1, 3, 0, 2);
+        gapped[1].index = LogIndex(5);
+        let frame = encode_frame(&batch(gapped));
+        assert!(matches!(decode_frame::<Message>(&frame), Err(Error::Codec(_))));
+
+        // Broken prev_term chain.
+        let mut broken = run(1, 3, 0, 2);
+        broken[1].prev_term = Term(9);
+        let frame = encode_frame(&batch(broken));
+        assert!(matches!(decode_frame::<Message>(&frame), Err(Error::Codec(_))));
+
+        // Verification on a multi-entry batch.
+        let mut verified = batch(run(1, 3, 0, 2));
+        if let Message::AppendEntry(m) = &mut verified {
+            m.verification =
+                Some(Verification { digest: [0; 32], signature: [0; 32], group: vec![] });
+        }
+        let frame = encode_frame(&verified);
+        assert!(matches!(decode_frame::<Message>(&frame), Err(Error::Codec(_))));
+    }
+
+    #[test]
+    fn encode_frame_into_matches_and_reuses() {
+        let msg = batch(run(5, 3, 2, 4));
+        let fresh = encode_frame(&msg);
+        let mut buf = Vec::new();
+        encode_frame_into(&msg, &mut buf);
+        assert_eq!(buf, fresh);
+
+        // Appending a second frame to the same buffer keeps both intact.
+        let hb = Message::Heartbeat(HeartbeatMsg {
+            term: Term(2),
+            leader: NodeId(0),
+            last_index: LogIndex(10),
+            last_term: Term(2),
+            leader_commit: LogIndex(8),
+        });
+        encode_frame_into(&hb, &mut buf);
+        let (first, used) = decode_frame::<Message>(&buf).unwrap().unwrap();
+        assert_eq!(first, msg);
+        let (second, used2) = decode_frame::<Message>(&buf[used..]).unwrap().unwrap();
+        assert_eq!(second, hb);
+        assert_eq!(used + used2, buf.len());
+
+        // clear() + re-encode reuses the allocation.
+        let cap = buf.capacity();
+        buf.clear();
+        encode_frame_into(&msg, &mut buf);
+        assert_eq!(buf, fresh);
+        assert_eq!(buf.capacity(), cap);
+    }
+
+    #[test]
+    fn shared_decode_aliases_frame_buffer() {
+        let payload = Bytes::from(vec![0x5A; 4096]);
+        let msg = Message::AppendEntry(AppendEntryMsg {
+            term: Term(3),
+            leader: NodeId(0),
+            entries: vec![Entry {
+                index: LogIndex(11),
+                term: Term(3),
+                prev_term: Term(2),
+                origin: None,
+                payload: Payload::Data(payload),
+            }],
+            leader_commit: LogIndex(9),
+            verification: None,
+            relay_to: vec![],
+        });
+        let frame = Bytes::from(encode_frame(&msg));
+        let (back, used) = decode_frame_shared::<Message>(&frame, MAX_FRAME_LEN).unwrap().unwrap();
+        assert_eq!(back, msg);
+        assert_eq!(used, frame.len());
+        let Message::AppendEntry(m) = back else { panic!("decoded wrong variant") };
+        let Payload::Data(data) = &m.entries[0].payload else { panic!("payload variant") };
+        // Zero-copy: the decoded payload must point inside the frame buffer.
+        let frame_range = frame.as_ptr() as usize..frame.as_ptr() as usize + frame.len();
+        assert!(
+            frame_range.contains(&(data.as_ptr() as usize)),
+            "shared decode must alias the frame allocation, not copy"
+        );
+
+        // The shared path enforces the same caps and checksums.
+        let mut corrupt = encode_frame(&msg);
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0xFF;
+        assert!(decode_frame_shared::<Message>(&Bytes::from(corrupt), MAX_FRAME_LEN).is_err());
+        assert!(decode_frame_shared::<Message>(&frame, 64).is_err(), "cap still applies");
     }
 
     #[test]

@@ -20,20 +20,34 @@ use nbr_types::*;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+fn entry_run(first: u64, n: usize) -> Vec<Entry> {
+    (0..n as u64)
+        .map(|i| Entry {
+            index: LogIndex(first + i),
+            term: Term(3),
+            prev_term: Term(if i == 0 { 2 } else { 3 }),
+            origin: Some(Origin { client: ClientId(7), request: RequestId(42 + i) }),
+            payload: Payload::Data(Bytes::from(format!("sensor-reading-{i}"))),
+        })
+        .collect()
+}
+
 fn sample_frames() -> Vec<Vec<u8>> {
     let msg = Message::AppendEntry(AppendEntryMsg {
         term: Term(3),
         leader: NodeId(0),
-        entry: Entry {
-            index: LogIndex(11),
-            term: Term(3),
-            prev_term: Term(2),
-            origin: Some(Origin { client: ClientId(7), request: RequestId(42) }),
-            payload: Payload::Data(Bytes::from_static(b"sensor-reading")),
-        },
+        entries: entry_run(11, 1),
         leader_commit: LogIndex(9),
         verification: None,
         relay_to: vec![NodeId(1), NodeId(2)],
+    });
+    let batched = Message::AppendEntry(AppendEntryMsg {
+        term: Term(3),
+        leader: NodeId(0),
+        entries: entry_run(11, 5),
+        leader_commit: LogIndex(9),
+        verification: None,
+        relay_to: vec![],
     });
     let req = ClientRequest {
         client: ClientId(5),
@@ -56,7 +70,13 @@ fn sample_frames() -> Vec<Vec<u8>> {
         cluster_id: 7,
         kind: PeerKind::Client(ClientId(3)),
     });
-    vec![encode_frame(&msg), encode_frame(&req), encode_frame(&net), encode_frame(&hello)]
+    vec![
+        encode_frame(&msg),
+        encode_frame(&batched),
+        encode_frame(&req),
+        encode_frame(&net),
+        encode_frame(&hello),
+    ]
 }
 
 /// Decoding must be total: panic-free on every mutation of a valid frame.
@@ -166,6 +186,93 @@ fn absurd_byte_lengths_rejected() {
     frame.extend_from_slice(&nbr_types::checksum::crc32(&body).to_le_bytes());
     frame.extend_from_slice(&body);
     assert!(matches!(decode_frame::<ClientRequest>(&frame), Err(Error::Codec(_))));
+}
+
+/// Every truncation of a batched Append frame is incomplete or an error —
+/// never a shorter batch silently decoded as complete.
+#[test]
+fn batched_append_truncations_total() {
+    let frame = encode_frame(&Message::AppendEntry(AppendEntryMsg {
+        term: Term(3),
+        leader: NodeId(0),
+        entries: entry_run(1, 8),
+        leader_commit: LogIndex(0),
+        verification: None,
+        relay_to: vec![],
+    }));
+    for cut in 0..frame.len() {
+        match decode_frame::<Message>(&frame[..cut]) {
+            Ok(None) | Err(Error::Codec(_)) => {}
+            Ok(Some(_)) => panic!("decoded a value from a truncated batch (cut={cut})"),
+            Err(e) => panic!("unexpected error class: {e}"),
+        }
+    }
+    // The shared (zero-copy) decode path must be equally total.
+    for cut in 0..frame.len() {
+        let view = Bytes::copy_from_slice(&frame[..cut]);
+        match wire::decode_frame_shared::<Message>(&view, wire::MAX_FRAME_LEN) {
+            Ok(None) | Err(Error::Codec(_)) => {}
+            Ok(Some(_)) => panic!("shared decode of a truncated batch (cut={cut})"),
+            Err(e) => panic!("unexpected error class: {e}"),
+        }
+    }
+}
+
+/// A hostile entry count in an Append frame fails fast: both a count that
+/// exceeds the frame and a count over the batch cap (with plausible bytes
+/// behind it) are rejected without building the oversized batch.
+#[test]
+fn hostile_append_entry_counts_rejected() {
+    // Count far beyond the frame's bytes.
+    let mut w = wire::Writer::new();
+    w.u8(0); // Message::AppendEntry tag
+    Term(3).encode(&mut w);
+    NodeId(0).encode(&mut w);
+    w.u32(u32::MAX); // entry count
+    let body = w.into_bytes();
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&nbr_types::checksum::crc32(&body).to_le_bytes());
+    frame.extend_from_slice(&body);
+    assert!(matches!(decode_frame::<Message>(&frame), Err(Error::Codec(_))));
+
+    // A structurally valid batch one past MAX_APPEND_BATCH.
+    let over = Message::AppendEntry(AppendEntryMsg {
+        term: Term(3),
+        leader: NodeId(0),
+        entries: entry_run(1, MAX_APPEND_BATCH + 1),
+        leader_commit: LogIndex(0),
+        verification: None,
+        relay_to: vec![],
+    });
+    assert!(matches!(decode_frame::<Message>(&encode_frame(&over)), Err(Error::Codec(_))));
+}
+
+/// A transport-tier frame cap applies to batched Append frames: batches
+/// that are individually legal but collectively oversized are refused by
+/// `decode_frame_capped` before the body is decoded.
+#[test]
+fn batched_append_respects_transport_cap() {
+    let msg = Message::AppendEntry(AppendEntryMsg {
+        term: Term(3),
+        leader: NodeId(0),
+        entries: (0..16u64)
+            .map(|i| Entry {
+                index: LogIndex(1 + i),
+                term: Term(3),
+                prev_term: Term(if i == 0 { 2 } else { 3 }),
+                origin: None,
+                payload: Payload::Data(Bytes::from(vec![0xAB; 8 << 10])),
+            })
+            .collect(),
+        leader_commit: LogIndex(0),
+        verification: None,
+        relay_to: vec![],
+    });
+    let frame = encode_frame(&msg);
+    assert!(frame.len() > 64 << 10);
+    assert!(decode_frame_capped::<Message>(&frame, frame.len()).unwrap().is_some());
+    assert!(matches!(decode_frame_capped::<Message>(&frame, 64 << 10), Err(Error::Codec(_))));
 }
 
 /// Reader primitives are themselves total over random short buffers.

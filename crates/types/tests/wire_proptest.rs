@@ -84,21 +84,43 @@ fn arb_verification() -> impl Strategy<Value = Option<Verification>> {
     )
 }
 
+/// A contiguous entry run (the decoder rejects anything else): later entries
+/// extend the first by index with a matching `prev_term` chain.
+fn arb_entry_run() -> impl Strategy<Value = Vec<Entry>> {
+    (arb_entry(), proptest::collection::vec(arb_payload(), 0..4)).prop_map(|(first, tails)| {
+        let mut entries = vec![first];
+        for payload in tails {
+            let prev = entries.last().unwrap();
+            entries.push(Entry {
+                index: prev.index.next(),
+                term: prev.term,
+                prev_term: prev.term,
+                origin: None,
+                payload,
+            });
+        }
+        entries
+    })
+}
+
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
         (
             arb_term(),
             arb_node(),
-            arb_entry(),
+            arb_entry_run(),
             arb_index(),
             arb_verification(),
             proptest::collection::vec(arb_node(), 0..4)
         )
-            .prop_map(|(term, leader, entry, leader_commit, verification, relay_to)| {
+            .prop_map(|(term, leader, entries, leader_commit, verification, relay_to)| {
+                // Verification only rides on single-entry messages; the
+                // decoder rejects it on batches.
+                let verification = if entries.len() == 1 { verification } else { None };
                 Message::AppendEntry(AppendEntryMsg {
                     term,
                     leader,
-                    entry,
+                    entries,
                     leader_commit,
                     verification,
                     relay_to,

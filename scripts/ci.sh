@@ -67,4 +67,14 @@ fi
 step "net smoke (3-process loopback cluster)"
 ./scripts/net_smoke.sh
 
+# Short batched-replication benchmark over real sockets: window=0 vs
+# windowed, with commit p50/p99 latency. The full comparison (defaults:
+# 10ms RTT, 2% loss, 3s per run) is a release-bench concern; this smoke
+# only proves the harness runs end-to-end and archives the latency
+# percentiles for the commit under test.
+step "bench-net --compare smoke (latency percentiles)"
+./target/release/nbraft-cli bench-net --compare --clients 8 --seconds 1 \
+    --rtt-ms 2 --window 64 \
+    | tee target/ci-artifacts/bench-net-compare.txt
+
 printf '\nci.sh: all checks passed\n'
