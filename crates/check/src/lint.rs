@@ -27,10 +27,21 @@
 //!   any shared lock; holding one across a socket write would let a slow
 //!   peer stall every thread contending for that lock. Guards released
 //!   with an explicit `drop(guard)` or a closed block are fine.
+//! * **L6** — no lock-order cycles in `cluster` and `net`. Every `.lock()`
+//!   reached while another guard is live contributes a `held → acquired`
+//!   edge to one workspace-wide acquisition graph (lock identity is the
+//!   locked field/binding name); a cycle in that graph is a deadlock
+//!   waiting for the right thread interleaving, so every edge on a cycle
+//!   is reported at its acquisition site. Nested acquisition in one global
+//!   order is fine — only cycles are flagged.
 //!
 //! A finding can be suppressed per line with a trailing
 //! `// check:allow(L1): justification` comment. The justification is
-//! mandatory: a suppression without one is itself a violation.
+//! mandatory: a suppression without one is itself a violation. A
+//! justified allow whose rule can no longer fire on that line (the rule
+//! does not apply to the crate, the line sits in a `#[cfg(test)]` module,
+//! or the pattern is simply gone) is *stale* and is itself reported, so
+//! escape hatches cannot outlive the code they excused.
 //!
 //! `#[cfg(test)]` modules are skipped entirely (tests may unwrap freely),
 //! as are comments and string literals.
@@ -64,8 +75,9 @@ const L2_SCOPE: &[&str] = &["core", "cluster", "storage", "net"];
 const L3_SCOPE: &[&str] = &["core", "obs", "sim", "types", "net"];
 const L4_SCOPE: &[&str] = &["core", "cluster", "storage", "net"];
 const L5_SCOPE: &[&str] = &["cluster", "net"];
+const L6_SCOPE: &[&str] = &["cluster", "net"];
 
-const KNOWN_RULES: &[&str] = &["L1", "L2", "L3", "L4", "L5"];
+const KNOWN_RULES: &[&str] = &["L1", "L2", "L3", "L4", "L5", "L6"];
 
 /// Newtype field-name suffixes whose raw `.0` arithmetic L4 flags.
 const L4_SUFFIXES: &[&str] = &["index", "idx", "term"];
@@ -91,12 +103,18 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Violation>, String> {
     }
     files.sort();
     let mut out = Vec::new();
+    let mut sources: Vec<(String, String, String)> = Vec::new();
     for (crate_name, path) in files {
         let text = fs::read_to_string(&path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         let rel = path.strip_prefix(root).unwrap_or(&path).display().to_string();
         out.extend(lint_source(&crate_name, &rel, &text));
+        sources.push((crate_name, rel, text));
     }
+    // L6 spans files: the acquisition graph is workspace-wide.
+    let refs: Vec<(&str, &str, &str)> =
+        sources.iter().map(|(c, f, t)| (c.as_str(), f.as_str(), t.as_str())).collect();
+    out.extend(lint_lock_order(&refs));
     Ok(out)
 }
 
@@ -167,60 +185,340 @@ pub fn lint_source(crate_name: &str, file: &str, text: &str) -> Vec<Violation> {
                 });
             }
         }
-        if test_lines.get(i).copied().unwrap_or(false) {
-            continue; // inside #[cfg(test)]
-        }
-        let Some(code) = blanked_lines.get(i) else { continue };
-        let allowed = |rule: &str| allows.iter().any(|a| a.rule == rule && a.justified);
-        let mut push = |rule: &'static str, msg: String| {
-            if !allowed(rule) {
-                out.push(Violation { file: file.to_string(), line: lineno, rule, msg });
+        let in_test = test_lines.get(i).copied().unwrap_or(false);
+        // Raw findings for this line, before suppression — also the ground
+        // truth the stale-allow check compares directives against.
+        let mut raw_findings: Vec<(&'static str, String)> = Vec::new();
+        let code = blanked_lines.get(i).copied().unwrap_or("");
+        if !in_test {
+            let mut push = |rule: &'static str, msg: String| raw_findings.push((rule, msg));
+            if l1 {
+                if code.contains(".unwrap()") {
+                    push("L1", "`.unwrap()` in protocol code; return a typed error".into());
+                }
+                if code.contains(".expect(") {
+                    push("L1", "`.expect(...)` in protocol code; return a typed error".into());
+                }
+                if code.contains("panic!(") {
+                    push("L1", "`panic!` in protocol code; return a typed error".into());
+                }
             }
-        };
-        if l1 {
-            if code.contains(".unwrap()") {
-                push("L1", "`.unwrap()` in protocol code; return a typed error".into());
+            if l2 && has_wildcard_arm(code) {
+                push("L2", "wildcard `_ =>` arm; dispatch matches must be exhaustive".into());
             }
-            if code.contains(".expect(") {
-                push("L1", "`.expect(...)` in protocol code; return a typed error".into());
+            if l3 {
+                for pat in ["Instant::now", "SystemTime::now", "thread::sleep"] {
+                    if code.contains(pat) {
+                        push(
+                            "L3",
+                            format!(
+                                "`{pat}` in a deterministic path; time must come from the harness"
+                            ),
+                        );
+                    }
+                }
             }
-            if code.contains("panic!(") {
-                push("L1", "`panic!` in protocol code; return a typed error".into());
-            }
-        }
-        if l2 && has_wildcard_arm(code) {
-            push("L2", "wildcard `_ =>` arm; dispatch matches must be exhaustive".into());
-        }
-        if l3 {
-            for pat in ["Instant::now", "SystemTime::now", "thread::sleep"] {
-                if code.contains(pat) {
+            if l4 {
+                if let Some(ident) = unchecked_newtype_arith(code) {
                     push(
-                        "L3",
-                        format!("`{pat}` in a deterministic path; time must come from the harness"),
+                        "L4",
+                        format!(
+                            "raw `+`/`-` on `{ident}.0`; use the LogIndex/Term wrappers (next/prev/plus/diff)"
+                        ),
                     );
                 }
             }
-        }
-        if l4 {
-            if let Some(ident) = unchecked_newtype_arith(code) {
+            for (_, guard) in l5_hits.iter().filter(|(at, _)| *at == i) {
                 push(
-                    "L4",
+                    "L5",
                     format!(
-                        "raw `+`/`-` on `{ident}.0`; use the LogIndex/Term wrappers (next/prev/plus/diff)"
+                        "blocking transport write while `.lock()` guard `{guard}` is live; drop the guard before I/O"
                     ),
                 );
             }
         }
-        for (_, guard) in l5_hits.iter().filter(|(at, _)| *at == i) {
-            push(
-                "L5",
-                format!(
-                    "blocking transport write while `.lock()` guard `{guard}` is live; drop the guard before I/O"
-                ),
-            );
+        let mut used: Vec<&str> = Vec::new();
+        for (rule, msg) in raw_findings {
+            if allows.iter().any(|a| a.rule == rule && a.justified) {
+                used.push(rule);
+            } else {
+                out.push(Violation { file: file.to_string(), line: lineno, rule, msg });
+            }
+        }
+        // A justified allow that excuses nothing is stale: the code it
+        // covered is gone, the crate left the rule's scope, or the line
+        // moved into a #[cfg(test)] module. L6 allows are checked by the
+        // workspace-wide lock-order pass instead.
+        for a in &allows {
+            if a.known && a.justified && a.rule != "L6" && !used.contains(&a.rule.as_str()) {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: lineno,
+                    rule: "SUPPRESS",
+                    msg: format!(
+                        "stale check:allow({}): no {} finding on this line; drop the directive",
+                        a.rule, a.rule
+                    ),
+                });
+            }
         }
     }
     out
+}
+
+/// One `held → acquired` lock-acquisition edge, at its acquisition site.
+#[derive(Debug, Clone)]
+struct LockEdge {
+    held: String,
+    acquired: String,
+    file: String,
+    line: usize,
+    allowed: bool,
+}
+
+/// L6: build the workspace-wide lock-acquisition graph and flag every edge
+/// that sits on a cycle. Also reports stale `check:allow(L6)` directives
+/// (lines that contribute no nested acquisition, or crates out of scope).
+fn lint_lock_order(files: &[(&str, &str, &str)]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut edges: Vec<LockEdge> = Vec::new();
+    for &(crate_name, file, text) in files {
+        let in_scope = L6_SCOPE.contains(&crate_name);
+        let raw_lines: Vec<&str> = text.lines().collect();
+        let blanked = blank_comments_and_strings(text);
+        let blanked_lines: Vec<&str> = blanked.lines().collect();
+        let test_lines = cfg_test_lines(&blanked);
+        let file_edges =
+            if in_scope { lock_acquisition_edges(&blanked_lines, &test_lines) } else { Vec::new() };
+        for (i, raw) in raw_lines.iter().enumerate() {
+            let has_edge = file_edges.iter().any(|&(at, _, _)| at == i);
+            for a in parse_allows(raw) {
+                if a.rule == "L6" && a.justified && a.known && !has_edge {
+                    out.push(Violation {
+                        file: file.to_string(),
+                        line: i + 1,
+                        rule: "SUPPRESS",
+                        msg: if in_scope {
+                            "stale check:allow(L6): no nested lock acquisition on this line; \
+                             drop the directive"
+                                .into()
+                        } else {
+                            format!(
+                                "stale check:allow(L6): crate `{crate_name}` is outside L6 scope"
+                            )
+                        },
+                    });
+                }
+            }
+        }
+        for (i, held, acquired) in file_edges {
+            let allowed = raw_lines
+                .get(i)
+                .map(|raw| parse_allows(raw).iter().any(|a| a.rule == "L6" && a.justified))
+                .unwrap_or(false);
+            edges.push(LockEdge { held, acquired, file: file.to_string(), line: i + 1, allowed });
+        }
+    }
+    // Cycle detection over lock names: an edge is a violation iff both its
+    // endpoints sit in one strongly connected component (including the
+    // self-loop case of re-acquiring a lock already held).
+    let cyclic = cyclic_lock_names(&edges);
+    for e in &edges {
+        let on_cycle = e.held == e.acquired
+            || cyclic.iter().any(|scc| scc.contains(&e.held) && scc.contains(&e.acquired));
+        if on_cycle && !e.allowed {
+            out.push(Violation {
+                file: e.file.clone(),
+                line: e.line,
+                rule: "L6",
+                msg: if e.held == e.acquired {
+                    format!("lock `{}` re-acquired while already held (self-deadlock)", e.acquired)
+                } else {
+                    format!(
+                        "lock-order cycle: `{}` acquired while `{}` is held, but the reverse \
+                         order also exists; pick one global order",
+                        e.acquired, e.held
+                    )
+                },
+            });
+        }
+    }
+    out
+}
+
+/// Scan one file for nested lock acquisitions: returns
+/// `(line index, held lock name, acquired lock name)` per edge. Guard
+/// tracking mirrors [`lock_held_writes`]: `let`-bound guards live until
+/// their block closes or an explicit `drop(guard)`; bare `.lock()`
+/// temporaries emit edges but are never held past their own statement.
+fn lock_acquisition_edges(
+    blanked_lines: &[&str],
+    test_lines: &[bool],
+) -> Vec<(usize, String, String)> {
+    let mut depth: i32 = 0;
+    // (binding ident, lock name, binding depth)
+    let mut guards: Vec<(String, String, i32)> = Vec::new();
+    let mut out = Vec::new();
+    for (i, line) in blanked_lines.iter().enumerate() {
+        if test_lines.get(i).copied().unwrap_or(false) {
+            // cfg(test) bodies still contribute to brace depth so guard
+            // scopes stay aligned, but no guards or edges come from them.
+            for ch in line.bytes() {
+                match ch {
+                    b'{' => depth += 1,
+                    b'}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            guards.retain(|&(_, _, d)| depth >= d);
+            continue;
+        }
+        if let Some(pos) = line.find("drop(") {
+            let arg = line[pos + "drop(".len()..]
+                .split(')')
+                .next()
+                .unwrap_or("")
+                .trim()
+                .trim_start_matches("&mut ")
+                .trim_start_matches('&');
+            guards.retain(|(g, _, _)| g != arg);
+        }
+        let binding = let_binding_ident(line);
+        let mut first_on_line = true;
+        let mut from = 0usize;
+        while let Some(pos) = line[from..].find(".lock()") {
+            let at = from + pos;
+            from = at + ".lock()".len();
+            let Some(name) = lock_name_before(line, at) else { continue };
+            for (_, held, _) in &guards {
+                out.push((i, held.clone(), name.clone()));
+            }
+            // Only the first acquisition can be the `let`-bound one; later
+            // `.lock()`s on the same line are temporaries.
+            if first_on_line {
+                if let Some(b) = &binding {
+                    guards.push((b.clone(), name, depth));
+                }
+            }
+            first_on_line = false;
+        }
+        for ch in line.bytes() {
+            match ch {
+                b'{' => depth += 1,
+                b'}' => depth -= 1,
+                _ => {}
+            }
+        }
+        guards.retain(|&(_, _, d)| depth >= d);
+    }
+    out
+}
+
+/// The lock's identity: the last path segment before `.lock()` — a field
+/// name like `routes` in `self.routes.lock()`, skipping one balanced call
+/// group for accessor styles like `self.route_for(id).lock()`.
+fn lock_name_before(line: &str, lock_at: usize) -> Option<String> {
+    let b = line.as_bytes();
+    let mut j = lock_at;
+    if j > 0 && b[j - 1] == b')' {
+        let mut depth = 0;
+        while j > 0 {
+            j -= 1;
+            match b[j] {
+                b')' => depth += 1,
+                b'(' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let end = j;
+    let mut start = end;
+    while start > 0 && (b[start - 1].is_ascii_alphanumeric() || b[start - 1] == b'_') {
+        start -= 1;
+    }
+    if start == end {
+        return None;
+    }
+    Some(line[start..end].to_string())
+}
+
+/// Strongly connected components (size ≥ 2) of the lock-name graph.
+fn cyclic_lock_names(edges: &[LockEdge]) -> Vec<Vec<String>> {
+    use std::collections::BTreeMap;
+    let mut names: Vec<String> = Vec::new();
+    let mut id_of: BTreeMap<&str, usize> = BTreeMap::new();
+    for e in edges {
+        for n in [&e.held, &e.acquired] {
+            if !id_of.contains_key(n.as_str()) {
+                id_of.insert(n.as_str(), names.len());
+                names.push(n.clone());
+            }
+        }
+    }
+    let n = names.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in edges {
+        adj[id_of[e.held.as_str()]].push(id_of[e.acquired.as_str()]);
+    }
+    // Iterative Tarjan, mirroring the model checker's liveness pass.
+    const UNSET: usize = usize::MAX;
+    let mut index = vec![UNSET; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut scc_stack: Vec<usize> = Vec::new();
+    let mut next = 0usize;
+    let mut sccs = Vec::new();
+    let mut call: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != UNSET {
+            continue;
+        }
+        index[root] = next;
+        low[root] = next;
+        next += 1;
+        scc_stack.push(root);
+        on_stack[root] = true;
+        call.push((root, 0));
+        while let Some(&mut (v, ref mut pos)) = call.last_mut() {
+            if let Some(&w) = adj[v].get(*pos) {
+                *pos += 1;
+                if index[w] == UNSET {
+                    index[w] = next;
+                    low[w] = next;
+                    next += 1;
+                    scc_stack.push(w);
+                    on_stack[w] = true;
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut members = Vec::new();
+                    while let Some(w) = scc_stack.pop() {
+                        on_stack[w] = false;
+                        members.push(names[w].clone());
+                        if w == v {
+                            break;
+                        }
+                    }
+                    if members.len() >= 2 {
+                        sccs.push(members);
+                    }
+                }
+            }
+        }
+    }
+    sccs
 }
 
 /// L5 scanner: walk blanked source lines tracking `let`-bound `.lock()`
@@ -680,6 +978,106 @@ mod tests {
         // An L1 allow does not silence an L2 finding on the same line.
         let src = "_ => y.unwrap(), // check:allow(L1): legacy shim pending rewrite";
         assert_eq!(rules("core", src), vec!["L2"]);
+    }
+
+    #[test]
+    fn stale_allow_is_flagged() {
+        // The unwrap is gone but the directive lingers.
+        let gone = "let x = y.clone(); // check:allow(L1): used to unwrap here";
+        let v = lint_source("core", "t.rs", gone);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "SUPPRESS");
+        assert!(v[0].msg.contains("stale"), "{}", v[0].msg);
+        // Out-of-scope crate: L1 does not run in sim, so the allow is dead.
+        let scope = "let x = y.unwrap(); // check:allow(L1): sim is allowed to die";
+        assert_eq!(rules("sim", scope), vec!["SUPPRESS"]);
+        // Inside #[cfg(test)] the rules are off; the allow excuses nothing.
+        let test_mod =
+            "#[cfg(test)]\nmod tests {\n  fn f() { x.unwrap(); // check:allow(L1): why\n  }\n}\n";
+        assert_eq!(rules("core", test_mod), vec!["SUPPRESS"]);
+        // A live allow is not stale.
+        let live = "let x = y.unwrap(); // check:allow(L1): startup, abort is correct";
+        assert!(rules("core", live).is_empty());
+    }
+
+    fn l6(files: &[(&str, &str)]) -> Vec<Violation> {
+        let with_names: Vec<(&str, &str, &str)> =
+            files.iter().map(|&(c, t)| (c, "t.rs", t)).collect();
+        lint_lock_order(&with_names)
+    }
+
+    #[test]
+    fn l6_flags_lock_order_cycle() {
+        // One function takes a → b, another b → a: classic ABBA deadlock.
+        let src = "fn f() {\n  let g = self.routes.lock();\n  let h = self.peers.lock();\n}\n\
+                   fn g() {\n  let h = self.peers.lock();\n  let g = self.routes.lock();\n}\n";
+        let v = l6(&[("net", src)]);
+        assert_eq!(v.iter().filter(|v| v.rule == "L6").count(), 2, "{v:?}");
+        assert!(v[0].msg.contains("cycle"), "{}", v[0].msg);
+    }
+
+    #[test]
+    fn l6_cycle_across_crates_is_found() {
+        // The graph is workspace-wide: cluster takes routes → peers, net
+        // takes peers → routes.
+        let a = "fn f() {\n  let g = self.routes.lock();\n  let h = self.peers.lock();\n}\n";
+        let b = "fn g() {\n  let h = self.peers.lock();\n  let g = self.routes.lock();\n}\n";
+        let v = l6(&[("cluster", a), ("net", b)]);
+        assert_eq!(v.iter().filter(|v| v.rule == "L6").count(), 2, "{v:?}");
+    }
+
+    #[test]
+    fn l6_nested_in_one_global_order_is_clean() {
+        let src = "fn f() {\n  let g = self.routes.lock();\n  let h = self.peers.lock();\n}\n\
+                   fn g() {\n  let g = self.routes.lock();\n  let h = self.peers.lock();\n}\n";
+        assert!(l6(&[("net", src)]).is_empty());
+    }
+
+    #[test]
+    fn l6_self_reacquire_is_flagged() {
+        let src = "fn f() {\n  let g = self.routes.lock();\n  self.routes.lock().clear();\n}\n";
+        let v = l6(&[("net", src)]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].msg.contains("self-deadlock"), "{}", v[0].msg);
+    }
+
+    #[test]
+    fn l6_released_guard_breaks_the_edge() {
+        let dropped = "fn f() {\n  let g = self.routes.lock();\n  drop(g);\n  \
+                       let h = self.peers.lock();\n}\n\
+                       fn g() {\n  let h = self.peers.lock();\n  let g = self.routes.lock();\n}\n";
+        assert!(l6(&[("net", dropped)]).is_empty(), "dropped guard holds no order");
+        let scoped = "fn f() {\n  {\n    let g = self.routes.lock();\n  }\n  \
+                      let h = self.peers.lock();\n}\n\
+                      fn g() {\n  let h = self.peers.lock();\n  let g = self.routes.lock();\n}\n";
+        assert!(l6(&[("net", scoped)]).is_empty(), "closed block releases the guard");
+    }
+
+    #[test]
+    fn l6_allow_and_stale_allow() {
+        let allowed = "fn f() {\n  let g = self.routes.lock();\n  \
+                       let h = self.peers.lock(); // check:allow(L6): init order, single-threaded\n}\n\
+                       fn g() {\n  let h = self.peers.lock();\n  let g = self.routes.lock();\n}\n";
+        let v = l6(&[("net", allowed)]);
+        // The allowed edge is silenced; the reverse edge still reports.
+        assert_eq!(v.iter().filter(|v| v.rule == "L6").count(), 1, "{v:?}");
+        let stale = "fn f() {\n  let x = 1; // check:allow(L6): nothing locked here\n}\n";
+        let v = l6(&[("net", stale)]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].msg.contains("stale check:allow(L6)"), "{}", v[0].msg);
+        let wrong_crate =
+            "fn f() {\n  let g = a.lock();\n  let h = b.lock(); // check:allow(L6): why\n}\n";
+        let v = l6(&[("core", wrong_crate)]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].msg.contains("outside L6 scope"), "{}", v[0].msg);
+    }
+
+    #[test]
+    fn l6_ignores_cfg_test_modules() {
+        let src = "#[cfg(test)]\nmod tests {\n  fn f() {\n    let g = a.lock();\n    \
+                   let h = b.lock();\n  }\n  fn g() {\n    let h = b.lock();\n    \
+                   let g = a.lock();\n  }\n}\n";
+        assert!(l6(&[("net", src)]).is_empty());
     }
 
     #[test]

@@ -1,0 +1,241 @@
+//! Liveness under fairness: every issued op is eventually `Confirmed` once
+//! the network heals and a leader is stable.
+//!
+//! The safety explorer captures the full quotient state graph (POR off —
+//! pruned edges would leave holes and make reachability unsound; symmetry
+//! and channel canonicalization are bisimulations, so reachability over the
+//! quotient equals reachability over the full graph). Two passes run over
+//! it:
+//!
+//! * **Accepting cycles** (Tarjan SCC): a non-trivial strongly connected
+//!   component whose states all still have pending ops is a potential
+//!   livelock — the system can cycle forever without confirming. Under the
+//!   fairness assumption such a cycle is only a *violation* if it has no
+//!   escape to a confirming state, which the reachability pass decides; the
+//!   SCC count is reported so a vacuous pass (no cycles at all in the graph)
+//!   is visible.
+//! * **Backward reachability** from the target set (`confirmed == issued`):
+//!   a state with pending ops that *cannot* reach any target state can never
+//!   confirm under any schedule — if its fairness budgets still allow repair
+//!   (an election, a heartbeat, and a client action remain), that is a
+//!   genuine liveness violation. Pending states that cannot reach a target
+//!   but have exhausted their fairness budgets are excused wedges of the
+//!   bounded world (e.g. the final Strong response was dropped and the
+//!   client is out of actions) and are only counted.
+//!
+//! Truncation is handled by **frontier censoring**: states the explorer
+//! generated but never expanded (state cap reached) have unknown outgoing
+//! behaviour, so any pending state that can reach the frontier gets a
+//! *censored* verdict rather than a violation. A violation is declared only
+//! for a pending, fair state whose entire forward cone was explored and
+//! contains no confirming state — sound whether or not the run exhausted.
+//! Censoring weakens coverage, never soundness: raise `--max-states` to
+//! shrink the censored count.
+
+use super::explore::{explore, ExploreOpts, Graph, StateMeta};
+use super::{ModelConfig, ModelViolation, Phase};
+
+/// Result of one liveness run.
+pub struct LivenessStats {
+    /// Distinct states in the captured graph.
+    pub states: usize,
+    /// States with pending (issued, unconfirmed) ops.
+    pub pending: usize,
+    /// Target states (all issued ops confirmed).
+    pub targets: usize,
+    /// Generated-but-unexpanded states (the truncation frontier; 0 when the
+    /// run exhausted).
+    pub frontier: usize,
+    /// Pending states whose verdict is censored by the frontier: they reach
+    /// no explored target, but part of their forward cone is unexplored.
+    pub censored: usize,
+    /// Pending states that cannot reach a target or the frontier but are
+    /// excused by exhausted fairness budgets.
+    pub excused_wedges: usize,
+    /// Non-trivial SCCs whose states are all pending (potential livelocks,
+    /// all of which proved escapable under fairness).
+    pub pending_sccs: usize,
+    /// Safety exploration stats ride along.
+    pub explored_states: usize,
+    pub transitions: usize,
+    pub max_depth: u32,
+}
+
+impl LivenessStats {
+    /// The graph was fully explored (no truncation frontier, so no verdict
+    /// was censored).
+    pub fn exhausted(&self) -> bool {
+        self.frontier == 0
+    }
+}
+
+/// Run one liveness exploration. A truncated run stays sound: pending
+/// states that can reach the unexplored frontier are censored, not judged.
+pub(crate) fn check_liveness(
+    nodes: usize,
+    window: usize,
+    batch: usize,
+    phase: Phase,
+    cfg: &ModelConfig,
+) -> Result<LivenessStats, Box<ModelViolation>> {
+    let opts = ExploreOpts { reduce: true, por: false, capture_graph: true, depth_limit: None };
+    let run = explore(nodes, window, batch, phase, cfg, &opts)?;
+    let setting = format!("nodes={nodes} window={window} batch={batch} phase={}", phase.name);
+    let graph = run.graph.expect("capture_graph was requested");
+    let n = graph.states.len();
+    // Forward adjacency (for SCC) and reverse adjacency (for backward
+    // reachability from the escape sets).
+    let mut fwd: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut rev: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for &(a, b) in &graph.edges {
+        fwd[a as usize].push(b);
+        rev[b as usize].push(a);
+    }
+    let reach_from = |is_seed: &dyn Fn(&StateMeta) -> bool| {
+        let mut reached = vec![false; n];
+        let mut queue: Vec<u32> = Vec::new();
+        for (i, meta) in graph.states.iter().enumerate() {
+            if is_seed(meta) {
+                reached[i] = true;
+                queue.push(i as u32);
+            }
+        }
+        while let Some(v) = queue.pop() {
+            for &p in &rev[v as usize] {
+                if !reached[p as usize] {
+                    reached[p as usize] = true;
+                    queue.push(p);
+                }
+            }
+        }
+        reached
+    };
+    let reaches_target = reach_from(&|m| m.target);
+    let reaches_frontier = reach_from(&|m| !m.expanded);
+    let targets = graph.states.iter().filter(|m| m.target).count();
+    let frontier = graph.states.iter().filter(|m| !m.expanded).count();
+    // A pending state with a fully explored forward cone (no frontier
+    // reachable) and no path to a confirming state can never confirm under
+    // any schedule; if its fairness budgets still allow repair it is a
+    // violation, else an excused wedge. Frontier-reaching pending states
+    // are censored — part of their cone is unknown.
+    let mut excused = 0usize;
+    let mut censored = 0usize;
+    let mut pending = 0usize;
+    for (i, meta) in graph.states.iter().enumerate() {
+        if meta.pending {
+            pending += 1;
+        }
+        if meta.pending && !reaches_target[i] {
+            if reaches_frontier[i] {
+                censored += 1;
+            } else if meta.fair {
+                return Err(Box::new(ModelViolation {
+                    invariant: format!(
+                        "liveness: state {i} has pending ops, live fairness budgets, a fully \
+                         explored forward cone, and no path to a confirming state"
+                    ),
+                    setting,
+                    trace: trace_to(&graph, i as u32),
+                }));
+            } else {
+                excused += 1;
+            }
+        }
+    }
+    // SCC pass: count non-trivial all-pending components. Any that could
+    // not reach a target or the frontier was already reported above, so
+    // surviving ones are fairness-escapable livelocks — a statistic.
+    let pending_sccs = tarjan_pending_sccs(&fwd, &graph);
+    Ok(LivenessStats {
+        states: n,
+        pending,
+        targets,
+        frontier,
+        censored,
+        excused_wedges: excused,
+        pending_sccs,
+        explored_states: run.states,
+        transitions: run.transitions,
+        max_depth: run.max_depth,
+    })
+}
+
+fn trace_to(graph: &Graph, mut v: u32) -> Vec<String> {
+    let mut trace = Vec::new();
+    while let Some((parent, label)) = graph.parents.get(&v) {
+        trace.push(label.clone());
+        v = *parent;
+    }
+    trace.reverse();
+    trace
+}
+
+/// Iterative Tarjan; returns the number of non-trivial SCCs (size ≥ 2 or a
+/// self-loop) whose member states all have pending ops.
+fn tarjan_pending_sccs(fwd: &[Vec<u32>], graph: &Graph) -> usize {
+    let n = fwd.len();
+    const UNSET: u32 = u32::MAX;
+    let mut index = vec![UNSET; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut scc_stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut count = 0usize;
+    // Self-loops are not visible from SCC sizes; track them directly.
+    let mut self_loop = vec![false; n];
+    for (v, outs) in fwd.iter().enumerate() {
+        if outs.iter().any(|&o| o as usize == v) {
+            self_loop[v] = true;
+        }
+    }
+    // Explicit DFS stack: (vertex, next child position).
+    let mut call: Vec<(u32, usize)> = Vec::new();
+    for root in 0..n as u32 {
+        if index[root as usize] != UNSET {
+            continue;
+        }
+        call.push((root, 0));
+        index[root as usize] = next_index;
+        low[root as usize] = next_index;
+        next_index += 1;
+        scc_stack.push(root);
+        on_stack[root as usize] = true;
+        while let Some(&mut (v, ref mut pos)) = call.last_mut() {
+            if let Some(&w) = fwd[v as usize].get(*pos) {
+                *pos += 1;
+                if index[w as usize] == UNSET {
+                    index[w as usize] = next_index;
+                    low[w as usize] = next_index;
+                    next_index += 1;
+                    scc_stack.push(w);
+                    on_stack[w as usize] = true;
+                    call.push((w, 0));
+                } else if on_stack[w as usize] {
+                    low[v as usize] = low[v as usize].min(index[w as usize]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    low[parent as usize] = low[parent as usize].min(low[v as usize]);
+                }
+                if low[v as usize] == index[v as usize] {
+                    let mut members = Vec::new();
+                    while let Some(w) = scc_stack.pop() {
+                        on_stack[w as usize] = false;
+                        members.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    let nontrivial = members.len() >= 2
+                        || (members.len() == 1 && self_loop[members[0] as usize]);
+                    if nontrivial && members.iter().all(|&m| graph.states[m as usize].pending) {
+                        count += 1;
+                    }
+                }
+            }
+        }
+    }
+    count
+}

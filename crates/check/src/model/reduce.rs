@@ -1,0 +1,238 @@
+//! State-space reductions: canonical fingerprints under node-id rotation,
+//! channel-grouped wire hashing, and time translation.
+//!
+//! Three sound quotients are folded into one canonical fingerprint (the
+//! soundness arguments live in DESIGN §6 "Reductions and soundness"):
+//!
+//! * **Rotation symmetry** — node ids are interchangeable except for the
+//!   client's cyclic failover order (`rotate_target` walks the sorted
+//!   membership ring). Rotations of the id ring commute with every engine
+//!   step *and* with the client's successor function, so hashing each state
+//!   under all `n` rotations and keeping the minimum collapses
+//!   leader-relative renamings ("node 2 leads, client follows 2" ≡ "node 3
+//!   leads, client follows 3") into one canonical class. Arbitrary
+//!   permutations would *not* be sound: a transposition fixing the client's
+//!   target does not commute with the cyclic rotation it performs on a
+//!   `NotLeader` without hint.
+//! * **Channel grouping** — behavior depends on per-channel FIFO queues
+//!   only (deliverable set = first `REORDER_WINDOW` of each channel;
+//!   cross-step Append merging touches only a channel's newest frame), so
+//!   wires are hashed grouped by channel key instead of in global insertion
+//!   order. Interleavings of *different* channels in the `wires` vec are
+//!   behaviorally identical and now hash equal.
+//! * **Time translation** — the engine only compares instants and adds
+//!   deltas, never branches on absolute time, so every instant (timer
+//!   deadlines, client send times) is hashed relative to `now`. Two states
+//!   that differ by a uniform clock shift collapse.
+
+use super::state::{Wire, World};
+use nbr_types::{ClientResponse, Message, NodeId};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+/// The legacy fingerprint: identity renaming, absolute times, wires hashed
+/// in insertion order. This is the unreduced baseline that `--no-reduce`
+/// and the reduction-ratio report explore.
+pub(crate) fn raw_fingerprint(w: &World) -> u64 {
+    let mut h = DefaultHasher::new();
+    for n in &w.nodes {
+        n.fingerprint(&mut h);
+    }
+    w.crashed.hash(&mut h);
+    w.client.fingerprint(&mut h);
+    w.wires.hash(&mut h);
+    w.now.hash(&mut h);
+    common_tail(w, &identity, &mut h);
+    h.finish()
+}
+
+/// Canonical fingerprint: minimum over all rotations of the id ring, with
+/// channel-grouped wires and `now`-relative times.
+pub(crate) fn canonical_fingerprint(w: &World) -> u64 {
+    let n = w.n() as u32;
+    (0..n)
+        .map(|r| {
+            let map = move |id: NodeId| NodeId((id.0 - 1 + r) % n + 1);
+            fingerprint_under(w, &map)
+        })
+        .min()
+        .expect("at least one rotation")
+}
+
+fn identity(id: NodeId) -> NodeId {
+    id
+}
+
+/// Hash `w` under one renaming, grouped and time-shifted.
+fn fingerprint_under(w: &World, map: &dyn Fn(NodeId) -> NodeId) -> u64 {
+    let mut h = DefaultHasher::new();
+    let base = w.now;
+    // Replicas in mapped-id order, so the digest does not leak original ids
+    // through position.
+    let mut order: Vec<usize> = (0..w.n()).collect();
+    order.sort_unstable_by_key(|&i| map(w.nodes[i].id()).0);
+    for &i in &order {
+        w.nodes[i].fingerprint_mapped(&mut h, map, base);
+        w.crashed[i].hash(&mut h);
+    }
+    w.client.fingerprint_mapped(&mut h, map, base);
+    // Wires grouped per (mapped) channel, FIFO order within a channel.
+    let mut chans: BTreeMap<(u8, u32, u32), Vec<u64>> = BTreeMap::new();
+    for wire in &w.wires {
+        let mut wh = DefaultHasher::new();
+        hash_wire_mapped(wire, map, &mut wh);
+        let (kind, a, b) = wire.channel();
+        let key = match wire {
+            Wire::Node { from, to, .. } => (kind, map(*from).0, map(*to).0),
+            Wire::Req { to, .. } => (kind, a, map(*to).0),
+            Wire::Resp { from, .. } => (kind, map(*from).0, b),
+        };
+        chans.entry(key).or_default().push(wh.finish());
+    }
+    chans.hash(&mut h);
+    common_tail(w, map, &mut h);
+    h.finish()
+}
+
+/// The id-indexed history observables plus budgets, hashed under `map`
+/// (shared by the raw and canonical paths; `map` is the identity for raw).
+fn common_tail(w: &World, map: &dyn Fn(NodeId) -> NodeId, h: &mut DefaultHasher) {
+    w.ops_issued.hash(h);
+    (w.budget.dup, w.budget.drop, w.budget.crash).hash(h);
+    (w.budget.elections, w.budget.heartbeats, w.budget.client_ticks).hash(h);
+    let mapped_u32 = |id: u32| map(NodeId(id)).0;
+    let leaders: BTreeMap<u64, u32> = w.leaders.iter().map(|(&t, &n)| (t, mapped_u32(n))).collect();
+    leaders.hash(h);
+    w.committed.hash(h);
+    per_node_sorted(w, &w.commit_seen, map).hash(h);
+    w.applied_canon.hash(h);
+    per_node_sorted(w, &w.last_applied, map).hash(h);
+}
+
+fn per_node_sorted(w: &World, vals: &[u64], map: &dyn Fn(NodeId) -> NodeId) -> Vec<(u32, u64)> {
+    let mut v: Vec<(u32, u64)> =
+        vals.iter().enumerate().map(|(i, &x)| (map(w.nodes[i].id()).0, x)).collect();
+    v.sort_unstable();
+    v
+}
+
+/// Hash one wire with every embedded `NodeId` pushed through `map`.
+/// Exhaustive over message variants so a new id-carrying field cannot
+/// silently escape the renaming.
+fn hash_wire_mapped(wire: &Wire, map: &dyn Fn(NodeId) -> NodeId, h: &mut DefaultHasher) {
+    match wire {
+        Wire::Node { from, to, msg } => {
+            0u8.hash(h);
+            map(*from).hash(h);
+            map(*to).hash(h);
+            hash_message_mapped(msg, map, h);
+        }
+        Wire::Req { to, req } => {
+            1u8.hash(h);
+            map(*to).hash(h);
+            req.hash(h);
+        }
+        Wire::Resp { from, resp } => {
+            2u8.hash(h);
+            map(*from).hash(h);
+            match resp {
+                ClientResponse::NotLeader { request, hint } => {
+                    0u8.hash(h);
+                    request.hash(h);
+                    hint.map(map).hash(h);
+                }
+                other => {
+                    1u8.hash(h);
+                    other.hash(h);
+                }
+            }
+        }
+    }
+}
+
+fn hash_message_mapped(msg: &Message, map: &dyn Fn(NodeId) -> NodeId, h: &mut DefaultHasher) {
+    match msg {
+        Message::AppendEntry(m) => {
+            0u8.hash(h);
+            m.term.hash(h);
+            map(m.leader).hash(h);
+            m.entries.hash(h);
+            m.leader_commit.hash(h);
+            if let Some(v) = &m.verification {
+                v.digest.hash(h);
+                v.signature.hash(h);
+                let mut group: Vec<u32> = v.group.iter().map(|&n| map(n).0).collect();
+                group.sort_unstable();
+                group.hash(h);
+            }
+            let relay: Vec<u32> = m.relay_to.iter().map(|&n| map(n).0).collect();
+            relay.hash(h);
+        }
+        Message::AppendResp(m) => {
+            1u8.hash(h);
+            m.term.hash(h);
+            map(m.from).hash(h);
+            m.state.hash(h);
+        }
+        Message::Heartbeat(m) => {
+            2u8.hash(h);
+            m.term.hash(h);
+            map(m.leader).hash(h);
+            (m.last_index, m.last_term, m.leader_commit).hash(h);
+        }
+        Message::HeartbeatResp(m) => {
+            3u8.hash(h);
+            m.term.hash(h);
+            map(m.from).hash(h);
+            (m.last_index, m.last_term).hash(h);
+        }
+        Message::RequestVote(m) => {
+            4u8.hash(h);
+            m.term.hash(h);
+            map(m.candidate).hash(h);
+            (m.last_log_index, m.last_log_term).hash(h);
+        }
+        Message::RequestVoteResp(m) => {
+            5u8.hash(h);
+            m.term.hash(h);
+            map(m.from).hash(h);
+            m.granted.hash(h);
+        }
+        Message::PullFragments(m) => {
+            6u8.hash(h);
+            m.term.hash(h);
+            map(m.from).hash(h);
+            (m.from_index, m.to_index).hash(h);
+        }
+        Message::PushFragments(m) => {
+            7u8.hash(h);
+            m.term.hash(h);
+            map(m.from).hash(h);
+            m.fragments.hash(h);
+        }
+        Message::InstallSnapshot(m) => {
+            8u8.hash(h);
+            m.term.hash(h);
+            map(m.leader).hash(h);
+            (m.last_index, m.last_term, m.leader_commit).hash(h);
+            m.data.hash(h);
+        }
+        Message::InstallSnapshotResp(m) => {
+            9u8.hash(h);
+            m.term.hash(h);
+            map(m.from).hash(h);
+            m.last_index.hash(h);
+        }
+        Message::ReadIndexReq(m) => {
+            10u8.hash(h);
+            m.term.hash(h);
+            map(m.from).hash(h);
+            m.probe.hash(h);
+        }
+        Message::ReadIndexResp(m) => {
+            11u8.hash(h);
+            m.hash(h);
+        }
+    }
+}

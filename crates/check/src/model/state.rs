@@ -1,301 +1,218 @@
-//! Exhaustive-state safety checker for the NB-Raft engine.
-//!
-//! Drives the pure sans-I/O [`nbr_core::Node`] step functions over all
-//! interleavings of a small bounded world — three replicas, one closed-loop
-//! client, a handful of client operations — and asserts the paper's safety
-//! properties in every reachable state:
-//!
-//! * **ElectionSafety** — at most one leader per term.
-//! * **LogMatching** — two logs agreeing on the term at an index agree on
-//!   every entry up to that index.
-//! * **LeaderCompleteness** — a newly elected leader holds every entry that
-//!   was committed in any earlier term.
-//! * **StateMachineSafety** — no two replicas apply different entries at the
-//!   same index, and each replica applies in strict index order.
-//!
-//! plus three NB-Raft-specific invariants:
-//!
-//! * **NB-1** — window-cached entries are adjacency-consistent and only ever
-//!   flushed to the log in index order (checked via
-//!   [`nbr_core::SlidingWindow::adjacency_consistent`] and the strict-order
-//!   apply check).
-//! * **NB-2** — a leader replies `WEAK_ACCEPT` only while weak ∪ strong
-//!   acceptances form a true majority in its `VoteList` (or the entry has
-//!   already committed).
-//! * **NB-3** — the client `opList` retry after a leader change never loses
-//!   or double-applies an operation: every committed effect executes exactly
-//!   once per replica, and a strong confirmation implies the operation is
-//!   really committed.
-//!
-//! The world is explored depth-first with fingerprint deduplication —
-//! depth-first because complete executions (election → replication → commit
-//! → crash → re-election) live 30+ transitions deep, where a breadth-first
-//! frontier exhausts its state budget on shallow interleaving permutations
-//! long before anything commits. Nondeterminism is budgeted per the paper's
-//! failure model: bounded message reorder (a per-channel reorder window of
-//! 2, which generates all permutations over time), bounded duplication and
-//! loss, and at most one leader crash. Each window size `w ∈ {0, 1, 2}`
-//! runs three fault phases — `w = 0` is stock Raft, so the same properties
-//! double as a Raft conformance check. Every (window, phase) pair is
-//! additionally explored per append-batch cap `b ∈ {1, 2}`: each node's
-//! outbound Appends pass through [`nbr_core::coalesce_appends`] and, as in
-//! the replica loop's burst drain, may merge into the channel's newest
-//! still-queued frame — so multi-entry frames face the same reorder, dup,
-//! and loss adversary as singles. The report carries coverage counters
-//! (elections, commits, weak accepts, crashes observed) so a vacuous run is
-//! detectable.
+//! The explored world: replicas, client, network, budgets, and the history
+//! observables the invariants quantify over — plus the transition functions
+//! that enumerate and apply successor states.
 
+use super::Phase;
 use bytes::Bytes;
-use nbr_core::{ClientAction, Node, Output, RaftClient, Role};
+use nbr_core::{ClientAction, Node, Output, RaftClient};
 use nbr_storage::{LogStore, MemLog};
 use nbr_types::{
     ClientId, ClientRequest, ClientResponse, Entry, LogIndex, Message, NodeId, Protocol, Time,
     TimeDelta,
 };
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
 
-const N: usize = 3;
+/// Base RNG seed for every replica. The per-node id mix that
+/// [`nbr_core::Node::new`] applies is cancelled (`^ id * SEED_ID_MIX`) so all
+/// replicas draw identical jitter streams: replicas then differ only by id,
+/// which is what makes states equal under id renaming. Timer *choices* are
+/// explored nondeterministically anyway, so identical jitter loses no
+/// schedules.
+const MODEL_SEED: u64 = 42;
+
 /// Per-channel reorder window: how many queued messages of one channel are
 /// deliverable at once. 2 lets adjacent swaps accumulate into arbitrary
 /// permutations across steps while keeping the branching factor bounded.
-const REORDER_WINDOW: usize = 2;
+pub(crate) const REORDER_WINDOW: usize = 2;
 
-/// Fault budgets for one exploration phase.
-#[derive(Debug, Clone, Copy)]
-pub struct Phase {
-    /// Human-readable name for reports.
-    pub name: &'static str,
-    /// Client operations issued in total.
-    pub max_ops: u8,
-    /// Messages that may be duplicated.
-    pub dup: u8,
-    /// Messages that may be dropped.
-    pub drop: u8,
-    /// Leader crash-stops.
-    pub crash: u8,
-    /// Election-timeout firings.
-    pub elections: u8,
-    /// Leader heartbeat firings.
-    pub heartbeats: u8,
-    /// Client request-timeout firings.
-    pub client_ticks: u8,
-}
-
-/// The three standard phases: fault-free, lossy network, leader crash.
-pub fn standard_phases() -> Vec<Phase> {
-    vec![
-        Phase {
-            name: "fault-free",
-            max_ops: 2,
-            dup: 0,
-            drop: 0,
-            crash: 0,
-            elections: 1,
-            heartbeats: 2,
-            client_ticks: 0,
-        },
-        Phase {
-            name: "lossy-network",
-            max_ops: 2,
-            dup: 1,
-            drop: 1,
-            crash: 0,
-            elections: 1,
-            heartbeats: 1,
-            client_ticks: 1,
-        },
-        Phase {
-            name: "leader-crash",
-            max_ops: 2,
-            dup: 0,
-            drop: 0,
-            crash: 1,
-            elections: 2,
-            heartbeats: 2,
-            client_ticks: 2,
-        },
-    ]
-}
-
-/// Checker configuration.
-#[derive(Debug, Clone)]
-pub struct ModelConfig {
-    /// Window sizes to explore (`0` = stock Raft).
-    pub windows: Vec<usize>,
-    /// Append batch caps to explore (`1` = unbatched). Each cap coalesces a
-    /// node's outbound Appends through [`nbr_core::coalesce_appends`] and —
-    /// mirroring the replica loop's burst drain, where outputs of many
-    /// deliveries share one transport flush — merges new Appends into the
-    /// channel's newest still-queued frame, so batched frames face the same
-    /// adversarial reorder/dup/loss schedules as singles.
-    pub batches: Vec<usize>,
-    /// Distinct-state cap per (window, phase) run.
-    pub max_states_per_run: usize,
-    /// Overall distinct-state floor; fewer explored states fails the check.
-    pub min_states_total: usize,
-    /// Print per-run statistics.
-    pub verbose: bool,
-}
-
-impl ModelConfig {
-    /// Full-depth defaults.
-    pub fn full() -> ModelConfig {
-        ModelConfig {
-            windows: vec![0, 1, 2],
-            batches: vec![1, 2],
-            max_states_per_run: 40_000,
-            min_states_total: 10_000,
-            verbose: false,
-        }
-    }
-
-    /// CI-friendly defaults (smaller caps, same phases and properties).
-    pub fn quick() -> ModelConfig {
-        ModelConfig { max_states_per_run: 6_000, ..ModelConfig::full() }
-    }
-}
-
-/// What the exploration actually witnessed — guards against a vacuous model
-/// that never reaches the states the invariants quantify over.
+/// How often each invariant was actually evaluated — the per-invariant
+/// counters for the machine-readable stats (`--stats-out`). Monotone along a
+/// path and excluded from fingerprints; the explorer sums per-transition
+/// deltas so merged states do not double-count.
 #[derive(Debug, Default, Clone, Copy)]
-pub struct Coverage {
-    /// Most terms with an elected leader on any single path.
-    pub elections: usize,
-    /// Most committed entries on any single path.
-    pub commits: usize,
-    /// Highest applied index on any single path.
-    pub applies: u64,
-    /// WEAK_ACCEPT responses observed on any single path.
-    pub weak_accepts: u16,
-    /// Whether a leader crash was explored.
-    pub crashes: bool,
-    /// Largest entry count in any in-flight `AppendEntry` — proves the
-    /// batched runs actually delivered multi-entry frames.
-    pub append_batch: u8,
+pub struct Counts {
+    /// ElectionSafety evaluations (one per ElectedLeader output).
+    pub election_safety: u64,
+    /// LeaderCompleteness evaluations (per committed entry at election, plus
+    /// commit scans).
+    pub leader_completeness: u64,
+    /// LogMatching pairwise log comparisons.
+    pub log_matching: u64,
+    /// StateMachineSafety apply/commit agreement checks.
+    pub state_machine_safety: u64,
+    /// NB-1 window adjacency + strict apply order checks.
+    pub nb1: u64,
+    /// NB-2 weak-accept majority-backing checks.
+    pub nb2: u64,
+    /// NB-3 exactly-once / confirmed-is-committed checks.
+    pub nb3: u64,
 }
 
-impl Coverage {
-    fn fold(&mut self, w: &World) {
-        self.elections = self.elections.max(w.leaders.len());
-        self.commits = self.commits.max(w.committed.len());
-        self.applies = self.applies.max(w.last_applied.iter().copied().max().unwrap_or(0));
-        self.weak_accepts = self.weak_accepts.max(w.weak_seen);
-        self.crashes |= w.crashed.iter().any(|&c| c);
-        for wire in &w.wires {
-            if let Wire::Node { msg: Message::AppendEntry(m), .. } = wire {
-                self.append_batch = self.append_batch.max(m.entries.len() as u8);
-            }
+impl Counts {
+    /// `self - base`, fieldwise (counts are monotone within a transition).
+    pub fn delta(&self, base: &Counts) -> Counts {
+        Counts {
+            election_safety: self.election_safety - base.election_safety,
+            leader_completeness: self.leader_completeness - base.leader_completeness,
+            log_matching: self.log_matching - base.log_matching,
+            state_machine_safety: self.state_machine_safety - base.state_machine_safety,
+            nb1: self.nb1 - base.nb1,
+            nb2: self.nb2 - base.nb2,
+            nb3: self.nb3 - base.nb3,
         }
     }
 
-    fn merge(&mut self, other: Coverage) {
-        self.elections = self.elections.max(other.elections);
-        self.commits = self.commits.max(other.commits);
-        self.applies = self.applies.max(other.applies);
-        self.weak_accepts = self.weak_accepts.max(other.weak_accepts);
-        self.crashes |= other.crashes;
-        self.append_batch = self.append_batch.max(other.append_batch);
+    /// Accumulate `other` into `self`.
+    pub fn add(&mut self, other: &Counts) {
+        self.election_safety += other.election_safety;
+        self.leader_completeness += other.leader_completeness;
+        self.log_matching += other.log_matching;
+        self.state_machine_safety += other.state_machine_safety;
+        self.nb1 += other.nb1;
+        self.nb2 += other.nb2;
+        self.nb3 += other.nb3;
     }
-}
-
-/// Statistics from one full `run`.
-#[derive(Debug, Default, Clone)]
-pub struct ModelReport {
-    /// Distinct states across all runs.
-    pub distinct_states: usize,
-    /// Transitions taken across all runs.
-    pub transitions: usize,
-    /// Deepest state reached.
-    pub max_depth: u32,
-    /// Runs that hit `max_states_per_run` before exhausting.
-    pub truncated_runs: usize,
-    /// Aggregate coverage across all runs.
-    pub coverage: Coverage,
-    /// Per-run summaries `(window, batch, phase, states, exhausted)`.
-    pub runs: Vec<(usize, usize, &'static str, usize, bool)>,
-}
-
-/// A safety violation with the action trace that reaches it.
-#[derive(Debug, Clone)]
-pub struct ModelViolation {
-    /// Which invariant failed.
-    pub invariant: String,
-    /// Window size and phase of the failing run.
-    pub setting: String,
-    /// Action labels from the initial state to the violation.
-    pub trace: Vec<String>,
 }
 
 /// An in-flight transmission.
 #[derive(Debug, Clone, Hash)]
-enum Wire {
+pub(crate) enum Wire {
     /// Replica-to-replica protocol message.
     Node { from: NodeId, to: NodeId, msg: Message },
     /// Client request travelling to a replica.
     Req { to: NodeId, req: ClientRequest },
-    /// Replica response travelling to the client.
-    Resp { resp: ClientResponse },
+    /// Replica response travelling to the client. `from` keys the channel:
+    /// responses from different replicas ride different connections, so they
+    /// carry no cross-replica ordering.
+    Resp { from: NodeId, resp: ClientResponse },
 }
 
 impl Wire {
     /// Channel key for the per-channel reorder window.
-    fn channel(&self) -> (u8, u32, u32) {
+    pub(crate) fn channel(&self) -> (u8, u32, u32) {
         match self {
             Wire::Node { from, to, .. } => (0, from.0, to.0),
             Wire::Req { to, .. } => (1, 0, to.0),
-            Wire::Resp { .. } => (2, 0, 0),
+            Wire::Resp { from, .. } => (2, from.0, 0),
         }
     }
 
-    fn label(&self) -> String {
+    pub(crate) fn label(&self) -> String {
         match self {
             Wire::Node { from, to, msg } => format!("{} {}->{}", msg.kind(), from.0, to.0),
             Wire::Req { to, req } => format!("req#{} ->{}", req.request.0, to.0),
-            Wire::Resp { resp } => format!("resp:{} ->client", resp.kind()),
+            Wire::Resp { from, resp } => format!("resp:{} {}->client", resp.kind(), from.0),
         }
     }
+}
+
+/// Which sequential process a delivery steps — the basis of the POR
+/// independence relation (deliveries to distinct processes commute).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Proc {
+    Node(u32),
+    Client,
+}
+
+/// Identity of one deliverable wire, stable across the sibling expansions of
+/// a single state: deliveries on *other* channels only append to this
+/// channel's back, so (channel, offset-from-front) still names the same wire
+/// in the immediate successor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct DeliveryKey {
+    pub(crate) channel: (u8, u32, u32),
+    pub(crate) offset: usize,
+}
+
+/// What a successor transition is, for the explorer's POR bookkeeping.
+#[derive(Debug, Clone)]
+pub(crate) enum SuccKind {
+    /// Pure message delivery — participates in partial-order reduction.
+    Deliver {
+        key: DeliveryKey,
+        /// The process this delivery steps.
+        proc: Proc,
+        /// For the batched-append hazard: this wire is the newest frame of
+        /// its channel and an `AppendEntry`, so a delivery processed by the
+        /// channel's source node could merge into it.
+        append_tail_from: Option<u32>,
+    },
+    /// Everything else (faults, timers, client issue) — never reduced.
+    Other,
+}
+
+/// One enumerated successor.
+pub(crate) struct Succ {
+    pub(crate) label: String,
+    pub(crate) kind: SuccKind,
+    pub(crate) result: Result<World, String>,
+}
+
+/// Two deliveries commute unless they step the same process, or — with
+/// batching on — one is the mergeable tail of a channel whose source is the
+/// other's process (delivering the other first could grow or consume the
+/// frame this one names).
+pub(crate) fn independent(a: &SuccKind, b: &SuccKind) -> bool {
+    let (
+        SuccKind::Deliver { proc: pa, append_tail_from: ta, .. },
+        SuccKind::Deliver { proc: pb, append_tail_from: tb, .. },
+    ) = (a, b)
+    else {
+        return false;
+    };
+    if pa == pb {
+        return false;
+    }
+    let hazard = |tail: &Option<u32>, other: &Proc| match (tail, other) {
+        (Some(src), Proc::Node(n)) => src == n,
+        _ => false,
+    };
+    !hazard(ta, pb) && !hazard(tb, pa)
 }
 
 /// The complete explored state: replicas, client, network, budgets, and the
 /// history observables the invariants quantify over.
 #[derive(Clone)]
-struct World {
-    nodes: Vec<Node<MemLog>>,
-    crashed: [bool; N],
+pub(crate) struct World {
+    pub(crate) nodes: Vec<Node<MemLog>>,
+    pub(crate) crashed: Vec<bool>,
     /// Outbound Append coalescing cap applied to every node's outputs
     /// (`1` = unbatched; constant over a run, so excluded from fingerprints).
-    batch: usize,
-    client: RaftClient,
-    wires: Vec<Wire>,
-    now: Time,
-    ops_issued: u8,
-    budget: Phase,
-    depth: u32,
+    pub(crate) batch: usize,
+    pub(crate) client: RaftClient,
+    pub(crate) wires: Vec<Wire>,
+    pub(crate) now: Time,
+    pub(crate) ops_issued: u8,
+    pub(crate) budget: Phase,
+    pub(crate) depth: u32,
     // History observables.
     /// `term -> node` for every ElectedLeader output seen on this path.
-    leaders: BTreeMap<u64, u32>,
+    pub(crate) leaders: BTreeMap<u64, u32>,
     /// `index -> entry hash` for every committed entry on this path.
-    committed: BTreeMap<u64, u64>,
+    pub(crate) committed: BTreeMap<u64, u64>,
     /// Origins `(client, request)` of committed entries.
-    committed_origins: BTreeSet<(u64, u64)>,
+    pub(crate) committed_origins: BTreeSet<(u64, u64)>,
     /// Highest commit index already scanned per node.
-    commit_seen: [u64; N],
+    pub(crate) commit_seen: Vec<u64>,
     /// `index -> entry hash` of the first apply observed at that index.
-    applied_canon: BTreeMap<u64, u64>,
+    pub(crate) applied_canon: BTreeMap<u64, u64>,
     /// Last applied index observed per node (strict-order check).
-    last_applied: [u64; N],
+    pub(crate) last_applied: Vec<u64>,
     /// Per node: executed `(client, request)` effects (dedup mirror).
-    executed: [BTreeSet<(u64, u64)>; N],
+    pub(crate) executed: Vec<BTreeSet<(u64, u64)>>,
     /// Per node: highest executed request per client (the DedupTable rule).
-    dedup_max: [BTreeMap<u64, u64>; N],
+    pub(crate) dedup_max: Vec<BTreeMap<u64, u64>>,
     /// WEAK_ACCEPT responses seen on this path (coverage only; deliberately
     /// excluded from the fingerprint).
-    weak_seen: u16,
+    pub(crate) weak_seen: u16,
+    /// Invariant-evaluation counters (coverage only, excluded like
+    /// `weak_seen`).
+    pub(crate) counts: Counts,
 }
 
-fn entry_hash(e: &Entry) -> u64 {
+pub(crate) fn entry_hash(e: &Entry) -> u64 {
     let mut h = DefaultHasher::new();
     e.index.hash(&mut h);
     e.term.hash(&mut h);
@@ -305,19 +222,22 @@ fn entry_hash(e: &Entry) -> u64 {
 }
 
 impl World {
-    fn new(window: usize, phase: Phase, batch: usize) -> World {
-        let membership: Vec<NodeId> = (1..=N as u32).map(NodeId).collect();
+    pub(crate) fn new(n: usize, window: usize, phase: Phase, batch: usize) -> World {
+        let membership: Vec<NodeId> = (1..=n as u32).map(NodeId).collect();
         let cfg = Protocol::NbRaft.config(window);
-        let nodes = (1..=N as u32)
+        let nodes = (1..=n as u32)
             .map(|id| {
-                Node::new(NodeId(id), membership.clone(), cfg.clone(), MemLog::new(), id as u64)
+                // Cancel the constructor's id mix so replicas share one
+                // jitter stream (see MODEL_SEED).
+                let seed = MODEL_SEED ^ (id as u64).wrapping_mul(nbr_core::node::SEED_ID_MIX);
+                Node::new(NodeId(id), membership.clone(), cfg.clone(), MemLog::new(), seed)
             })
             .collect();
         let client =
             RaftClient::new(ClientId(1), membership, NodeId(1), TimeDelta::from_millis(150));
         World {
             nodes,
-            crashed: [false; N],
+            crashed: vec![false; n],
             batch,
             client,
             wires: Vec::new(),
@@ -328,36 +248,21 @@ impl World {
             leaders: BTreeMap::new(),
             committed: BTreeMap::new(),
             committed_origins: BTreeSet::new(),
-            commit_seen: [0; N],
+            commit_seen: vec![0; n],
             applied_canon: BTreeMap::new(),
-            last_applied: [0; N],
-            executed: Default::default(),
-            dedup_max: Default::default(),
+            last_applied: vec![0; n],
+            executed: vec![BTreeSet::new(); n],
+            dedup_max: vec![BTreeMap::new(); n],
             weak_seen: 0,
+            counts: Counts::default(),
         }
     }
 
-    fn fingerprint(&self) -> u64 {
-        let mut h = DefaultHasher::new();
-        for n in &self.nodes {
-            n.fingerprint(&mut h);
-        }
-        self.crashed.hash(&mut h);
-        self.client.fingerprint(&mut h);
-        self.wires.hash(&mut h);
-        self.now.hash(&mut h);
-        self.ops_issued.hash(&mut h);
-        (self.budget.dup, self.budget.drop, self.budget.crash).hash(&mut h);
-        (self.budget.elections, self.budget.heartbeats, self.budget.client_ticks).hash(&mut h);
-        self.leaders.hash(&mut h);
-        self.committed.hash(&mut h);
-        self.commit_seen.hash(&mut h);
-        self.applied_canon.hash(&mut h);
-        self.last_applied.hash(&mut h);
-        h.finish()
+    pub(crate) fn n(&self) -> usize {
+        self.nodes.len()
     }
 
-    fn node_index(&self, id: NodeId) -> usize {
+    pub(crate) fn node_index(&self, id: NodeId) -> usize {
         (id.0 - 1) as usize
     }
 
@@ -400,6 +305,7 @@ impl World {
                     // committed and the tuple was retired).
                     if let ClientResponse::Weak { index, .. } = resp {
                         self.weak_seen = self.weak_seen.saturating_add(1);
+                        self.counts.nb2 += 1;
                         let node = &self.nodes[n];
                         let backed = match node.vote_list().get(index) {
                             Some(tp) => tp.accepted_count() >= node.vote_list().quorum(),
@@ -412,11 +318,12 @@ impl World {
                             ));
                         }
                     }
-                    self.wires.push(Wire::Resp { resp });
+                    self.wires.push(Wire::Resp { from: self.nodes[n].id(), resp });
                 }
                 Output::Apply { entry } => self.observe_apply(n, &entry)?,
                 Output::ElectedLeader { term } => {
                     let id = self.nodes[n].id().0;
+                    self.counts.election_safety += 1;
                     if let Some(&prev) = self.leaders.get(&term.0) {
                         if prev != id {
                             return Err(format!(
@@ -429,6 +336,7 @@ impl World {
                     // LeaderCompleteness: every committed entry must be in
                     // the new leader's log, unchanged.
                     for (&idx, &hash) in &self.committed {
+                        self.counts.leader_completeness += 1;
                         match self.nodes[n].log().get(LogIndex(idx)) {
                             Some(e) if entry_hash(&e) == hash => {}
                             _ => {
@@ -456,6 +364,7 @@ impl World {
     /// at the apply stream of node `n`.
     fn observe_apply(&mut self, n: usize, entry: &Entry) -> Result<(), String> {
         let idx = entry.index.0;
+        self.counts.nb1 += 1;
         if idx != self.last_applied[n] + 1 {
             return Err(format!(
                 "NB-1: node {} applied index {idx} after {}; applies must be in strict index order",
@@ -465,6 +374,7 @@ impl World {
         }
         self.last_applied[n] = idx;
         let h = entry_hash(entry);
+        self.counts.state_machine_safety += 1;
         match self.applied_canon.get(&idx) {
             Some(&prev) if prev != h => {
                 return Err(format!(
@@ -477,6 +387,7 @@ impl World {
         }
         if let Some(origin) = entry.origin {
             let key = (origin.client.0, origin.request.0);
+            self.counts.nb3 += 1;
             let max = self.dedup_max[n].get(&key.0).copied().unwrap_or(0);
             if key.1 > max {
                 if !self.executed[n].insert(key) {
@@ -511,6 +422,7 @@ impl World {
                     // NB-3 (client side): a strong confirmation promises the
                     // operation is durably committed.
                     let key = (self.client.id().0, request.0);
+                    self.counts.nb3 += 1;
                     if !self.committed_origins.contains(&key) {
                         return Err(format!(
                             "NB-3: client confirmed request {} which is not committed anywhere",
@@ -525,17 +437,20 @@ impl World {
 
     /// Whole-state invariants after every transition.
     fn check_global(&mut self) -> Result<(), String> {
+        let n_nodes = self.n();
         // NB-1: windows stay adjacency-consistent.
         for (n, node) in self.nodes.iter().enumerate() {
+            self.counts.nb1 += 1;
             if !node.window().adjacency_consistent() {
                 return Err(format!("NB-1: node {} window lost adjacency consistency", n + 1));
             }
         }
         // Commit scan: record newly committed entries, check convergence.
-        for n in 0..N {
+        for n in 0..n_nodes {
             let commit = self.nodes[n].commit_index().0;
             while self.commit_seen[n] < commit {
                 let idx = self.commit_seen[n] + 1;
+                self.counts.leader_completeness += 1;
                 let Some(e) = self.nodes[n].log().get(LogIndex(idx)) else {
                     return Err(format!(
                         "LeaderCompleteness: node {} committed index {idx} but has no such entry",
@@ -543,6 +458,7 @@ impl World {
                     ));
                 };
                 let h = entry_hash(&e);
+                self.counts.state_machine_safety += 1;
                 if let Some(&prev) = self.committed.get(&idx) {
                     if prev != h {
                         return Err(format!(
@@ -559,8 +475,9 @@ impl World {
             }
         }
         // LogMatching, pairwise.
-        for a in 0..N {
-            for b in a + 1..N {
+        for a in 0..n_nodes {
+            for b in a + 1..n_nodes {
+                self.counts.log_matching += 1;
                 let (la, lb) = (self.nodes[a].log(), self.nodes[b].log());
                 let lo = la.first_index().0.max(lb.first_index().0);
                 let hi = la.last_index().0.min(lb.last_index().0);
@@ -599,29 +516,42 @@ impl World {
     /// first and explored once the progress subtrees are done. This way the
     /// first lineage under a state cap is a complete happy-path execution,
     /// with faults branching off every prefix of it.
-    fn successors(&self) -> Vec<(String, Result<World, String>)> {
+    pub(crate) fn successors(&self) -> Vec<Succ> {
+        let n_nodes = self.n();
         let mut out = Vec::new();
-        // Deliverable wires: the first REORDER_WINDOW per channel.
+        // Deliverable wires: the first REORDER_WINDOW per channel, with the
+        // POR identity of each (channel, offset-in-channel).
         let mut per_channel: HashMap<(u8, u32, u32), usize> = HashMap::new();
-        let mut deliverable = Vec::new();
+        let mut chan_len: HashMap<(u8, u32, u32), usize> = HashMap::new();
+        for w in &self.wires {
+            *chan_len.entry(w.channel()).or_insert(0) += 1;
+        }
+        let mut deliverable: Vec<(usize, DeliveryKey)> = Vec::new();
+        let mut chan_seen: HashMap<(u8, u32, u32), usize> = HashMap::new();
         for (i, w) in self.wires.iter().enumerate() {
-            let c = per_channel.entry(w.channel()).or_insert(0);
+            let chan = w.channel();
+            let offset = *chan_seen.entry(chan).and_modify(|c| *c += 1).or_insert(0);
+            let c = per_channel.entry(chan).or_insert(0);
             if *c < REORDER_WINDOW {
-                deliverable.push(i);
+                deliverable.push((i, DeliveryKey { channel: chan, offset }));
                 *c += 1;
             }
         }
         // Explored last: duplication and loss.
-        for &i in &deliverable {
+        for &(i, _) in &deliverable {
             if self.budget.dup > 0 {
                 if let Wire::Node { .. } = self.wires[i] {
                     let label = format!("dup+deliver {}", self.wires[i].label());
-                    out.push((label, self.apply_deliver(i, true)));
+                    out.push(Succ {
+                        label,
+                        kind: SuccKind::Other,
+                        result: self.apply_deliver(i, true),
+                    });
                 }
             }
             if self.budget.drop > 0 {
                 let label = format!("drop {}", self.wires[i].label());
-                out.push((label, Ok(self.apply_drop(i))));
+                out.push(Succ { label, kind: SuccKind::Other, result: Ok(self.apply_drop(i)) });
             }
         }
         // Crash-stop of a leader that has committed something — crashing a
@@ -629,34 +559,40 @@ impl World {
         // where nothing can commit. For windowed runs additionally require
         // the client to hold weak-accepted ops, so the crash lands exactly
         // in the opList-retry scenario of paper Figure 11 (NB-3).
-        for n in 0..N {
-            if self.crashed[n] || self.nodes[n].role() != Role::Leader {
+        for n in 0..n_nodes {
+            if self.crashed[n] || self.nodes[n].role() != nbr_core::Role::Leader {
                 continue;
             }
             let windowed = self.nodes[n].window().capacity() > 0;
             let retry_armed = !windowed || self.client.op_list_len() > 0;
             if self.budget.crash > 0 && self.nodes[n].commit_index().0 > 0 && retry_armed {
                 let label = format!("leader {} crashes", n + 1);
-                out.push((label, Ok(self.apply_crash(n))));
+                out.push(Succ { label, kind: SuccKind::Other, result: Ok(self.apply_crash(n)) });
             }
         }
         if self.budget.client_ticks > 0 && !self.client.ready() {
-            out.push(("client request timeout".into(), self.apply_client_tick()));
+            out.push(Succ {
+                label: "client request timeout".into(),
+                kind: SuccKind::Other,
+                result: self.apply_client_tick(),
+            });
         }
-        for n in 0..N {
+        for n in 0..n_nodes {
             if !self.crashed[n]
-                && self.nodes[n].role() == Role::Leader
+                && self.nodes[n].role() == nbr_core::Role::Leader
                 && self.budget.heartbeats > 0
             {
                 let label = format!("heartbeat timer at node {}", n + 1);
-                out.push((label, self.apply_timer(n, true)));
+                out.push(Succ { label, kind: SuccKind::Other, result: self.apply_timer(n, true) });
             }
         }
-        for n in 0..N {
-            if !self.crashed[n] && self.nodes[n].role() != Role::Leader && self.budget.elections > 0
+        for n in 0..n_nodes {
+            if !self.crashed[n]
+                && self.nodes[n].role() != nbr_core::Role::Leader
+                && self.budget.elections > 0
             {
                 let label = format!("election timeout at node {}", n + 1);
-                out.push((label, self.apply_timer(n, false)));
+                out.push(Succ { label, kind: SuccKind::Other, result: self.apply_timer(n, false) });
             }
         }
         // Explored first: message delivery, then — ahead of everything —
@@ -664,12 +600,32 @@ impl World {
         // pipelined executions (several entries in flight, the regime where
         // transport batching and the NB window actually matter) on the very
         // first lineage instead of deep in sibling order.
-        for &i in &deliverable {
-            let label = format!("deliver {}", self.wires[i].label());
-            out.push((label, self.apply_deliver(i, false)));
+        for &(i, key) in &deliverable {
+            let wire = &self.wires[i];
+            let proc = match wire {
+                Wire::Node { to, .. } | Wire::Req { to, .. } => Proc::Node(to.0),
+                Wire::Resp { .. } => Proc::Client,
+            };
+            let append_tail_from = match wire {
+                Wire::Node { from, msg: Message::AppendEntry(_), .. }
+                    if self.batch > 1 && key.offset + 1 == chan_len[&key.channel] =>
+                {
+                    Some(from.0)
+                }
+                _ => None,
+            };
+            out.push(Succ {
+                label: format!("deliver {}", wire.label()),
+                kind: SuccKind::Deliver { key, proc, append_tail_from },
+                result: self.apply_deliver(i, false),
+            });
         }
         if self.ops_issued < self.budget.max_ops && self.client.ready() {
-            out.push(("client issues op".into(), self.apply_issue()));
+            out.push(Succ {
+                label: "client issues op".into(),
+                kind: SuccKind::Other,
+                result: self.apply_issue(),
+            });
         }
         out
     }
@@ -702,7 +658,7 @@ impl World {
                     w.absorb_outputs(n, out)?;
                 }
             }
-            Wire::Resp { resp } => {
+            Wire::Resp { resp, .. } => {
                 let mut actions = Vec::new();
                 let now = w.now;
                 w.client.handle_response(resp, now, &mut actions);
@@ -774,175 +730,5 @@ impl World {
         w.budget.crash -= 1;
         w.crashed[n] = true;
         w
-    }
-}
-
-/// Run the checker. Returns the aggregate report or the first violation.
-pub fn run(cfg: &ModelConfig) -> Result<ModelReport, Box<ModelViolation>> {
-    let mut report = ModelReport::default();
-    for &window in &cfg.windows {
-        for &batch in &cfg.batches {
-            for phase in standard_phases() {
-                let run = explore(window, batch, phase, cfg)?;
-                report.distinct_states += run.states;
-                report.transitions += run.transitions;
-                report.max_depth = report.max_depth.max(run.max_depth);
-                if !run.exhausted {
-                    report.truncated_runs += 1;
-                }
-                report.coverage.merge(run.coverage);
-                report.runs.push((window, batch, phase.name, run.states, run.exhausted));
-                if cfg.verbose {
-                    eprintln!(
-                        "  window={window} batch={batch} phase={:<13} states={} transitions={} depth<={} commits={} weak={}{}",
-                        phase.name,
-                        run.states,
-                        run.transitions,
-                        run.max_depth,
-                        run.coverage.commits,
-                        run.coverage.weak_accepts,
-                        if run.exhausted { "" } else { " (capped)" }
-                    );
-                }
-            }
-        }
-    }
-    Ok(report)
-}
-
-/// Outcome of one (window, phase) exploration.
-struct RunStats {
-    states: usize,
-    transitions: usize,
-    max_depth: u32,
-    exhausted: bool,
-    coverage: Coverage,
-}
-
-fn explore(
-    window: usize,
-    batch: usize,
-    phase: Phase,
-    cfg: &ModelConfig,
-) -> Result<RunStats, Box<ModelViolation>> {
-    let init = World::new(window, phase, batch);
-    let init_fp = init.fingerprint();
-    let mut seen: HashSet<u64> = HashSet::new();
-    let mut parents: HashMap<u64, (u64, String)> = HashMap::new();
-    // Depth-first: completes whole executions before permuting early steps.
-    let mut stack: Vec<World> = Vec::new();
-    seen.insert(init_fp);
-    stack.push(init);
-    let mut explored = 0usize;
-    let mut transitions = 0usize;
-    let mut max_depth = 0u32;
-    let mut exhausted = true;
-    let mut coverage = Coverage::default();
-    while let Some(w) = stack.pop() {
-        if explored >= cfg.max_states_per_run {
-            exhausted = false;
-            break;
-        }
-        explored += 1;
-        max_depth = max_depth.max(w.depth);
-        coverage.fold(&w);
-        let fp = w.fingerprint();
-        for (label, result) in w.successors() {
-            transitions += 1;
-            match result {
-                Err(invariant) => {
-                    let mut trace = vec![label];
-                    let mut cur = fp;
-                    while let Some((parent, step)) = parents.get(&cur) {
-                        trace.push(step.clone());
-                        cur = *parent;
-                    }
-                    trace.reverse();
-                    return Err(Box::new(ModelViolation {
-                        invariant,
-                        setting: format!("window={window} batch={batch} phase={}", phase.name),
-                        trace,
-                    }));
-                }
-                Ok(succ) => {
-                    let sfp = succ.fingerprint();
-                    if seen.insert(sfp) {
-                        parents.insert(sfp, (fp, label));
-                        stack.push(succ);
-                    }
-                }
-            }
-        }
-    }
-    Ok(RunStats { states: explored, transitions, max_depth, exhausted, coverage })
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn fault_free_window1_is_clean() {
-        let cfg = ModelConfig {
-            windows: vec![1],
-            batches: vec![1],
-            max_states_per_run: 1_500,
-            min_states_total: 0,
-            verbose: false,
-        };
-        // Only the first phase, to keep the unit test fast.
-        let phase = standard_phases()[0];
-        let r = explore(1, 1, phase, &cfg).expect("no safety violation in fault-free run");
-        assert!(r.states > 100, "explored only {} states", r.states);
-        assert!(r.transitions > r.states);
-        assert!(r.coverage.elections > 0, "model must at least elect a leader");
-    }
-
-    #[test]
-    fn window_zero_is_stock_raft_and_clean() {
-        let cfg = ModelConfig {
-            windows: vec![0],
-            batches: vec![1],
-            max_states_per_run: 1_000,
-            min_states_total: 0,
-            verbose: false,
-        };
-        let phase = standard_phases()[0];
-        assert!(explore(0, 1, phase, &cfg).is_ok());
-    }
-
-    #[test]
-    fn batched_appends_window1_is_clean() {
-        let cfg = ModelConfig {
-            windows: vec![1],
-            batches: vec![2],
-            max_states_per_run: 1_500,
-            min_states_total: 0,
-            verbose: false,
-        };
-        let phase = standard_phases()[0];
-        let r = explore(1, 2, phase, &cfg).expect("no safety violation with batched appends");
-        assert!(r.states > 100, "explored only {} states", r.states);
-        assert!(r.coverage.commits > 0, "batched run must still commit entries");
-        assert!(
-            r.coverage.append_batch >= 2,
-            "batched run never put a multi-entry Append on the wire (vacuous)"
-        );
-    }
-
-    #[test]
-    fn exploration_is_deterministic() {
-        let cfg = ModelConfig {
-            windows: vec![1],
-            batches: vec![1],
-            max_states_per_run: 400,
-            min_states_total: 0,
-            verbose: false,
-        };
-        let phase = standard_phases()[0];
-        let a = explore(1, 1, phase, &cfg).expect("clean");
-        let b = explore(1, 1, phase, &cfg).expect("clean");
-        assert_eq!(a.states, b.states, "distinct-state counts must be reproducible");
-        assert_eq!(a.transitions, b.transitions, "transition counts must be reproducible");
     }
 }

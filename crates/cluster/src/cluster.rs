@@ -836,3 +836,100 @@ impl Drop for ClusterClient {
         self.routes.lock().remove(&self.inner.id());
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strong(from: u32, term: u64, last_index: u64) -> Packet {
+        Packet::Peer {
+            from: NodeId(from),
+            msg: Message::AppendResp(message::AppendRespMsg {
+                term: Term(term),
+                from: NodeId(from),
+                state: AcceptState::Strong {
+                    last_index: LogIndex(last_index),
+                    last_term: Term(term),
+                },
+            }),
+        }
+    }
+
+    fn weak(from: u32, term: u64, index: u64) -> Packet {
+        Packet::Peer {
+            from: NodeId(from),
+            msg: Message::AppendResp(message::AppendRespMsg {
+                term: Term(term),
+                from: NodeId(from),
+                state: AcceptState::Weak { index: LogIndex(index), term: Term(term) },
+            }),
+        }
+    }
+
+    fn indexes(burst: &[Packet]) -> Vec<u64> {
+        burst
+            .iter()
+            .map(|p| match p {
+                Packet::Peer { msg: Message::AppendResp(r), .. } => match r.state {
+                    AcceptState::Strong { last_index, .. } => last_index.0,
+                    AcceptState::Weak { index, .. } => index.0,
+                    AcceptState::Mismatch { index, .. } => index.0,
+                },
+                other => panic!("expected AppendResp, got {other:?}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn compress_empty_burst_is_a_no_op() {
+        let mut burst: Vec<Packet> = Vec::new();
+        compress_strong_resps(&mut burst);
+        assert!(burst.is_empty());
+    }
+
+    #[test]
+    fn compress_keeps_only_furthest_strong_per_peer_and_term() {
+        // An inbox-depth burst of monotone Strong acks from one peer
+        // collapses to the single furthest one — the VoteList counts every
+        // index up to last_index, so the rest are redundant.
+        let mut burst: Vec<Packet> =
+            (1..=NODE_INBOX_DEPTH as u64).map(|i| strong(2, 1, i)).collect();
+        compress_strong_resps(&mut burst);
+        assert_eq!(indexes(&burst), vec![NODE_INBOX_DEPTH as u64]);
+
+        // Different peers never compress against each other.
+        let mut burst = vec![strong(2, 1, 1), strong(3, 1, 2), strong(2, 1, 3)];
+        compress_strong_resps(&mut burst);
+        assert_eq!(indexes(&burst), vec![2, 3]);
+    }
+
+    #[test]
+    fn compress_respects_term_boundaries() {
+        // Same peer, different terms: both survive. A term-1 Strong says
+        // nothing about what the peer holds under term 2.
+        let mut burst = vec![strong(2, 1, 5), strong(2, 2, 3)];
+        compress_strong_resps(&mut burst);
+        assert_eq!(indexes(&burst), vec![5, 3]);
+    }
+
+    #[test]
+    fn compress_never_reorders_and_never_touches_weak() {
+        // Only a LATER response that is at least as far supersedes: a
+        // regression (4 then 2) keeps both, so the leader still observes
+        // out-of-order delivery, and the Weak between them is untouched.
+        let mut burst = vec![strong(2, 1, 4), weak(2, 1, 6), strong(2, 1, 2)];
+        compress_strong_resps(&mut burst);
+        assert_eq!(indexes(&burst), vec![4, 6, 2]);
+
+        // Monotone case: the earlier shorter resp is dropped, survivors
+        // keep their relative order around other peers' packets.
+        let mut burst = vec![weak(3, 1, 1), strong(2, 1, 8), strong(2, 1, 9)];
+        compress_strong_resps(&mut burst);
+        assert_eq!(indexes(&burst), vec![1, 9]);
+
+        // Equal last_index also supersedes (duplicate ack collapse).
+        let mut burst = vec![strong(2, 1, 7), strong(2, 1, 7)];
+        compress_strong_resps(&mut burst);
+        assert_eq!(indexes(&burst), vec![7]);
+    }
+}

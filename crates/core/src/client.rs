@@ -135,13 +135,36 @@ impl RaftClient {
         self.next_request.0 - 1
     }
 
+    /// Highest request id confirmed durable (the `confirmed_through`
+    /// watermark). Strong accepts confirm by log continuity, so a retried op
+    /// that recommitted at a higher index is covered by the watermark even if
+    /// it never got its own `Confirmed` action. The `nbr-check` liveness pass
+    /// treats `confirmed() == issued()` as "every issued op confirmed".
+    pub fn confirmed(&self) -> u64 {
+        self.confirmed_through.0
+    }
+
     /// Fold every piece of client protocol state into `h` (see
     /// [`crate::Node::fingerprint`]).
     pub fn fingerprint<H: std::hash::Hasher>(&self, h: &mut H) {
+        self.fingerprint_mapped(h, &|id| id, Time::ZERO);
+    }
+
+    /// [`Self::fingerprint`] under a node-id renaming and time translation —
+    /// the client half of [`crate::Node::fingerprint_mapped`]. `map` is
+    /// applied to the target replica; send instants are hashed relative to
+    /// `base` (the client only compares instants against timeouts).
+    pub fn fingerprint_mapped<H: std::hash::Hasher>(
+        &self,
+        h: &mut H,
+        map: &dyn Fn(NodeId) -> NodeId,
+        base: Time,
+    ) {
         use std::hash::Hash;
+        let rel = |t: Time| t.as_nanos().wrapping_sub(base.as_nanos()) as i64;
         self.id.hash(h);
         self.next_request.hash(h);
-        self.target.hash(h);
+        map(self.target).hash(h);
         self.list_term.hash(h);
         self.acked_through.hash(h);
         self.confirmed_through.hash(h);
@@ -154,8 +177,8 @@ impl RaftClient {
         if let Some((request, payload, first, last)) = &self.outstanding {
             request.hash(h);
             payload.hash(h);
-            first.hash(h);
-            last.hash(h);
+            rel(*first).hash(h);
+            rel(*last).hash(h);
         }
     }
 

@@ -233,4 +233,68 @@ mod tests {
         coalesce_appends(&mut out, MAX_APPEND_BATCH);
         assert_eq!(out.len(), 2, "non-contiguous appends must stay separate");
     }
+
+    #[test]
+    fn empty_burst_is_a_no_op() {
+        let mut out: Vec<Output> = Vec::new();
+        coalesce_appends(&mut out, MAX_APPEND_BATCH);
+        assert!(out.is_empty());
+        coalesce_appends(&mut out, 1);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn exact_cap_run_fills_one_batch() {
+        // Exactly MAX_APPEND_BATCH contiguous singles: one full batch, no
+        // spill, and one more entry starts a fresh batch rather than
+        // overflowing the cap.
+        let mut out: Vec<Output> =
+            (1..=MAX_APPEND_BATCH as u64).map(|i| send(1, vec![entry(i)])).collect();
+        coalesce_appends(&mut out, MAX_APPEND_BATCH);
+        assert_eq!(out.len(), 1);
+        let Output::Send { msg: Message::AppendEntry(m), .. } = &out[0] else {
+            panic!("expected append");
+        };
+        assert_eq!(m.entries.len(), MAX_APPEND_BATCH);
+
+        let mut out: Vec<Output> =
+            (1..=MAX_APPEND_BATCH as u64 + 1).map(|i| send(1, vec![entry(i)])).collect();
+        coalesce_appends(&mut out, MAX_APPEND_BATCH);
+        assert_eq!(out.len(), 2);
+        let sizes: Vec<usize> = out
+            .iter()
+            .map(|o| match o {
+                Output::Send { msg: Message::AppendEntry(m), .. } => m.entries.len(),
+                other => panic!("expected append, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(sizes, vec![MAX_APPEND_BATCH, 1]);
+    }
+
+    #[test]
+    fn non_adjacent_terms_refuse_merge() {
+        // Messages from different leader terms never fold together, even
+        // when the entry runs are index-contiguous: a follower must see the
+        // term change as its own message so stale-term rejection applies to
+        // the whole frame.
+        let mut next_term = send(1, vec![entry(2)]);
+        if let Output::Send { msg: Message::AppendEntry(m), .. } = &mut next_term {
+            m.term = Term(2);
+        }
+        let mut out = vec![send(1, vec![entry(1)]), next_term];
+        coalesce_appends(&mut out, MAX_APPEND_BATCH);
+        assert_eq!(out.len(), 2, "differing message terms must not merge");
+
+        // Same message term but a broken prev_term chain (the second run
+        // claims a term-2 predecessor while the first ends in term 1) is
+        // also refused: `precedes` checks term adjacency, not just indexes.
+        let mut broken = send(1, vec![entry(2)]);
+        if let Output::Send { msg: Message::AppendEntry(m), .. } = &mut broken {
+            m.entries[0].term = Term(2);
+            m.entries[0].prev_term = Term(2);
+        }
+        let mut out = vec![send(1, vec![entry(1)]), broken];
+        coalesce_appends(&mut out, MAX_APPEND_BATCH);
+        assert_eq!(out.len(), 2, "broken prev_term chain must not merge");
+    }
 }

@@ -31,6 +31,14 @@ use std::collections::BTreeMap;
 /// signing/verifying (see `nbr-crypto`).
 const CLUSTER_SECRET: &[u8] = b"nbraft-reproduction-cluster";
 
+/// Multiplier mixed into the per-node RNG seed at construction
+/// (`seed ^ id * SEED_ID_MIX`), so replicas sharing one base seed still
+/// jitter independently. Exposed for the `nbr-check` symmetry reduction,
+/// which must *cancel* the mix (pass `seed ^ id * SEED_ID_MIX` as the seed)
+/// to give all replicas identical RNG streams — otherwise no two node
+/// states are ever equal under id renaming and canonicalization is a no-op.
+pub const SEED_ID_MIX: u64 = 0x9E3779B97F4A7C15;
+
 /// Cap on parked (blocked, beyond-window) entries per follower; beyond this
 /// the follower answers `Mismatch` to push back on the leader.
 const MAX_PARKED: usize = 65_536;
@@ -71,6 +79,10 @@ pub struct NodeStats {
     pub strong_accepts: u64,
     /// LOG_MISMATCH responses sent.
     pub mismatches: u64,
+    /// Gap-hint repair requests sent: a `Mismatch { resend_from }` emitted
+    /// because a window gap outlived the quarter-heartbeat damping, not
+    /// because an append actually conflicted.
+    pub gap_hints: u64,
     /// Entries parked because they were out of order and beyond the window
     /// (for Raft, *every* out-of-order entry parks — the blocking loop).
     pub parked: u64,
@@ -278,7 +290,7 @@ impl<L: LogStore, P: Probe> Node<L, P> {
         let quorum = ProtocolConfig::quorum(membership.len()) as u32;
         let last = log.last_index();
         let n = membership.len();
-        let mut rng = StdRng::seed_from_u64(seed ^ (id.0 as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let mut rng = StdRng::seed_from_u64(seed ^ (id.0 as u64).wrapping_mul(SEED_ID_MIX));
         let election_deadline = Time::ZERO + jitter(&mut rng, cfg.timeouts);
         Node {
             id,
@@ -450,12 +462,48 @@ impl<L: LogStore, P: Probe> Node<L, P> {
     /// influence a transition, so tracing leaves the model-checker state
     /// space unchanged.
     pub fn fingerprint<H: std::hash::Hasher>(&self, h: &mut H) {
+        self.fingerprint_mapped(h, &|id| id, Time::ZERO);
+    }
+
+    /// [`Self::fingerprint`] under a node-id renaming and a time translation.
+    ///
+    /// `map` must be a bijection on the membership; every `NodeId` in the
+    /// state is hashed through it, and id *sets* (the `votes` bitmap, the
+    /// weak/strong acceptance bitmaps in each [`VoteTuple`], per-peer
+    /// `progress`) are hashed as sorted lists of mapped ids, so the digest
+    /// depends only on which mapped replicas are in the set — not on local
+    /// bit positions. Absolute instants (timer deadlines) are hashed relative
+    /// to `base`; the engine only ever compares instants and adds deltas, so
+    /// two states that differ by a uniform time shift behave identically.
+    ///
+    /// The `nbr-check` symmetry reduction hashes each world under every
+    /// rotation of the id space with `base = now` and keeps the minimum,
+    /// collapsing leader-relative renamings and time-shifted duplicates into
+    /// one canonical state.
+    pub fn fingerprint_mapped<H: std::hash::Hasher>(
+        &self,
+        h: &mut H,
+        map: &dyn Fn(NodeId) -> NodeId,
+        base: Time,
+    ) {
         use std::hash::Hash;
-        self.id.hash(h);
+        let rel = |t: Time| t.as_nanos().wrapping_sub(base.as_nanos()) as i64;
+        let mask = |mask: u64, h: &mut H| {
+            let mut ids: Vec<u32> = self
+                .membership
+                .iter()
+                .enumerate()
+                .filter(|&(pos, _)| mask & (1u64 << pos) != 0)
+                .map(|(_, &n)| map(n).0)
+                .collect();
+            ids.sort_unstable();
+            ids.hash(h);
+        };
+        map(self.id).hash(h);
         self.term.hash(h);
-        self.voted_for.hash(h);
+        self.voted_for.map(&map).hash(h);
         (self.role as u8).hash(h);
-        self.leader_hint.hash(h);
+        self.leader_hint.map(&map).hash(h);
         self.commit_index.hash(h);
         self.applied_index.hash(h);
         // Log contents.
@@ -478,27 +526,36 @@ impl<L: LogStore, P: Probe> Node<L, P> {
             idx.hash(h);
             entry.hash(h);
         }
+        // Follower gap hint: damping state decides whether a `Mismatch`
+        // repair hint may be (re)sent, so it distinguishes behavior.
+        if let Some(hint) = &self.gap_hint {
+            hint.start.hash(h);
+            rel(hint.since).hash(h);
+            hint.sent.hash(h);
+        }
         // Candidate and leader state.
-        self.votes.hash(h);
+        mask(self.votes, h);
         for (idx, t) in self.vote_list.iter() {
             idx.hash(h);
             t.term.hash(h);
             t.origin.hash(h);
-            t.weak.hash(h);
-            t.strong.hash(h);
+            mask(t.weak, h);
+            mask(t.strong, h);
             t.commit_threshold.hash(h);
             t.weak_replied.hash(h);
         }
-        for p in &self.progress {
-            p.match_index.hash(h);
-            p.last_seen.hash(h);
-            p.stall_rounds.hash(h);
-            p.silent_rounds.hash(h);
-        }
+        let mut progress: Vec<(u32, LogIndex, LogIndex, u32, u32)> = self
+            .membership
+            .iter()
+            .zip(&self.progress)
+            .map(|(&n, p)| (map(n).0, p.match_index, p.last_seen, p.stall_rounds, p.silent_rounds))
+            .collect();
+        progress.sort_unstable_by_key(|&(id, ..)| id);
+        progress.hash(h);
         // Timers and the RNG cursor that feeds them: two replicas that agree
         // on everything else but would jitter differently are distinct states.
-        self.election_deadline.hash(h);
-        self.next_heartbeat.hash(h);
+        rel(self.election_deadline).hash(h);
+        rel(self.next_heartbeat).hash(h);
         rand::RngCore::next_u64(&mut self.rng.clone()).hash(h);
         // Snapshot horizon.
         if let Some((idx, term, image)) = &self.snapshot {
@@ -1159,6 +1216,7 @@ impl<L: LogStore, P: Probe> Node<L, P> {
                 let patience = self.cfg.timeouts.heartbeat_interval.as_nanos() / 4;
                 if !hint.sent && (now - hint.since).as_nanos() >= patience {
                     self.gap_hint = Some(GapHint { sent: true, ..hint });
+                    self.stats.gap_hints += 1;
                     self.respond_mismatch(leader, index, missing, out);
                 }
             }

@@ -55,11 +55,47 @@ mkdir -p target/ci-artifacts
 
 if [ "${CI_FULL:-0}" = "1" ]; then
     step "nbr-check model (full)"
-    ./target/release/nbr-check model
+    ./target/release/nbr-check model \
+        --stats-out target/ci-artifacts/model-stats.json
 else
     step "nbr-check model --quick"
-    ./target/release/nbr-check model --quick
+    ./target/release/nbr-check model --quick \
+        --stats-out target/ci-artifacts/model-stats.json
 fi
+
+# Scaled safety bounds: 4 nodes, window 3, batched and unbatched appends,
+# 3 client ops with two sequential leader crashes. Runs cap rather than
+# exhaust (the invariants are checked on every generated transition); the
+# hard timeout is the wall-clock budget for the step.
+step "nbr-check model --nodes 4 (safety, window 3, double crash)"
+if [ "${CI_FULL:-0}" = "1" ]; then MODEL_4N_CAP=40000; else MODEL_4N_CAP=8000; fi
+time timeout 420 ./target/release/nbr-check model \
+    --nodes 4 --windows 3 --batches 1,2 --max-states "$MODEL_4N_CAP" \
+    --stats-out target/ci-artifacts/model-stats-4node.json
+
+# Liveness under fairness at the historical 3-node bounds: every issued op
+# eventually confirms once the network heals (frontier censoring keeps
+# truncated graphs sound).
+step "nbr-check model --liveness (3 nodes)"
+if [ "${CI_FULL:-0}" = "1" ]; then MODEL_LIVE_CAP=40000; else MODEL_LIVE_CAP=8000; fi
+time timeout 420 ./target/release/nbr-check model \
+    --liveness --windows 1,2 --batches 1 --max-states "$MODEL_LIVE_CAP" --min-states 0 \
+    --stats-out target/ci-artifacts/model-stats-liveness.json
+
+# Reduction ratio, enforced: reduced and raw enumerations both exhaust the
+# same min-depth ball at the old 3-node bounds, so the state-count ratio is
+# exact (measured 7.5x at depth 10, 5.2x at depth 9).
+step "nbr-check model --compare-reduction (state-count ratio)"
+if [ "${CI_FULL:-0}" = "1" ]; then
+    MODEL_CMP_ARGS="--depth 10 --max-states 1600000 --min-reduction 5"
+else
+    MODEL_CMP_ARGS="--depth 9 --max-states 400000 --min-reduction 4"
+fi
+# shellcheck disable=SC2086
+time timeout 420 ./target/release/nbr-check model \
+    --windows 1 --batches 1 --phase fault-free --min-states 0 $MODEL_CMP_ARGS \
+    --compare-reduction \
+    --stats-out target/ci-artifacts/model-stats-reduction.json
 
 # Multi-process TCP smoke: 3 serve processes on loopback, real socket
 # traffic, leader kill, re-election + opList retry. Prometheus scrapes
