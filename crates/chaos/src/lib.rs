@@ -1,0 +1,36 @@
+//! nbr-chaos: deterministic fault-schedule harness with post-scenario
+//! invariant checking.
+//!
+//! A chaos run is `(scenario, seed) -> Verdict`. Scenarios are written in a
+//! small line-oriented DSL ([`schedule`]) — partitions (symmetric or
+//! one-way), gray links with probabilistic drop and added delay, clock
+//! skew, slow disks, crashes with WAL recovery, and forced campaigns — and
+//! the same schedule text drives two backends:
+//!
+//! * [`sim_backend`] compiles the schedule into `nbr-sim` fault events and
+//!   runs the discrete-event simulator: bit-deterministic, cheap enough
+//!   for seed sweeps, with probe-trace election-safety checking and paired
+//!   window-0 `t_wait` comparisons.
+//! * [`net_backend`] spawns real `nbr-net` TCP replicas with WAL storage
+//!   and applies the schedule in wall-clock time through runtime fault
+//!   dials (per-link cut/drop/delay tables, clock-skew and WAL-stall
+//!   atomics, crash/restart controls).
+//!
+//! After every run the [`oracle`] checks judge the end state: election
+//! safety, single-leader and term agreement among live nodes, committed
+//! prefix / state-machine convergence within a bounded recovery window,
+//! client progress, and (where the scenario demands it) gap-hint repair
+//! activity and non-blocking `t_wait` separation. Verdicts serialize to
+//! JSONL for CI artifacts; `nbraft-cli chaos` is the front end.
+
+pub mod corpus;
+pub mod net_backend;
+pub mod oracle;
+pub mod schedule;
+pub mod sim_backend;
+
+pub use corpus::{corpus, find, Scenario};
+pub use net_backend::run_scenario_net;
+pub use oracle::{write_jsonl, Check, Verdict};
+pub use schedule::{Fault, Schedule, ScheduledFault};
+pub use sim_backend::{compile_schedule, run_scenario_sim};

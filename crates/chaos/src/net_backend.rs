@@ -1,0 +1,328 @@
+//! Net backend: run a scenario against real TCP transports.
+//!
+//! Spawns one [`NodeServer`] per replica in-process (real sockets on
+//! loopback, WAL-backed storage in a scratch directory), drives client
+//! traffic over [`NetClient`], applies the schedule in wall-clock time via
+//! the shared fault dials ([`LinkFaults`], clock-skew and WAL-stall
+//! atomics, cluster crash/restart controls), then polls the convergence
+//! oracles within the scenario's bounded recovery window.
+//!
+//! Parity caveats vs the sim backend: wall-clock scheduling makes fault
+//! instants approximate (±ms), per-frame drop draws use the transport's
+//! own seeded RNGs, and `campaign` is not expressible (no external
+//! campaign control on a live replica) — scenarios using it are sim-only.
+//! The schedule, oracle set, and seed plumbing are identical.
+
+use crate::corpus::Scenario;
+use crate::oracle::Verdict;
+use crate::schedule::{partition_links, Fault, ScheduledFault};
+use nbr_cluster::{ClusterConfig, StorageMode};
+use nbr_net::{LinkFault, LinkFaults, NetClient, NodeServer, ServeConfig};
+use nbr_storage::{KvStore, StateMachine};
+use nbr_types::{checksum::crc32, ClientId, Protocol, TimeDelta, TimeoutConfig};
+use std::collections::BTreeSet;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const CLUSTER_ID: u64 = 0xC4A0;
+
+struct NetCluster {
+    servers: Vec<NodeServer<KvStore>>,
+    members: Vec<(u32, SocketAddr)>,
+    faults: Arc<LinkFaults>,
+    skew: Vec<Arc<AtomicU64>>,
+    stall: Vec<Arc<AtomicU64>>,
+}
+
+fn spawn_net_cluster(s: &Scenario, seed: u64, dir: &std::path::Path) -> Result<NetCluster, String> {
+    let n = s.nodes;
+    let faults = LinkFaults::shared();
+    let skew: Vec<Arc<AtomicU64>> = (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
+    let stall: Vec<Arc<AtomicU64>> = (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
+
+    // Bind first so every config knows every address (no port races).
+    let mut bound = Vec::new();
+    for _ in 0..n {
+        let l = TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind: {e}"))?;
+        let a = l.local_addr().map_err(|e| format!("local_addr: {e}"))?;
+        bound.push((l, a));
+    }
+    let members: Vec<(u32, SocketAddr)> =
+        bound.iter().enumerate().map(|(i, &(_, a))| (i as u32, a)).collect();
+
+    let mut servers = Vec::new();
+    for (i, (listener, _)) in bound.into_iter().enumerate() {
+        let mut cluster = ClusterConfig {
+            protocol: {
+                let mut p = Protocol::NbRaft.config(s.window);
+                p.timeouts = TimeoutConfig {
+                    election_min: TimeDelta::from_millis(150),
+                    election_max: TimeDelta::from_millis(300),
+                    heartbeat_interval: TimeDelta::from_millis(40),
+                    retry_interval: TimeDelta::from_millis(20),
+                };
+                p
+            },
+            storage: StorageMode::Wal(dir.join(format!("node-{i}"))),
+            seed: seed ^ ((i as u64) << 16),
+            ..ClusterConfig::default()
+        };
+        cluster.clock_skew = Arc::clone(&skew[i]);
+        cluster.wal_stall = Arc::clone(&stall[i]);
+        let cfg = ServeConfig {
+            cluster_id: CLUSTER_ID,
+            node_id: i as u32,
+            bind: "127.0.0.1:0".parse().map_err(|e| format!("addr: {e}"))?,
+            peers: members.iter().filter(|&&(id, _)| id != i as u32).copied().collect(),
+            cluster,
+            metrics_bind: None,
+            link_delay: Duration::ZERO,
+            peer_lanes: 1,
+            link_loss_pct: 0.0,
+            faults: Some(Arc::clone(&faults)),
+        };
+        servers
+            .push(NodeServer::spawn_on(cfg, listener).map_err(|e| format!("spawn node {i}: {e}"))?);
+    }
+    Ok(NetCluster { servers, members, faults, skew, stall })
+}
+
+/// Apply one fault to the live cluster. Returns `false` for faults the net
+/// backend cannot express.
+fn apply_fault(c: &NetCluster, fault: &Fault) -> bool {
+    match fault {
+        Fault::Partition { a, b, symmetric } => {
+            for (f, t) in partition_links(a, b, *symmetric) {
+                c.faults.set(f, t, LinkFault { cut: true, ..LinkFault::default() });
+            }
+            true
+        }
+        Fault::Heal => {
+            c.faults.heal_all();
+            true
+        }
+        Fault::GrayLink { from, to, both, drop_pct, delay } => {
+            let lf = LinkFault {
+                cut: false,
+                drop_bp: (drop_pct.clamp(0.0, 100.0) * 100.0) as u32,
+                delay: Duration::from_nanos(delay.as_nanos()),
+            };
+            c.faults.set(*from, *to, lf);
+            if *both {
+                c.faults.set(*to, *from, lf);
+            }
+            true
+        }
+        Fault::HealLink { from, to, both } => {
+            c.faults.clear(*from, *to);
+            if *both {
+                c.faults.clear(*to, *from);
+            }
+            true
+        }
+        Fault::Skew { node, by } => {
+            if let Some(d) = c.skew.get(*node as usize) {
+                d.store(by.as_nanos(), Ordering::Relaxed);
+            }
+            true
+        }
+        Fault::SlowDisk { node, penalty } => {
+            if let Some(d) = c.stall.get(*node as usize) {
+                d.store(penalty.as_nanos(), Ordering::Relaxed);
+            }
+            true
+        }
+        Fault::HealDisk { node } => {
+            if let Some(d) = c.stall.get(*node as usize) {
+                d.store(0, Ordering::Relaxed);
+            }
+            true
+        }
+        Fault::Crash { node } => {
+            if let Some(srv) = c.servers.get(*node as usize) {
+                srv.cluster().crash(0);
+            }
+            true
+        }
+        Fault::Recover { node } => {
+            if let Some(srv) = c.servers.get(*node as usize) {
+                srv.cluster().restart(0);
+            }
+            true
+        }
+        Fault::Campaign { .. } => false,
+    }
+}
+
+/// Run a scenario on the TCP backend and judge it. `scratch` holds the WAL
+/// directories and is wiped before and after.
+pub fn run_scenario_net(s: &Scenario, seed: u64, scratch: &std::path::Path) -> Verdict {
+    let mut v = Verdict::new(s.name, "net", seed);
+    if !s.net_capable {
+        v.check("net-capable", false, "schedule uses sim-only faults (campaign)");
+        return v;
+    }
+    let _ = std::fs::remove_dir_all(scratch);
+    if let Err(e) = std::fs::create_dir_all(scratch) {
+        v.check("setup", false, format!("scratch dir: {e}"));
+        return v;
+    }
+
+    let c = match spawn_net_cluster(s, seed, scratch) {
+        Ok(c) => c,
+        Err(e) => {
+            v.check("setup", false, e);
+            return v;
+        }
+    };
+
+    // Establish a leader before the schedule clock starts, mirroring the
+    // sim's deterministic bootstrap campaign at t=0.
+    let elected =
+        c.servers.iter().any(|srv| srv.cluster().wait_for_leader(Duration::from_secs(5)).is_some());
+    v.check("bootstrap-leader", elected, "a leader within 5s of spawn");
+    if !elected {
+        shutdown(c, scratch);
+        return v;
+    }
+
+    // Closed-loop client traffic on background threads for the whole
+    // schedule (short per-request timeouts: requests are *expected* to fail
+    // during partitions; the loop just keeps offering load).
+    let stop = Arc::new(AtomicBool::new(false));
+    let acked = Arc::new(AtomicU64::new(0));
+    let mut client_threads = Vec::new();
+    for ci in 0..2u64 {
+        let members = c.members.clone();
+        let stop = Arc::clone(&stop);
+        let acked = Arc::clone(&acked);
+        let t = std::thread::Builder::new()
+            .name(format!("chaos-client-{ci}"))
+            .spawn(move || {
+                let mut cl = NetClient::new(
+                    CLUSTER_ID,
+                    ClientId(100 + ci),
+                    members,
+                    TimeDelta::from_millis(300),
+                );
+                let payload = bytes::Bytes::from(vec![b'c'; 64]);
+                while !stop.load(Ordering::Relaxed) {
+                    // A timed-out submit leaves its request outstanding (the
+                    // closed-loop client allows exactly one): block until it
+                    // is first-acked before issuing the next.
+                    if !cl.await_ready(Duration::from_millis(100)) {
+                        continue;
+                    }
+                    if cl.submit(payload.clone(), Duration::from_millis(400)).is_ok() {
+                        acked.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                cl.drain(Duration::from_millis(500));
+            })
+            .expect("spawn chaos client");
+        client_threads.push(t);
+    }
+
+    // The schedule, in wall-clock time from here.
+    let mut events: Vec<(TimeDelta, usize, ScheduledFault)> =
+        s.parsed().events.into_iter().enumerate().map(|(i, e)| (e.at, i, e)).collect();
+    events.sort_by_key(|&(at, i, _)| (at, i));
+    let t0 = Instant::now();
+    for (at, _, ev) in &events {
+        let target = Duration::from_nanos(at.as_nanos());
+        let elapsed = t0.elapsed();
+        if target > elapsed {
+            std::thread::sleep(target - elapsed);
+        }
+        apply_fault(&c, &ev.fault);
+    }
+    // Let traffic continue for the rest of the scenario's nominal length.
+    let total = Duration::from_millis(s.duration_ms);
+    let elapsed = t0.elapsed();
+    if total > elapsed {
+        std::thread::sleep(total - elapsed);
+    }
+    stop.store(true, Ordering::Relaxed);
+    for t in client_threads {
+        let _ = t.join();
+    }
+
+    // Convergence poll: within the bounded recovery window every replica
+    // must be alive, exactly one leader, terms equal, and commit == applied
+    // everywhere with equal state-machine digests.
+    let deadline = Instant::now() + Duration::from_millis(s.recovery_ms());
+    let mut last: Vec<(bool, bool, u64, u64, u64, u32)> = Vec::new();
+    let mut converged = false;
+    while Instant::now() < deadline {
+        last = c
+            .servers
+            .iter()
+            .map(|srv| {
+                let st = srv.cluster().status(0);
+                let digest = crc32(&srv.cluster().machine(0).lock().snapshot());
+                (st.alive, st.is_leader, st.term, st.commit, st.applied, digest)
+            })
+            .collect();
+        let all_alive = last.iter().all(|&(alive, ..)| alive);
+        let leaders = last.iter().filter(|&&(_, l, ..)| l).count();
+        let terms: BTreeSet<u64> = last.iter().map(|&(_, _, t, ..)| t).collect();
+        let commits: BTreeSet<u64> = last.iter().map(|&(_, _, _, cm, ..)| cm).collect();
+        let applied_ok = last.iter().all(|&(_, _, _, cm, ap, _)| ap == cm);
+        let digests: BTreeSet<u32> = last.iter().map(|&(.., d)| d).collect();
+        let committed = last.iter().map(|&(_, _, _, cm, ..)| cm).min().unwrap_or(0);
+        if all_alive
+            && leaders == 1
+            && terms.len() == 1
+            && commits.len() == 1
+            && applied_ok
+            && digests.len() == 1
+            && (!s.expect_progress || committed > 0)
+        {
+            converged = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let leaders: Vec<usize> =
+        last.iter().enumerate().filter(|(_, &(_, l, ..))| l).map(|(i, _)| i).collect();
+    let terms: BTreeSet<u64> = last.iter().map(|&(_, _, t, ..)| t).collect();
+    let commits: BTreeSet<u64> = last.iter().map(|&(_, _, _, cm, ..)| cm).collect();
+    let digests: BTreeSet<u32> = last.iter().map(|&(.., d)| d).collect();
+    v.check(
+        "recovery-converged",
+        converged,
+        format!("within {}ms of schedule end", s.recovery_ms()),
+    );
+    v.check("all-recovered", last.iter().all(|&(a, ..)| a), format!("alive: {last:?}"));
+    v.check("single-leader", leaders.len() == 1, format!("leaders: {leaders:?}"));
+    v.check("term-agreement", terms.len() <= 1, format!("terms: {terms:?}"));
+    v.check(
+        "state-convergence",
+        commits.len() <= 1 && digests.len() <= 1,
+        format!("commits: {commits:?}, digests: {digests:?}"),
+    );
+    if s.expect_progress {
+        let total_acked = acked.load(Ordering::Relaxed);
+        let committed = commits.iter().min().copied().unwrap_or(0);
+        v.check(
+            "progress",
+            total_acked > 0 && committed > 0,
+            format!("acked={total_acked} commit={committed}"),
+        );
+    }
+    v.metric("acked", acked.load(Ordering::Relaxed) as f64);
+    v.metric("final_commit", commits.iter().max().copied().unwrap_or(0) as f64);
+
+    shutdown(c, scratch);
+    v
+}
+
+fn shutdown(c: NetCluster, scratch: &std::path::Path) {
+    for srv in c.servers {
+        drop(srv);
+    }
+    let _ = std::fs::remove_dir_all(scratch);
+}

@@ -1,0 +1,202 @@
+//! Sim backend: compile a [`Schedule`] to [`nbr_sim::SimFault`]s, run the
+//! discrete-event simulator, and judge the result.
+//!
+//! Runs here are bit-deterministic: the same scenario + seed always yields
+//! the same verdict JSON, so failures replay exactly from `--seed`.
+
+use crate::corpus::Scenario;
+use crate::oracle::{election_safety, Verdict};
+use crate::schedule::{partition_links, Fault, Schedule};
+use nbr_obs::EngineProbe;
+use nbr_sim::{SimConfig, SimFault, SimResult};
+use nbr_types::{Protocol, Time, TimeDelta, TimeoutConfig};
+use std::collections::BTreeSet;
+
+/// Real-time-scale timeouts matching [`nbr_cluster::ClusterConfig`]'s
+/// defaults, so one schedule's fault windows mean the same thing on both
+/// backends.
+fn cluster_parity_timeouts() -> TimeoutConfig {
+    TimeoutConfig {
+        election_min: TimeDelta::from_millis(150),
+        election_max: TimeDelta::from_millis(300),
+        heartbeat_interval: TimeDelta::from_millis(40),
+        retry_interval: TimeDelta::from_millis(20),
+    }
+}
+
+/// Compile a schedule into the simulator's fault events.
+///
+/// `Heal` and `HealLink` are stateful in the DSL (they undo whatever is
+/// currently cut or degraded), so compilation walks the events in time
+/// order tracking the live fault set. All tracking uses ordered sets —
+/// the emitted event sequence must be identical across runs for replay
+/// determinism.
+pub fn compile_schedule(sched: &Schedule) -> Vec<(Time, SimFault)> {
+    let mut events: Vec<(TimeDelta, usize, &Fault)> =
+        sched.events.iter().enumerate().map(|(i, e)| (e.at, i, &e.fault)).collect();
+    events.sort_by_key(|&(at, i, _)| (at, i));
+
+    let mut cut: BTreeSet<(u32, u32)> = BTreeSet::new();
+    let mut gray: BTreeSet<(u32, u32)> = BTreeSet::new();
+    let mut out = Vec::new();
+    for (at, _, fault) in events {
+        let t = Time::ZERO + at;
+        match fault {
+            Fault::Partition { a, b, symmetric } => {
+                for (f, to) in partition_links(a, b, *symmetric) {
+                    cut.insert((f, to));
+                    out.push((t, SimFault::CutLink { from: f, to }));
+                }
+            }
+            Fault::Heal => {
+                for &(f, to) in &cut {
+                    out.push((t, SimFault::HealLink { from: f, to }));
+                }
+                for &(f, to) in &gray {
+                    out.push((t, SimFault::RestoreLink { from: f, to }));
+                }
+                cut.clear();
+                gray.clear();
+            }
+            Fault::GrayLink { from, to, both, drop_pct, delay } => {
+                let pairs: &[(u32, u32)] =
+                    if *both { &[(*from, *to), (*to, *from)] } else { &[(*from, *to)] };
+                for &(f, t2) in pairs {
+                    gray.insert((f, t2));
+                    out.push((
+                        t,
+                        SimFault::DegradeLink {
+                            from: f,
+                            to: t2,
+                            drop_p: drop_pct / 100.0,
+                            extra: *delay,
+                        },
+                    ));
+                }
+            }
+            Fault::HealLink { from, to, both } => {
+                let pairs: &[(u32, u32)] =
+                    if *both { &[(*from, *to), (*to, *from)] } else { &[(*from, *to)] };
+                for &(f, t2) in pairs {
+                    if cut.remove(&(f, t2)) {
+                        out.push((t, SimFault::HealLink { from: f, to: t2 }));
+                    }
+                    if gray.remove(&(f, t2)) {
+                        out.push((t, SimFault::RestoreLink { from: f, to: t2 }));
+                    }
+                }
+            }
+            Fault::Skew { node, by } => out.push((t, SimFault::SkewClock { node: *node, by: *by })),
+            Fault::SlowDisk { node, penalty } => {
+                out.push((t, SimFault::SlowDisk { node: *node, penalty: *penalty }));
+            }
+            Fault::HealDisk { node } => out.push((t, SimFault::HealDisk { node: *node })),
+            Fault::Crash { node } => out.push((t, SimFault::Crash { node: *node })),
+            Fault::Recover { node } => out.push((t, SimFault::Recover { node: *node })),
+            Fault::Campaign { node } => out.push((t, SimFault::Campaign { node: *node })),
+        }
+    }
+    out
+}
+
+/// One deterministic sim run of a scenario at the given window size.
+fn run_once(s: &Scenario, seed: u64, window: usize) -> (SimResult, Vec<nbr_obs::TraceEvent>) {
+    let (probe, buf) = EngineProbe::shared();
+    let warmup = TimeDelta::from_millis(150);
+    let cfg = SimConfig {
+        protocol: Protocol::NbRaft,
+        window,
+        n_replicas: s.nodes as usize,
+        n_clients: s.clients,
+        n_dispatchers: s.clients,
+        payload: 512,
+        warmup,
+        duration: TimeDelta(TimeDelta::from_millis(s.duration_ms).0 - warmup.0),
+        timeouts: cluster_parity_timeouts(),
+        chaos: compile_schedule(&s.parsed()),
+        seed,
+        trace: probe,
+        ..SimConfig::default()
+    };
+    let r = nbr_sim::run(cfg);
+    (r, buf.take())
+}
+
+/// Run a scenario on the sim backend and judge it.
+pub fn run_scenario_sim(s: &Scenario, seed: u64) -> Verdict {
+    let (r, events) = run_once(s, seed, s.window);
+    let mut v = Verdict::new(s.name, "sim", seed);
+
+    match election_safety(&events) {
+        Ok(n) => v.check("election-safety", true, format!("{n} elections, no split term")),
+        Err(e) => v.check("election-safety", false, e),
+    }
+
+    let live: Vec<(usize, (u64, bool, u64))> =
+        r.final_state.iter().enumerate().filter_map(|(i, st)| st.map(|st| (i, st))).collect();
+    v.check(
+        "all-recovered",
+        live.len() == s.nodes as usize,
+        format!("{}/{} nodes live at end", live.len(), s.nodes),
+    );
+
+    let leaders: Vec<usize> = live.iter().filter(|(_, st)| st.1).map(|&(i, _)| i).collect();
+    v.check("single-leader", leaders.len() == 1, format!("leaders: {leaders:?}"));
+
+    let terms: BTreeSet<u64> = live.iter().map(|(_, st)| st.0).collect();
+    v.check("term-agreement", terms.len() <= 1, format!("live terms: {terms:?}"));
+
+    let hashes: BTreeSet<u64> = r.prefix_hash.iter().flatten().copied().collect();
+    let min_commit = r.final_commit.iter().flatten().min().copied().unwrap_or(0);
+    v.check(
+        "log-convergence",
+        hashes.len() <= 1,
+        format!("{} distinct prefix hashes at commit {min_commit}", hashes.len()),
+    );
+
+    if s.expect_progress {
+        v.check(
+            "progress",
+            r.confirmed > 0 && min_commit > 0,
+            format!("confirmed={} min_commit={min_commit}", r.confirmed),
+        );
+    }
+
+    if s.expect_gap_hints {
+        v.check(
+            "gap-hint-repair",
+            r.stats.gap_hints > 0,
+            format!(
+                "gap_hints={} (window-gap repair must fire under a gray link)",
+                r.stats.gap_hints
+            ),
+        );
+    }
+
+    if s.check_twait {
+        // Paired blocking run: same schedule, same seed, window 0 (stock
+        // Raft semantics on the same engine). The non-blocking window must
+        // not wait longer than blocking under identical chaos.
+        let (r0, _) = run_once(s, seed, 0);
+        v.metric("twait0_ms", r0.twait_mean_ms);
+        v.check(
+            "twait-separation",
+            r0.twait_mean_ms > 0.0 && r0.twait_mean_ms >= r.twait_mean_ms,
+            format!(
+                "window=0 t_wait {:.3}ms vs window={} {:.3}ms",
+                r0.twait_mean_ms, s.window, r.twait_mean_ms
+            ),
+        );
+    }
+
+    v.metric("throughput_ops", r.throughput);
+    v.metric("confirmed", r.confirmed as f64);
+    v.metric("weak_acked", r.weak_acked as f64);
+    v.metric("elections", r.elections as f64);
+    v.metric("chaos_dropped", r.chaos_dropped as f64);
+    v.metric("recoveries", r.recoveries as f64);
+    v.metric("gap_hints", r.stats.gap_hints as f64);
+    v.metric("twait_ms", r.twait_mean_ms);
+    v.metric("min_commit", min_commit as f64);
+    v
+}

@@ -363,6 +363,7 @@ fn cmd_serve(args: &Args) {
         link_delay: Duration::from_micros(args.get("rtt-ms", 0u64) * 500),
         peer_lanes: args.get("lanes", 1usize),
         link_loss_pct: args.get("loss-pct", 0.0f64),
+        faults: None,
     };
     let server: NodeServer<KvStore> = NodeServer::spawn(cfg).unwrap_or_else(|e| {
         eprintln!("serve: {e}");
@@ -543,6 +544,7 @@ fn bench_net_once(b: BenchNet, window: usize) -> NetBenchRun {
                 link_delay: Duration::from_micros(b.rtt_ms * 500),
                 peer_lanes: b.lanes,
                 link_loss_pct: b.loss_pct,
+                faults: None,
             };
             NodeServer::spawn_on(cfg, listener).expect("spawn node server")
         })
@@ -637,6 +639,120 @@ fn cmd_bench_net(args: &Args) {
     print_bench_net_run(&mut run);
 }
 
+fn chaos_scratch(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("nbr-chaos-{}-{name}", std::process::id()))
+}
+
+/// `chaos list|run|sweep`: the deterministic fault-schedule harness.
+fn cmd_chaos(verb: Option<&str>, args: &Args) {
+    use nbr_chaos::{corpus, find, run_scenario_net, run_scenario_sim, write_jsonl, Scenario};
+
+    let scenarios: Vec<Scenario> = match args.values.get("scenario") {
+        Some(name) => vec![find(name).unwrap_or_else(|| {
+            eprintln!("unknown scenario {name}; see `nbraft-cli chaos list`");
+            std::process::exit(2);
+        })],
+        None => corpus(),
+    };
+
+    match verb {
+        Some("list") => {
+            println!("{:<24} {:>5} {:>6} {:>5}  about", "scenario", "nodes", "len", "net");
+            for s in &scenarios {
+                println!(
+                    "{:<24} {:>5} {:>4}ms {:>5}  {}",
+                    s.name,
+                    s.nodes,
+                    s.duration_ms,
+                    if !s.net_capable {
+                        "-"
+                    } else if s.net_smoke {
+                        "smoke"
+                    } else {
+                        "yes"
+                    },
+                    s.about
+                );
+            }
+        }
+        Some("run") => {
+            let seed = args.get("seed", 7u64);
+            let backend = args.values.get("backend").map(String::as_str).unwrap_or("sim");
+            if !matches!(backend, "sim" | "net" | "both") {
+                eprintln!("--backend must be sim, net, or both");
+                std::process::exit(2);
+            }
+            // --smoke: restrict the (slow, wall-clock) net backend to the
+            // scenarios tagged for the CI smoke tier.
+            let smoke = args.has("smoke");
+            let mut verdicts = Vec::new();
+            for s in &scenarios {
+                if backend == "sim" || backend == "both" {
+                    let v = run_scenario_sim(s, seed);
+                    println!("{}", v.summary());
+                    verdicts.push(v);
+                }
+                if (backend == "net" || backend == "both")
+                    && s.net_capable
+                    && (!smoke || s.net_smoke)
+                {
+                    let v = run_scenario_net(s, seed, &chaos_scratch(s.name));
+                    println!("{}", v.summary());
+                    if !v.pass() {
+                        for c in &v.checks {
+                            println!(
+                                "      {} {:<20} {}",
+                                if c.pass { "ok  " } else { "FAIL" },
+                                c.name,
+                                c.detail
+                            );
+                        }
+                    }
+                    verdicts.push(v);
+                }
+            }
+            finish_chaos(&verdicts, args.values.get("out"), write_jsonl);
+        }
+        Some("sweep") => {
+            // Seed sweep on the sim backend only: bit-deterministic, so K
+            // seeds explore K genuinely distinct interleavings.
+            let seeds = args.get("seeds", 5u64);
+            let mut verdicts = Vec::new();
+            for s in &scenarios {
+                for seed in 0..seeds {
+                    let v = run_scenario_sim(s, seed);
+                    if !v.pass() {
+                        println!("{}", v.summary());
+                    }
+                    verdicts.push(v);
+                }
+            }
+            finish_chaos(&verdicts, args.values.get("out"), write_jsonl);
+        }
+        _ => usage(),
+    }
+}
+
+/// Write the verdict artifact, print the tally, and exit nonzero on any
+/// failed scenario run.
+fn finish_chaos(
+    verdicts: &[nbr_chaos::Verdict],
+    out: Option<&String>,
+    write: fn(&std::path::Path, &[nbr_chaos::Verdict]) -> std::io::Result<()>,
+) {
+    if let Some(path) = out {
+        if let Err(e) = write(std::path::Path::new(path), verdicts) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    let failed = verdicts.iter().filter(|v| !v.pass()).count();
+    println!("chaos: {}/{} runs passed", verdicts.len() - failed, verdicts.len());
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}
+
 /// Shared result block for the self-host and `--peers` bench-net modes.
 fn print_bench_net_run(run: &mut NetBenchRun) {
     println!("throughput    {:>12.0} ops/s", run.throughput());
@@ -656,7 +772,7 @@ fn print_bench_net_run(run: &mut NetBenchRun) {
 fn usage() -> ! {
     eprintln!(
         "nbraft-cli — Non-Blocking Raft reproduction CLI\n\n\
-         USAGE:\n  nbraft-cli sim   [--protocol P] [--clients N] [--replicas N] [--payload B]\n               [--dispatchers N] [--window W] [--duration-ms MS] [--seed S]\n               [--geo] [--cloud] [--cpu-scale F] [--trace FILE]\n  nbraft-cli petri [--clients N] [--dispatchers N] [--non-blocking] [--ratis]\n               [--horizon-ms MS] [--dot FILE]\n  nbraft-cli demo  [--protocol P] [--replicas N] [--clients N] [--seconds S]\n  nbraft-cli trace FILE            analyze a JSONL trace (entry lifecycles,\n               t_wait(F), window occupancy)\n  nbraft-cli trace --compare [--window W] [sim opts]   paired traced sims:\n               window=0 (stock Raft) vs window=W\n  nbraft-cli serve --node-id N --peers host:port,host:port,...\n               [--bind ADDR] [--cluster-id ID] [--metrics ADDR] [--wal DIR]\n               [--protocol P] [--window W] [--rtt-ms MS] [--lanes N]\n               [--loss-pct F] [--quiet]   one replica, real TCP\n  nbraft-cli bench-net [--replicas N] [--clients N] [--seconds S] [--payload B]\n               [--window W] [--rtt-ms MS] [--lanes N] [--loss-pct F]\n               [--compare | --peers host:port,...]\n               loopback-TCP throughput bench (or bench a running cluster)\n\n\
+         USAGE:\n  nbraft-cli sim   [--protocol P] [--clients N] [--replicas N] [--payload B]\n               [--dispatchers N] [--window W] [--duration-ms MS] [--seed S]\n               [--geo] [--cloud] [--cpu-scale F] [--trace FILE]\n  nbraft-cli petri [--clients N] [--dispatchers N] [--non-blocking] [--ratis]\n               [--horizon-ms MS] [--dot FILE]\n  nbraft-cli demo  [--protocol P] [--replicas N] [--clients N] [--seconds S]\n  nbraft-cli trace FILE            analyze a JSONL trace (entry lifecycles,\n               t_wait(F), window occupancy)\n  nbraft-cli trace --compare [--window W] [sim opts]   paired traced sims:\n               window=0 (stock Raft) vs window=W\n  nbraft-cli serve --node-id N --peers host:port,host:port,...\n               [--bind ADDR] [--cluster-id ID] [--metrics ADDR] [--wal DIR]\n               [--protocol P] [--window W] [--rtt-ms MS] [--lanes N]\n               [--loss-pct F] [--quiet]   one replica, real TCP\n  nbraft-cli bench-net [--replicas N] [--clients N] [--seconds S] [--payload B]\n               [--window W] [--rtt-ms MS] [--lanes N] [--loss-pct F]\n               [--compare | --peers host:port,...]\n               loopback-TCP throughput bench (or bench a running cluster)\n  nbraft-cli chaos list            the fault-scenario corpus\n  nbraft-cli chaos run   [--scenario NAME] [--backend sim|net|both] [--seed S]\n               [--smoke] [--out FILE.jsonl]   run scenarios, check invariants\n  nbraft-cli chaos sweep [--scenario NAME] [--seeds K] [--out FILE.jsonl]\n               deterministic sim seed sweep\n\n\
          protocols: raft nbraft craft nbcraft ecraft kraft vgraft"
     );
     std::process::exit(2)
@@ -669,7 +785,7 @@ fn main() {
     // `trace` takes one positional FILE operand; peel it before the
     // `--key value` parser (which rejects positionals).
     let mut file = None;
-    if cmd == "trace" {
+    if cmd == "trace" || cmd == "chaos" {
         if let Some(f) = rest.first().filter(|f| !f.starts_with("--")) {
             file = Some(f.as_str());
             rest = &rest[1..];
@@ -683,6 +799,7 @@ fn main() {
         "trace" => cmd_trace(file, &args),
         "serve" => cmd_serve(&args),
         "bench-net" => cmd_bench_net(&args),
+        "chaos" => cmd_chaos(file, &args),
         _ => usage(),
     }
 }

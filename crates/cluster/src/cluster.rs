@@ -45,6 +45,13 @@ pub struct ClusterConfig {
     /// `EngineProbe::Off` (the default) keeps the hot path allocation-free;
     /// a shared probe collects [`nbr_obs::TraceEvent`]s for `nbraft-cli trace`.
     pub probe: EngineProbe,
+    /// Chaos clock-skew dial: nanoseconds added to the replica's view of
+    /// `now`. Shared so the chaos harness can skew a running replica; zero
+    /// (the default) is a normal clock. Cloning the config shares the dial.
+    pub clock_skew: Arc<std::sync::atomic::AtomicU64>,
+    /// Chaos slow-disk dial: nanoseconds every WAL record write stalls.
+    /// Only meaningful with [`StorageMode::Wal`]; zero disables.
+    pub wal_stall: Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl Default for ClusterConfig {
@@ -66,6 +73,8 @@ impl Default for ClusterConfig {
             compact_after: None,
             seed: 42,
             probe: EngineProbe::Off,
+            clock_skew: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            wal_stall: Arc::new(std::sync::atomic::AtomicU64::new(0)),
         }
     }
 }
@@ -453,11 +462,18 @@ fn spawn_replica<M: StateMachine + Send + Default + 'static>(
                         // as intended.
                         std::fs::create_dir_all(dir).expect("wal dir"); // check:allow(L1): replica bring-up, must abort
                         let path = dir.join(format!("node-{}.wal", id.0));
-                        ClusterLog::Wal(
-                            WalLog::open(path, SyncPolicy::Never).expect("open wal"), // check:allow(L1): replica bring-up, must abort
-                        )
+                        let mut w = WalLog::open(path, SyncPolicy::Never).expect("open wal"); // check:allow(L1): replica bring-up, must abort
+                        w.set_stall(Arc::clone(&cfg.wal_stall));
+                        ClusterLog::Wal(w)
                     }
                 }
+            };
+            // The replica's view of time: wall clock plus the chaos skew
+            // dial. All engine deadlines derive from this, so skewing one
+            // replica makes its election timer fire early relative to peers.
+            let skew = Arc::clone(&cfg.clock_skew);
+            let local_now = move || {
+                now_since(epoch) + TimeDelta(skew.load(std::sync::atomic::Ordering::Relaxed))
             };
             let hard_state_path = match &cfg.storage {
                 StorageMode::Wal(dir) => Some(dir.join(format!("node-{}.hs", id.0))),
@@ -518,7 +534,7 @@ fn spawn_replica<M: StateMachine + Send + Default + 'static>(
                             if let Some(n) = node.as_mut() {
                                 next_read_id += 1;
                                 read_replies.insert(next_read_id, reply);
-                                let now = now_since(epoch);
+                                let now = local_now();
                                 n.handle_read(
                                     ClientId(u64::MAX),
                                     RequestId(next_read_id),
@@ -554,7 +570,7 @@ fn spawn_replica<M: StateMachine + Send + Default + 'static>(
                 // persistence, status snapshot, metrics mirroring) amortizes
                 // across bursts instead of being paid once per packet.
                 let packet = inbox.recv_timeout(Duration::from_millis(2));
-                let now = now_since(epoch);
+                let now = local_now();
                 if let Some(n) = node.as_mut() {
                     let handle = |p: Packet,
                                   n: &mut Node<ClusterLog, EngineProbe>,
@@ -698,7 +714,10 @@ fn spawn_replica<M: StateMachine + Send + Default + 'static>(
 /// is at least as far. [`nbr_core::VoteList::strong_accept`] counts every
 /// index up to `last_index`, so handling only the furthest response is
 /// semantically identical. Weak and Mismatch responses are never touched.
-fn compress_strong_resps(burst: &mut Vec<Packet>) {
+///
+/// Public so property tests can check the supersession invariants against
+/// random response bursts; the replica loop is the only runtime caller.
+pub fn compress_strong_resps(burst: &mut Vec<Packet>) {
     // (peer, term) → furthest last_index of a LATER kept Strong response.
     let mut kept: HashMap<(u32, u64), u64> = HashMap::new();
     let mut drop = vec![false; burst.len()];

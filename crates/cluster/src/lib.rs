@@ -11,6 +11,8 @@ pub mod network;
 pub mod sync;
 pub mod transport;
 
-pub use cluster::{Cluster, ClusterClient, ClusterConfig, NodeStatus, StorageMode};
+pub use cluster::{
+    compress_strong_resps, Cluster, ClusterClient, ClusterConfig, NodeStatus, StorageMode,
+};
 pub use network::{NetConfig, NetControl, NetHandle, NetStats, Network, Packet, CLIENT_ENDPOINT};
 pub use transport::{Transport, TransportInboxes, NODE_INBOX_DEPTH};

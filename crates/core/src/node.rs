@@ -195,6 +195,15 @@ pub struct Node<L: LogStore, P: Probe = NoProbe> {
     applied_index: LogIndex,
 
     // ---- follower state ----
+    /// Highest index through which the local log is *verified* to match the
+    /// current term's leader (via a prev-term-checked append, a term-equal
+    /// duplicate, or a snapshot). Follower commit may never advance past
+    /// this: `leader_commit` proves the leader's entries up to that point
+    /// are durable, not that our copies at those indices are those entries.
+    /// A deposed leader carrying a stale uncommitted suffix would otherwise
+    /// commit its own stale entries the moment a newer leader's commit index
+    /// reaches them — before repair has overwritten them.
+    matched_to: LogIndex,
     window: SlidingWindow,
     /// Blocked entries beyond the window (or all out-of-order entries when
     /// `w == 0`), keyed by index. Value: (entry, arrival time).
@@ -304,6 +313,7 @@ impl<L: LogStore, P: Probe> Node<L, P> {
             leader_hint: None,
             commit_index: LogIndex::ZERO,
             applied_index: LogIndex::ZERO,
+            matched_to: LogIndex::ZERO,
             parked: BTreeMap::new(),
             arrivals: BTreeMap::new(),
             gap_hint: None,
@@ -679,6 +689,9 @@ impl<L: LogStore, P: Probe> Node<L, P> {
         self.stats.elections += 1;
         self.role = Role::Candidate;
         self.term = self.term.next();
+        // New term, unknown leader: only the committed prefix is known to
+        // match whoever wins.
+        self.matched_to = self.commit_index;
         self.emit(ProbeEvent::ElectionStarted { term: self.term });
         self.voted_for = Some(self.id);
         self.votes = self.bit_of(self.id);
@@ -775,6 +788,9 @@ impl<L: LogStore, P: Probe> Node<L, P> {
         if new_term > self.term {
             self.term = new_term;
             self.voted_for = None;
+            // The new term's leader may disagree with anything above our
+            // commit point; matches must be re-verified against it.
+            self.matched_to = self.commit_index;
         }
         self.role = Role::Follower;
         self.pending_reads.clear();
@@ -1120,7 +1136,10 @@ impl<L: LogStore, P: Probe> Node<L, P> {
     /// (Section III-A1 — replace/truncate path).
     fn accept_existing_range(&mut self, entry: Entry, leader: NodeId, out: &mut Vec<Output>) {
         if self.log.term_of(entry.index) == Some(entry.term) {
-            // Duplicate of an entry we already hold: cumulative ack.
+            // Duplicate of an entry we already hold: cumulative ack. Equal
+            // terms at equal index imply identical prefixes (Log Matching),
+            // so the match watermark advances to here.
+            self.matched_to = self.matched_to.max(entry.index);
             self.respond_strong(leader, out);
             return;
         }
@@ -1142,6 +1161,10 @@ impl<L: LogStore, P: Probe> Node<L, P> {
             self.emit(ProbeEvent::Appended { index });
             self.window.shift_to(self.log.last_index(), min_term);
             self.reconstructed.split_off(&self.log.last_index().next());
+            // The log now ends exactly at the replacing entry and matches
+            // the leader through it; anything previously verified above was
+            // just truncated away.
+            self.matched_to = index;
             self.respond_strong(leader, out);
         } else {
             // Previous entry mismatch: ask for earlier entries.
@@ -1179,6 +1202,9 @@ impl<L: LogStore, P: Probe> Node<L, P> {
                     self.stats.appends += 1;
                     self.emit(ProbeEvent::Appended { index: e_index });
                 }
+                // A flush run is prev-term-chained onto our old tail, so the
+                // whole log now verifiably matches the leader's.
+                self.matched_to = self.log.last_index();
                 self.respond_strong(leader, out);
             }
             WindowOutcome::Cached => {
@@ -1322,6 +1348,7 @@ impl<L: LogStore, P: Probe> Node<L, P> {
                         self.stats.appends += 1;
                         self.emit(ProbeEvent::Appended { index: e_index });
                     }
+                    self.matched_to = self.log.last_index();
                     self.respond_strong(leader, out);
                 }
                 WindowOutcome::Cached => {
@@ -1352,8 +1379,15 @@ impl<L: LogStore, P: Probe> Node<L, P> {
     }
 
     /// Advance the follower commit index per the leader's commit point.
+    ///
+    /// This is Raft's `min(leaderCommit, index of last NEW entry)` rule
+    /// generalized for out-of-order acceptance: the cap is the verified
+    /// match watermark, not the raw local log length. Capping at
+    /// `last_index` alone would let a deposed leader commit its own stale
+    /// uncommitted suffix as soon as the new leader's commit index passes
+    /// it, before repair rewrites those entries.
     fn advance_commit(&mut self, leader_commit: LogIndex, out: &mut Vec<Output>) {
-        let target = leader_commit.min(self.log.last_index());
+        let target = leader_commit.min(self.matched_to.max(self.commit_index));
         if target > self.commit_index {
             if self.probe.enabled() {
                 let mut i = self.commit_index.next();
@@ -1394,6 +1428,23 @@ impl<L: LogStore, P: Probe> Node<L, P> {
                 self.progress[pos].last_seen = last_index;
                 let outcome = self.vote_list.strong_accept(last_index, bit, self.term);
                 self.process_vote_outcome(outcome, out);
+                // Ack-paced catch-up streaming (non-blocking mode only): a
+                // strong accept that still trails the log tail by more than
+                // the window cannot be closed by live replication — new
+                // entries land beyond the follower's window and park
+                // unacknowledged — so ship the next suffix batch immediately
+                // instead of waiting for the heartbeat stall detector. Each
+                // batch's cumulative ack triggers the next: one batch in
+                // flight per follower, self-clocked at the network round
+                // trip rather than `STALL_ROUNDS` heartbeat intervals.
+                // With `window == 0` (stock Raft) the leader-visible gap is
+                // dominated by ordinary in-flight pipelining, so this
+                // heuristic would resend live traffic as duplicates; the
+                // stall detector alone handles repair there, as before.
+                let gap = self.log.last_index().diff(last_index);
+                if self.cfg.window > 0 && gap > self.cfg.window.max(CATCHUP_BATCH) as i64 {
+                    self.repair_follower(m.from, last_index.next(), now, out);
+                }
             }
             AcceptState::Mismatch { index: _, resend_from } => {
                 self.repair_follower(m.from, resend_from, now, out);
@@ -1922,6 +1973,9 @@ impl<L: LogStore, P: Probe> Node<L, P> {
                 data: m.data,
             });
         }
+        // Either the log was reset to the snapshot point (exact match) or
+        // `covered` verified a term-equal entry at `m.last_index`.
+        self.matched_to = self.matched_to.max(m.last_index).min(self.log.last_index());
         self.advance_commit(m.leader_commit, out);
         out.push(Output::Send {
             to: m.leader,

@@ -1,0 +1,180 @@
+//! Property tests for append batching: a random contiguous entry run,
+//! randomly folded into batches via [`AppendEntryMsg::merge`] or
+//! [`coalesce_appends`], must leave a follower in exactly the state that
+//! unbatched single-entry delivery leaves — same log contents, same commit
+//! index, same applied sequence. This is the contract the replica loop and
+//! leader repair rely on when they batch the hot path.
+
+use bytes::Bytes;
+use nbr_core::{coalesce_appends, Node, Output};
+use nbr_storage::{LogStore, MemLog};
+use nbr_types::message::MAX_APPEND_BATCH;
+use nbr_types::{
+    AppendEntryMsg, Entry, LogIndex, Message, NodeId, Payload, Protocol, ProtocolConfig, Term, Time,
+};
+use proptest::prelude::*;
+
+/// Build a contiguous, term-monotone entry run from per-entry term bumps.
+/// Entry `i` (1-based) carries `prev_term` equal to its predecessor's term,
+/// so the run is exactly what one leader (at the run's final term) would
+/// replicate during repair.
+fn build_run(bumps: &[u64]) -> Vec<Entry> {
+    let mut term = 1u64;
+    let mut prev = 0u64;
+    bumps
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| {
+            term += b;
+            let e = Entry {
+                index: LogIndex(i as u64 + 1),
+                term: Term(term),
+                prev_term: Term(prev),
+                origin: None,
+                payload: Payload::Data(Bytes::from(format!("p{i}"))),
+            };
+            prev = term;
+            e
+        })
+        .collect()
+}
+
+/// One single-entry append per run entry, with a commit watermark trailing
+/// the replicated index by `lag` (non-decreasing across messages, as a real
+/// leader's `leader_commit` is).
+fn singles(run: &[Entry], lag: u64) -> Vec<AppendEntryMsg> {
+    let leader_term = run.last().map_or(Term(1), |e| e.term);
+    run.iter()
+        .map(|e| AppendEntryMsg {
+            term: leader_term,
+            leader: NodeId(0),
+            entries: vec![e.clone()],
+            leader_commit: LogIndex(e.index.0.saturating_sub(lag)),
+            verification: None,
+            relay_to: vec![],
+        })
+        .collect()
+}
+
+/// Everything observable about a follower after a delivery sequence.
+#[derive(Debug, PartialEq)]
+struct FollowerState {
+    last_index: u64,
+    commit: u64,
+    log_terms: Vec<(u64, u64)>,
+    applied: Vec<Entry>,
+}
+
+/// Deliver `msgs` in order to a fresh follower and capture its final state.
+fn deliver(cfg: &ProtocolConfig, msgs: &[AppendEntryMsg]) -> FollowerState {
+    let membership = vec![NodeId(0), NodeId(1), NodeId(2)];
+    let mut node = Node::new(NodeId(1), membership, cfg.clone(), MemLog::new(), 7);
+    let mut applied = Vec::new();
+    for m in msgs {
+        let mut out = Vec::new();
+        node.handle_message(NodeId(0), Message::AppendEntry(m.clone()), Time(1), &mut out);
+        for o in out {
+            if let Output::Apply { entry } = o {
+                applied.push(entry);
+            }
+        }
+    }
+    let last = node.log().last_index();
+    FollowerState {
+        last_index: last.0,
+        commit: node.commit_index().0,
+        log_terms: (1..=last.0)
+            .map(|i| (i, node.log().term_of(LogIndex(i)).expect("retained index").0))
+            .collect(),
+        applied,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn batched_delivery_matches_unbatched(
+        bumps in proptest::collection::vec(prop_oneof![4 => Just(0u64), 1 => 1u64..3], 1..80),
+        breaks in proptest::collection::vec(any::<bool>(), 80),
+        lag in 0u64..6,
+        max_batch in 2usize..=MAX_APPEND_BATCH,
+        window in prop_oneof![Just(0usize), Just(4), Just(100)],
+    ) {
+        let cfg = if window == 0 { Protocol::Raft.config(0) } else { Protocol::NbRaft.config(window) };
+        let run = build_run(&bumps);
+        let singles = singles(&run, lag);
+
+        // Random batching through merge(): fold each message into the open
+        // batch unless the break coin says to start a new one, asserting
+        // merge() agrees with can_merge() along the way.
+        let mut batched: Vec<AppendEntryMsg> = Vec::new();
+        for (i, m) in singles.iter().enumerate() {
+            if !breaks[i] {
+                if let Some(open) = batched.last_mut() {
+                    let mergeable = open.can_merge(m, max_batch);
+                    prop_assert_eq!(open.merge(m, max_batch), mergeable);
+                    if mergeable {
+                        continue;
+                    }
+                }
+            }
+            batched.push(m.clone());
+        }
+        for b in &batched {
+            prop_assert!(b.entries.len() <= max_batch.min(MAX_APPEND_BATCH));
+            for pair in b.entries.windows(2) {
+                prop_assert!(pair[0].precedes(&pair[1]), "batch must stay contiguous");
+            }
+        }
+
+        let unbatched_state = deliver(&cfg, &singles);
+        let batched_state = deliver(&cfg, &batched);
+        prop_assert_eq!(&unbatched_state, &batched_state,
+            "merge() batching changed follower state");
+
+        // Same property through the replica loop's coalescing pass.
+        let mut outs: Vec<Output> = singles
+            .iter()
+            .map(|m| Output::Send { to: NodeId(1), msg: Message::AppendEntry(m.clone()) })
+            .collect();
+        coalesce_appends(&mut outs, max_batch);
+        let coalesced: Vec<AppendEntryMsg> = outs
+            .into_iter()
+            .map(|o| match o {
+                Output::Send { msg: Message::AppendEntry(m), .. } => m,
+                other => panic!("coalesce produced non-append output {other:?}"),
+            })
+            .collect();
+        prop_assert!(coalesced.len() <= singles.len());
+        let coalesced_state = deliver(&cfg, &coalesced);
+        prop_assert_eq!(&unbatched_state, &coalesced_state,
+            "coalesce_appends() changed follower state");
+    }
+
+    /// The batch-size cap is respected even when every message is mergeable:
+    /// a long single-term run coalesces into ceil(n / cap) full batches.
+    #[test]
+    fn coalesce_packs_to_the_cap(
+        n in 1usize..200,
+        max_batch in 2usize..=MAX_APPEND_BATCH,
+    ) {
+        let run = build_run(&vec![0; n]);
+        let singles = singles(&run, 0);
+        let mut outs: Vec<Output> = singles
+            .iter()
+            .map(|m| Output::Send { to: NodeId(1), msg: Message::AppendEntry(m.clone()) })
+            .collect();
+        coalesce_appends(&mut outs, max_batch);
+        let cap = max_batch.min(MAX_APPEND_BATCH);
+        prop_assert_eq!(outs.len(), n.div_ceil(cap));
+        let total: usize = outs
+            .iter()
+            .map(|o| match o {
+                Output::Send { msg: Message::AppendEntry(m), .. } => m.entries.len(),
+                _ => 0,
+            })
+            .sum();
+        prop_assert_eq!(total, n, "coalescing must not drop or duplicate entries");
+    }
+}

@@ -1,0 +1,93 @@
+//! Regression test for the `matched_to` commit watermark: a deposed leader
+//! learning a newer leader's commit index must not commit its own stale
+//! uncommitted suffix — the new commit index refers to the *new* leader's
+//! log, which the deposed leader has not yet verified it matches. This is
+//! the out-of-order generalization of Raft's "min(leaderCommit, index of
+//! last new entry)" rule; the chaos harness's leader-isolated scenario
+//! caught the original violation.
+
+mod common;
+
+use common::TestCluster;
+use nbr_core::Role;
+use nbr_types::*;
+
+fn deposed_leader_case(cfg: &ProtocolConfig) {
+    let mut c = TestCluster::new(3, cfg);
+    c.elect(0);
+    for r in 1..=3u64 {
+        c.client_request(0, 1, r, format!("committed-{r}").as_bytes());
+    }
+    c.pump();
+    // Noop at 1 plus three entries: everyone at commit 4.
+    assert_eq!(c.node(0).commit_index(), LogIndex(4));
+
+    // Isolate the leader; it keeps accepting client traffic it can no
+    // longer replicate — a stale term-1 suffix at indices 5..=6.
+    c.partitions.push((NodeId(0), NodeId(1)));
+    c.partitions.push((NodeId(0), NodeId(2)));
+    for r in 4..=5u64 {
+        c.client_request(0, 1, r, format!("stale-{r}").as_bytes());
+    }
+    assert_eq!(c.node(0).last_index(), LogIndex(6));
+    assert_eq!(c.node(0).commit_index(), LogIndex(4));
+
+    // The majority side elects node 1 and commits its own 5..=7 (noop plus
+    // two fresh entries) at the higher term.
+    c.elect(1);
+    for r in 1..=2u64 {
+        c.client_request(1, 2, r, format!("fresh-{r}").as_bytes());
+    }
+    c.pump();
+    assert_eq!(c.node(1).commit_index(), LogIndex(7));
+    let new_term = c.node(1).term();
+
+    // Heal, then deliver ONLY the new leader's heartbeat to the deposed
+    // leader: commit index 7, beyond node 0's entire log. Node 0 must step
+    // down but keep its commit at 4 — indices 5..=6 in its log are NOT the
+    // entries leader 1 committed there.
+    c.partitions.clear();
+    c.tick(cfg.timeouts.heartbeat_interval);
+    let hb = c.find_pending(|m| {
+        m.from == NodeId(1) && m.to == NodeId(0) && matches!(m.msg, Message::Heartbeat(_))
+    });
+    c.deliver_at(hb[0]);
+    assert_eq!(c.node(0).role(), Role::Follower);
+    assert_eq!(c.node(0).term(), new_term);
+    assert_eq!(
+        c.node(0).commit_index(),
+        LogIndex(4),
+        "deposed leader advanced commit over its stale unverified suffix"
+    );
+    assert!(
+        c.applied[0].iter().all(|e| e.index <= LogIndex(4)),
+        "stale suffix entries must never be applied: {:?}",
+        c.applied[0].iter().map(|e| (e.index.0, e.term.0)).collect::<Vec<_>>()
+    );
+
+    // Let repair finish: node 0 truncates the stale suffix, adopts the new
+    // leader's entries, and only then commits through 7.
+    for _ in 0..50 {
+        c.tick(cfg.timeouts.heartbeat_interval);
+        c.pump();
+        if c.node(0).commit_index() == LogIndex(7) {
+            break;
+        }
+    }
+    assert_eq!(c.node(0).commit_index(), LogIndex(7), "repair must converge");
+    c.assert_committed_prefix_consistent();
+    assert!(
+        c.applied[0].iter().filter(|e| e.index > LogIndex(4)).all(|e| e.term == new_term),
+        "everything applied past the divergence point must carry the new term"
+    );
+}
+
+#[test]
+fn deposed_leader_never_commits_stale_suffix_nbraft() {
+    deposed_leader_case(&Protocol::NbRaft.config(100));
+}
+
+#[test]
+fn deposed_leader_never_commits_stale_suffix_raft() {
+    deposed_leader_case(&Protocol::Raft.config(0));
+}

@@ -206,6 +206,24 @@ impl NetClient {
         Err(Error::Cluster(format!("request {id} timed out")))
     }
 
+    /// Block until the closed-loop client may issue again (no outstanding
+    /// un-first-acked request), stepping retries/redirects meanwhile.
+    /// Returns readiness at exit. [`Self::submit`] panics when called while
+    /// not ready, so call this after a `submit` timeout before retrying.
+    pub fn await_ready(&mut self, timeout: Duration) -> bool {
+        let deadline = clock::now() + timeout;
+        while clock::now() < deadline {
+            if self.inner.ready() {
+                return true;
+            }
+            let mut actions = Vec::new();
+            self.step(&mut actions);
+            let mut acked = None;
+            self.dispatch(actions, &mut acked);
+        }
+        self.inner.ready()
+    }
+
     /// Block until every weakly-accepted request is durably confirmed
     /// (opList empty) or the timeout expires.
     pub fn drain(&mut self, timeout: Duration) -> bool {

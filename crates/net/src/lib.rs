@@ -30,4 +30,4 @@ pub mod transport;
 pub use client::NetClient;
 pub use metrics::MetricsServer;
 pub use server::{NodeServer, ServeConfig};
-pub use transport::{TcpConfig, TcpTransport};
+pub use transport::{LinkFault, LinkFaults, TcpConfig, TcpTransport};

@@ -36,6 +36,9 @@ pub struct ServeConfig {
     /// Percentage of peer frames dropped (loss emulation). See
     /// [`TcpConfig::link_loss_pct`].
     pub link_loss_pct: f64,
+    /// Per-link runtime-mutable fault table (chaos harness). See
+    /// [`TcpConfig::faults`].
+    pub faults: Option<std::sync::Arc<crate::LinkFaults>>,
 }
 
 /// A running single-replica process member.
@@ -72,6 +75,7 @@ impl<M: StateMachine + Send + Default + 'static> NodeServer<M> {
             link_delay: cfg.link_delay,
             peer_lanes: cfg.peer_lanes,
             link_loss_pct: cfg.link_loss_pct,
+            faults: cfg.faults.clone(),
             ..TcpConfig::default()
         };
         let mut transport_addr = None;

@@ -88,6 +88,12 @@ pub struct TcpConfig {
     /// window keeps weak-accepting around the gap. Handshakes, keepalives
     /// and client traffic are never dropped.
     pub link_loss_pct: f64,
+    /// Per-link runtime-mutable fault table (chaos harness). Unlike the
+    /// uniform `link_delay`/`link_loss_pct` emulation, faults here are keyed
+    /// by directed `(from, to)` node pairs, so asymmetric partitions and
+    /// gray links are expressible and adjustable while the cluster runs.
+    /// `None` (the default) costs nothing on the hot path.
+    pub faults: Option<Arc<LinkFaults>>,
 }
 
 impl Default for TcpConfig {
@@ -105,7 +111,61 @@ impl Default for TcpConfig {
             link_delay: Duration::ZERO,
             peer_lanes: 1,
             link_loss_pct: 0.0,
+            faults: None,
         }
+    }
+}
+
+/// Fault state of one directed link (`from → to`), consulted by the `from`
+/// side's writer threads per outbound batch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinkFault {
+    /// Cut: every protocol frame on this direction is dropped. Handshakes
+    /// and keepalives still flow, so the TCP connection itself survives the
+    /// partition — mirroring a network-level filter rather than a dead host.
+    pub cut: bool,
+    /// Gray link: drop probability for protocol frames, in basis points
+    /// (0..=10 000).
+    pub drop_bp: u32,
+    /// Extra one-way delay applied to each surviving outbound batch.
+    pub delay: Duration,
+}
+
+/// Runtime-mutable table of per-link faults, shared between the chaos
+/// harness and every transport of an in-process cluster. Each transport
+/// only ever consults rows where `from` is its own node id; the harness
+/// mutates rows at fault-schedule instants. Lookups copy the small
+/// `LinkFault` out, so no lock is held across any I/O.
+#[derive(Debug, Default)]
+pub struct LinkFaults {
+    links: Mutex<HashMap<(u32, u32), LinkFault>>,
+}
+
+impl LinkFaults {
+    /// A fresh all-healthy table behind an [`Arc`], ready to hand to several
+    /// [`TcpConfig`]s.
+    pub fn shared() -> Arc<LinkFaults> {
+        Arc::new(LinkFaults::default())
+    }
+
+    /// Set the fault state of directed link `from → to`.
+    pub fn set(&self, from: u32, to: u32, fault: LinkFault) {
+        self.links.lock().insert((from, to), fault);
+    }
+
+    /// Restore directed link `from → to` to healthy.
+    pub fn clear(&self, from: u32, to: u32) {
+        self.links.lock().remove(&(from, to));
+    }
+
+    /// Restore every link to healthy.
+    pub fn heal_all(&self) {
+        self.links.lock().clear();
+    }
+
+    /// Current fault on `from → to` (healthy default when unset).
+    pub fn get(&self, from: u32, to: u32) -> LinkFault {
+        self.links.lock().get(&(from, to)).copied().unwrap_or_default()
     }
 }
 
@@ -533,7 +593,7 @@ fn supervise_peer(
                 .spawn(move || run_reader(sh2, rstream))
                 .ok()
         });
-        run_peer_writer(&sh, &mut stream, &rx, &mut rng, &depth);
+        run_peer_writer(&sh, &mut stream, &rx, &mut rng, &depth, peer_id);
         // Unblock the duplex reader before joining it.
         let _ = stream.shutdown(Shutdown::Both);
         if let Some(t) = reader {
@@ -553,6 +613,7 @@ fn run_peer_writer(
     rx: &Receiver<NetFrame>,
     rng: &mut StdRng,
     depth: &AtomicI64,
+    peer_id: u32,
 ) {
     let hello = NetFrame::Hello(HelloMsg {
         version: NET_PROTOCOL_VERSION,
@@ -563,13 +624,14 @@ fn run_peer_writer(
     if write_frames(sh, stream, std::slice::from_ref(&hello), &mut wbuf).is_err() {
         return;
     }
-    pump_peer_frames(sh, stream, rx, rng, &mut wbuf, depth);
+    pump_peer_frames(sh, stream, rx, rng, &mut wbuf, depth, peer_id);
 }
 
 /// The shared peer write loop: batch, emulate WAN loss/delay, write. Used
 /// by both the dialing supervisor and accepted-route writers so the two
 /// directions of a deduplicated link behave identically. Returns on error
 /// or shutdown.
+#[allow(clippy::too_many_arguments)]
 fn pump_peer_frames(
     sh: &Shared,
     stream: &mut TcpStream,
@@ -577,6 +639,7 @@ fn pump_peer_frames(
     rng: &mut StdRng,
     wbuf: &mut Vec<u8>,
     depth: &AtomicI64,
+    peer_id: u32,
 ) {
     let mut batch = Vec::with_capacity(64);
     let mut nonce = 0u64;
@@ -616,6 +679,37 @@ fn pump_peer_frames(
                 batch.push(NetFrame::Ping { nonce });
             }
             Err(RecvTimeoutError::Disconnected) => return,
+        }
+        // Chaos per-link faults: consulted per batch so the harness can flip
+        // them while the connection stays up. A cut link silently eats every
+        // protocol frame (the socket and keepalives survive — this is a
+        // network filter, not a dead host); a gray link drops a fraction and
+        // delays the rest.
+        let chaos = match &sh.cfg.faults {
+            Some(f) => f.get(sh.cfg.node_id, peer_id),
+            None => LinkFault::default(),
+        };
+        if chaos.cut || chaos.drop_bp > 0 {
+            batch.retain(|f| {
+                let proto = matches!(
+                    f,
+                    NetFrame::Peer { .. } | NetFrame::Request { .. } | NetFrame::Response { .. }
+                );
+                let lose = proto
+                    && (chaos.cut
+                        || rng.random_range(0..10_000u64) < u64::from(chaos.drop_bp.min(10_000)));
+                if lose {
+                    sh.stats.frames_lost.inc();
+                }
+                !lose
+            });
+            if batch.is_empty() {
+                depth.fetch_sub(drained, Ordering::Relaxed);
+                continue;
+            }
+        }
+        if !chaos.delay.is_zero() {
+            sh.sleep_checked(chaos.delay);
         }
         if loss_bp > 0 {
             // Drop protocol frames only: the peer's Raft engine repairs
@@ -658,6 +752,7 @@ fn accepted_peer_writer(
     rx: Receiver<NetFrame>,
     seed: u64,
     depth: Arc<AtomicI64>,
+    peer_id: u32,
 ) {
     let conn = sh.register_conn(&stream);
     sh.stats.peer_links_up.add(1);
@@ -669,7 +764,7 @@ fn accepted_peer_writer(
     });
     let mut wbuf = Vec::with_capacity(8 << 10);
     if write_frames(&sh, &mut stream, std::slice::from_ref(&hello), &mut wbuf).is_ok() {
-        pump_peer_frames(&sh, &mut stream, &rx, &mut rng, &mut wbuf, &depth);
+        pump_peer_frames(&sh, &mut stream, &rx, &mut rng, &mut wbuf, &depth, peer_id);
     }
     sh.stats.peer_links_up.add(-1);
     let _ = stream.shutdown(Shutdown::Both);
@@ -851,7 +946,7 @@ fn handle_frame(
                             (u64::from(sh.cfg.node_id) << 40) ^ (u64::from(n.0) << 16) ^ conn;
                         let spawned = std::thread::Builder::new()
                             .name(format!("nbr-net-presp-{}-{}", sh.cfg.node_id, n.0))
-                            .spawn(move || accepted_peer_writer(sh2, wstream, rx, seed, d));
+                            .spawn(move || accepted_peer_writer(sh2, wstream, rx, seed, d, n.0));
                         if spawned.is_err() {
                             sh.stats.proto_errors.inc();
                             return false;

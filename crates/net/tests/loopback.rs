@@ -39,16 +39,23 @@ fn spawn_cluster(n: usize) -> (Vec<NodeServer<KvStore>>, Vec<(u32, SocketAddr)>)
         .map(|(i, (listener, _))| {
             let peers: Vec<(u32, SocketAddr)> =
                 members.iter().filter(|&&(id, _)| id != i as u32).copied().collect();
+            // Distinct per-node seeds: identical seeds give every node the
+            // same randomized election timeout, so a cold three-way start
+            // can split-vote for several rounds under CI load. Staggered
+            // seeds keep the first election one round long.
+            let cluster =
+                ClusterConfig { seed: 0x10c4_b4c4 ^ ((i as u64) << 8), ..ClusterConfig::default() };
             let cfg = ServeConfig {
                 cluster_id: CLUSTER_ID,
                 node_id: i as u32,
                 bind: "127.0.0.1:0".parse().expect("addr"),
                 peers,
-                cluster: ClusterConfig::default(),
+                cluster,
                 metrics_bind: None,
                 link_delay: Duration::ZERO,
                 peer_lanes: 1,
                 link_loss_pct: 0.0,
+                faults: None,
             };
             NodeServer::spawn_on(cfg, listener).expect("spawn node server")
         })
@@ -56,21 +63,33 @@ fn spawn_cluster(n: usize) -> (Vec<NodeServer<KvStore>>, Vec<(u32, SocketAddr)>)
     (servers, members)
 }
 
+/// Poll `cond` every few milliseconds until it returns true or `timeout`
+/// expires. Returns whether the condition was met — callers assert with
+/// their own message so failures name what never happened.
+fn poll_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if cond() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
 /// Wait (bounded) for some live server to report leadership.
 fn wait_leader(servers: &[Option<NodeServer<KvStore>>], timeout: Duration) -> Option<usize> {
-    let deadline = Instant::now() + timeout;
-    while Instant::now() < deadline {
-        for (i, s) in servers.iter().enumerate() {
-            if let Some(s) = s {
-                let st = s.cluster().status(0);
-                if st.alive && st.is_leader {
-                    return Some(i);
-                }
-            }
-        }
-        std::thread::sleep(Duration::from_millis(10));
-    }
-    None
+    let mut leader = None;
+    poll_until(timeout, || {
+        leader = servers.iter().enumerate().find_map(|(i, s)| {
+            let st = s.as_ref()?.cluster().status(0);
+            (st.alive && st.is_leader).then_some(i)
+        });
+        leader.is_some()
+    });
+    leader
 }
 
 #[test]
@@ -88,20 +107,15 @@ fn three_process_cluster_commits_over_tcp() {
     assert!(client.drain(Duration::from_secs(10)), "opList did not drain");
 
     // Every replica converges on all 20 keys, replicated over real sockets.
-    let deadline = Instant::now() + Duration::from_secs(10);
-    loop {
-        let ok = servers.iter().flatten().all(|s| {
+    let converged = poll_until(Duration::from_secs(10), || {
+        servers.iter().flatten().all(|s| {
             let m = s.cluster().machine(0);
             let m = m.lock();
             (0..20u32)
                 .all(|i| m.get(format!("k{i}").as_bytes()) == Some(format!("v{i}").as_bytes()))
-        });
-        if ok {
-            break;
-        }
-        assert!(Instant::now() < deadline, "replicas did not converge on all 20 keys");
-        std::thread::sleep(Duration::from_millis(20));
-    }
+        })
+    });
+    assert!(converged, "replicas did not converge on all 20 keys");
 
     // Transport metrics made it into the Prometheus export.
     let prom = servers[leader].as_ref().expect("leader alive").prometheus();
@@ -142,22 +156,17 @@ fn leader_kill_reelects_and_retries_oplist() {
 
     // All 20 keys present on both survivors (including any the dead leader
     // had only weakly accepted — the retry path must have re-sent them).
-    let deadline = Instant::now() + Duration::from_secs(15);
-    loop {
-        let ok = servers.iter().flatten().all(|s| {
+    let converged = poll_until(Duration::from_secs(15), || {
+        servers.iter().flatten().all(|s| {
             let m = s.cluster().machine(0);
             let m = m.lock();
             (0..20u32).all(|i| m.get(format!("a{i}").as_bytes()).is_some())
-        });
-        if ok {
-            break;
-        }
-        assert!(
-            Instant::now() < deadline,
-            "survivors missing keys after re-election (op list had {in_flight} in flight)"
-        );
-        std::thread::sleep(Duration::from_millis(20));
-    }
+        })
+    });
+    assert!(
+        converged,
+        "survivors missing keys after re-election (op list had {in_flight} in flight)"
+    );
 }
 
 #[test]

@@ -41,6 +41,43 @@ pub struct FailurePlan {
     pub post_failure: TimeDelta,
 }
 
+/// One chaos action, applied at a scheduled virtual instant.
+///
+/// This is the simulator half of the `nbr-chaos` fault surface: the harness
+/// compiles its schedule DSL down to `(Time, SimFault)` pairs. Links are
+/// directed, so asymmetric partitions and one-way gray links are
+/// expressible; a symmetric fault is two directed ones. `FailurePlan`
+/// remains the paper-figure path (leader kill + loss accounting) and is
+/// unaffected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimFault {
+    /// Drop every message sent `from → to`.
+    CutLink { from: u32, to: u32 },
+    /// Undo a `CutLink` on the same directed pair.
+    HealLink { from: u32, to: u32 },
+    /// Gray link: drop each `from → to` message with probability `drop_p`
+    /// and delay the survivors by `extra`.
+    DegradeLink { from: u32, to: u32, drop_p: f64, extra: TimeDelta },
+    /// Undo a `DegradeLink` on the same directed pair.
+    RestoreLink { from: u32, to: u32 },
+    /// Skew `node`'s local clock forward by `by` (its engine sees
+    /// `now + by`, so its election deadlines fire early relative to peers).
+    SkewClock { node: u32, by: TimeDelta },
+    /// Add `penalty` to every append/proposal handled by `node` — the DES
+    /// stand-in for a stalling WAL device.
+    SlowDisk { node: u32, penalty: TimeDelta },
+    /// Undo a `SlowDisk`.
+    HealDisk { node: u32 },
+    /// Crash `node`, preserving its log and hard state as the durable image
+    /// a later `Recover` restarts from (the sim's "WAL").
+    Crash { node: u32 },
+    /// Restart a crashed `node` from its preserved durable image.
+    Recover { node: u32 },
+    /// Force `node` to start an election now (stale-config / duplicate
+    /// leader scenarios).
+    Campaign { node: u32 },
+}
+
 /// Full experiment configuration.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -72,6 +109,8 @@ pub struct SimConfig {
     pub timeouts: TimeoutConfig,
     /// Failure plan.
     pub failure: FailurePlan,
+    /// Chaos schedule: faults applied at their virtual instants, in order.
+    pub chaos: Vec<(Time, SimFault)>,
     /// Seed for all randomness.
     pub seed: u64,
     /// Protocol tracing: `EngineProbe::Off` (default) or a shared buffer
@@ -97,6 +136,7 @@ impl Default for SimConfig {
             cpu_scale: 1.0,
             timeouts: TimeoutConfig::default(),
             failure: FailurePlan::default(),
+            chaos: Vec::new(),
             seed: 42,
             trace: EngineProbe::Off,
         }
@@ -132,6 +172,16 @@ pub struct SimResult {
     pub elections: u64,
     /// Final `(term, is_leader, last_index)` per replica (`None` = dead).
     pub final_state: Vec<Option<(u64, bool, u64)>>,
+    /// Final commit index per replica (`None` = dead).
+    pub final_commit: Vec<Option<u64>>,
+    /// FNV-1a hash over each live replica's `(index, term)` log prefix up to
+    /// the minimum live commit index. Equal hashes mean identical committed
+    /// prefixes — the chaos harness's log-convergence oracle.
+    pub prefix_hash: Vec<Option<u64>>,
+    /// Messages dropped by chaos link faults (cut + gray links).
+    pub chaos_dropped: u64,
+    /// Chaos crash-recoveries performed.
+    pub recoveries: u64,
     /// Per-follower protocol counters summed.
     pub stats: NodeStats,
 }
@@ -169,6 +219,9 @@ enum Ev {
         node: usize,
     },
     Kill,
+    Chaos {
+        fault: SimFault,
+    },
 }
 
 struct HeapEntry {
@@ -216,6 +269,10 @@ impl Servers {
     }
 }
 
+/// Durable image of a chaos-crashed node: its log plus hard state
+/// (current term, vote), the pieces a real WAL preserves across kill -9.
+type DurableImage = (MemLog, (Term, Option<NodeId>));
+
 /// The simulator.
 pub struct Simulator {
     cfg: SimConfig,
@@ -253,6 +310,20 @@ pub struct Simulator {
     /// The node removed by the failure plan, and when.
     dead_node: Option<u32>,
     kill_time: Time,
+
+    // chaos state (empty/zero unless cfg.chaos is non-empty)
+    /// Directed links currently cut.
+    cut_links: std::collections::HashSet<(u32, u32)>,
+    /// Directed links currently degraded: (drop probability, extra delay).
+    degraded_links: std::collections::HashMap<(u32, u32), (f64, TimeDelta)>,
+    /// Per-node clock skew added to every `now` its engine sees.
+    skew: Vec<TimeDelta>,
+    /// Per-node slow-disk penalty added to append/proposal CPU costs.
+    disk_penalty: Vec<TimeDelta>,
+    /// Durable image of a chaos-crashed node, until it recovers.
+    crashed_durable: Vec<Option<DurableImage>>,
+    chaos_dropped: u64,
+    recoveries: u64,
 }
 
 impl Simulator {
@@ -324,8 +395,20 @@ impl Simulator {
             killed: false,
             dead_node: None,
             kill_time: Time::ZERO,
+            cut_links: std::collections::HashSet::new(),
+            degraded_links: std::collections::HashMap::new(),
+            skew: vec![TimeDelta::ZERO; n],
+            disk_penalty: vec![TimeDelta::ZERO; n],
+            crashed_durable: (0..n).map(|_| None).collect(),
+            chaos_dropped: 0,
+            recoveries: 0,
             cfg,
         }
+    }
+
+    /// The instant `node`'s engine believes it is (virtual now + skew).
+    fn node_now(&self, node: usize) -> Time {
+        self.now + self.skew.get(node).copied().unwrap_or(TimeDelta::ZERO)
     }
 
     fn push(&mut self, at: Time, ev: Ev) {
@@ -410,7 +493,15 @@ impl Simulator {
                 _ => c.msg_handle,
             },
         };
-        raw.scale(contention)
+        // Chaos slow-disk: the persistence paths (appends and proposals)
+        // stall for the injected penalty; pure control handling does not.
+        let stall = match item {
+            WorkItem::ClientReq(_) | WorkItem::Msg { msg: Message::AppendEntry(_), .. } => {
+                self.disk_penalty.get(node).copied().unwrap_or(TimeDelta::ZERO)
+            }
+            WorkItem::Msg { .. } => TimeDelta::ZERO,
+        };
+        raw.scale(contention) + stall
     }
 
     /// Route one protocol-engine output.
@@ -457,6 +548,23 @@ impl Simulator {
         if self.nodes.get(to).is_none_or(|n| n.is_none()) {
             return; // dead target
         }
+        // Chaos link faults: a cut link eats the message outright; a gray
+        // link drops probabilistically and delays the survivors.
+        let mut chaos_extra = TimeDelta::ZERO;
+        if !self.cut_links.is_empty() || !self.degraded_links.is_empty() {
+            let key = (from as u32, to as u32);
+            if self.cut_links.contains(&key) {
+                self.chaos_dropped += 1;
+                return;
+            }
+            if let Some(&(p, extra)) = self.degraded_links.get(&key) {
+                if p > 0.0 && self.rng.random_range(0.0..1.0) < p {
+                    self.chaos_dropped += 1;
+                    return;
+                }
+                chaos_extra = extra;
+            }
+        }
         let size = msg.size_bytes();
         // NIC serialization at the sender.
         let t_nic = self.node_nic[from].schedule(self.now, self.cfg.costs.tx_time(size));
@@ -497,11 +605,12 @@ impl Simulator {
             // with requests to the others).
             let fanout = ((self.cfg.n_replicas.saturating_sub(1)) as f64 / 2.0).powf(0.8).max(0.75);
             let scale = 1.3 * fanout * (size as f64 / 4096.0).powf(0.7).clamp(0.35, 6.0);
-            let lat = self.link_latency(from, to) + self.sched_noise(scale) + straggle;
+            let lat =
+                self.link_latency(from, to) + self.sched_noise(scale) + straggle + chaos_extra;
             self.channels[from][to].schedule(t_nic, lat)
         } else {
             // Control path: small acks/heartbeats suffer less queueing.
-            t_nic + self.link_latency(from, to) + self.sched_noise(0.5)
+            t_nic + self.link_latency(from, to) + self.sched_noise(0.5) + chaos_extra
         };
         self.push(
             deliver_at,
@@ -597,10 +706,18 @@ impl Simulator {
         if let Some(at) = self.cfg.failure.kill_leader_at {
             self.push(at, Ev::Kill);
         }
+        // Chaos schedule.
+        let chaos = std::mem::take(&mut self.cfg.chaos);
+        for (at, fault) in &chaos {
+            self.push(*at, Ev::Chaos { fault: fault.clone() });
+        }
 
         let mut horizon = self.window_end;
         if let Some(at) = self.cfg.failure.kill_leader_at {
             horizon = horizon.max(at + self.cfg.failure.post_failure);
+        }
+        for (at, _) in &chaos {
+            horizon = horizon.max(*at);
         }
 
         while let Some(Reverse(top)) = self.heap.pop() {
@@ -643,7 +760,7 @@ impl Simulator {
                     if self.nodes[node].is_none() {
                         continue;
                     }
-                    let now = self.now;
+                    let now = self.node_now(node);
                     let mut out = Vec::new();
                     match item {
                         WorkItem::Msg { from, msg } => {
@@ -687,8 +804,8 @@ impl Simulator {
                     self.push(self.now + TimeDelta::from_millis(500), Ev::ClientTick { client });
                 }
                 Ev::NodeTick { node } => {
+                    let now = self.node_now(node);
                     if let Some(n) = self.nodes[node].as_mut() {
-                        let now = self.now;
                         let mut out = Vec::new();
                         n.tick(now, &mut out);
                         self.route_outputs(node, out);
@@ -711,9 +828,91 @@ impl Simulator {
                         }
                     }
                 }
+                Ev::Chaos { fault } => self.apply_fault(fault),
             }
         }
         self.finish()
+    }
+
+    /// Apply one scheduled chaos fault at the current instant.
+    fn apply_fault(&mut self, fault: SimFault) {
+        match fault {
+            SimFault::CutLink { from, to } => {
+                self.cut_links.insert((from, to));
+            }
+            SimFault::HealLink { from, to } => {
+                self.cut_links.remove(&(from, to));
+            }
+            SimFault::DegradeLink { from, to, drop_p, extra } => {
+                self.degraded_links.insert((from, to), (drop_p.clamp(0.0, 1.0), extra));
+            }
+            SimFault::RestoreLink { from, to } => {
+                self.degraded_links.remove(&(from, to));
+            }
+            SimFault::SkewClock { node, by } => {
+                if let Some(s) = self.skew.get_mut(node as usize) {
+                    *s = by;
+                }
+            }
+            SimFault::SlowDisk { node, penalty } => {
+                if let Some(p) = self.disk_penalty.get_mut(node as usize) {
+                    *p = penalty;
+                }
+            }
+            SimFault::HealDisk { node } => {
+                if let Some(p) = self.disk_penalty.get_mut(node as usize) {
+                    *p = TimeDelta::ZERO;
+                }
+            }
+            SimFault::Crash { node } => {
+                let i = node as usize;
+                if i >= self.nodes.len() {
+                    return;
+                }
+                if let Some(n) = self.nodes[i].take() {
+                    // Log and hard state survive the crash — they are what a
+                    // WAL-backed replica recovers from.
+                    let hs = n.hard_state();
+                    self.crashed_durable[i] = Some((n.log().clone(), hs));
+                    if let EngineProbe::Shared(p) = &self.cfg.trace {
+                        p.record(NodeId(node), self.now, ProbeEvent::Crashed);
+                    }
+                }
+            }
+            SimFault::Recover { node } => {
+                let i = node as usize;
+                if i >= self.nodes.len() || self.nodes[i].is_some() {
+                    return;
+                }
+                let (log, (term, voted_for)) = match self.crashed_durable[i].take() {
+                    Some(d) => d,
+                    None => (MemLog::new(), (Term(0), None)),
+                };
+                let membership: Vec<NodeId> = (0..self.cfg.n_replicas as u32).map(NodeId).collect();
+                let mut pcfg = self.cfg.protocol.config(self.cfg.window);
+                pcfg.timeouts = self.cfg.timeouts;
+                let mut n = Node::with_probe(
+                    NodeId(node),
+                    membership,
+                    pcfg,
+                    log,
+                    self.cfg.seed ^ 0xBEEF ^ u64::from(node),
+                    self.cfg.trace.clone(),
+                );
+                n.restore_hard_state(term, voted_for);
+                self.nodes[i] = Some(n);
+                self.recoveries += 1;
+            }
+            SimFault::Campaign { node } => {
+                let i = node as usize;
+                let now = self.node_now(i);
+                let mut out = Vec::new();
+                if let Some(n) = self.nodes.get_mut(i).and_then(|n| n.as_mut()) {
+                    n.campaign(now, &mut out);
+                }
+                self.route_outputs(i, out);
+            }
+        }
     }
 
     fn finish(self) -> SimResult {
@@ -725,6 +924,7 @@ impl Simulator {
             stats.weak_accepts += s.weak_accepts;
             stats.strong_accepts += s.strong_accepts;
             stats.mismatches += s.mismatches;
+            stats.gap_hints += s.gap_hints;
             stats.parked += s.parked;
             stats.park_wait_ns += s.park_wait_ns;
             stats.park_waits += s.park_waits;
@@ -770,8 +970,40 @@ impl Simulator {
             .iter()
             .map(|n| n.as_ref().map(|n| (n.term().0, n.is_leader(), n.last_index().0)))
             .collect();
+        let final_commit: Vec<Option<u64>> =
+            self.nodes.iter().map(|n| n.as_ref().map(|n| n.commit_index().0)).collect();
+        // Committed-prefix hash: every live node hashes its (index, term)
+        // pairs up to the *minimum* live commit index, so lagging-but-
+        // consistent followers still hash equal (log matching ⇒ identical
+        // prefixes below any commit point).
+        let min_commit = final_commit.iter().flatten().copied().min().unwrap_or(0);
+        let prefix_hash: Vec<Option<u64>> = self
+            .nodes
+            .iter()
+            .map(|n| {
+                n.as_ref().map(|n| {
+                    let log = n.log();
+                    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+                    let mut idx = log.first_index();
+                    while idx <= log.last_index() && idx.0 <= min_commit {
+                        if let Some(e) = log.get(idx) {
+                            for b in e.index.0.to_le_bytes().iter().chain(&e.term.0.to_le_bytes()) {
+                                h ^= u64::from(*b);
+                                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+                            }
+                        }
+                        idx = idx.next();
+                    }
+                    h
+                })
+            })
+            .collect();
         SimResult {
             final_state,
+            final_commit,
+            prefix_hash,
+            chaos_dropped: self.chaos_dropped,
+            recoveries: self.recoveries,
             throughput: self.throughput.ops_per_sec_over(duration_ns),
             latency_mean_ms: self.latency.mean() / 1e6,
             latency_p50_ms: self.latency.p50() as f64 / 1e6,

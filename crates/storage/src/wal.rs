@@ -97,6 +97,9 @@ pub struct WalLog {
     /// Bytes of live records; compaction triggers a rewrite when the file
     /// grows far beyond this.
     appended_bytes: u64,
+    /// Injected per-record write stall in nanoseconds (chaos slow-disk
+    /// emulation). `None`, or a shared dial reading zero, means healthy.
+    stall: Option<std::sync::Arc<std::sync::atomic::AtomicU64>>,
 }
 
 impl WalLog {
@@ -114,7 +117,14 @@ impl WalLog {
             file.set_len(valid_len as u64)?;
             file.seek(SeekFrom::End(0))?;
         }
-        Ok(WalLog { mem, file, path, sync, appended_bytes: valid_len as u64 })
+        Ok(WalLog { mem, file, path, sync, appended_bytes: valid_len as u64, stall: None })
+    }
+
+    /// Install a shared stall dial: every subsequent record write sleeps for
+    /// the dial's current value (nanoseconds) before touching the file — the
+    /// chaos harness's slow-disk fault, adjustable while the node runs.
+    pub fn set_stall(&mut self, dial: std::sync::Arc<std::sync::atomic::AtomicU64>) {
+        self.stall = Some(dial);
     }
 
     /// Replay records from `buf`, returning the reconstructed image and the
@@ -141,6 +151,12 @@ impl WalLog {
     }
 
     fn write_record(&mut self, rec: &WalRecord) -> Result<()> {
+        if let Some(dial) = &self.stall {
+            let ns = dial.load(std::sync::atomic::Ordering::Relaxed);
+            if ns > 0 {
+                std::thread::sleep(std::time::Duration::from_nanos(ns));
+            }
+        }
         let frame = nbr_types::wire::encode_frame(rec);
         self.file.write_all(&frame)?;
         if self.sync == SyncPolicy::Always {

@@ -16,7 +16,7 @@ step() { printf '\n== %s ==\n' "$*"; }
 step "cargo build --release"
 # The root package plus the binaries later steps invoke: `cargo build` at the
 # workspace root only builds the root package, so name them explicitly.
-cargo build --release -p nbraft -p nbr-check -p nbr-cli
+cargo build --release -p nbraft -p nbr-check -p nbr-cli -p nbr-chaos
 
 step "cargo test -q"
 cargo test -q
@@ -98,10 +98,28 @@ time timeout 420 ./target/release/nbr-check model \
     --stats-out target/ci-artifacts/model-stats-reduction.json
 
 # Multi-process TCP smoke: 3 serve processes on loopback, real socket
-# traffic, leader kill, re-election + opList retry. Prometheus scrapes
-# land in target/ci-artifacts/net-smoke/ alongside the trace artifact.
+# traffic, leader kill, re-election + opList retry, then a WAL-backed
+# kill -9/restart convergence phase. Prometheus scrapes land in
+# target/ci-artifacts/net-smoke/ alongside the trace artifact.
 step "net smoke (3-process loopback cluster)"
 ./scripts/net_smoke.sh
+
+# Chaos smoke: the full scenario corpus on the deterministic simulator,
+# plus the net-capable smoke tier against real TCP replicas. Per-scenario
+# verdicts (pass/fail per oracle, with metrics) are archived as JSONL.
+# The timeout is the wall-clock budget for the step; the sim corpus runs
+# in seconds and the net smoke tier in well under two minutes.
+step "chaos smoke (sim corpus + net smoke tier)"
+time timeout 420 ./target/release/nbraft-cli chaos run --backend sim --seed 7 \
+    --out target/ci-artifacts/chaos-verdicts.jsonl
+time timeout 420 ./target/release/nbraft-cli chaos run --backend net --smoke --seed 7 \
+    --out target/ci-artifacts/chaos-verdicts-net.jsonl
+
+if [ "${CI_FULL:-0}" = "1" ]; then
+    step "chaos sweep (sim determinism, 5 seeds)"
+    time timeout 600 ./target/release/nbraft-cli chaos sweep --seeds 5 \
+        --out target/ci-artifacts/chaos-sweep.jsonl
+fi
 
 # Short batched-replication benchmark over real sockets: window=0 vs
 # windowed, with commit p50/p99 latency. The full comparison (defaults:

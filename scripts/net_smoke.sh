@@ -100,6 +100,83 @@ scrape "$((M0 + NEW_LEADER))" "$ART/metrics-after-kill.prom"
 grep -q "nbr_net_tcp_connects" "$ART/metrics-after-kill.prom" \
     || { echo "net_smoke: FAIL socket metrics missing after kill"; exit 1; }
 
+echo "== phase 3: WAL crash-recovery (kill -9 a follower mid-commit, restart, converge) =="
+# A fresh cluster on separate ports, every replica on a write-ahead log, so
+# a kill -9 loses nothing durable and the restarted process replays from
+# disk and rejoins.
+W0=$((BASE + 20)); W1=$((BASE + 21)); W2=$((BASE + 22))
+WM0=$((BASE + 30))
+WPEERS="127.0.0.1:$W0,127.0.0.1:$W1,127.0.0.1:$W2"
+WAL_CLUSTER_ID=12
+for i in 0 1 2; do
+    mkdir -p "$ART/wal/node$i"
+    "$CLI" serve --node-id "$i" --peers "$WPEERS" --cluster-id "$WAL_CLUSTER_ID" \
+        --wal "$ART/wal/node$i" --metrics "127.0.0.1:$((WM0 + i))" \
+        >"$ART/wal-node$i.log" 2>&1 &
+    PIDS[3 + i]=$!
+done
+
+find_wal_leader() {
+    for i in 0 1 2; do
+        if [ -n "${PIDS[3 + i]:-}" ] && tail -n 1 "$ART/wal-node$i.log" 2>/dev/null | grep -q LEADER; then
+            echo "$i"; return 0
+        fi
+    done
+    return 1
+}
+WLEADER=""
+for _ in $(seq 1 100); do
+    if WLEADER=$(find_wal_leader); then break; fi
+    sleep 0.2
+done
+[ -n "$WLEADER" ] || { echo "net_smoke: FAIL no leader on WAL cluster"; exit 1; }
+VICTIM=$(( (WLEADER + 1) % 3 ))
+echo "WAL leader: node $WLEADER, kill -9 victim: follower node $VICTIM"
+
+# Traffic in the background; SIGKILL the follower while commits are in
+# flight so its WAL tail is whatever happened to be synced at that instant.
+"$CLI" bench-net --peers "$WPEERS" --cluster-id "$WAL_CLUSTER_ID" \
+    --clients 4 --seconds 4 >"$ART/bench3.txt" 2>&1 &
+BENCH=$!
+sleep 1
+kill -9 "${PIDS[3 + VICTIM]}"
+wait "${PIDS[3 + VICTIM]}" 2>/dev/null || true
+unset "PIDS[3 + VICTIM]"
+wait "$BENCH" || { echo "net_smoke: FAIL bench died during follower crash"; exit 1; }
+OPS3=$(awk '/^ops/ {print $2}' "$ART/bench3.txt")
+[ "${OPS3:-0}" -gt 0 ] || { echo "net_smoke: FAIL no commits while follower was down"; exit 1; }
+
+# Restart the victim with the identical command: it must replay its WAL,
+# rejoin, and converge with the survivors rather than diverging.
+"$CLI" serve --node-id "$VICTIM" --peers "$WPEERS" --cluster-id "$WAL_CLUSTER_ID" \
+    --wal "$ART/wal/node$VICTIM" --metrics "127.0.0.1:$((WM0 + VICTIM))" \
+    >>"$ART/wal-node$VICTIM.log" 2>&1 &
+PIDS[3 + VICTIM]=$!
+
+commit_of() { # commit_of METRICS_PORT  -> nbr_commit_index value or empty
+    local f="$ART/scrape-$1.prom"
+    scrape "$1" "$f" 2>/dev/null || { echo ""; return; }
+    awk '/^nbr_commit_index\{/ {print $2}' "$f"
+}
+CONVERGED=""
+APPLIED=0
+for _ in $(seq 1 100); do
+    sleep 0.3
+    C0=$(commit_of "$WM0"); C1=$(commit_of "$((WM0 + 1))"); C2=$(commit_of "$((WM0 + 2))")
+    if [ -n "$C0" ] && [ "$C0" -gt 0 ] && [ "$C0" = "$C1" ] && [ "$C1" = "$C2" ]; then
+        # The recovered follower must also have applied everything it
+        # claims committed — replayed prefix included.
+        APPLIED=$(awk '/^nbr_applied\{/ {print $2}' "$ART/scrape-$((WM0 + VICTIM)).prom")
+        if [ "${APPLIED:-0}" -ge "$C0" ]; then CONVERGED="$C0"; break; fi
+    fi
+done
+[ -n "$CONVERGED" ] || {
+    echo "net_smoke: FAIL restarted follower did not converge" \
+         "(commits: ${C0:-?} ${C1:-?} ${C2:-?}, victim applied ${APPLIED:-?})"
+    exit 1
+}
+echo "WAL recovery: all 3 nodes at commit $CONVERGED, victim applied $APPLIED"
+
 echo
-echo "net_smoke: PASS (phase1 ops=$OPS1 weak=$WEAK1, post-kill ops=$OPS2, leader $LEADER -> $NEW_LEADER)"
+echo "net_smoke: PASS (phase1 ops=$OPS1 weak=$WEAK1, post-kill ops=$OPS2, leader $LEADER -> $NEW_LEADER, wal-recovery commit=$CONVERGED)"
 echo "artifacts in $ART/"
