@@ -14,10 +14,11 @@
 //! The schedule, oracle set, and seed plumbing are identical.
 
 use crate::corpus::Scenario;
-use crate::oracle::Verdict;
+use crate::oracle::{election_safety, Verdict};
 use crate::schedule::{partition_links, Fault, ScheduledFault};
 use nbr_cluster::{ClusterConfig, StorageMode};
 use nbr_net::{LinkFault, LinkFaults, NetClient, NodeServer, ServeConfig};
+use nbr_obs::{EngineProbe, SharedProbe, TraceEvent};
 use nbr_storage::{KvStore, StateMachine};
 use nbr_types::{checksum::crc32, ClientId, Protocol, TimeDelta, TimeoutConfig};
 use std::collections::BTreeSet;
@@ -34,6 +35,9 @@ struct NetCluster {
     faults: Arc<LinkFaults>,
     skew: Vec<Arc<AtomicU64>>,
     stall: Vec<Arc<AtomicU64>>,
+    /// Per-node probe buffers: election-safety evidence during the run,
+    /// span-tree artifacts when a verdict fails.
+    probes: Vec<SharedProbe>,
 }
 
 fn spawn_net_cluster(s: &Scenario, seed: u64, dir: &std::path::Path) -> Result<NetCluster, String> {
@@ -53,6 +57,7 @@ fn spawn_net_cluster(s: &Scenario, seed: u64, dir: &std::path::Path) -> Result<N
         bound.iter().enumerate().map(|(i, &(_, a))| (i as u32, a)).collect();
 
     let mut servers = Vec::new();
+    let mut probes = Vec::new();
     for (i, (listener, _)) in bound.into_iter().enumerate() {
         let mut cluster = ClusterConfig {
             protocol: {
@@ -71,6 +76,9 @@ fn spawn_net_cluster(s: &Scenario, seed: u64, dir: &std::path::Path) -> Result<N
         };
         cluster.clock_skew = Arc::clone(&skew[i]);
         cluster.wal_stall = Arc::clone(&stall[i]);
+        let (probe, handle) = EngineProbe::shared();
+        cluster.probe = probe;
+        probes.push(handle);
         let cfg = ServeConfig {
             cluster_id: CLUSTER_ID,
             node_id: i as u32,
@@ -86,7 +94,7 @@ fn spawn_net_cluster(s: &Scenario, seed: u64, dir: &std::path::Path) -> Result<N
         servers
             .push(NodeServer::spawn_on(cfg, listener).map_err(|e| format!("spawn node {i}: {e}"))?);
     }
-    Ok(NetCluster { servers, members, faults, skew, stall })
+    Ok(NetCluster { servers, members, faults, skew, stall, probes })
 }
 
 /// Apply one fault to the live cluster. Returns `false` for faults the net
@@ -157,8 +165,15 @@ fn apply_fault(c: &NetCluster, fault: &Fault) -> bool {
 }
 
 /// Run a scenario on the TCP backend and judge it. `scratch` holds the WAL
-/// directories and is wiped before and after.
-pub fn run_scenario_net(s: &Scenario, seed: u64, scratch: &std::path::Path) -> Verdict {
+/// directories and is wiped before and after. When `span_dir` is given and
+/// a verdict fails, the run's per-op span trees (clock-aligned across the
+/// replicas) are written there as `{scenario}-spans.jsonl` for post-mortem.
+pub fn run_scenario_net(
+    s: &Scenario,
+    seed: u64,
+    scratch: &std::path::Path,
+    span_dir: Option<&std::path::Path>,
+) -> Verdict {
     let mut v = Verdict::new(s.name, "net", seed);
     if !s.net_capable {
         v.check("net-capable", false, "schedule uses sim-only faults (campaign)");
@@ -315,6 +330,31 @@ pub fn run_scenario_net(s: &Scenario, seed: u64, scratch: &std::path::Path) -> V
     }
     v.metric("acked", acked.load(Ordering::Relaxed) as f64);
     v.metric("final_commit", commits.iter().max().copied().unwrap_or(0) as f64);
+
+    // Probe evidence: election-safety is term-keyed, so the merged events
+    // need no clock alignment for the oracle itself.
+    let trace: Vec<TraceEvent> = c.probes.iter().flat_map(SharedProbe::take).collect();
+    match election_safety(&trace) {
+        Ok(n) => v.check("election-safety", true, format!("{n} elections, no split term")),
+        Err(e) => v.check("election-safety", false, e),
+    }
+    // Span-tree artifact on failure: align the per-replica clocks off the
+    // transport's Ping/Pong samples, then persist every assembled op span
+    // so the failing schedule can be replayed against real latencies.
+    if !v.pass() {
+        if let Some(dir) = span_dir {
+            let align = nbr_obs::ClockAlign::estimate(&trace);
+            let aligned = align.apply(&trace);
+            let spans = nbr_obs::collect(&aligned);
+            let path = dir.join(format!("{}-spans.jsonl", s.name));
+            let ok = std::fs::create_dir_all(dir)
+                .and_then(|()| std::fs::write(&path, nbr_obs::spans_jsonl(&spans)))
+                .is_ok();
+            if ok {
+                v.metric("span_artifact_ops", spans.len() as f64);
+            }
+        }
+    }
 
     shutdown(c, scratch);
     v

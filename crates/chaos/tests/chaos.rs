@@ -51,7 +51,7 @@ fn gray_link_fires_gap_hint_repair() {
 fn net_backend_crash_recover() {
     let s = find("crash-recover-follower").expect("scenario exists");
     let dir = std::env::temp_dir().join(format!("nbr-chaos-test-{}", std::process::id()));
-    let v = run_scenario_net(&s, SEED, &dir);
+    let v = run_scenario_net(&s, SEED, &dir, None);
     println!("{}", v.summary());
     for c in &v.checks {
         println!("  {:<20} {} {}", c.name, if c.pass { "ok " } else { "FAIL" }, c.detail);

@@ -7,7 +7,7 @@
 //! nbraft-cli petri [--clients N] [--dispatchers N] [--non-blocking]
 //!              [--ratis] [--horizon-ms MS] [--dot FILE]
 //! nbraft-cli demo  [--protocol P] [--replicas N] [--clients N] [--seconds S]
-//! nbraft-cli trace FILE | --compare [--window W]
+//! nbraft-cli trace FILE | --compare [--window W] | --critical-path PATH
 //! ```
 
 use bytes::Bytes;
@@ -174,7 +174,125 @@ fn traced_sim(args: &Args, window: usize) -> (SimResult, Vec<TraceEvent>) {
     (r, buf.take())
 }
 
+/// Read one JSONL trace file, or every `*.jsonl` in a directory merged
+/// (per-node traces of one run).
+fn load_trace_events(path: &std::path::Path) -> Vec<TraceEvent> {
+    let mut files: Vec<std::path::PathBuf> = if path.is_dir() {
+        let entries = std::fs::read_dir(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+            .collect()
+    } else {
+        vec![path.to_path_buf()]
+    };
+    files.sort();
+    if files.is_empty() {
+        eprintln!("no .jsonl traces in {}", path.display());
+        std::process::exit(1);
+    }
+    let mut events = Vec::new();
+    for f in files {
+        let text = std::fs::read_to_string(&f).unwrap_or_else(|e| {
+            eprintln!("cannot read {}: {e}", f.display());
+            std::process::exit(1);
+        });
+        events.extend(nbr_obs::trace::from_jsonl(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {}: {e}", f.display());
+            std::process::exit(1);
+        }));
+    }
+    events
+}
+
+/// Align, assemble and attribute one run's merged trace.
+fn critical_report(events: &[TraceEvent]) -> nbr_obs::CriticalPath {
+    let align = nbr_obs::ClockAlign::estimate(events);
+    let aligned = align.apply(events);
+    let spans = nbr_obs::collect(&aligned);
+    nbr_obs::critical_path(&spans, &aligned, &align)
+}
+
+/// `trace --critical-path PATH`: PATH is a trace file, a directory of
+/// per-node traces (one run), or a directory of `window-*` run directories
+/// (e.g. from `bench-net --compare --trace-dir`), which also prints the
+/// per-phase deltas between the smallest and largest window.
+fn cmd_trace_critical(path: &std::path::Path) {
+    let mut windows: Vec<(u64, std::path::PathBuf)> = if path.is_dir() {
+        std::fs::read_dir(path)
+            .unwrap_or_else(|e| {
+                eprintln!("cannot read {}: {e}", path.display());
+                std::process::exit(1);
+            })
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter_map(|p| {
+                let w = p.file_name()?.to_str()?.strip_prefix("window-")?.parse().ok()?;
+                p.is_dir().then_some((w, p))
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    windows.sort();
+    if windows.is_empty() {
+        // Single run (file or flat directory of per-node traces).
+        let report = critical_report(&load_trace_events(path));
+        print!("{}", report.render());
+        return;
+    }
+    let mut reports = Vec::new();
+    for (w, dir) in &windows {
+        let report = critical_report(&load_trace_events(dir));
+        println!("=== window={w} ===");
+        print!("{}", report.render());
+        reports.push((*w, report));
+    }
+    if reports.len() >= 2 {
+        let (w0, c0) = &reports[0];
+        let (wn, cn) = &reports[reports.len() - 1];
+        println!("=== phase deltas (window={w0} − window={wn}) ===");
+        let mut dsum = 0.0;
+        for ((name, h0), (_, hn)) in c0.phases().iter().zip(cn.phases().iter()) {
+            let d = (h0.mean() - hn.mean()) / 1e6;
+            dsum += d;
+            println!("  {name:<28} mean Δ {d:+10.3} ms");
+        }
+        // Soundness cross-check: the phases are consecutive intervals of
+        // the same span, so their mean deltas must sum to the measured
+        // end-to-end delta — a decomposition that doesn't add up means
+        // clock alignment (or span assembly) is lying.
+        let dtotal = (c0.total.mean() - cn.total.mean()) / 1e6;
+        let pct = if dtotal.abs() > 1e-12 { 100.0 * dsum / dtotal } else { 100.0 };
+        println!(
+            "accounting: phase mean Δs sum to {dsum:.3} ms vs total submit -> commit mean \
+             Δ {dtotal:.3} ms ({pct:.0}% accounted)"
+        );
+        // How much of the follower-wait shift rides the critical path: the
+        // `window` phase is the quorum-critical follower's t_wait; the
+        // all-follower mean also counts stragglers whose waits commit
+        // absorbs off-path.
+        let dwindow = (c0.window.mean() - cn.window.mean()) / 1e6;
+        let dtwait = (c0.twait_all.mean() - cn.twait_all.mean()) / 1e6;
+        println!(
+            "t_wait(F): mean Δ {dtwait:.3} ms across all followers, of which \
+             {dwindow:.3} ms on the quorum-critical follower (the commit-visible part)"
+        );
+    }
+}
+
 fn cmd_trace(file: Option<&str>, args: &Args) {
+    if args.has("critical-path") || args.values.contains_key("critical-path") {
+        let path = args.values.get("critical-path").map(String::as_str).or(file);
+        let Some(path) = path else {
+            eprintln!("trace --critical-path: missing PATH (trace file or directory)");
+            std::process::exit(2);
+        };
+        cmd_trace_critical(std::path::Path::new(path));
+        return;
+    }
     if args.has("compare") {
         let w = args.get("window", 8usize).max(4);
         println!("tracing window=0 (stock Raft) vs window={w} (NB-Raft), same workload/seed...");
@@ -353,6 +471,15 @@ fn cmd_serve(args: &Args) {
     if let Some(dir) = args.values.get("wal") {
         cluster_cfg.storage = StorageMode::Wal(dir.into());
     }
+    // --trace FILE: buffer probe events and flush the cumulative JSONL
+    // periodically, so a kill -9 (the net smoke's crash tier) still leaves
+    // a usable trace behind.
+    let trace_path = args.values.get("trace").cloned();
+    let trace_buf = trace_path.as_ref().map(|_| {
+        let (p, b) = EngineProbe::shared();
+        cluster_cfg.probe = p;
+        b
+    });
     let cfg = ServeConfig {
         cluster_id: args.get("cluster-id", 1u64),
         node_id,
@@ -369,6 +496,20 @@ fn cmd_serve(args: &Args) {
         eprintln!("serve: {e}");
         std::process::exit(1);
     });
+    if let (Some(path), Some(buf)) = (trace_path, trace_buf) {
+        println!("tracing probe events to {path} (flushed every 500ms)");
+        std::thread::spawn(move || loop {
+            std::thread::sleep(Duration::from_millis(500));
+            let events = buf.snapshot();
+            // Write-then-rename: collectors read these files while the
+            // server is live, and a plain truncate+write would hand them a
+            // half-written (or empty) trace mid-flush.
+            let tmp = format!("{path}.tmp");
+            if std::fs::write(&tmp, nbr_obs::trace::to_jsonl(&events)).is_ok() {
+                let _ = std::fs::rename(&tmp, &path);
+            }
+        });
+    }
     println!(
         "node {node_id}/{} serving on {}{}",
         members.len(),
@@ -512,9 +653,12 @@ struct BenchNet {
 }
 
 /// Spawn a self-hosted loopback TCP cluster and drive it with closed-loop
-/// socket clients.
-fn bench_net_once(b: BenchNet, window: usize) -> NetBenchRun {
+/// socket clients. With `trace_dir`, every replica records probe events
+/// (engine lifecycle + transport clock samples) and the per-node JSONL
+/// traces land in `trace_dir/node{i}.jsonl` for span assembly.
+fn bench_net_once(b: BenchNet, window: usize, trace_dir: Option<&std::path::Path>) -> NetBenchRun {
     const CLUSTER_ID: u64 = 1;
+    let mut probes: Vec<nbr_obs::SharedProbe> = Vec::new();
     // Bind all listeners first so the OS hands out conflict-free ports,
     // then exchange addresses — same trick as the loopback tests.
     let bound: Vec<(std::net::TcpListener, SocketAddr)> = (0..b.replicas)
@@ -535,9 +679,17 @@ fn bench_net_once(b: BenchNet, window: usize) -> NetBenchRun {
                 node_id: i as u32,
                 bind: "127.0.0.1:0".parse().expect("addr"),
                 peers: members.iter().filter(|&&(id, _)| id != i as u32).copied().collect(),
-                cluster: ClusterConfig {
-                    protocol: b.protocol.config(window),
-                    ..ClusterConfig::default()
+                cluster: {
+                    let mut c = ClusterConfig {
+                        protocol: b.protocol.config(window),
+                        ..ClusterConfig::default()
+                    };
+                    if trace_dir.is_some() {
+                        let (p, h) = EngineProbe::shared();
+                        c.probe = p;
+                        probes.push(h);
+                    }
+                    c
                 },
                 metrics_bind: None,
                 // Half the round trip per hop: leader -> follower -> leader.
@@ -563,7 +715,23 @@ fn bench_net_once(b: BenchNet, window: usize) -> NetBenchRun {
     }
 
     let run = drive_net_clients(CLUSTER_ID, &members, b.clients, b.seconds, b.payload);
+    // Dropping the servers stops the replica loops, so the probe buffers
+    // are quiescent (and hold the tail Applied events) when we flush them.
     drop(servers);
+    if let Some(dir) = trace_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create trace dir {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+        for (i, h) in probes.iter().enumerate() {
+            let events = h.take();
+            let path = dir.join(format!("node{i}.jsonl"));
+            if let Err(e) = std::fs::write(&path, nbr_obs::trace::to_jsonl(&events)) {
+                eprintln!("cannot write trace {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
     run
 }
 
@@ -598,6 +766,7 @@ fn cmd_bench_net(args: &Args) {
         print_bench_net_run(&mut run);
         return;
     }
+    let trace_dir = args.values.get("trace-dir").map(std::path::PathBuf::from);
     if args.has("compare") {
         println!(
             "bench-net --compare: {replicas} replicas over loopback TCP, {clients} clients, \
@@ -605,8 +774,10 @@ fn cmd_bench_net(args: &Args) {
              {loss_pct}% loss"
         );
         let b = BenchNet { replicas, clients, seconds, payload, protocol, rtt_ms, lanes, loss_pct };
-        let mut r0 = bench_net_once(b, 0);
-        let mut rw = bench_net_once(b, window);
+        let d0 = trace_dir.as_ref().map(|d| d.join("window-0"));
+        let dw = trace_dir.as_ref().map(|d| d.join(format!("window-{window}")));
+        let mut r0 = bench_net_once(b, 0, d0.as_deref());
+        let mut rw = bench_net_once(b, window, dw.as_deref());
         let (t0, tw) = (r0.throughput(), rw.throughput());
         let (p50_0, p99_0) = (r0.commit_pctl_ms(0.50), r0.commit_pctl_ms(0.99));
         let (p50_w, p99_w) = (rw.commit_pctl_ms(0.50), rw.commit_pctl_ms(0.99));
@@ -627,6 +798,21 @@ fn cmd_bench_net(args: &Args) {
                 "NO separation (try a larger --rtt-ms or a longer run)"
             }
         );
+        if let Some(d) = &trace_dir {
+            println!(
+                "wrote per-node traces under {} (analyze: nbraft-cli trace --critical-path {})",
+                d.display(),
+                d.display()
+            );
+        }
+        if let Some(path) = args.values.get("json") {
+            let json = bench_net_json(&b, &mut [(0, &mut r0), (window, &mut rw)]);
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote machine-readable summary to {path}");
+        }
         return;
     }
     println!(
@@ -635,8 +821,41 @@ fn cmd_bench_net(args: &Args) {
          {loss_pct}% loss"
     );
     let b = BenchNet { replicas, clients, seconds, payload, protocol, rtt_ms, lanes, loss_pct };
-    let mut run = bench_net_once(b, window);
+    let mut run = bench_net_once(b, window, trace_dir.as_deref());
     print_bench_net_run(&mut run);
+    if let Some(path) = args.values.get("json") {
+        let json = bench_net_json(&b, &mut [(window, &mut run)]);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote machine-readable summary to {path}");
+    }
+}
+
+/// Hand-rolled JSON perf summary (`--json`): one row per benched window,
+/// stable keys, no dependencies — made for CI artifact diffing.
+fn bench_net_json(b: &BenchNet, runs: &mut [(usize, &mut NetBenchRun)]) -> String {
+    let mut rows = String::new();
+    for (i, (w, r)) in runs.iter_mut().enumerate() {
+        if i > 0 {
+            rows.push(',');
+        }
+        let (p50, p99) = (r.commit_pctl_ms(0.50), r.commit_pctl_ms(0.99));
+        rows.push_str(&format!(
+            "\n    {{\"window\": {w}, \"ops_per_s\": {:.1}, \"ops\": {}, \"weak_acked\": {}, \
+             \"commit_p50_ms\": {p50:.3}, \"commit_p99_ms\": {p99:.3}}}",
+            r.throughput(),
+            r.ops,
+            r.weak
+        ));
+    }
+    format!(
+        "{{\n  \"bench\": \"bench-net\",\n  \"replicas\": {},\n  \"clients\": {},\n  \
+         \"seconds\": {},\n  \"payload_b\": {},\n  \"rtt_ms\": {},\n  \"lanes\": {},\n  \
+         \"loss_pct\": {},\n  \"windows\": [{rows}\n  ]\n}}\n",
+        b.replicas, b.clients, b.seconds, b.payload, b.rtt_ms, b.lanes, b.loss_pct
+    )
 }
 
 fn chaos_scratch(name: &str) -> std::path::PathBuf {
@@ -685,6 +904,13 @@ fn cmd_chaos(verb: Option<&str>, args: &Args) {
             // --smoke: restrict the (slow, wall-clock) net backend to the
             // scenarios tagged for the CI smoke tier.
             let smoke = args.has("smoke");
+            // Failed net verdicts also drop a span-tree artifact next to the
+            // verdict file, so the violating run's timeline survives CI.
+            let span_dir: Option<std::path::PathBuf> =
+                args.values.get("out").map(|o| match std::path::Path::new(o).parent() {
+                    Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+                    _ => std::path::PathBuf::from("."),
+                });
             let mut verdicts = Vec::new();
             for s in &scenarios {
                 if backend == "sim" || backend == "both" {
@@ -696,7 +922,7 @@ fn cmd_chaos(verb: Option<&str>, args: &Args) {
                     && s.net_capable
                     && (!smoke || s.net_smoke)
                 {
-                    let v = run_scenario_net(s, seed, &chaos_scratch(s.name));
+                    let v = run_scenario_net(s, seed, &chaos_scratch(s.name), span_dir.as_deref());
                     println!("{}", v.summary());
                     if !v.pass() {
                         for c in &v.checks {
@@ -772,7 +998,7 @@ fn print_bench_net_run(run: &mut NetBenchRun) {
 fn usage() -> ! {
     eprintln!(
         "nbraft-cli — Non-Blocking Raft reproduction CLI\n\n\
-         USAGE:\n  nbraft-cli sim   [--protocol P] [--clients N] [--replicas N] [--payload B]\n               [--dispatchers N] [--window W] [--duration-ms MS] [--seed S]\n               [--geo] [--cloud] [--cpu-scale F] [--trace FILE]\n  nbraft-cli petri [--clients N] [--dispatchers N] [--non-blocking] [--ratis]\n               [--horizon-ms MS] [--dot FILE]\n  nbraft-cli demo  [--protocol P] [--replicas N] [--clients N] [--seconds S]\n  nbraft-cli trace FILE            analyze a JSONL trace (entry lifecycles,\n               t_wait(F), window occupancy)\n  nbraft-cli trace --compare [--window W] [sim opts]   paired traced sims:\n               window=0 (stock Raft) vs window=W\n  nbraft-cli serve --node-id N --peers host:port,host:port,...\n               [--bind ADDR] [--cluster-id ID] [--metrics ADDR] [--wal DIR]\n               [--protocol P] [--window W] [--rtt-ms MS] [--lanes N]\n               [--loss-pct F] [--quiet]   one replica, real TCP\n  nbraft-cli bench-net [--replicas N] [--clients N] [--seconds S] [--payload B]\n               [--window W] [--rtt-ms MS] [--lanes N] [--loss-pct F]\n               [--compare | --peers host:port,...]\n               loopback-TCP throughput bench (or bench a running cluster)\n  nbraft-cli chaos list            the fault-scenario corpus\n  nbraft-cli chaos run   [--scenario NAME] [--backend sim|net|both] [--seed S]\n               [--smoke] [--out FILE.jsonl]   run scenarios, check invariants\n  nbraft-cli chaos sweep [--scenario NAME] [--seeds K] [--out FILE.jsonl]\n               deterministic sim seed sweep\n\n\
+         USAGE:\n  nbraft-cli sim   [--protocol P] [--clients N] [--replicas N] [--payload B]\n               [--dispatchers N] [--window W] [--duration-ms MS] [--seed S]\n               [--geo] [--cloud] [--cpu-scale F] [--trace FILE]\n  nbraft-cli petri [--clients N] [--dispatchers N] [--non-blocking] [--ratis]\n               [--horizon-ms MS] [--dot FILE]\n  nbraft-cli demo  [--protocol P] [--replicas N] [--clients N] [--seconds S]\n  nbraft-cli trace FILE            analyze a JSONL trace (entry lifecycles,\n               t_wait(F), window occupancy)\n  nbraft-cli trace --compare [--window W] [sim opts]   paired traced sims:\n               window=0 (stock Raft) vs window=W\n  nbraft-cli trace --critical-path PATH   cross-node span assembly: per-op\n               phase attribution (queue/link/window/weak/commit/apply) with\n               p50/p99; PATH = trace file, dir of per-node traces, or dir of\n               window-* run dirs (prints phase deltas between windows)\n  nbraft-cli serve --node-id N --peers host:port,host:port,...\n               [--bind ADDR] [--cluster-id ID] [--metrics ADDR] [--wal DIR]\n               [--protocol P] [--window W] [--rtt-ms MS] [--lanes N]\n               [--loss-pct F] [--trace FILE] [--quiet]   one replica, real TCP\n  nbraft-cli bench-net [--replicas N] [--clients N] [--seconds S] [--payload B]\n               [--window W] [--rtt-ms MS] [--lanes N] [--loss-pct F]\n               [--trace-dir DIR] [--json FILE]\n               [--compare | --peers host:port,...]\n               loopback-TCP throughput bench (or bench a running cluster)\n  nbraft-cli chaos list            the fault-scenario corpus\n  nbraft-cli chaos run   [--scenario NAME] [--backend sim|net|both] [--seed S]\n               [--smoke] [--out FILE.jsonl]   run scenarios, check invariants\n  nbraft-cli chaos sweep [--scenario NAME] [--seeds K] [--out FILE.jsonl]\n               deterministic sim seed sweep\n\n\
          protocols: raft nbraft craft nbcraft ecraft kraft vgraft"
     );
     std::process::exit(2)

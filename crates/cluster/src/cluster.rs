@@ -52,6 +52,12 @@ pub struct ClusterConfig {
     /// Chaos slow-disk dial: nanoseconds every WAL record write stalls.
     /// Only meaningful with [`StorageMode::Wal`]; zero disables.
     pub wal_stall: Arc<std::sync::atomic::AtomicU64>,
+    /// Trace clock epoch. `None` (the default) starts a fresh epoch at
+    /// spawn; a multi-process host (`NodeServer`) passes the same instant
+    /// it gives the transport so probe timestamps and the transport's
+    /// Ping/Pong clock samples share one per-node clock — the property
+    /// cross-node span alignment relies on.
+    pub trace_epoch: Option<Instant>,
 }
 
 impl Default for ClusterConfig {
@@ -75,6 +81,7 @@ impl Default for ClusterConfig {
             probe: EngineProbe::Off,
             clock_skew: Arc::new(std::sync::atomic::AtomicU64::new(0)),
             wal_stall: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            trace_epoch: None,
         }
     }
 }
@@ -212,7 +219,7 @@ impl<M: StateMachine + Send + Default + 'static> Cluster<M> {
     where
         F: FnOnce(TransportInboxes) -> Arc<dyn Transport>,
     {
-        let epoch = Instant::now();
+        let epoch = cfg.trace_epoch.unwrap_or_else(Instant::now);
         let membership: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
         let mut inboxes = Vec::new();
         let mut receivers = Vec::new();
@@ -615,7 +622,15 @@ fn spawn_replica<M: StateMachine + Send + Default + 'static>(
                             b.extend_from_slice(
                                 &hs.1.map_or(u64::MAX, |n| n.0 as u64).to_le_bytes(),
                             );
+                            let t0 = Instant::now();
                             let _ = std::fs::write(p, b);
+                            if let EngineProbe::Shared(pr) = &cfg.probe {
+                                pr.record(
+                                    id,
+                                    local_now(),
+                                    ProbeEvent::WalFsync { dur_ns: t0.elapsed().as_nanos() as u64 },
+                                );
+                            }
                         }
                         last_hs = Some(hs);
                     }
@@ -699,6 +714,11 @@ fn spawn_replica<M: StateMachine + Send + Default + 'static>(
                     registry.gauge("last_index").set(n.last_index().0 as i64);
                     registry.gauge("is_leader").set(n.is_leader() as i64);
                     registry.gauge("alive").set(1);
+                    // Live window occupancy: entries currently cached in
+                    // the sliding window vs parked beyond it.
+                    let cached = n.window().occupied();
+                    registry.gauge("window_cached").set(cached as i64);
+                    registry.gauge("window_parked").set((n.blocked_entries() - cached) as i64);
                 } else {
                     // Crashed: drain and ignore.
                     let _ = packet;

@@ -627,6 +627,7 @@ impl<L: LogStore, P: Probe> Node<L, P> {
             return;
         }
         self.stats.proposals += 1;
+        self.emit(ProbeEvent::SubmitReceived { client: req.client, request: req.request });
         let origin = Origin { client: req.client, request: req.request };
         self.propose(Some(origin), Payload::Data(req.payload), now, out);
     }
@@ -858,6 +859,10 @@ impl<L: LogStore, P: Probe> Node<L, P> {
         let entry = Entry { index, term: self.term, prev_term, origin, payload };
         self.log.append(entry.clone()).expect("leader append is contiguous"); // check:allow(L1): index chosen as last+1; failure = storage fault, crash-stop
         self.stats.appends += 1;
+        if let Some(o) = origin {
+            // The op → index join point for cross-node span assembly.
+            self.emit(ProbeEvent::Proposed { index, client: o.client, request: o.request });
+        }
         self.emit(ProbeEvent::Appended { index });
         let threshold = self.effective_threshold();
         let self_bit = self.bit_of(self.id);

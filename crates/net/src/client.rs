@@ -147,7 +147,10 @@ impl NetClient {
         for a in actions {
             match a {
                 nbr_core::ClientAction::Send { to, request } => {
-                    let frame = NetFrame::Request { to, req: request };
+                    // Trace stamp at submission: derived from the op's
+                    // identity so retries and relays reuse the same id.
+                    let trace = nbr_types::trace_id(request.client, request.request);
+                    let frame = NetFrame::Request { to, trace, req: request };
                     let bytes = encode_frame(&frame);
                     let write = self.conn(to.0).and_then(|c| {
                         c.stream.write_all(&bytes).map_err(|e| Error::Cluster(format!("send: {e}")))

@@ -68,6 +68,15 @@ impl<M: StateMachine + Send + Default + 'static> NodeServer<M> {
                 cfg.peers.len()
             )));
         }
+        // One trace clock per process: the transport's Ping/Pong clock
+        // samples and the replica's probe events must share an epoch for the
+        // span collector to align them across nodes.
+        let mut cluster_cfg = cfg.cluster.clone();
+        let epoch = *cluster_cfg.trace_epoch.get_or_insert_with(crate::clock::now);
+        let probe = match &cluster_cfg.probe {
+            nbr_obs::EngineProbe::Shared(p) => Some(p.clone()),
+            nbr_obs::EngineProbe::Off => None,
+        };
         let tcp = TcpConfig {
             cluster_id: cfg.cluster_id,
             node_id: cfg.node_id,
@@ -76,11 +85,13 @@ impl<M: StateMachine + Send + Default + 'static> NodeServer<M> {
             peer_lanes: cfg.peer_lanes,
             link_loss_pct: cfg.link_loss_pct,
             faults: cfg.faults.clone(),
+            probe,
+            trace_epoch: Some(epoch),
             ..TcpConfig::default()
         };
         let mut transport_addr = None;
         let cluster: Cluster<M> =
-            Cluster::spawn_with_transport(n, &[cfg.node_id], cfg.cluster.clone(), |inboxes| {
+            Cluster::spawn_with_transport(n, &[cfg.node_id], cluster_cfg, |inboxes| {
                 let t = TcpTransport::spawn(tcp, listener, inboxes);
                 transport_addr = t.local_addr();
                 Arc::new(t)

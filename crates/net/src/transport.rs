@@ -36,9 +36,11 @@ use bytes::Bytes;
 use nbr_cluster::network::{NetControl, Packet, CLIENT_ENDPOINT};
 use nbr_cluster::sync::Mutex;
 use nbr_cluster::transport::{Transport, TransportInboxes};
-use nbr_obs::{Counter, Gauge, Registry, Snapshot};
+use nbr_obs::{Counter, Gauge, ProbeEvent, Registry, SharedProbe, Snapshot};
 use nbr_types::wire::{decode_frame_shared, encode_frame_into};
-use nbr_types::{ClientId, HelloMsg, NetFrame, NodeId, PeerKind, NET_PROTOCOL_VERSION};
+use nbr_types::{
+    trace_id, ClientId, HelloMsg, NetFrame, NodeId, PeerKind, Time, NET_PROTOCOL_VERSION,
+};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::HashMap;
@@ -47,7 +49,7 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// TCP transport configuration.
 #[derive(Debug, Clone)]
@@ -94,6 +96,16 @@ pub struct TcpConfig {
     /// gray links are expressible and adjustable while the cluster runs.
     /// `None` (the default) costs nothing on the hot path.
     pub faults: Option<Arc<LinkFaults>>,
+    /// Trace sink for transport-level probe events (currently
+    /// [`ProbeEvent::ClockSample`] from Ping/Pong exchanges). `None` — the
+    /// default — emits nothing.
+    pub probe: Option<SharedProbe>,
+    /// Epoch of the trace clock stamped into `Ping`/`Pong` frames. Pass the
+    /// same instant given to `ClusterConfig::trace_epoch` so transport clock
+    /// samples and engine probe events share one per-process timeline;
+    /// `None` falls back to a private epoch (samples still internally
+    /// consistent, but useless for aligning against engine events).
+    pub trace_epoch: Option<Instant>,
 }
 
 impl Default for TcpConfig {
@@ -112,6 +124,8 @@ impl Default for TcpConfig {
             peer_lanes: 1,
             link_loss_pct: 0.0,
             faults: None,
+            probe: None,
+            trace_epoch: None,
         }
     }
 }
@@ -259,11 +273,40 @@ struct Shared {
     next_conn: AtomicU64,
     registry: Arc<Registry>,
     stats: Stats,
+    /// Zero point of the trace clock carried in `Ping`/`Pong` frames.
+    epoch: Instant,
 }
 
 impl Shared {
     fn stopped(&self) -> bool {
         self.stop.load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds since the (process-shared) trace epoch — the clock
+    /// stamped into `Ping`/`Pong` frames and clock-sample probe events.
+    fn trace_now(&self) -> u64 {
+        clock::now().duration_since(self.epoch).as_nanos() as u64
+    }
+
+    /// Fold one completed Ping/Pong exchange with `peer` into the live
+    /// telemetry and (if tracing) the probe stream. NTP two-sample
+    /// estimate: `t0` ping transmit and `t3` pong receipt are local clock
+    /// reads, `t1` is the peer's clock at ping receipt, so
+    /// `rtt = t3 − t0` and `offset = t1 − (t0 + t3)/2 ≈ peer − local`.
+    fn clock_sample(&self, peer: u32, t0: u64, t1: u64) {
+        let t3 = self.trace_now();
+        let rtt = t3.saturating_sub(t0);
+        let midpoint = (t0 / 2).wrapping_add(t3 / 2);
+        let offset = t1 as i64 - midpoint as i64;
+        self.registry.gauge(&format!("net_rtt_ns_peer_{peer}")).set(rtt as i64);
+        self.registry.gauge(&format!("net_clock_offset_ns_peer_{peer}")).set(offset);
+        if let Some(p) = &self.cfg.probe {
+            p.record(
+                NodeId(self.cfg.node_id),
+                Time(t3),
+                ProbeEvent::ClockSample { peer: NodeId(peer), offset_ns: offset, rtt_ns: rtt },
+            );
+        }
     }
 
     fn register_conn(&self, stream: &TcpStream) -> u64 {
@@ -374,6 +417,7 @@ impl TcpTransport {
         let registry = Arc::new(Registry::new(format!("net{}", cfg.node_id)));
         let stats = Stats::new(&registry);
         let local_addr = listener.local_addr().ok();
+        let epoch = cfg.trace_epoch.unwrap_or_else(clock::now);
         let shared = Arc::new(Shared {
             nodes: inboxes.nodes.into_iter().collect(),
             client_inbox: inboxes.client,
@@ -386,6 +430,7 @@ impl TcpTransport {
             registry,
             stats,
             cfg,
+            epoch,
         });
 
         let mut peers = HashMap::new();
@@ -401,9 +446,12 @@ impl TcpTransport {
                     let depth = Arc::new(AtomicI64::new(0));
                     let sh = Arc::clone(&shared);
                     let d = Arc::clone(&depth);
+                    // The lane's own queue doubles as its reader's reply
+                    // path (Pong answers to the peer's clock-sample pings).
+                    let back = tx.clone();
                     let thread = std::thread::Builder::new()
                         .name(format!("nbr-net-peer-{}-{}.{}", shared.cfg.node_id, peer_id, lane))
-                        .spawn(move || supervise_peer(sh, peer_id, lane, addr, rx, d))
+                        .spawn(move || supervise_peer(sh, peer_id, lane, addr, rx, back, d))
                         .expect("spawn peer supervisor"); // check:allow(L1): transport bring-up; a node that cannot dial peers cannot serve, abort is correct
                     PeerLink { tx, depth, thread: Some(thread) }
                 })
@@ -468,7 +516,12 @@ impl Transport for TcpTransport {
         }
         let frame = match packet {
             Packet::Peer { from, msg } => NetFrame::Peer { from, to: NodeId(to), msg },
-            Packet::Request(req) => NetFrame::Request { to: NodeId(to), req },
+            Packet::Request(req) => {
+                // Relayed client op: re-derive the deterministic trace id so
+                // the stamp survives the in-process hop.
+                let trace = trace_id(req.client, req.request);
+                NetFrame::Request { to: NodeId(to), trace, req }
+            }
             Packet::Response { .. } => {
                 // Replica-to-replica responses do not exist in the protocol.
                 stats.proto_errors.inc();
@@ -525,7 +578,34 @@ impl Transport for TcpTransport {
     }
 
     fn scrape(&self) -> Option<Snapshot> {
-        Some(self.shared.registry.snapshot())
+        let mut snap = self.shared.registry.snapshot();
+        let me = self.shared.cfg.node_id;
+        // Per-peer outbound backlog: dialed lanes plus accepted routes.
+        let mut depths: HashMap<u32, i64> = HashMap::new();
+        for (&peer, links) in &self.peers {
+            let d: i64 = links.lanes.iter().map(|l| l.depth.load(Ordering::Relaxed)).sum();
+            *depths.entry(peer).or_default() += d;
+        }
+        for (&peer, lanes) in self.shared.peer_routes.lock().iter() {
+            let d: i64 = lanes.iter().map(|r| r.depth.load(Ordering::Relaxed)).sum();
+            *depths.entry(peer).or_default() += d;
+        }
+        for (peer, d) in depths {
+            snap.gauges.insert(format!("net_send_queue_depth_peer_{peer}"), d);
+        }
+        // Per-directed-link fault dials (chaos harness): only the rows this
+        // transport consults (`from == me`) — each process reports the
+        // faults it is itself applying to its outbound batches.
+        if let Some(faults) = &self.shared.cfg.faults {
+            for &(peer, _) in &self.shared.cfg.peers {
+                let f = faults.get(me, peer);
+                snap.gauges.insert(format!("net_fault_cut_{me}_{peer}"), i64::from(f.cut));
+                snap.gauges.insert(format!("net_fault_drop_bp_{me}_{peer}"), i64::from(f.drop_bp));
+                snap.gauges
+                    .insert(format!("net_fault_delay_ns_{me}_{peer}"), f.delay.as_nanos() as i64);
+            }
+        }
+        Some(snap)
     }
 }
 
@@ -556,6 +636,7 @@ fn supervise_peer(
     lane: usize,
     addr: SocketAddr,
     rx: Receiver<NetFrame>,
+    tx: SyncSender<NetFrame>,
     depth: Arc<AtomicI64>,
 ) {
     // Jitter is seeded per-lane so two replicas restarting together do not
@@ -588,9 +669,12 @@ fn supervise_peer(
         // standard handshake-then-route loop.
         let reader = stream.try_clone().ok().and_then(|rstream| {
             let sh2 = Arc::clone(&sh);
+            // Replies (Pong to the peer's clock pings) ride this lane's own
+            // queue, so they coalesce with protocol traffic like any frame.
+            let resp = RespWriter { tx: tx.clone(), depth: Some(Arc::clone(&depth)) };
             std::thread::Builder::new()
                 .name(format!("nbr-net-dread-{}-{}", sh.cfg.node_id, peer_id))
-                .spawn(move || run_reader(sh2, rstream))
+                .spawn(move || run_reader(sh2, rstream, Some(resp)))
                 .ok()
         });
         run_peer_writer(&sh, &mut stream, &rx, &mut rng, &depth, peer_id);
@@ -643,6 +727,12 @@ fn pump_peer_frames(
 ) {
     let mut batch = Vec::with_capacity(64);
     let mut nonce = 0u64;
+    // Clock-sample cadence. A ping only on `recv_timeout` expiry would
+    // starve the RTT/offset estimators exactly when the link is busiest
+    // (under load the queue never idles), so a timestamped ping also
+    // piggybacks onto the data stream at this fixed interval.
+    let ping_every = sh.cfg.keepalive.min(Duration::from_millis(250));
+    let mut last_ping = clock::now();
     // Never pull more per wakeup than the bounded queue holds: the shed
     // accounting in `send` is sized against `send_queue`, so a larger batch
     // window would just hide queue pressure from the metrics.
@@ -660,7 +750,7 @@ fn pump_peer_frames(
         // its queue (riding the next batch) instead of waking an idle lane
         // into its own full delay.
         let mut drained = 0i64;
-        match rx.recv_timeout(sh.cfg.keepalive) {
+        match rx.recv_timeout(ping_every) {
             Ok(frame) => {
                 batch.push(frame);
                 // Coalesce everything already queued into one write.
@@ -673,12 +763,17 @@ fn pump_peer_frames(
                 drained = batch.len() as i64;
                 sh.stats.send_queue_depth.add(-drained);
             }
-            Err(RecvTimeoutError::Timeout) => {
-                nonce += 1;
-                sh.stats.keepalives.inc();
-                batch.push(NetFrame::Ping { nonce });
-            }
+            Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => return,
+        }
+        // Keepalive when idle, clock sample on cadence when busy; `t0` is
+        // stamped here (before the emulated link delays below), so the
+        // measured RTT includes the delay the frames actually experience.
+        if batch.is_empty() || clock::now().duration_since(last_ping) >= ping_every {
+            nonce += 1;
+            sh.stats.keepalives.inc();
+            batch.push(NetFrame::Ping { nonce, t0: sh.trace_now() });
+            last_ping = clock::now();
         }
         // Chaos per-link faults: consulted per batch so the harness can flip
         // them while the connection stays up. A cut link silently eats every
@@ -805,7 +900,7 @@ fn accept_loop(sh: Arc<Shared>, listener: TcpListener) {
                 let name = format!("nbr-net-read-{}", sh.cfg.node_id);
                 if std::thread::Builder::new()
                     .name(name)
-                    .spawn(move || run_reader(sh2, stream))
+                    .spawn(move || run_reader(sh2, stream, None))
                     .is_err()
                 {
                     sh.stats.proto_errors.inc(); // thread exhaustion; drop conn
@@ -826,13 +921,46 @@ enum ConnIdentity {
     Client(ClientId),
 }
 
+/// A reader's reply path: the writer queue of the same duplex connection
+/// (the lane queue on the dialing side, the accepted peer route or client
+/// writer on the accepting side). Injected frames must mirror `send`'s
+/// depth accounting or the lane would drift emptier than it is.
+struct RespWriter {
+    tx: SyncSender<NetFrame>,
+    /// Lane backlog shared with `pick_lane`; `None` for client sessions,
+    /// which do not track depth.
+    depth: Option<Arc<AtomicI64>>,
+}
+
+impl RespWriter {
+    /// Best-effort enqueue: a full queue drops the reply (the next ping
+    /// retries the clock sample; client liveness pings are periodic too).
+    fn push(&self, sh: &Shared, frame: NetFrame) {
+        if let Some(d) = &self.depth {
+            d.fetch_add(1, Ordering::Relaxed);
+        }
+        match self.tx.try_send(frame) {
+            Ok(()) => {
+                if self.depth.is_some() {
+                    sh.stats.send_queue_depth.add(1);
+                }
+            }
+            Err(_) => {
+                if let Some(d) = &self.depth {
+                    d.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
 /// Inbound connection reader: handshake, then decode-and-route until EOF,
 /// error, or shutdown.
-fn run_reader(sh: Arc<Shared>, mut stream: TcpStream) {
+fn run_reader(sh: Arc<Shared>, mut stream: TcpStream, resp: Option<RespWriter>) {
     let conn = sh.register_conn(&stream);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
     let mut identity = ConnIdentity::Unknown;
-    let mut resp_writer: Option<SyncSender<NetFrame>> = None;
+    let mut resp_writer: Option<RespWriter> = resp;
     // Zero-copy framing: accumulate raw socket bytes in `buf`; once at
     // least one complete frame is present, freeze the whole staging buffer
     // into a shared `Bytes` (O(1)) and decode with the borrowing path —
@@ -917,7 +1045,7 @@ fn handle_frame(
     sh: &Arc<Shared>,
     frame: NetFrame,
     identity: &mut ConnIdentity,
-    resp_writer: &mut Option<SyncSender<NetFrame>>,
+    resp_writer: &mut Option<RespWriter>,
     stream: &TcpStream,
     conn: u64,
 ) -> bool {
@@ -951,6 +1079,9 @@ fn handle_frame(
                             sh.stats.proto_errors.inc();
                             return false;
                         }
+                        // This reader's Pong replies share the route's queue.
+                        *resp_writer =
+                            Some(RespWriter { tx: tx.clone(), depth: Some(Arc::clone(&depth)) });
                         sh.peer_routes.lock().entry(n.0).or_default().push(PeerRoute {
                             conn,
                             tx,
@@ -977,7 +1108,7 @@ fn handle_frame(
                     }
                     sh.clients.lock().insert(c, ClientRoute { conn, tx: tx.clone() });
                     sh.stats.clients_connected.add(1);
-                    *resp_writer = Some(tx);
+                    *resp_writer = Some(RespWriter { tx, depth: None });
                     *identity = ConnIdentity::Client(c);
                 }
             }
@@ -1003,7 +1134,7 @@ fn handle_frame(
             sh.stats.proto_errors.inc(); // clients may not inject peer traffic
             false
         }
-        (NetFrame::Request { to, req }, ConnIdentity::Client(c)) => {
+        (NetFrame::Request { to, trace: _, req }, ConnIdentity::Client(c)) => {
             if req.client != *c {
                 sh.stats.proto_errors.inc(); // spoofed client id
                 return false;
@@ -1011,7 +1142,7 @@ fn handle_frame(
             sh.deliver_local(to.0, Packet::Request(req));
             true
         }
-        (NetFrame::Request { to, req }, ConnIdentity::Node(_)) => {
+        (NetFrame::Request { to, trace: _, req }, ConnIdentity::Node(_)) => {
             // A relayed client request from a peer process (e.g. a
             // co-hosted client whose target moved): deliver; responses
             // will route via that process's client session, not ours.
@@ -1028,15 +1159,24 @@ fn handle_frame(
             sh.stats.proto_errors.inc();
             false
         }
-        (NetFrame::Ping { nonce }, ConnIdentity::Client(_)) => {
+        (NetFrame::Ping { nonce, t0 }, ConnIdentity::Client(_)) => {
             // Duplex session: answer so the client can measure liveness.
-            if let Some(tx) = resp_writer {
-                let _ = tx.try_send(NetFrame::Pong { nonce });
+            if let Some(w) = resp_writer {
+                w.push(sh, NetFrame::Pong { nonce, t0, t1: sh.trace_now() });
             }
             true
         }
-        (NetFrame::Ping { .. }, ConnIdentity::Node(_)) => {
-            sh.stats.keepalives.inc(); // simplex peer link: ping is pure liveness traffic
+        (NetFrame::Ping { nonce, t0 }, ConnIdentity::Node(_)) => {
+            // Peer keepalive doubling as a clock sample: echo `t0` with our
+            // receive instant so the sender can estimate RTT and offset.
+            sh.stats.keepalives.inc();
+            if let Some(w) = resp_writer {
+                w.push(sh, NetFrame::Pong { nonce, t0, t1: sh.trace_now() });
+            }
+            true
+        }
+        (NetFrame::Pong { nonce: _, t0, t1 }, ConnIdentity::Node(peer)) => {
+            sh.clock_sample(peer.0, t0, t1);
             true
         }
         (NetFrame::Pong { .. }, _) => true,

@@ -9,8 +9,9 @@
 
 use nbr_cluster::ClusterConfig;
 use nbr_net::{NetClient, NodeServer, ServeConfig};
+use nbr_obs::{EngineProbe, SharedProbe, TraceEvent};
 use nbr_storage::KvStore;
-use nbr_types::{ClientId, TimeDelta};
+use nbr_types::{ClientId, NodeId, TimeDelta};
 use std::net::{SocketAddr, TcpListener};
 use std::time::{Duration, Instant};
 
@@ -27,12 +28,29 @@ fn bind_all(n: usize) -> Vec<(TcpListener, SocketAddr)> {
         .collect()
 }
 
+/// Servers, membership address list, and (when traced) per-node probes.
+type SpawnedCluster = (Vec<NodeServer<KvStore>>, Vec<(u32, SocketAddr)>, Vec<SharedProbe>);
+
 /// Spawn an `n`-node cluster as `n` independent `NodeServer`s joined only
 /// by TCP. Returns the servers and the full membership address list.
 fn spawn_cluster(n: usize) -> (Vec<NodeServer<KvStore>>, Vec<(u32, SocketAddr)>) {
+    let (servers, members, _) = spawn_cluster_inner(n, false);
+    (servers, members)
+}
+
+/// Like [`spawn_cluster`] but with a trace probe wired into every replica.
+/// Each `NodeServer` gets its *own* trace epoch (as real processes would),
+/// so assembling spans across the replicas genuinely exercises Ping/Pong
+/// clock alignment.
+fn spawn_cluster_traced(n: usize) -> SpawnedCluster {
+    spawn_cluster_inner(n, true)
+}
+
+fn spawn_cluster_inner(n: usize, traced: bool) -> SpawnedCluster {
     let bound = bind_all(n);
     let members: Vec<(u32, SocketAddr)> =
         bound.iter().enumerate().map(|(i, &(_, a))| (i as u32, a)).collect();
+    let mut probes = Vec::new();
     let servers = bound
         .into_iter()
         .enumerate()
@@ -43,8 +61,13 @@ fn spawn_cluster(n: usize) -> (Vec<NodeServer<KvStore>>, Vec<(u32, SocketAddr)>)
             // same randomized election timeout, so a cold three-way start
             // can split-vote for several rounds under CI load. Staggered
             // seeds keep the first election one round long.
-            let cluster =
+            let mut cluster =
                 ClusterConfig { seed: 0x10c4_b4c4 ^ ((i as u64) << 8), ..ClusterConfig::default() };
+            if traced {
+                let (probe, handle) = EngineProbe::shared();
+                cluster.probe = probe;
+                probes.push(handle);
+            }
             let cfg = ServeConfig {
                 cluster_id: CLUSTER_ID,
                 node_id: i as u32,
@@ -60,7 +83,7 @@ fn spawn_cluster(n: usize) -> (Vec<NodeServer<KvStore>>, Vec<(u32, SocketAddr)>)
             NodeServer::spawn_on(cfg, listener).expect("spawn node server")
         })
         .collect();
-    (servers, members)
+    (servers, members, probes)
 }
 
 /// Poll `cond` every few milliseconds until it returns true or `timeout`
@@ -167,6 +190,57 @@ fn leader_kill_reelects_and_retries_oplist() {
         converged,
         "survivors missing keys after re-election (op list had {in_flight} in flight)"
     );
+}
+
+/// Tentpole end-to-end check: with probes on every replica, each committed
+/// op's span tree assembles *complete* — submit and propose at the leader,
+/// received/appended/committed/applied on all three replicas — after
+/// aligning the per-server trace clocks off the transport's Ping/Pong
+/// samples.
+#[test]
+fn traced_ops_assemble_complete_spans() {
+    let (servers, members, probes) = spawn_cluster_traced(3);
+    let servers: Vec<Option<NodeServer<KvStore>>> = servers.into_iter().map(Some).collect();
+    wait_leader(&servers, Duration::from_secs(10)).expect("no leader elected");
+
+    let mut client =
+        NetClient::new(CLUSTER_ID, ClientId(903), members.clone(), TimeDelta::from_millis(300));
+    let n_ops = 25u32;
+    for i in 0..n_ops {
+        client
+            .submit(bytes::Bytes::from(format!("t{i}=v")), Duration::from_secs(10))
+            .expect("submit traced op");
+    }
+    assert!(client.drain(Duration::from_secs(10)), "opList did not drain");
+
+    // Every replica must finish applying before we snapshot the probes, and
+    // a beat longer than the transport's ping cadence guarantees clock
+    // samples exist on every link.
+    let applied_everywhere = poll_until(Duration::from_secs(10), || {
+        servers.iter().flatten().all(|s| {
+            let st = s.cluster().status(0);
+            st.applied == st.commit && st.commit >= u64::from(n_ops)
+        })
+    });
+    assert!(applied_everywhere, "replicas did not apply all ops");
+    std::thread::sleep(Duration::from_millis(600));
+
+    let events: Vec<TraceEvent> = probes.iter().flat_map(SharedProbe::take).collect();
+    let align = nbr_obs::ClockAlign::estimate(&events);
+    let aligned = align.apply(&events);
+    let spans = nbr_obs::collect(&aligned);
+
+    let member_ids: Vec<NodeId> = members.iter().map(|&(n, _)| NodeId(n)).collect();
+    let mine: Vec<_> = spans.iter().filter(|s| s.client == ClientId(903)).collect();
+    assert!(mine.len() >= n_ops as usize, "expected >={n_ops} spans, got {}", mine.len());
+    for s in &mine {
+        assert!(
+            s.complete(&member_ids),
+            "incomplete span for request {} at index {}",
+            s.request.0,
+            s.index.0
+        );
+    }
 }
 
 #[test]

@@ -91,7 +91,14 @@ pub fn timelines(events: &[TraceEvent]) -> BTreeMap<(NodeId, LogIndex), Lifecycl
             ProbeEvent::WeakQuorum { index } => Some((index, |l| &mut l.weak_quorum)),
             ProbeEvent::Committed { index } => Some((index, |l| &mut l.committed)),
             ProbeEvent::Applied { index } => Some((index, |l| &mut l.applied)),
-            ProbeEvent::WindowFlushed { .. }
+            // `Proposed` binds an op to an index (span assembly joins on
+            // it in `span::collect`); as a lifecycle instant it coincides
+            // with the leader's local `Appended`.
+            ProbeEvent::Proposed { .. }
+            | ProbeEvent::SubmitReceived { .. }
+            | ProbeEvent::ClockSample { .. }
+            | ProbeEvent::WalFsync { .. }
+            | ProbeEvent::WindowFlushed { .. }
             | ProbeEvent::WeakAccepted { .. }
             | ProbeEvent::StrongAccepted { .. }
             | ProbeEvent::WindowOccupancy { .. }

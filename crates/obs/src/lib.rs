@@ -10,13 +10,18 @@
 //! - [`export`]: snapshot renderers — Prometheus text, CSV, JSONL.
 //! - [`trace`] + [`analyze`]: the JSONL trace format and its replay into
 //!   per-entry timelines and the `t_wait(F)` report (`nbraft-cli trace`).
+//! - [`span`]: cross-node span assembly — keepalive-based clock alignment,
+//!   per-op span trees and the critical-path phase report
+//!   (`nbraft-cli trace --critical-path`).
 
 pub mod analyze;
 pub mod export;
 pub mod probe;
 pub mod registry;
+pub mod span;
 pub mod trace;
 
 pub use analyze::{analyze, timelines, Lifecycle, TraceReport};
 pub use probe::{EngineProbe, NoProbe, Probe, ProbeEvent, SharedProbe, TraceBuffer, TraceEvent};
 pub use registry::{Counter, Gauge, Registry, Snapshot, Timer, TimerStats};
+pub use span::{collect, critical_path, spans_jsonl, ClockAlign, CriticalPath, OpSpan};

@@ -12,7 +12,7 @@
 //! enum-dispatch wrapper harnesses use so that tracing stays a *runtime*
 //! flag without changing the node's type.
 
-use nbr_types::{LogIndex, NodeId, Term, Time};
+use nbr_types::{ClientId, LogIndex, NodeId, RequestId, Term, Time};
 use std::sync::{Arc, Mutex, PoisonError};
 
 /// One structured protocol event. All variants are `Copy` — emitting an
@@ -27,6 +27,24 @@ use std::sync::{Arc, Mutex, PoisonError};
 /// bottleneck) is `Appended − EntryReceived` on a follower.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProbeEvent {
+    /// A client request reached the leader's engine (span root: the op is
+    /// identified by `(client, request)` until `Proposed` binds an index).
+    SubmitReceived {
+        /// Submitting client connection.
+        client: ClientId,
+        /// Client-local request sequence number.
+        request: RequestId,
+    },
+    /// Leader: a client op was assigned a log index — the join point
+    /// between the op identity and every index-keyed event that follows.
+    Proposed {
+        /// Log index assigned to the op.
+        index: LogIndex,
+        /// Submitting client connection.
+        client: ClientId,
+        /// Client-local request sequence number.
+        request: RequestId,
+    },
     /// A replication entry arrived at a follower (before windowing).
     EntryReceived {
         /// Log index of the entry.
@@ -113,12 +131,31 @@ pub enum ProbeEvent {
     },
     /// Harness marker: the replica was killed at this instant.
     Crashed,
+    /// Transport clock sample from a Ping/Pong exchange with `peer`:
+    /// `offset_ns ≈ peer_clock − local_clock` (NTP two-sample estimate),
+    /// used by the span collector to align per-node trace timestamps.
+    ClockSample {
+        /// The peer the sample was taken against.
+        peer: NodeId,
+        /// Estimated `peer_clock − local_clock` in nanoseconds.
+        offset_ns: i64,
+        /// Round-trip time of the exchange in nanoseconds.
+        rtt_ns: u64,
+    },
+    /// Harness marker: one hard-state WAL fsync took `dur_ns` (per-node
+    /// phase attribution for the critical-path report; not per-op).
+    WalFsync {
+        /// Duration of the synchronous persist in nanoseconds.
+        dur_ns: u64,
+    },
 }
 
 impl ProbeEvent {
     /// Stable short tag, used as the JSONL `ev` field.
     pub fn kind(&self) -> &'static str {
         match self {
+            ProbeEvent::SubmitReceived { .. } => "submit",
+            ProbeEvent::Proposed { .. } => "proposed",
             ProbeEvent::EntryReceived { .. } => "received",
             ProbeEvent::WindowCached { .. } => "window_cached",
             ProbeEvent::WindowFlushed { .. } => "window_flushed",
@@ -135,6 +172,8 @@ impl ProbeEvent {
             ProbeEvent::Elected { .. } => "elected",
             ProbeEvent::SteppedDown { .. } => "stepped_down",
             ProbeEvent::Crashed => "crashed",
+            ProbeEvent::ClockSample { .. } => "clock_sample",
+            ProbeEvent::WalFsync { .. } => "wal_fsync",
         }
     }
 }
@@ -323,7 +362,9 @@ mod tests {
     #[test]
     fn probe_events_are_copy_and_small() {
         // Emitting must never allocate: the event is a small Copy value.
-        assert!(std::mem::size_of::<ProbeEvent>() <= 24);
+        // 32 bytes since `Proposed` carries the (index, client, request)
+        // join triple — still four words, still register-friendly.
+        assert!(std::mem::size_of::<ProbeEvent>() <= 32);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! equivalent writer.
 
 use crate::probe::{ProbeEvent, TraceEvent};
-use nbr_types::{LogIndex, NodeId, Term, Time};
+use nbr_types::{ClientId, LogIndex, NodeId, RequestId, Term, Time};
 use std::fmt::Write as _;
 
 /// Render one event as a single JSONL line (no trailing newline).
@@ -25,6 +25,16 @@ pub fn event_line(ev: &TraceEvent) -> String {
     let mut s = String::with_capacity(64);
     let _ = write!(s, "{{\"node\":{},\"at\":{},\"ev\":\"{}\"", ev.node.0, ev.at.0, ev.event.kind());
     match ev.event {
+        ProbeEvent::SubmitReceived { client, request } => {
+            let _ = write!(s, ",\"client\":{},\"request\":{}", client.0, request.0);
+        }
+        ProbeEvent::Proposed { index, client, request } => {
+            let _ = write!(
+                s,
+                ",\"index\":{},\"client\":{},\"request\":{}",
+                index.0, client.0, request.0
+            );
+        }
         ProbeEvent::EntryReceived { index, term } => {
             let _ = write!(s, ",\"index\":{},\"term\":{}", index.0, term.0);
         }
@@ -55,6 +65,12 @@ pub fn event_line(ev: &TraceEvent) -> String {
             let _ = write!(s, ",\"term\":{}", term.0);
         }
         ProbeEvent::Crashed => {}
+        ProbeEvent::ClockSample { peer, offset_ns, rtt_ns } => {
+            let _ = write!(s, ",\"peer\":{},\"offset\":{},\"rtt\":{}", peer.0, offset_ns, rtt_ns);
+        }
+        ProbeEvent::WalFsync { dur_ns } => {
+            let _ = write!(s, ",\"dur\":{dur_ns}");
+        }
     }
     s.push('}');
     s
@@ -76,6 +92,17 @@ fn field_u64(line: &str, key: &str) -> Option<u64> {
     let start = line.find(&needle)? + needle.len();
     let rest = &line[start..];
     let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extract a signed integer value of `"key":` from a flat JSON line
+/// (clock offsets can be negative; every other field is unsigned).
+fn field_i64(line: &str, key: &str) -> Option<i64> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let digits = rest.strip_prefix('-').map_or(0, |_| 1);
+    let end = rest[digits..].find(|c: char| !c.is_ascii_digit()).map_or(rest.len(), |e| e + digits);
     rest[..end].parse().ok()
 }
 
@@ -102,6 +129,15 @@ pub fn parse_line(line: &str) -> Option<TraceEvent> {
     let node = NodeId(field_u64(line, "node")? as u32);
     let at = Time(field_u64(line, "at")?);
     let event = match field_str(line, "ev")? {
+        "submit" => ProbeEvent::SubmitReceived {
+            client: ClientId(field_u64(line, "client")?),
+            request: RequestId(field_u64(line, "request")?),
+        },
+        "proposed" => ProbeEvent::Proposed {
+            index: index_field(line)?,
+            client: ClientId(field_u64(line, "client")?),
+            request: RequestId(field_u64(line, "request")?),
+        },
         "received" => {
             ProbeEvent::EntryReceived { index: index_field(line)?, term: term_field(line)? }
         }
@@ -129,6 +165,12 @@ pub fn parse_line(line: &str) -> Option<TraceEvent> {
         "elected" => ProbeEvent::Elected { term: term_field(line)? },
         "stepped_down" => ProbeEvent::SteppedDown { term: term_field(line)? },
         "crashed" => ProbeEvent::Crashed,
+        "clock_sample" => ProbeEvent::ClockSample {
+            peer: NodeId(field_u64(line, "peer")? as u32),
+            offset_ns: field_i64(line, "offset")?,
+            rtt_ns: field_u64(line, "rtt")?,
+        },
+        "wal_fsync" => ProbeEvent::WalFsync { dur_ns: field_u64(line, "dur")? },
         _ => return None,
     };
     Some(TraceEvent { node, at, event })
@@ -159,6 +201,8 @@ mod tests {
         let ix = LogIndex(7);
         let t = Term(3);
         [
+            ProbeEvent::SubmitReceived { client: ClientId(4), request: RequestId(19) },
+            ProbeEvent::Proposed { index: ix, client: ClientId(4), request: RequestId(19) },
             ProbeEvent::EntryReceived { index: ix, term: t },
             ProbeEvent::WindowCached { index: ix },
             ProbeEvent::WindowFlushed { index: ix, run_len: 4 },
@@ -175,6 +219,8 @@ mod tests {
             ProbeEvent::Elected { term: t },
             ProbeEvent::SteppedDown { term: t },
             ProbeEvent::Crashed,
+            ProbeEvent::ClockSample { peer: NodeId(2), offset_ns: -350_000, rtt_ns: 1_200_000 },
+            ProbeEvent::WalFsync { dur_ns: 80_000 },
         ]
         .into_iter()
         .enumerate()
@@ -200,6 +246,27 @@ mod tests {
         assert_eq!(event_line(&ev), r#"{"node":2,"at":1500,"ev":"received","index":7,"term":1}"#);
         let ev = TraceEvent { node: NodeId(0), at: Time(9), event: ProbeEvent::Crashed };
         assert_eq!(event_line(&ev), r#"{"node":0,"at":9,"ev":"crashed"}"#);
+        let ev = TraceEvent {
+            node: NodeId(1),
+            at: Time(88),
+            event: ProbeEvent::ClockSample { peer: NodeId(2), offset_ns: -42, rtt_ns: 900 },
+        };
+        assert_eq!(
+            event_line(&ev),
+            r#"{"node":1,"at":88,"ev":"clock_sample","peer":2,"offset":-42,"rtt":900}"#
+        );
+    }
+
+    #[test]
+    fn negative_offsets_round_trip() {
+        for off in [-1i64, 0, 1, i64::MIN + 1, i64::MAX] {
+            let ev = TraceEvent {
+                node: NodeId(0),
+                at: Time(1),
+                event: ProbeEvent::ClockSample { peer: NodeId(1), offset_ns: off, rtt_ns: 5 },
+            };
+            assert_eq!(parse_line(&event_line(&ev)), Some(ev), "offset {off}");
+        }
     }
 
     #[test]

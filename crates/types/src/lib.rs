@@ -39,5 +39,5 @@ pub use message::{
     PushFragmentsMsg, ReadIndexReqMsg, ReadIndexRespMsg, RequestVoteMsg, RequestVoteRespMsg,
     Verification, MAX_APPEND_BATCH,
 };
-pub use netframe::{HelloMsg, NetFrame, PeerKind, NET_PROTOCOL_VERSION};
+pub use netframe::{trace_id, HelloMsg, NetFrame, PeerKind, NET_PROTOCOL_VERSION};
 pub use time::{Time, TimeDelta};

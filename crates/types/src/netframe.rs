@@ -18,14 +18,16 @@
 //! lets a sender match a pong to its ping.
 
 use crate::error::{Error, Result};
-use crate::ids::{ClientId, NodeId};
+use crate::ids::{ClientId, NodeId, RequestId};
 use crate::message::{ClientRequest, ClientResponse, Message};
 use crate::wire::{Reader, Wire, Writer};
 
 /// Version of the socket envelope protocol. Bump on any change to
 /// [`NetFrame`]'s encoding; handshakes with a different version are refused.
 /// v2: `Append` carries a contiguous entry batch instead of a single entry.
-pub const NET_PROTOCOL_VERSION: u16 = 2;
+/// v3: `Request` carries a trace id; `Ping`/`Pong` carry clock-sync
+/// timestamps for cross-node trace alignment.
+pub const NET_PROTOCOL_VERSION: u16 = 3;
 
 /// Who is on the remote end of a connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +67,10 @@ pub enum NetFrame {
     Request {
         /// Destination replica.
         to: NodeId,
+        /// Trace id stamped by the submitting client (instrumentation
+        /// only: never consulted by the protocol; `(client, request)`
+        /// remains the identity used for dedup and retries).
+        trace: u64,
         /// The request.
         req: ClientRequest,
     },
@@ -75,16 +81,30 @@ pub enum NetFrame {
         /// The response.
         resp: ClientResponse,
     },
-    /// Idle keepalive probe.
+    /// Idle keepalive probe, doubling as an NTP-style clock sample.
     Ping {
         /// Echoed back in the matching [`NetFrame::Pong`].
         nonce: u64,
+        /// Sender's trace clock (ns) at transmit.
+        t0: u64,
     },
     /// Keepalive reply.
     Pong {
         /// Nonce of the ping being answered.
         nonce: u64,
+        /// Echo of the ping's transmit timestamp.
+        t0: u64,
+        /// Responder's trace clock (ns) at receipt of the ping.
+        t1: u64,
     },
+}
+
+/// Deterministic trace id for a client op, stamped into
+/// [`NetFrame::Request`] at submission. Derived (not random) so every hop —
+/// client, relaying transport, span collector — computes the same id from
+/// the `(client, request)` identity without coordination.
+pub fn trace_id(client: ClientId, request: RequestId) -> u64 {
+    (client.0 << 32) | (request.0 & 0xFFFF_FFFF)
 }
 
 impl Wire for PeerKind {
@@ -137,9 +157,10 @@ impl Wire for NetFrame {
                 to.encode(w);
                 msg.encode(w);
             }
-            NetFrame::Request { to, req } => {
+            NetFrame::Request { to, trace, req } => {
                 w.u8(2);
                 to.encode(w);
+                w.u64(*trace);
                 req.encode(w);
             }
             NetFrame::Response { client, resp } => {
@@ -147,13 +168,16 @@ impl Wire for NetFrame {
                 client.encode(w);
                 resp.encode(w);
             }
-            NetFrame::Ping { nonce } => {
+            NetFrame::Ping { nonce, t0 } => {
                 w.u8(4);
                 w.u64(*nonce);
+                w.u64(*t0);
             }
-            NetFrame::Pong { nonce } => {
+            NetFrame::Pong { nonce, t0, t1 } => {
                 w.u8(5);
                 w.u64(*nonce);
+                w.u64(*t0);
+                w.u64(*t1);
             }
         }
     }
@@ -165,13 +189,17 @@ impl Wire for NetFrame {
                 to: NodeId::decode(r)?,
                 msg: Message::decode(r)?,
             }),
-            2 => Ok(NetFrame::Request { to: NodeId::decode(r)?, req: ClientRequest::decode(r)? }),
+            2 => Ok(NetFrame::Request {
+                to: NodeId::decode(r)?,
+                trace: r.u64()?,
+                req: ClientRequest::decode(r)?,
+            }),
             3 => Ok(NetFrame::Response {
                 client: ClientId::decode(r)?,
                 resp: ClientResponse::decode(r)?,
             }),
-            4 => Ok(NetFrame::Ping { nonce: r.u64()? }),
-            5 => Ok(NetFrame::Pong { nonce: r.u64()? }),
+            4 => Ok(NetFrame::Ping { nonce: r.u64()?, t0: r.u64()? }),
+            5 => Ok(NetFrame::Pong { nonce: r.u64()?, t0: r.u64()?, t1: r.u64()? }),
             v => Err(Error::Codec(format!("invalid net frame tag {v}"))),
         }
     }
@@ -210,6 +238,7 @@ mod tests {
             },
             NetFrame::Request {
                 to: NodeId(0),
+                trace: (5u64 << 32) | 6,
                 req: ClientRequest {
                     client: ClientId(5),
                     request: RequestId(6),
@@ -224,8 +253,8 @@ mod tests {
                     term: Term(4),
                 },
             },
-            NetFrame::Ping { nonce: 42 },
-            NetFrame::Pong { nonce: 42 },
+            NetFrame::Ping { nonce: 42, t0: 1_000_000 },
+            NetFrame::Pong { nonce: 42, t0: 1_000_000, t1: 1_004_500 },
         ]
     }
 

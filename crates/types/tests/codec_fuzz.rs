@@ -70,12 +70,26 @@ fn sample_frames() -> Vec<Vec<u8>> {
         cluster_id: 7,
         kind: PeerKind::Client(ClientId(3)),
     });
+    let traced = NetFrame::Request {
+        to: NodeId(2),
+        trace: trace_id(ClientId(5), RequestId(6)),
+        req: ClientRequest {
+            client: ClientId(5),
+            request: RequestId(6),
+            payload: Bytes::from(vec![0x5A; 128]),
+        },
+    };
+    let ping = NetFrame::Ping { nonce: 99, t0: 123_456_789 };
+    let pong = NetFrame::Pong { nonce: 99, t0: 123_456_789, t1: 123_999_999 };
     vec![
         encode_frame(&msg),
         encode_frame(&batched),
         encode_frame(&req),
         encode_frame(&net),
         encode_frame(&hello),
+        encode_frame(&traced),
+        encode_frame(&ping),
+        encode_frame(&pong),
     ]
 }
 
@@ -99,6 +113,69 @@ fn mutated_frames_never_panic() {
         let _ = decode_frame::<NetFrame>(view);
         let _ = decode_frame::<ClientRequest>(view);
         let _ = decode_frame::<ClientResponse>(view);
+    }
+}
+
+/// The v3 trace envelope (`Request.trace`, `Ping.t0`, `Pong.t0/t1`) adds
+/// raw u64 fields in front of variable-length payloads. Exhaustive
+/// single-byte corruption of those frames — every offset, every bit — must
+/// decode totally, and a tight transport cap must keep any allocation
+/// implied by a corrupted length prefix bounded.
+#[test]
+fn mutated_trace_fields_total_and_bounded() {
+    let frames = [
+        encode_frame(&NetFrame::Request {
+            to: NodeId(1),
+            trace: trace_id(ClientId(0xFFFF_FFFF), RequestId(u64::MAX)),
+            req: ClientRequest {
+                client: ClientId(0xFFFF_FFFF),
+                request: RequestId(u64::MAX),
+                payload: Bytes::from(vec![0x7E; 64]),
+            },
+        }),
+        encode_frame(&NetFrame::Ping { nonce: u64::MAX, t0: u64::MAX }),
+        encode_frame(&NetFrame::Pong { nonce: 0, t0: u64::MAX, t1: 0 }),
+    ];
+    for frame in &frames {
+        for at in 0..frame.len() {
+            for bit in 0..8 {
+                let mut m = frame.clone();
+                m[at] ^= 1 << bit;
+                // Total: decodes, errors, or wants more bytes — never panics.
+                let _ = decode_frame::<NetFrame>(&m);
+                // Bounded: a corrupted length/count can at worst ask the
+                // 1 KiB transport cap, never the claimed size.
+                let _ = decode_frame_capped::<NetFrame>(&m, 1 << 10);
+            }
+        }
+    }
+}
+
+/// Trace ids round-trip bit-exactly through the envelope — the collector
+/// joins per-node events on this value, so truncation would silently split
+/// spans.
+#[test]
+fn trace_id_roundtrip_exact() {
+    for (c, r) in [(0u64, 0u64), (1, 2), (0xFFFF_FFFF, 0xFFFF_FFFF), (7, u64::MAX)] {
+        let trace = trace_id(ClientId(c), RequestId(r));
+        let frame = NetFrame::Request {
+            to: NodeId(0),
+            trace,
+            req: ClientRequest {
+                client: ClientId(c),
+                request: RequestId(r),
+                payload: Bytes::new(),
+            },
+        };
+        match decode_frame::<NetFrame>(&encode_frame(&frame)) {
+            Ok(Some((NetFrame::Request { trace: got, req, .. }, _))) => {
+                assert_eq!(got, trace);
+                // Deterministic derivation: every hop recomputes the same id
+                // from the op identity alone.
+                assert_eq!(got, trace_id(req.client, req.request));
+            }
+            other => panic!("round-trip failed: {other:?}"),
+        }
     }
 }
 

@@ -125,10 +125,22 @@ fi
 # windowed, with commit p50/p99 latency. The full comparison (defaults:
 # 10ms RTT, 2% loss, 3s per run) is a release-bench concern; this smoke
 # only proves the harness runs end-to-end and archives the latency
-# percentiles for the commit under test.
-step "bench-net --compare smoke (latency percentiles)"
+# percentiles for the commit under test. The run is traced: per-replica
+# span JSONL lands in target/ci-artifacts/bench-net-traces/, the
+# machine-readable perf summary in BENCH_net.json, and the assembled
+# critical-path report (per-phase p50/p99 + the phase-delta accounting of
+# the window-0 vs windowed gap) in critical-path.txt.
+step "bench-net --compare smoke (traced, latency percentiles)"
 ./target/release/nbraft-cli bench-net --compare --clients 8 --seconds 1 \
     --rtt-ms 2 --window 64 \
+    --trace-dir target/ci-artifacts/bench-net-traces \
+    --json target/ci-artifacts/BENCH_net.json \
     | tee target/ci-artifacts/bench-net-compare.txt
+
+step "trace --critical-path (span assembly across 3 replicas x 2 runs)"
+./target/release/nbraft-cli trace \
+    --critical-path target/ci-artifacts/bench-net-traces \
+    | tee target/ci-artifacts/critical-path.txt
+grep -q 'accounted' target/ci-artifacts/critical-path.txt
 
 printf '\nci.sh: all checks passed\n'

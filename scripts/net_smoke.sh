@@ -30,11 +30,13 @@ cleanup() {
 }
 trap cleanup EXIT
 
-echo "== starting 3-process cluster on $PEERS =="
+echo "== starting 3-process cluster on $PEERS (traced) =="
+mkdir -p "$ART/traces"
 for i in 0 1 2; do
     mport=$((M0 + i))
     "$CLI" serve --node-id "$i" --peers "$PEERS" --cluster-id "$CLUSTER_ID" \
-        --metrics "127.0.0.1:$mport" >"$ART/node$i.log" 2>&1 &
+        --metrics "127.0.0.1:$mport" --trace "$ART/traces/node$i.jsonl" \
+        >"$ART/node$i.log" 2>&1 &
     PIDS[i]=$!
 done
 
@@ -74,6 +76,22 @@ WEAK1=$(awk '/^weak-acked/ {print $2}' "$ART/bench1.txt")
 scrape "$((M0 + LEADER))" "$ART/metrics-before-kill.prom"
 grep -q "nbr_net_frames_out" "$ART/metrics-before-kill.prom" \
     || { echo "net_smoke: FAIL transport metrics missing from scrape"; exit 1; }
+# Live transport telemetry from the trace layer: per-peer RTT gauges fed by
+# the timestamped Ping/Pong keepalives must be present on a busy link.
+grep -q "nbr_net_rtt_ns_peer" "$ART/metrics-before-kill.prom" \
+    || { echo "net_smoke: FAIL link RTT gauges missing from scrape"; exit 1; }
+
+echo "== span assembly from the 3 per-process traces =="
+# The serve processes flush their probe buffers to JSONL every 500ms; give
+# the writers one beat, then assemble cross-process spans (clock-aligned
+# off the keepalive samples) and require complete ones.
+sleep 1
+"$CLI" trace --critical-path "$ART/traces" | tee "$ART/critical-path-smoke.txt"
+grep -q "complete spans" "$ART/critical-path-smoke.txt" \
+    || { echo "net_smoke: FAIL span assembly produced no report"; exit 1; }
+COMPLETE=$(sed -n 's/.* (\([0-9]*\) complete spans.*/\1/p' "$ART/critical-path-smoke.txt")
+[ "${COMPLETE:-0}" -gt 0 ] \
+    || { echo "net_smoke: FAIL no complete cross-process spans assembled"; exit 1; }
 
 echo "== phase 2: kill leader (node $LEADER), expect re-election + retry =="
 kill "${PIDS[LEADER]}"

@@ -48,6 +48,7 @@ pub use nbr_core as core;
 pub use nbr_crypto as crypto;
 pub use nbr_erasure as erasure;
 pub use nbr_metrics as metrics;
+pub use nbr_obs as obs;
 pub use nbr_petri as petri;
 pub use nbr_sim as sim;
 pub use nbr_storage as storage;
