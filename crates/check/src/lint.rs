@@ -27,10 +27,12 @@
 //!   any shared lock; holding one across a socket write would let a slow
 //!   peer stall every thread contending for that lock. Guards released
 //!   with an explicit `drop(guard)` or a closed block are fine.
-//! * **L6** — no lock-order cycles in `cluster` and `net`. Every `.lock()`
-//!   reached while another guard is live contributes a `held → acquired`
-//!   edge to one workspace-wide acquisition graph (lock identity is the
-//!   locked field/binding name); a cycle in that graph is a deadlock
+//! * **L6** — no lock-order cycles in `cluster`, `net` and `shard`. Every
+//!   `.lock()` reached while another guard is live contributes a
+//!   `held → acquired` edge to one workspace-wide acquisition graph (lock
+//!   identity is the locked field/binding name; an element of an indexed
+//!   collection — `lanes[g].lock()` — is identified as `lanes[_]`, one
+//!   conservative identity per collection); a cycle in that graph is a deadlock
 //!   waiting for the right thread interleaving, so every edge on a cycle
 //!   is reported at its acquisition site. Nested acquisition in one global
 //!   order is fine — only cycles are flagged.
@@ -75,7 +77,7 @@ const L2_SCOPE: &[&str] = &["core", "cluster", "storage", "net"];
 const L3_SCOPE: &[&str] = &["core", "obs", "sim", "types", "net"];
 const L4_SCOPE: &[&str] = &["core", "cluster", "storage", "net"];
 const L5_SCOPE: &[&str] = &["cluster", "net"];
-const L6_SCOPE: &[&str] = &["cluster", "net"];
+const L6_SCOPE: &[&str] = &["cluster", "net", "shard"];
 
 const KNOWN_RULES: &[&str] = &["L1", "L2", "L3", "L4", "L5", "L6"];
 
@@ -415,24 +417,34 @@ fn lock_acquisition_edges(
 }
 
 /// The lock's identity: the last path segment before `.lock()` — a field
-/// name like `routes` in `self.routes.lock()`, skipping one balanced call
-/// group for accessor styles like `self.route_for(id).lock()`.
+/// name like `routes` in `self.routes.lock()`, skipping balanced trailing
+/// groups for accessor styles like `self.route_for(id).lock()` and indexed
+/// per-instance locks like `self.lanes[g].queue.lock()` /
+/// `queues[to as usize].lock()`. An indexed acquisition is identified as
+/// `name[_]`: every element of one collection shares a single conservative
+/// identity, so an `a[i] → a[j]` nesting still reads as a self-cycle.
 fn lock_name_before(line: &str, lock_at: usize) -> Option<String> {
     let b = line.as_bytes();
     let mut j = lock_at;
-    if j > 0 && b[j - 1] == b')' {
+    let mut indexed = false;
+    // Walk back over any run of balanced `(...)` / `[...]` groups between
+    // the identifier and `.lock()`.
+    while j > 0 && (b[j - 1] == b')' || b[j - 1] == b']') {
+        let (open, close) = if b[j - 1] == b')' { (b'(', b')') } else { (b'[', b']') };
+        if close == b']' {
+            indexed = true;
+        }
         let mut depth = 0;
         while j > 0 {
             j -= 1;
-            match b[j] {
-                b')' => depth += 1,
-                b'(' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        break;
-                    }
+            let c = b[j];
+            if c == close {
+                depth += 1;
+            } else if c == open {
+                depth -= 1;
+                if depth == 0 {
+                    break;
                 }
-                _ => {}
             }
         }
     }
@@ -444,7 +456,8 @@ fn lock_name_before(line: &str, lock_at: usize) -> Option<String> {
     if start == end {
         return None;
     }
-    Some(line[start..end].to_string())
+    let name = &line[start..end];
+    Some(if indexed { format!("{name}[_]") } else { name.to_string() })
 }
 
 /// Strongly connected components (size ≥ 2) of the lock-name graph.
@@ -1039,6 +1052,34 @@ mod tests {
         let v = l6(&[("net", src)]);
         assert_eq!(v.len(), 1);
         assert!(v[0].msg.contains("self-deadlock"), "{}", v[0].msg);
+    }
+
+    #[test]
+    fn l6_indexed_locks_share_one_identity() {
+        // Two elements of one collection: `lanes[a]` then `lanes[b]` is a
+        // self-cycle on the collection's conservative identity `lanes[_]`.
+        let src = "fn f() {\n  let g = self.lanes[a].lock();\n  self.lanes[b].lock().push(x);\n}\n";
+        let v = l6(&[("shard", src)]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("lanes[_]"), "{}", v[0].msg);
+        // Indexed vs plain field locks still order cleanly.
+        let ordered =
+            "fn f() {\n  let g = self.routes.lock();\n  let h = queues[to as usize].lock();\n}\n\
+                       fn g() {\n  let g = self.routes.lock();\n  let h = queues[i].lock();\n}\n";
+        assert!(l6(&[("net", ordered)]).is_empty());
+        // And participate in cross-function cycles under one name.
+        let abba = "fn f() {\n  let g = self.routes.lock();\n  let h = queues[i].lock();\n}\n\
+                    fn g() {\n  let h = queues[j].lock();\n  let g = self.routes.lock();\n}\n";
+        let v = l6(&[("net", abba)]);
+        assert_eq!(v.iter().filter(|v| v.rule == "L6").count(), 2, "{v:?}");
+    }
+
+    #[test]
+    fn l6_runs_in_shard_scope() {
+        let src = "fn f() {\n  let g = self.routes.lock();\n  let h = self.peers.lock();\n}\n\
+                   fn g() {\n  let h = self.peers.lock();\n  let g = self.routes.lock();\n}\n";
+        let v = l6(&[("shard", src)]);
+        assert_eq!(v.iter().filter(|v| v.rule == "L6").count(), 2, "{v:?}");
     }
 
     #[test]

@@ -15,6 +15,7 @@ use nbr_cluster::{Cluster, ClusterConfig, StorageMode};
 use nbr_net::{NetClient, NodeServer, ServeConfig};
 use nbr_obs::{analyze, EngineProbe, TraceEvent};
 use nbr_petri::{CostProfile, ModelConfig, ReplicationModel};
+use nbr_shard::{ShardServeConfig, ShardServer};
 use nbr_sim::{run, CostModel, GeoMatrix, SimConfig, SimResult};
 use nbr_storage::KvStore;
 use nbr_types::{ClientId, Protocol, TimeDelta};
@@ -471,6 +472,10 @@ fn cmd_serve(args: &Args) {
     if let Some(dir) = args.values.get("wal") {
         cluster_cfg.storage = StorageMode::Wal(dir.into());
     }
+    let groups: u32 = args.get("groups", 1u32);
+    if groups > 1 {
+        return serve_sharded(args, groups, members, node_id, bind, metrics_bind, cluster_cfg);
+    }
     // --trace FILE: buffer probe events and flush the cumulative JSONL
     // periodically, so a kill -9 (the net smoke's crash tier) still leaves
     // a usable trace behind.
@@ -534,6 +539,89 @@ fn cmd_serve(args: &Args) {
     }
 }
 
+/// `serve --groups N` (N > 1): host this process's replica of each of `N`
+/// independent Raft groups, all multiplexed over one set of per-peer links
+/// (wire protocol v4). Per-group seeds, WAL subdirectories and metric
+/// labels are derived inside `nbr-shard`.
+fn serve_sharded(
+    args: &Args,
+    groups: u32,
+    members: Vec<(u32, SocketAddr)>,
+    node_id: u32,
+    bind: SocketAddr,
+    metrics_bind: Option<SocketAddr>,
+    mut cluster_cfg: ClusterConfig,
+) {
+    // With --trace, group 0 records into the caller's shared buffer and the
+    // server gives every other group its own; `take_namespaced_events`
+    // drains them all with group-namespaced node ids, so one JSONL file
+    // carries the whole process.
+    let trace_path = args.values.get("trace").cloned();
+    if trace_path.is_some() {
+        let (p, _group0) = EngineProbe::shared();
+        cluster_cfg.probe = p;
+    }
+    let cfg = ShardServeConfig {
+        cluster_id: args.get("cluster-id", 1u64),
+        node_id,
+        bind,
+        peers: members.iter().filter(|&&(id, _)| id != node_id).copied().collect(),
+        groups,
+        cluster: cluster_cfg,
+        metrics_bind,
+        link_delay: Duration::from_micros(args.get("rtt-ms", 0u64) * 500),
+        peer_lanes: args.get("lanes", 1usize),
+        link_loss_pct: args.get("loss-pct", 0.0f64),
+        faults: None,
+    };
+    let server: ShardServer<KvStore> = ShardServer::spawn(cfg).unwrap_or_else(|e| {
+        eprintln!("serve: {e}");
+        std::process::exit(1);
+    });
+    if let Some(path) = &trace_path {
+        println!("tracing probe events of all {groups} groups to {path} (flushed every 1s)");
+    }
+    println!(
+        "node {node_id}/{} serving {groups} groups on {}{}",
+        members.len(),
+        server.transport_addr().map_or_else(|| bind.to_string(), |a| a.to_string()),
+        server
+            .metrics_addr()
+            .map_or_else(String::new, |a| format!(", metrics on http://{a}/metrics"))
+    );
+    let quiet = args.has("quiet");
+    let mut trace_events: Vec<TraceEvent> = Vec::new();
+    loop {
+        std::thread::sleep(Duration::from_secs(1));
+        if let Some(path) = &trace_path {
+            // Same write-then-rename contract as the unsharded path:
+            // collectors read the cumulative file mid-run without ever
+            // seeing a torn flush.
+            trace_events.extend(server.take_namespaced_events());
+            trace_events.sort_by_key(|e| e.at);
+            let tmp = format!("{path}.tmp");
+            if std::fs::write(&tmp, nbr_obs::trace::to_jsonl(&trace_events)).is_ok() {
+                let _ = std::fs::rename(&tmp, path);
+            }
+        }
+        if !quiet {
+            let leading: Vec<u32> = (0..groups)
+                .filter(|&g| {
+                    let s = server.group(g).status(0);
+                    s.alive && s.is_leader
+                })
+                .collect();
+            let commit: u64 = (0..groups).map(|g| server.group(g).status(0).commit).sum();
+            let applied: u64 = (0..groups).map(|g| server.group(g).status(0).applied).sum();
+            println!(
+                "node {node_id} leads {}/{groups} groups {leading:?} \
+                 commit(sum)={commit} applied(sum)={applied}",
+                leading.len()
+            );
+        }
+    }
+}
+
 /// Aggregated result of one closed-loop client drive.
 struct NetBenchRun {
     ops: u64,
@@ -561,13 +649,16 @@ impl NetBenchRun {
 }
 
 /// Drive `clients` closed-loop socket clients against `members` for
-/// `seconds`.
+/// `seconds`. With `groups > 1` the client pool is split round-robin across
+/// the groups (thread `t` drives group `t % groups`), with globally unique
+/// client ids — response routing over the shared links is by `ClientId`.
 fn drive_net_clients(
     cluster_id: u64,
     members: &[(u32, SocketAddr)],
     clients: usize,
     seconds: u64,
     payload: usize,
+    groups: u32,
 ) -> NetBenchRun {
     let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
     let started = std::time::Instant::now();
@@ -576,9 +667,12 @@ fn drive_net_clients(
         let members = members.to_vec();
         let stop = std::sync::Arc::clone(&stop);
         handles.push(std::thread::spawn(move || {
-            let mut client = NetClient::new(
+            let group = t as u32 % groups;
+            let mut client = NetClient::new_in_group(
                 cluster_id,
-                ClientId(1_000 + t as u64),
+                groups,
+                group,
+                ClientId(1_000 + u64::from(group) * 10_000 + t as u64),
                 members,
                 TimeDelta::from_millis(300),
             );
@@ -714,7 +808,7 @@ fn bench_net_once(b: BenchNet, window: usize, trace_dir: Option<&std::path::Path
         std::thread::sleep(Duration::from_millis(10));
     }
 
-    let run = drive_net_clients(CLUSTER_ID, &members, b.clients, b.seconds, b.payload);
+    let run = drive_net_clients(CLUSTER_ID, &members, b.clients, b.seconds, b.payload, 1);
     // Dropping the servers stops the replica loops, so the probe buffers
     // are quiescent (and hold the tail Applied events) when we flush them.
     drop(servers);
@@ -733,6 +827,66 @@ fn bench_net_once(b: BenchNet, window: usize, trace_dir: Option<&std::path::Path
         }
     }
     run
+}
+
+/// Self-hosted sharded bench: `b.replicas` `ShardServer`s over loopback
+/// TCP, each hosting one replica of every group, traffic multiplexed over
+/// shared per-peer links. The client pool is split across groups inside
+/// `drive_net_clients`.
+fn bench_net_sharded(b: BenchNet, window: usize, groups: u32) -> NetBenchRun {
+    const CLUSTER_ID: u64 = 1;
+    let bound: Vec<(std::net::TcpListener, SocketAddr)> = (0..b.replicas)
+        .map(|_| {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+            let a = l.local_addr().expect("local addr");
+            (l, a)
+        })
+        .collect();
+    let members: Vec<(u32, SocketAddr)> =
+        bound.iter().enumerate().map(|(i, &(_, a))| (i as u32, a)).collect();
+    let servers: Vec<ShardServer<KvStore>> = bound
+        .into_iter()
+        .enumerate()
+        .map(|(i, (listener, _))| {
+            let cfg = ShardServeConfig {
+                cluster_id: CLUSTER_ID,
+                node_id: i as u32,
+                bind: "127.0.0.1:0".parse().expect("addr"),
+                peers: members.iter().filter(|&&(id, _)| id != i as u32).copied().collect(),
+                groups,
+                cluster: ClusterConfig {
+                    protocol: b.protocol.config(window),
+                    // Staggered per-node seeds keep cold-start elections one
+                    // round long; per-group decorrelation is nbr-shard's job.
+                    seed: 42 ^ ((i as u64) << 8),
+                    ..ClusterConfig::default()
+                },
+                metrics_bind: None,
+                link_delay: Duration::from_micros(b.rtt_ms * 500),
+                peer_lanes: b.lanes,
+                link_loss_pct: b.loss_pct,
+                faults: None,
+            };
+            ShardServer::spawn_on(cfg, listener).expect("spawn shard server")
+        })
+        .collect();
+    // Every group must elect before the drive starts, or the early seconds
+    // measure elections rather than steady-state replication.
+    let deadline = std::time::Instant::now() + Duration::from_secs(15);
+    for g in 0..groups {
+        loop {
+            let elected = servers.iter().any(|s| {
+                let st = s.group(g).status(0);
+                st.alive && st.is_leader
+            });
+            if elected {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "group {g} elected no leader");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    drive_net_clients(CLUSTER_ID, &members, b.clients, b.seconds, b.payload, groups)
 }
 
 fn cmd_bench_net(args: &Args) {
@@ -759,14 +913,31 @@ fn cmd_bench_net(args: &Args) {
         // External mode: bench an already-running cluster (serve processes).
         let members = parse_members(list);
         let cluster_id = args.get("cluster-id", 1u64);
+        let groups = args.get("groups", 1u32);
         println!(
-            "bench-net: external cluster {list}, {clients} clients, {seconds}s, {payload}B payloads"
+            "bench-net: external cluster {list}, {clients} clients, {seconds}s, {payload}B \
+             payloads, {groups} groups"
         );
-        let mut run = drive_net_clients(cluster_id, &members, clients, seconds, payload);
+        let mut run = drive_net_clients(cluster_id, &members, clients, seconds, payload, groups);
         print_bench_net_run(&mut run);
         return;
     }
     let trace_dir = args.values.get("trace-dir").map(std::path::PathBuf::from);
+    let groups: u32 = args.get("groups", 1u32);
+    if let Some(list) = args.values.get("scale-groups") {
+        let counts: Vec<u32> = list
+            .split(',')
+            .map(|s| {
+                s.trim().parse().unwrap_or_else(|_| {
+                    eprintln!("invalid --scale-groups entry: {s}");
+                    std::process::exit(2);
+                })
+            })
+            .collect();
+        let b = BenchNet { replicas, clients, seconds, payload, protocol, rtt_ms, lanes, loss_pct };
+        bench_net_scale(args, b, window, &counts);
+        return;
+    }
     if args.has("compare") {
         println!(
             "bench-net --compare: {replicas} replicas over loopback TCP, {clients} clients, \
@@ -817,11 +988,19 @@ fn cmd_bench_net(args: &Args) {
     }
     println!(
         "bench-net: {replicas} replicas over loopback TCP, {clients} clients, {seconds}s, \
-         {payload}B payloads, window={window}, {rtt_ms}ms emulated RTT, {lanes} lanes/peer, \
-         {loss_pct}% loss"
+         {payload}B payloads, window={window}, {groups} groups, {rtt_ms}ms emulated RTT, \
+         {lanes} lanes/peer, {loss_pct}% loss"
     );
     let b = BenchNet { replicas, clients, seconds, payload, protocol, rtt_ms, lanes, loss_pct };
-    let mut run = bench_net_once(b, window, trace_dir.as_deref());
+    let mut run = if groups > 1 {
+        if trace_dir.is_some() {
+            eprintln!("bench-net: --trace-dir is only supported with --groups 1");
+            std::process::exit(2);
+        }
+        bench_net_sharded(b, window, groups)
+    } else {
+        bench_net_once(b, window, trace_dir.as_deref())
+    };
     print_bench_net_run(&mut run);
     if let Some(path) = args.values.get("json") {
         let json = bench_net_json(&b, &mut [(window, &mut run)]);
@@ -856,6 +1035,141 @@ fn bench_net_json(b: &BenchNet, runs: &mut [(usize, &mut NetBenchRun)]) -> Strin
          \"loss_pct\": {},\n  \"windows\": [{rows}\n  ]\n}}\n",
         b.replicas, b.clients, b.seconds, b.payload, b.rtt_ms, b.lanes, b.loss_pct
     )
+}
+
+/// `bench-net --scale-groups 1,2,4,8`: the sharding scaling sweep. Each
+/// count is one fresh self-hosted run at the same *per-group* window, and
+/// the 1-group row runs on the plain unsharded server stack, making it an
+/// exact baseline rather than a single-group mux.
+///
+/// With `--clients-per-group K` this is a weak-scaling sweep — the device
+/// fleet grows with the shard count (K closed-loop clients per group, the
+/// shape a per-device IoT workload actually has) and aggregate throughput
+/// should grow near-linearly while per-op commit latency stays flat. Each
+/// closed-loop client is latency-bound at roughly one op per commit RTT,
+/// so a single group cannot serve a growing fleet any faster — added
+/// groups add exactly the parallel commit capacity the fleet needs.
+/// Without it, `--clients` is a fixed total split across the groups.
+fn bench_net_scale(args: &Args, b: BenchNet, window: usize, counts: &[u32]) {
+    let per_group: Option<usize> = args.values.get("clients-per-group").map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for --clients-per-group: {v}");
+            std::process::exit(2);
+        })
+    });
+    let load = match per_group {
+        Some(k) => format!("{k} closed-loop clients per group (weak scaling)"),
+        None => format!("{} clients total", b.clients),
+    };
+    println!(
+        "bench-net --scale-groups: {} replicas over loopback TCP, {load}, {}s per run, \
+         {}B payloads, window={window} per group, {}ms emulated RTT, {} lanes/peer, {}% loss",
+        b.replicas, b.seconds, b.payload, b.rtt_ms, b.lanes, b.loss_pct
+    );
+    struct Row {
+        groups: u32,
+        clients: usize,
+        tput: f64,
+        ops: u64,
+        weak: u64,
+        p50: f64,
+        p99: f64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for &g in counts {
+        let clients = per_group.map_or(b.clients, |k| k * g as usize);
+        let bg = BenchNet { clients, ..b };
+        let mut run = if g <= 1 {
+            bench_net_once(bg, window, None)
+        } else {
+            bench_net_sharded(bg, window, g)
+        };
+        rows.push(Row {
+            groups: g,
+            clients,
+            tput: run.throughput(),
+            ops: run.ops,
+            weak: run.weak,
+            p50: run.commit_pctl_ms(0.50),
+            p99: run.commit_pctl_ms(0.99),
+        });
+    }
+    let base = rows.first().map_or(0.0, |r| r.tput).max(1e-9);
+    println!(
+        "{:>7} {:>8} {:>12} {:>10} {:>10} {:>9} {:>9} {:>8}",
+        "groups", "clients", "ops/s", "ops", "weak", "p50 ms", "p99 ms", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:>7} {:>8} {:>12.0} {:>10} {:>10} {:>9.1} {:>9.1} {:>7.2}x",
+            r.groups,
+            r.clients,
+            r.tput,
+            r.ops,
+            r.weak,
+            r.p50,
+            r.p99,
+            r.tput / base
+        );
+    }
+    if let Some(path) = args.values.get("json") {
+        let mut items = String::new();
+        for (i, r) in rows.iter().enumerate() {
+            if i > 0 {
+                items.push(',');
+            }
+            items.push_str(&format!(
+                "\n    {{\"groups\": {}, \"clients\": {}, \"ops_per_s\": {:.1}, \"ops\": {}, \
+                 \"weak_acked\": {}, \"commit_p50_ms\": {:.3}, \"commit_p99_ms\": {:.3}, \
+                 \"speedup_vs_1\": {:.3}}}",
+                r.groups,
+                r.clients,
+                r.tput,
+                r.ops,
+                r.weak,
+                r.p50,
+                r.p99,
+                r.tput / base
+            ));
+        }
+        let scaling = match per_group {
+            Some(k) => format!("\"scaling\": \"weak\",\n  \"clients_per_group\": {k}"),
+            None => format!("\"scaling\": \"fixed-total\",\n  \"clients_total\": {}", b.clients),
+        };
+        let json = format!(
+            "{{\n  \"bench\": \"bench-net-shard\",\n  \"replicas\": {},\n  {scaling},\n  \
+             \"seconds\": {},\n  \"payload_b\": {},\n  \"window\": {window},\n  \"rtt_ms\": {},\n  \
+             \"lanes\": {},\n  \"loss_pct\": {},\n  \"groups\": [{items}\n  ]\n}}\n",
+            b.replicas, b.seconds, b.payload, b.rtt_ms, b.lanes, b.loss_pct
+        );
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote machine-readable summary to {path}");
+    }
+    if let Some(path) = args.values.get("csv") {
+        let mut csv = String::from(
+            "groups,clients,ops_per_s,weak_acked,commit_p50_ms,commit_p99_ms,speedup\n",
+        );
+        for r in &rows {
+            csv.push_str(&format!(
+                "{},{},{:.1},{},{:.3},{:.3},{:.3}\n",
+                r.groups,
+                r.clients,
+                r.tput,
+                r.weak,
+                r.p50,
+                r.p99,
+                r.tput / base
+            ));
+        }
+        if let Err(e) = std::fs::write(path, csv) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote scaling figure CSV to {path}");
+    }
 }
 
 fn chaos_scratch(name: &str) -> std::path::PathBuf {
@@ -998,7 +1312,7 @@ fn print_bench_net_run(run: &mut NetBenchRun) {
 fn usage() -> ! {
     eprintln!(
         "nbraft-cli — Non-Blocking Raft reproduction CLI\n\n\
-         USAGE:\n  nbraft-cli sim   [--protocol P] [--clients N] [--replicas N] [--payload B]\n               [--dispatchers N] [--window W] [--duration-ms MS] [--seed S]\n               [--geo] [--cloud] [--cpu-scale F] [--trace FILE]\n  nbraft-cli petri [--clients N] [--dispatchers N] [--non-blocking] [--ratis]\n               [--horizon-ms MS] [--dot FILE]\n  nbraft-cli demo  [--protocol P] [--replicas N] [--clients N] [--seconds S]\n  nbraft-cli trace FILE            analyze a JSONL trace (entry lifecycles,\n               t_wait(F), window occupancy)\n  nbraft-cli trace --compare [--window W] [sim opts]   paired traced sims:\n               window=0 (stock Raft) vs window=W\n  nbraft-cli trace --critical-path PATH   cross-node span assembly: per-op\n               phase attribution (queue/link/window/weak/commit/apply) with\n               p50/p99; PATH = trace file, dir of per-node traces, or dir of\n               window-* run dirs (prints phase deltas between windows)\n  nbraft-cli serve --node-id N --peers host:port,host:port,...\n               [--bind ADDR] [--cluster-id ID] [--metrics ADDR] [--wal DIR]\n               [--protocol P] [--window W] [--rtt-ms MS] [--lanes N]\n               [--loss-pct F] [--trace FILE] [--quiet]   one replica, real TCP\n  nbraft-cli bench-net [--replicas N] [--clients N] [--seconds S] [--payload B]\n               [--window W] [--rtt-ms MS] [--lanes N] [--loss-pct F]\n               [--trace-dir DIR] [--json FILE]\n               [--compare | --peers host:port,...]\n               loopback-TCP throughput bench (or bench a running cluster)\n  nbraft-cli chaos list            the fault-scenario corpus\n  nbraft-cli chaos run   [--scenario NAME] [--backend sim|net|both] [--seed S]\n               [--smoke] [--out FILE.jsonl]   run scenarios, check invariants\n  nbraft-cli chaos sweep [--scenario NAME] [--seeds K] [--out FILE.jsonl]\n               deterministic sim seed sweep\n\n\
+         USAGE:\n  nbraft-cli sim   [--protocol P] [--clients N] [--replicas N] [--payload B]\n               [--dispatchers N] [--window W] [--duration-ms MS] [--seed S]\n               [--geo] [--cloud] [--cpu-scale F] [--trace FILE]\n  nbraft-cli petri [--clients N] [--dispatchers N] [--non-blocking] [--ratis]\n               [--horizon-ms MS] [--dot FILE]\n  nbraft-cli demo  [--protocol P] [--replicas N] [--clients N] [--seconds S]\n  nbraft-cli trace FILE            analyze a JSONL trace (entry lifecycles,\n               t_wait(F), window occupancy)\n  nbraft-cli trace --compare [--window W] [sim opts]   paired traced sims:\n               window=0 (stock Raft) vs window=W\n  nbraft-cli trace --critical-path PATH   cross-node span assembly: per-op\n               phase attribution (queue/link/window/weak/commit/apply) with\n               p50/p99; PATH = trace file, dir of per-node traces, or dir of\n               window-* run dirs (prints phase deltas between windows)\n  nbraft-cli serve --node-id N --peers host:port,host:port,...\n               [--bind ADDR] [--cluster-id ID] [--metrics ADDR] [--wal DIR]\n               [--protocol P] [--window W] [--groups N] [--rtt-ms MS]\n               [--lanes N] [--loss-pct F] [--trace FILE] [--quiet]\n               one replica (of every group with --groups N>1), real TCP\n  nbraft-cli bench-net [--replicas N] [--clients N] [--seconds S] [--payload B]\n               [--window W] [--groups N] [--rtt-ms MS] [--lanes N]\n               [--loss-pct F] [--trace-dir DIR] [--json FILE]\n               [--compare | --scale-groups 1,2,4,8 [--clients-per-group K]\n                [--csv FILE] | --peers host:port,...]\n               loopback-TCP throughput bench (or bench a running cluster);\n               --scale-groups sweeps sharding at a fixed per-group window\n               and reports speedup over the 1-group baseline\n               (--clients-per-group grows the fleet with the shard count)\n  nbraft-cli chaos list            the fault-scenario corpus\n  nbraft-cli chaos run   [--scenario NAME] [--backend sim|net|both] [--seed S]\n               [--smoke] [--out FILE.jsonl]   run scenarios, check invariants\n  nbraft-cli chaos sweep [--scenario NAME] [--seeds K] [--out FILE.jsonl]\n               deterministic sim seed sweep\n\n\
          protocols: raft nbraft craft nbcraft ecraft kraft vgraft"
     );
     std::process::exit(2)

@@ -15,4 +15,7 @@ pub use cluster::{
     compress_strong_resps, Cluster, ClusterClient, ClusterConfig, NodeStatus, StorageMode,
 };
 pub use network::{NetConfig, NetControl, NetHandle, NetStats, Network, Packet, CLIENT_ENDPOINT};
-pub use transport::{Transport, TransportInboxes, NODE_INBOX_DEPTH};
+pub use transport::{
+    GroupTransport, MuxBinding, MuxInboxes, MuxTransport, Transport, TransportInboxes,
+    NODE_INBOX_DEPTH,
+};

@@ -10,8 +10,8 @@
 use crate::clock;
 use nbr_types::wire::{decode_frame_capped, encode_frame};
 use nbr_types::{
-    ClientId, ClientResponse, Error, HelloMsg, NetFrame, NodeId, PeerKind, RequestId, Result, Time,
-    TimeDelta, NET_PROTOCOL_VERSION,
+    group_trace_id, ClientId, ClientResponse, Error, HelloMsg, NetFrame, NodeId, PeerKind,
+    RequestId, Result, Time, TimeDelta, NET_PROTOCOL_VERSION,
 };
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -32,6 +32,10 @@ struct Conn {
 pub struct NetClient {
     inner: nbr_core::RaftClient,
     cluster_id: u64,
+    /// Group count the target cluster runs with (handshake-validated) and
+    /// the group this client's requests address. `(1, 0)` unsharded.
+    groups: u32,
+    group: u32,
     addrs: HashMap<u32, SocketAddr>,
     conns: HashMap<u32, Conn>,
     resp_tx: Sender<ClientResponse>,
@@ -44,10 +48,26 @@ pub struct NetClient {
 }
 
 impl NetClient {
-    /// Create a client for the given membership. No connection is opened
-    /// until the first request is issued.
+    /// Create a client for the given (unsharded) membership. No connection
+    /// is opened until the first request is issued.
     pub fn new(
         cluster_id: u64,
+        id: ClientId,
+        nodes: Vec<(u32, SocketAddr)>,
+        request_timeout: TimeDelta,
+    ) -> NetClient {
+        Self::new_in_group(cluster_id, 1, 0, id, nodes, request_timeout)
+    }
+
+    /// Create a client addressing one group of a sharded (`--groups N`)
+    /// cluster. `groups` must match the cluster's count (the handshake
+    /// refuses mismatches); all requests go to `group`. Client ids must be
+    /// unique across *all* groups of a process — response routing is by
+    /// `ClientId` alone.
+    pub fn new_in_group(
+        cluster_id: u64,
+        groups: u32,
+        group: u32,
         id: ClientId,
         nodes: Vec<(u32, SocketAddr)>,
         request_timeout: TimeDelta,
@@ -58,6 +78,8 @@ impl NetClient {
         NetClient {
             inner: nbr_core::RaftClient::new(id, members, target, request_timeout),
             cluster_id,
+            groups,
+            group,
             addrs: nodes.into_iter().collect(),
             conns: HashMap::new(),
             resp_tx,
@@ -111,6 +133,7 @@ impl NetClient {
             let hello = NetFrame::Hello(HelloMsg {
                 version: NET_PROTOCOL_VERSION,
                 cluster_id: self.cluster_id,
+                groups: self.groups,
                 kind: PeerKind::Client(self.inner.id()),
             });
             let mut wstream =
@@ -148,9 +171,10 @@ impl NetClient {
             match a {
                 nbr_core::ClientAction::Send { to, request } => {
                     // Trace stamp at submission: derived from the op's
-                    // identity so retries and relays reuse the same id.
-                    let trace = nbr_types::trace_id(request.client, request.request);
-                    let frame = NetFrame::Request { to, trace, req: request };
+                    // identity (namespaced by group) so retries and relays
+                    // reuse the same id.
+                    let trace = group_trace_id(self.group, request.client, request.request);
+                    let frame = NetFrame::Request { group: self.group, to, trace, req: request };
                     let bytes = encode_frame(&frame);
                     let write = self.conn(to.0).and_then(|c| {
                         c.stream.write_all(&bytes).map_err(|e| Error::Cluster(format!("send: {e}")))

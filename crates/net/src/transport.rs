@@ -23,6 +23,16 @@
 //!   waits for inbox space, stops reading, and lets the kernel's TCP
 //!   window throttle the remote sender.
 //!
+//! **Sharded multiplexing** ([`TcpTransport::spawn_mux`]): one transport
+//! carries N Raft groups over the same per-peer links by tagging every
+//! `Peer`/`Request`/`Response` envelope with a group id (wire protocol
+//! v4; the `Hello` handshake pins the group count). Inbound routing then
+//! changes shape: blocking the shared reader on one group's full inbox
+//! would head-of-line-block every other group on that socket, so readers
+//! instead enqueue into bounded per-group overflow lanes and a pump
+//! thread drains them round-robin — a hot or stalled group sheds its own
+//! frames (with per-group accounting) while the rest keep flowing.
+//!
 //! Frames are the [`NetFrame`] envelope inside the standard
 //! `len || crc || body` wire framing, decoded with a transport-tier size
 //! cap ([`TcpConfig::max_frame`]) so a corrupt or hostile length prefix
@@ -35,15 +45,15 @@ use crate::clock;
 use bytes::Bytes;
 use nbr_cluster::network::{NetControl, Packet, CLIENT_ENDPOINT};
 use nbr_cluster::sync::Mutex;
-use nbr_cluster::transport::{Transport, TransportInboxes};
+use nbr_cluster::transport::{MuxInboxes, MuxTransport, Transport, TransportInboxes};
 use nbr_obs::{Counter, Gauge, ProbeEvent, Registry, SharedProbe, Snapshot};
 use nbr_types::wire::{decode_frame_shared, encode_frame_into};
 use nbr_types::{
-    trace_id, ClientId, HelloMsg, NetFrame, NodeId, PeerKind, Time, NET_PROTOCOL_VERSION,
+    group_trace_id, ClientId, HelloMsg, NetFrame, NodeId, PeerKind, Time, NET_PROTOCOL_VERSION,
 };
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
@@ -56,6 +66,11 @@ use std::time::{Duration, Instant};
 pub struct TcpConfig {
     /// Cluster instance id; connections from other clusters are refused.
     pub cluster_id: u64,
+    /// Number of Raft groups multiplexed over this transport's links.
+    /// Both sides of a connection must agree (validated in the `Hello`
+    /// handshake), and every frame's group id must be below this bound.
+    /// `1` — the default — is the unsharded wire-compatible baseline.
+    pub groups: u32,
     /// Node id of the (single) replica this process hosts.
     pub node_id: u32,
     /// `(node id, address)` of every *remote* peer.
@@ -112,6 +127,7 @@ impl Default for TcpConfig {
     fn default() -> Self {
         TcpConfig {
             cluster_id: 1,
+            groups: 1,
             node_id: 0,
             peers: Vec::new(),
             send_queue: 1024,
@@ -255,14 +271,57 @@ fn dials(local: u32, peer: u32) -> bool {
     local < peer
 }
 
+/// Bounded depth of each group's inbound overflow queue when multiplexing
+/// (`TcpConfig::groups > 1`). Matches [`NODE_INBOX_DEPTH`]: one full
+/// replica inbox worth of headroom per group before sheds start.
+const DEMUX_DEPTH: i64 = 4096;
+
+/// One group's inbound overflow lane (mux mode only). Socket readers
+/// enqueue here without blocking; the pump thread drains round-robin into
+/// the group's replica inboxes. A full lane *sheds* with accounting —
+/// Raft retries — so a stalled group saturates only its own lane while
+/// the shared readers keep serving every other group (fair share; no
+/// head-of-line blocking across groups).
+struct GroupLane {
+    queue: Mutex<VecDeque<(u32, Packet)>>,
+    depth: AtomicI64,
+    frames_in: Arc<Counter>,
+    shed: Arc<Counter>,
+}
+
+/// The per-group inbound lanes, indexed by (dense) group id.
+struct Demux {
+    lanes: Vec<GroupLane>,
+}
+
+impl Demux {
+    fn new(groups: u32, reg: &Registry) -> Demux {
+        let lanes = (0..groups)
+            .map(|g| GroupLane {
+                queue: Mutex::new(VecDeque::new()),
+                depth: AtomicI64::new(0),
+                frames_in: reg.counter(&format!("net_frames_in_group_{g}")),
+                shed: reg.counter(&format!("net_demux_shed_group_{g}")),
+            })
+            .collect();
+        Demux { lanes }
+    }
+}
+
 struct Shared {
     cfg: TcpConfig,
     stop: AtomicBool,
-    /// Inboxes of locally hosted replicas.
-    nodes: HashMap<u32, SyncSender<Packet>>,
-    /// Inbox for responses to in-process `ClusterClient`s (full-local mode);
-    /// over TCP, client responses are routed by `clients` instead.
-    client_inbox: Sender<Packet>,
+    /// Inboxes of locally hosted replicas, keyed by `(group, node)`.
+    /// Group 0 holds the whole map in unsharded mode.
+    nodes: HashMap<(u32, u32), SyncSender<Packet>>,
+    /// Per-group inbox for responses to in-process `ClusterClient`s
+    /// (full-local mode); over TCP, client responses are routed by
+    /// `clients` instead.
+    client_inboxes: HashMap<u32, Sender<Packet>>,
+    /// Per-group inbound overflow lanes; `None` in unsharded mode, where
+    /// readers deliver straight into replica inboxes with blocking
+    /// backpressure (the baseline hot path is untouched by sharding).
+    demux: Option<Demux>,
     clients: Mutex<HashMap<ClientId, ClientRoute>>,
     /// Writer queues of accepted duplex peer connections (lanes from one
     /// peer append in accept order; sends round-robin across them).
@@ -332,11 +391,39 @@ impl Shared {
         }
     }
 
-    /// Push a packet into a local replica inbox with *blocking*
-    /// backpressure: the caller (a socket reader) waits for space, which
-    /// stops it reading and lets TCP flow control throttle the sender.
-    fn deliver_local(&self, to: u32, packet: Packet) {
-        let Some(tx) = self.nodes.get(&to) else {
+    /// Deliver a packet to a locally hosted replica of `group`.
+    ///
+    /// Unsharded (no demux): *blocking* backpressure — the caller (a socket
+    /// reader) waits for inbox space, which stops it reading and lets TCP
+    /// flow control throttle the sender.
+    ///
+    /// Sharded (demux present): enqueue on the group's bounded overflow
+    /// lane and return immediately. The shared reader must never block on
+    /// one group's full inbox — that would head-of-line-block every other
+    /// group riding the same socket — so a full lane sheds the frame with
+    /// per-group accounting instead, and Raft's retry machinery repairs it.
+    fn deliver(&self, group: u32, to: u32, packet: Packet) {
+        let Some(demux) = &self.demux else {
+            self.deliver_local(group, to, packet);
+            return;
+        };
+        let Some(lane) = demux.lanes.get(group as usize) else {
+            self.stats.dropped_unroutable.inc();
+            return;
+        };
+        lane.frames_in.inc();
+        if lane.depth.load(Ordering::Relaxed) >= DEMUX_DEPTH {
+            lane.shed.inc();
+            return;
+        }
+        lane.depth.fetch_add(1, Ordering::Relaxed);
+        lane.queue.lock().push_back((to, packet));
+    }
+
+    /// The unsharded (and co-hosted-replica) delivery path: blocking
+    /// backpressure into the `(group, to)` inbox.
+    fn deliver_local(&self, group: u32, to: u32, packet: Packet) {
+        let Some(tx) = self.nodes.get(&(group, to)) else {
             self.stats.dropped_unroutable.inc();
             return;
         };
@@ -356,6 +443,53 @@ impl Shared {
                     return;
                 }
             }
+        }
+    }
+}
+
+/// The demux pump: drains each group's overflow lane round-robin into that
+/// group's replica inboxes. Strictly fair across groups — each round
+/// offers every group up to [`DEMUX_PUMP_BATCH`] deliveries, and a group
+/// whose inbox is full simply keeps its frames queued (pushed back at the
+/// front, order preserved) while the round moves on. Only this thread ever
+/// pops, so the push-back cannot reorder against other queued frames.
+fn demux_pump(sh: Arc<Shared>) {
+    /// Max deliveries per group per round: big enough to amortize the lock,
+    /// small enough that one busy group cannot monopolize a round.
+    const DEMUX_PUMP_BATCH: usize = 64;
+    let Some(demux) = &sh.demux else { return };
+    while !sh.stopped() {
+        let mut progressed = false;
+        for (g, lane) in demux.lanes.iter().enumerate() {
+            'lane: for _ in 0..DEMUX_PUMP_BATCH {
+                let Some((to, packet)) = lane.queue.lock().pop_front() else {
+                    break 'lane;
+                };
+                let Some(tx) = sh.nodes.get(&(g as u32, to)) else {
+                    lane.depth.fetch_sub(1, Ordering::Relaxed);
+                    sh.stats.dropped_unroutable.inc();
+                    continue 'lane;
+                };
+                match tx.try_send(packet) {
+                    Ok(()) => {
+                        lane.depth.fetch_sub(1, Ordering::Relaxed);
+                        progressed = true;
+                    }
+                    Err(TrySendError::Full(back)) => {
+                        // The group's replica is the bottleneck; park the
+                        // frame back at the head and serve the next group.
+                        lane.queue.lock().push_front((to, back));
+                        break 'lane;
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        lane.depth.fetch_sub(1, Ordering::Relaxed);
+                        sh.stats.dropped_unroutable.inc();
+                    }
+                }
+            }
+        }
+        if !progressed {
+            clock::sleep(Duration::from_micros(200));
         }
     }
 }
@@ -406,6 +540,7 @@ pub struct TcpTransport {
     shared: Arc<Shared>,
     peers: HashMap<u32, PeerLinks>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    pump_thread: Option<std::thread::JoinHandle<()>>,
     local_addr: Option<SocketAddr>,
 }
 
@@ -413,14 +548,46 @@ impl TcpTransport {
     /// Start the transport on a pre-bound listener (bind first so callers
     /// can use port 0 for OS-assigned, collision-free test ports), serving
     /// the local inboxes in `inboxes` and dialing out to `cfg.peers`.
-    pub fn spawn(cfg: TcpConfig, listener: TcpListener, inboxes: TransportInboxes) -> TcpTransport {
+    /// Unsharded: the single group is group 0 and `cfg.groups` is forced
+    /// to 1 (wire-identical to the pre-sharding protocol modulo version).
+    pub fn spawn(
+        mut cfg: TcpConfig,
+        listener: TcpListener,
+        inboxes: TransportInboxes,
+    ) -> TcpTransport {
+        cfg.groups = 1;
+        Self::spawn_mux(cfg, listener, MuxInboxes { groups: vec![(0, inboxes)] })
+    }
+
+    /// Start a multiplexing transport carrying `cfg.groups` Raft groups
+    /// over one set of per-peer links. `inboxes` must contain exactly one
+    /// entry per group with dense ids `0..cfg.groups`; both are
+    /// construction-time invariants of the sharded host, so violations
+    /// panic rather than limp.
+    pub fn spawn_mux(cfg: TcpConfig, listener: TcpListener, inboxes: MuxInboxes) -> TcpTransport {
+        assert_eq!(
+            cfg.groups as usize,
+            inboxes.groups.len(),
+            "TcpConfig::groups must match the number of MuxInboxes groups"
+        );
         let registry = Arc::new(Registry::new(format!("net{}", cfg.node_id)));
         let stats = Stats::new(&registry);
         let local_addr = listener.local_addr().ok();
         let epoch = cfg.trace_epoch.unwrap_or_else(clock::now);
+        let mut nodes = HashMap::new();
+        let mut client_inboxes = HashMap::new();
+        for (g, inb) in inboxes.groups {
+            assert!(g < cfg.groups, "MuxInboxes group ids must be dense 0..groups");
+            for (id, tx) in inb.nodes {
+                nodes.insert((g, id), tx);
+            }
+            client_inboxes.insert(g, inb.client);
+        }
+        let demux = (cfg.groups > 1).then(|| Demux::new(cfg.groups, &registry));
         let shared = Arc::new(Shared {
-            nodes: inboxes.nodes.into_iter().collect(),
-            client_inbox: inboxes.client,
+            nodes,
+            client_inboxes,
+            demux,
             clients: Mutex::new(HashMap::new()),
             peer_routes: Mutex::new(HashMap::new()),
             route_rr: AtomicU64::new(0),
@@ -465,7 +632,15 @@ impl TcpTransport {
             .spawn(move || accept_loop(sh, listener))
             .expect("spawn accept loop"); // check:allow(L1): transport bring-up; without the accept loop no peer can reach us, abort is correct
 
-        TcpTransport { shared, peers, accept_thread: Some(accept_thread), local_addr }
+        let pump_thread = shared.demux.is_some().then(|| {
+            let sh = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("nbr-net-demux-{}", shared.cfg.node_id))
+                .spawn(move || demux_pump(sh))
+                .expect("spawn demux pump") // check:allow(L1): transport bring-up; a sharded host without the pump delivers nothing, abort is correct
+        });
+
+        TcpTransport { shared, peers, accept_thread: Some(accept_thread), pump_thread, local_addr }
     }
 
     /// The address the accept loop is listening on.
@@ -479,16 +654,21 @@ impl TcpTransport {
     }
 }
 
-impl Transport for TcpTransport {
-    fn send(&self, _from: u32, to: u32, packet: Packet) {
+impl TcpTransport {
+    /// The group-addressed send path shared by [`Transport::send`] (always
+    /// group 0) and [`MuxTransport::send_group`]. Frames to remote peers
+    /// carry the group in their envelope and ride the *shared* per-peer
+    /// lanes — multiplexing is entirely an addressing concern; the sockets,
+    /// queues and WAN emulation know nothing about groups.
+    fn send_to_group(&self, group: u32, _from: u32, to: u32, packet: Packet) {
         if self.shared.stopped() {
             return;
         }
         let stats = &self.shared.stats;
         if to == CLIENT_ENDPOINT {
             // Responses: route to the TCP client session if one is
-            // registered, otherwise to the in-process client inbox (a
-            // ClusterClient of a full-local cluster on this transport).
+            // registered, otherwise to the group's in-process client inbox
+            // (a ClusterClient of a full-local cluster on this transport).
             let Packet::Response { client, resp } = packet else {
                 stats.proto_errors.inc();
                 return;
@@ -498,29 +678,34 @@ impl Transport for TcpTransport {
                 routes.get(&client).map(|r| r.tx.clone())
             };
             match routed {
-                Some(tx) => match tx.try_send(NetFrame::Response { client, resp }) {
+                Some(tx) => match tx.try_send(NetFrame::Response { group, client, resp }) {
                     Ok(()) => {}
                     Err(TrySendError::Full(_)) => stats.dropped_queue_full.inc(),
                     Err(TrySendError::Disconnected(_)) => stats.dropped_unroutable.inc(),
                 },
-                None => {
-                    let _ = self.shared.client_inbox.send(Packet::Response { client, resp });
-                }
+                None => match self.shared.client_inboxes.get(&group) {
+                    Some(inbox) => {
+                        let _ = inbox.send(Packet::Response { client, resp });
+                    }
+                    None => stats.dropped_unroutable.inc(),
+                },
             }
             return;
         }
-        if self.shared.nodes.contains_key(&to) {
-            // Self-send or co-hosted replica: skip the wire.
-            self.shared.deliver_local(to, packet);
+        if self.shared.nodes.contains_key(&(group, to)) {
+            // Self-send or co-hosted replica: skip the wire. `deliver` is
+            // non-blocking in mux mode, so one group's backlog never stalls
+            // another group's replica thread mid-send.
+            self.shared.deliver(group, to, packet);
             return;
         }
         let frame = match packet {
-            Packet::Peer { from, msg } => NetFrame::Peer { from, to: NodeId(to), msg },
+            Packet::Peer { from, msg } => NetFrame::Peer { group, from, to: NodeId(to), msg },
             Packet::Request(req) => {
                 // Relayed client op: re-derive the deterministic trace id so
                 // the stamp survives the in-process hop.
-                let trace = trace_id(req.client, req.request);
-                NetFrame::Request { to: NodeId(to), trace, req }
+                let trace = group_trace_id(group, req.client, req.request);
+                NetFrame::Request { group, to: NodeId(to), trace, req }
             }
             Packet::Response { .. } => {
                 // Replica-to-replica responses do not exist in the protocol.
@@ -573,11 +758,9 @@ impl Transport for TcpTransport {
         }
     }
 
-    fn control(&self) -> Option<Arc<NetControl>> {
-        None // real sockets: no fault injection dial
-    }
-
-    fn scrape(&self) -> Option<Snapshot> {
+    /// Shared scrape body for both trait impls: the registry snapshot plus
+    /// per-peer backlog, per-group demux depth, and fault-dial gauges.
+    fn scrape_snapshot(&self) -> Snapshot {
         let mut snap = self.shared.registry.snapshot();
         let me = self.shared.cfg.node_id;
         // Per-peer outbound backlog: dialed lanes plus accepted routes.
@@ -593,6 +776,17 @@ impl Transport for TcpTransport {
         for (peer, d) in depths {
             snap.gauges.insert(format!("net_send_queue_depth_peer_{peer}"), d);
         }
+        // Per-group inbound overflow depth (mux mode): the live fair-share
+        // signal — a persistently deep lane means that group's replica, not
+        // the shared links, is the bottleneck.
+        if let Some(demux) = &self.shared.demux {
+            for (g, lane) in demux.lanes.iter().enumerate() {
+                snap.gauges.insert(
+                    format!("net_demux_depth_group_{g}"),
+                    lane.depth.load(Ordering::Relaxed),
+                );
+            }
+        }
         // Per-directed-link fault dials (chaos harness): only the rows this
         // transport consults (`from == me`) — each process reports the
         // faults it is itself applying to its outbound batches.
@@ -605,7 +799,35 @@ impl Transport for TcpTransport {
                     .insert(format!("net_fault_delay_ns_{me}_{peer}"), f.delay.as_nanos() as i64);
             }
         }
-        Some(snap)
+        snap
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&self, from: u32, to: u32, packet: Packet) {
+        self.send_to_group(0, from, to, packet);
+    }
+
+    fn control(&self) -> Option<Arc<NetControl>> {
+        None // real sockets: no fault injection dial
+    }
+
+    fn scrape(&self) -> Option<Snapshot> {
+        Some(self.scrape_snapshot())
+    }
+}
+
+impl MuxTransport for TcpTransport {
+    fn send_group(&self, group: u32, from: u32, to: u32, packet: Packet) {
+        self.send_to_group(group, from, to, packet);
+    }
+
+    fn control(&self) -> Option<Arc<NetControl>> {
+        None // real sockets: no fault injection dial
+    }
+
+    fn scrape(&self) -> Option<Snapshot> {
+        Some(self.scrape_snapshot())
     }
 }
 
@@ -624,6 +846,9 @@ impl Drop for TcpTransport {
             }
         }
         if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.pump_thread.take() {
             let _ = t.join();
         }
     }
@@ -702,6 +927,7 @@ fn run_peer_writer(
     let hello = NetFrame::Hello(HelloMsg {
         version: NET_PROTOCOL_VERSION,
         cluster_id: sh.cfg.cluster_id,
+        groups: sh.cfg.groups,
         kind: PeerKind::Node(NodeId(sh.cfg.node_id)),
     });
     let mut wbuf = Vec::with_capacity(8 << 10);
@@ -855,6 +1081,7 @@ fn accepted_peer_writer(
     let hello = NetFrame::Hello(HelloMsg {
         version: NET_PROTOCOL_VERSION,
         cluster_id: sh.cfg.cluster_id,
+        groups: sh.cfg.groups,
         kind: PeerKind::Node(NodeId(sh.cfg.node_id)),
     });
     let mut wbuf = Vec::with_capacity(8 << 10);
@@ -1051,7 +1278,14 @@ fn handle_frame(
 ) -> bool {
     match (frame, &identity) {
         (NetFrame::Hello(h), ConnIdentity::Unknown) => {
-            if h.version != NET_PROTOCOL_VERSION || h.cluster_id != sh.cfg.cluster_id {
+            // Version, cluster and group-count must all agree: a v3 peer's
+            // Hello decodes cleanly (groups defaults to 1) and is refused
+            // here, and two v4 processes sharding differently would
+            // misroute every frame, so their counts must match exactly.
+            if h.version != NET_PROTOCOL_VERSION
+                || h.cluster_id != sh.cfg.cluster_id
+                || h.groups != sh.cfg.groups
+            {
                 sh.stats.handshake_rejects.inc();
                 return false;
             }
@@ -1122,37 +1356,58 @@ fn handle_frame(
             sh.stats.handshake_rejects.inc(); // traffic before Hello
             false
         }
-        (NetFrame::Peer { from, to, msg }, ConnIdentity::Node(peer)) => {
+        (NetFrame::Peer { group, from, to, msg }, ConnIdentity::Node(peer)) => {
             if from != *peer {
                 sh.stats.proto_errors.inc(); // spoofed peer id
                 return false;
             }
-            sh.deliver_local(to.0, Packet::Peer { from, msg });
+            if group >= sh.cfg.groups {
+                sh.stats.proto_errors.inc(); // group out of the agreed range
+                return false;
+            }
+            sh.deliver(group, to.0, Packet::Peer { from, msg });
             true
         }
         (NetFrame::Peer { .. }, ConnIdentity::Client(_)) => {
             sh.stats.proto_errors.inc(); // clients may not inject peer traffic
             false
         }
-        (NetFrame::Request { to, trace: _, req }, ConnIdentity::Client(c)) => {
+        (NetFrame::Request { group, to, trace: _, req }, ConnIdentity::Client(c)) => {
             if req.client != *c {
                 sh.stats.proto_errors.inc(); // spoofed client id
                 return false;
             }
-            sh.deliver_local(to.0, Packet::Request(req));
+            if group >= sh.cfg.groups {
+                sh.stats.proto_errors.inc(); // group out of the agreed range
+                return false;
+            }
+            sh.deliver(group, to.0, Packet::Request(req));
             true
         }
-        (NetFrame::Request { to, trace: _, req }, ConnIdentity::Node(_)) => {
+        (NetFrame::Request { group, to, trace: _, req }, ConnIdentity::Node(_)) => {
             // A relayed client request from a peer process (e.g. a
             // co-hosted client whose target moved): deliver; responses
             // will route via that process's client session, not ours.
-            sh.deliver_local(to.0, Packet::Request(req));
+            if group >= sh.cfg.groups {
+                sh.stats.proto_errors.inc();
+                return false;
+            }
+            sh.deliver(group, to.0, Packet::Request(req));
             true
         }
-        (NetFrame::Response { client, resp }, ConnIdentity::Node(_)) => {
-            // Response relayed between processes: hand to the local client
-            // inbox (in-process ClusterClient router).
-            let _ = sh.client_inbox.send(Packet::Response { client, resp });
+        (NetFrame::Response { group, client, resp }, ConnIdentity::Node(_)) => {
+            // Response relayed between processes: hand to the group's local
+            // client inbox (in-process ClusterClient router).
+            if group >= sh.cfg.groups {
+                sh.stats.proto_errors.inc();
+                return false;
+            }
+            match sh.client_inboxes.get(&group) {
+                Some(inbox) => {
+                    let _ = inbox.send(Packet::Response { client, resp });
+                }
+                None => sh.stats.dropped_unroutable.inc(),
+            }
             true
         }
         (NetFrame::Response { .. }, ConnIdentity::Client(_)) => {

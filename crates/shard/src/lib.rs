@@ -1,0 +1,430 @@
+//! # nbr-shard — multi-group NB-Raft sharding for million-device fleets
+//!
+//! A single NB-Raft group serializes every operation through one leader;
+//! past the point where the leader's CPU or its outbound links saturate,
+//! adding devices only adds queueing. The paper's target — sustained
+//! ingestion from very large IoT fleets — wants the classic fix: partition
+//! the device space over **N independent Raft groups** and run all of them
+//! in every server process, so aggregate throughput scales with the group
+//! count while each device's stream still lands on exactly one totally
+//! ordered log.
+//!
+//! Two hosts are provided:
+//!
+//! * [`ShardedCluster`] — the in-process harness analogue of
+//!   [`nbr_cluster::Cluster`]: N groups, each a full `n`-replica cluster on
+//!   its own private in-process router. Groups are trivially independent;
+//!   this is the deterministic-test and experimentation surface.
+//! * [`ShardServer`] — the deployment shape behind `nbraft-cli serve
+//!   --groups N`: one process hosting **one replica of every group**, all
+//!   groups multiplexed over a *single* [`nbr_net::TcpTransport`] (one
+//!   socket set per peer, frames tagged with a group id — wire protocol
+//!   v4). The per-group replica loop is the unmodified `nbr-cluster` one;
+//!   sharding lives entirely in addressing.
+//!
+//! ## Partitioning rule
+//!
+//! Devices are assigned to groups by [`shard_of`] (re-exported from
+//! `nbr-workload`): a stable hash of the device id modulo the group count.
+//! The assignment is a pure function of `(device, groups)` — restart-stable,
+//! uniform to within a few percent on dense fleets, and deliberately *not*
+//! stable under group-count changes (resharding is a deployment event, not
+//! a runtime one; the group count is handshake-checked on every
+//! connection).
+//!
+//! ## Decorrelation
+//!
+//! Each group decorrelates its RNG seed ([`group_seed`]) so election
+//! timeouts don't fire in lockstep across groups, and (under
+//! [`StorageMode::Wal`]) keeps its WAL in a `group-{g}/` subdirectory so
+//! logs never collide. Group 0 of a single-group host keeps the base seed,
+//! directory layout, metric labels and trace ids — the unsharded baseline
+//! is bit-identical.
+
+use nbr_cluster::{
+    Cluster, ClusterClient, ClusterConfig, GroupTransport, MuxBinding, MuxInboxes, MuxTransport,
+    StorageMode,
+};
+use nbr_net::{MetricsServer, TcpConfig, TcpTransport};
+use nbr_obs::{namespace_events, EngineProbe, Registry, SharedProbe, TraceEvent};
+use nbr_storage::StateMachine;
+use nbr_types::{Error, Result, MAX_GROUPS};
+pub use nbr_workload::shard_of;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Decorrelated RNG seed for `group`: the base seed for group 0 (so a
+/// single-group host matches the unsharded baseline exactly), a
+/// golden-ratio-mixed variant for every other group so election jitter and
+/// retry phases don't align across groups sharing one process.
+pub fn group_seed(base: u64, group: u32) -> u64 {
+    base ^ u64::from(group).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17)
+}
+
+/// Derive group `g`'s replica configuration from the base one: decorrelated
+/// seed, per-group WAL subdirectory, shared trace epoch. The probe is left
+/// for the caller ([`ShardServer`] installs per-group buffers; the
+/// in-process harness keeps whatever the base carries).
+fn group_config(base: &ClusterConfig, group: u32, groups: u32) -> ClusterConfig {
+    let mut cfg = base.clone();
+    cfg.seed = group_seed(base.seed, group);
+    if groups > 1 {
+        if let StorageMode::Wal(dir) = &base.storage {
+            cfg.storage = StorageMode::Wal(dir.join(format!("group-{group}")));
+        }
+    }
+    cfg
+}
+
+/// Relabel one group's metric snapshot into the merged namespace:
+/// `g{group}/{node}`. Group 0 keeps its plain label so single-group scrape
+/// output is byte-identical to the unsharded host's.
+fn relabel(group: u32, mut snap: nbr_obs::Snapshot) -> nbr_obs::Snapshot {
+    if group > 0 {
+        snap.label = format!("g{group}/{}", snap.label);
+    }
+    snap
+}
+
+// ---------------------------------------------------------------------------
+// In-process harness
+// ---------------------------------------------------------------------------
+
+/// N independent NB-Raft groups, each a full `n`-replica in-process cluster
+/// on its own private router. The harness-side analogue of a sharded
+/// deployment: groups share nothing but the process.
+pub struct ShardedCluster<M: StateMachine + Send + 'static> {
+    groups: Vec<Cluster<M>>,
+}
+
+impl<M: StateMachine + Send + Default + 'static> ShardedCluster<M> {
+    /// Spawn `groups` independent `n`-replica clusters. Chaos dials
+    /// (`clock_skew`, `wal_stall`) are `Arc`s inside the config and remain
+    /// shared across groups — a skewed clock skews every group's replica of
+    /// that id, mirroring one slow machine hosting all groups.
+    pub fn spawn(groups: u32, n: usize, cfg: ClusterConfig) -> ShardedCluster<M> {
+        assert!((1..=MAX_GROUPS).contains(&groups), "group count {groups} out of range");
+        let groups =
+            (0..groups).map(|g| Cluster::spawn(n, group_config(&cfg, g, groups))).collect();
+        ShardedCluster { groups }
+    }
+
+    /// Number of groups.
+    pub fn groups(&self) -> u32 {
+        self.groups.len() as u32
+    }
+
+    /// The cluster running group `g`.
+    pub fn group(&self, g: u32) -> &Cluster<M> {
+        &self.groups[g as usize]
+    }
+
+    /// The group `device`'s stream belongs to.
+    pub fn group_for_device(&self, device: u64) -> u32 {
+        shard_of(device, self.groups())
+    }
+
+    /// A client bound to the group owning `device`.
+    pub fn client_for_device(&self, device: u64) -> ClusterClient {
+        self.group(self.group_for_device(device)).client()
+    }
+
+    /// Wait until every group has an elected leader; returns each group's
+    /// leader (local replica position), or `None` on timeout.
+    pub fn wait_for_leaders(&self, timeout: Duration) -> Option<Vec<usize>> {
+        let deadline = Instant::now() + timeout;
+        self.groups
+            .iter()
+            .map(|c| c.wait_for_leader(deadline.saturating_duration_since(Instant::now())))
+            .collect()
+    }
+
+    /// Merged Prometheus exposition over every group: group 0's series keep
+    /// their unsharded labels, group `g`'s replicas are labelled
+    /// `g{g}/{node}`.
+    pub fn prometheus(&self) -> String {
+        let mut snaps = Vec::new();
+        for (g, c) in self.groups.iter().enumerate() {
+            for i in 0..c.local_len() {
+                snaps.push(relabel(g as u32, c.registry(i).snapshot()));
+            }
+            if let Some(s) = c.transport().scrape() {
+                snaps.push(relabel(g as u32, s));
+            }
+        }
+        nbr_obs::export::prometheus(&snaps)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded server process
+// ---------------------------------------------------------------------------
+
+/// Configuration for one sharded server process: the [`nbr_net::ServeConfig`]
+/// shape plus a group count. The same `node_id`/`peers` membership is used
+/// by every group — a process hosts replica `node_id` of *all* groups.
+#[derive(Debug, Clone)]
+pub struct ShardServeConfig {
+    /// Cluster instance id (handshake-checked on every connection).
+    pub cluster_id: u64,
+    /// This process's node id within every group's membership.
+    pub node_id: u32,
+    /// Address to listen on for peer and client connections (all groups).
+    pub bind: SocketAddr,
+    /// `(node id, address)` of every other member process.
+    pub peers: Vec<(u32, SocketAddr)>,
+    /// Raft groups hosted by the deployment (handshake-checked; `1` is the
+    /// plain unsharded server).
+    pub groups: u32,
+    /// Base replica configuration; per-group seeds/WAL dirs are derived.
+    pub cluster: ClusterConfig,
+    /// Bind address of the HTTP metrics endpoint, if wanted.
+    pub metrics_bind: Option<SocketAddr>,
+    /// Artificial one-hop peer-link delay (WAN emulation).
+    pub link_delay: Duration,
+    /// Parallel TCP connections per peer (shared by all groups).
+    pub peer_lanes: usize,
+    /// Percentage of peer frames dropped (loss emulation).
+    pub link_loss_pct: f64,
+    /// Per-link runtime-mutable fault table (chaos harness).
+    pub faults: Option<Arc<nbr_net::LinkFaults>>,
+}
+
+/// One sharded server process: a replica of every group, all multiplexed
+/// over a single TCP transport.
+///
+/// Field order is drop order: the group clusters stop their replica loops
+/// first (their late sends fall into the mux's unroutable accounting), then
+/// the mux transport joins its socket threads.
+pub struct ShardServer<M: StateMachine + Send + Default + 'static> {
+    groups: Vec<Cluster<M>>,
+    /// Per-group trace buffers when the base config traces (group 0 is the
+    /// caller's own probe); empty when tracing is off.
+    probes: Vec<SharedProbe>,
+    mux: Arc<TcpTransport>,
+    binding: Arc<MuxBinding>,
+    transport_addr: Option<SocketAddr>,
+    metrics: Option<MetricsServer>,
+}
+
+impl<M: StateMachine + Send + Default + 'static> ShardServer<M> {
+    /// Bind `cfg.bind` and start serving all groups.
+    pub fn spawn(cfg: ShardServeConfig) -> Result<ShardServer<M>> {
+        let listener = TcpListener::bind(cfg.bind)
+            .map_err(|e| Error::Cluster(format!("bind {}: {e}", cfg.bind)))?;
+        Self::spawn_on(cfg, listener)
+    }
+
+    /// Start serving on a pre-bound listener (tests bind port 0 first and
+    /// read back the OS-assigned address, avoiding port races).
+    pub fn spawn_on(cfg: ShardServeConfig, listener: TcpListener) -> Result<ShardServer<M>> {
+        if cfg.groups == 0 || cfg.groups > MAX_GROUPS {
+            return Err(Error::Cluster(format!(
+                "group count {} out of range 1..={MAX_GROUPS}",
+                cfg.groups
+            )));
+        }
+        let max_id = cfg.peers.iter().map(|&(n, _)| n).chain([cfg.node_id]).max().unwrap_or(0);
+        let n = max_id as usize + 1;
+        if cfg.peers.len() != n - 1 {
+            return Err(Error::Cluster(format!(
+                "membership has node ids up to {max_id} but only {} peers given",
+                cfg.peers.len()
+            )));
+        }
+        // One trace clock for the whole process: every group's probe and the
+        // transport's Ping/Pong clock samples share an epoch so merged,
+        // group-namespaced traces still align across nodes.
+        let mut base = cfg.cluster.clone();
+        let epoch = *base.trace_epoch.get_or_insert_with(Instant::now);
+        let base_probe = match &base.probe {
+            EngineProbe::Shared(p) => Some(p.clone()),
+            EngineProbe::Off => None,
+        };
+
+        // Spawn every group against a late-binding handle to the (not yet
+        // constructed) mux, collecting each group's inboxes as we go.
+        let binding = MuxBinding::shared();
+        let mut groups: Vec<Cluster<M>> = Vec::with_capacity(cfg.groups as usize);
+        let mut mux_groups = Vec::with_capacity(cfg.groups as usize);
+        let mut probes = Vec::new();
+        for g in 0..cfg.groups {
+            let mut cg = group_config(&base, g, cfg.groups);
+            if let Some(p0) = &base_probe {
+                // Each group gets its own buffer — events from different
+                // groups reuse replica ids, and must be namespaced
+                // (`take_namespaced_events`) before they can share a stream.
+                let p = if g == 0 { p0.clone() } else { SharedProbe::new() };
+                cg.probe = EngineProbe::Shared(p.clone());
+                probes.push(p);
+            }
+            let b = Arc::clone(&binding);
+            let mut slot = None;
+            let cl: Cluster<M> = Cluster::spawn_with_transport(n, &[cfg.node_id], cg, |inboxes| {
+                slot = Some(inboxes);
+                Arc::new(GroupTransport::new(g, b))
+            });
+            mux_groups.push((g, slot.expect("builder runs synchronously")));
+            groups.push(cl);
+        }
+
+        let tcp = TcpConfig {
+            cluster_id: cfg.cluster_id,
+            node_id: cfg.node_id,
+            peers: cfg.peers.clone(),
+            groups: cfg.groups,
+            link_delay: cfg.link_delay,
+            peer_lanes: cfg.peer_lanes,
+            link_loss_pct: cfg.link_loss_pct,
+            faults: cfg.faults.clone(),
+            // Transport clock samples are per-node, not per-group: they stay
+            // in the unnamespaced (group 0) stream.
+            probe: base_probe,
+            trace_epoch: Some(epoch),
+            ..TcpConfig::default()
+        };
+        let mux =
+            Arc::new(TcpTransport::spawn_mux(tcp, listener, MuxInboxes { groups: mux_groups }));
+        let transport_addr = mux.local_addr();
+        binding.bind(Arc::clone(&mux) as Arc<dyn MuxTransport>);
+
+        let metrics = match cfg.metrics_bind {
+            Some(addr) => Some(MetricsServer::spawn(addr, shard_scraper(&groups, &mux))?),
+            None => None,
+        };
+        Ok(ShardServer { groups, probes, mux, binding, transport_addr, metrics })
+    }
+
+    /// Number of groups hosted.
+    pub fn groups(&self) -> u32 {
+        self.groups.len() as u32
+    }
+
+    /// The cluster handle of group `g` (one local replica at position 0).
+    pub fn group(&self, g: u32) -> &Cluster<M> {
+        &self.groups[g as usize]
+    }
+
+    /// The group `device`'s stream belongs to.
+    pub fn group_for_device(&self, device: u64) -> u32 {
+        shard_of(device, self.groups())
+    }
+
+    /// Address the shared transport accepted connections on.
+    pub fn transport_addr(&self) -> Option<SocketAddr> {
+        self.transport_addr
+    }
+
+    /// Address the metrics endpoint is serving on, if enabled.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics.as_ref().and_then(MetricsServer::local_addr)
+    }
+
+    /// Packets dropped in the spawn window before the mux was bound (should
+    /// be zero or tiny; Raft retries cover them).
+    pub fn pre_bind_drops(&self) -> u64 {
+        self.binding.pre_bind_drops()
+    }
+
+    /// Merged Prometheus exposition: every group's replica registry
+    /// (group 0 unlabelled, group `g` as `g{g}/{node}`) plus one snapshot
+    /// of the shared transport (whose per-group series carry `_group_{g}`
+    /// name suffixes).
+    pub fn prometheus(&self) -> String {
+        let mut snaps = Vec::new();
+        for (g, c) in self.groups.iter().enumerate() {
+            for i in 0..c.local_len() {
+                snaps.push(relabel(g as u32, c.registry(i).snapshot()));
+            }
+        }
+        if let Some(s) = MuxTransport::scrape(self.mux.as_ref()) {
+            snaps.push(s);
+        }
+        nbr_obs::export::prometheus(&snaps)
+    }
+
+    /// Drain every group's trace buffer into one merged, time-sorted stream
+    /// with group-namespaced node ids (replica `r` of group `g` appears as
+    /// node `g * GROUP_NODE_STRIDE + r`; group 0 is unchanged). Empty when
+    /// the server was spawned without a probe.
+    pub fn take_namespaced_events(&self) -> Vec<TraceEvent> {
+        let mut all = Vec::new();
+        for (g, p) in self.probes.iter().enumerate() {
+            let mut evs = p.take();
+            namespace_events(g as u32, &mut evs);
+            all.extend(evs);
+        }
+        all.sort_by_key(|e| e.at);
+        all
+    }
+}
+
+/// Scrape closure for the metrics endpoint: same merge as
+/// [`ShardServer::prometheus`], built from the `Arc`-shared pieces.
+fn shard_scraper<M: StateMachine + Send + Default + 'static>(
+    groups: &[Cluster<M>],
+    mux: &Arc<TcpTransport>,
+) -> Arc<dyn Fn() -> String + Send + Sync> {
+    let regs: Vec<(u32, Vec<Arc<Registry>>)> = groups
+        .iter()
+        .enumerate()
+        .map(|(g, c)| (g as u32, (0..c.local_len()).map(|i| c.registry(i)).collect()))
+        .collect();
+    let mux = Arc::clone(mux);
+    Arc::new(move || {
+        let mut snaps = Vec::new();
+        for (g, rs) in &regs {
+            for r in rs {
+                snaps.push(relabel(*g, r.snapshot()));
+            }
+        }
+        if let Some(s) = MuxTransport::scrape(mux.as_ref()) {
+            snaps.push(s);
+        }
+        nbr_obs::export::prometheus(&snaps)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_seed_identity_for_group_zero() {
+        assert_eq!(group_seed(42, 0), 42);
+        assert_eq!(group_seed(7, 0), 7);
+    }
+
+    #[test]
+    fn group_seeds_decorrelated() {
+        let seeds: std::collections::HashSet<u64> = (0..64).map(|g| group_seed(42, g)).collect();
+        assert_eq!(seeds.len(), 64, "64 groups must get 64 distinct seeds");
+    }
+
+    #[test]
+    fn wal_dirs_namespaced_per_group() {
+        let base = ClusterConfig {
+            storage: StorageMode::Wal(std::path::PathBuf::from("/tmp/w")),
+            ..ClusterConfig::default()
+        };
+        let g2 = group_config(&base, 2, 4);
+        match g2.storage {
+            StorageMode::Wal(d) => assert_eq!(d, std::path::PathBuf::from("/tmp/w/group-2")),
+            StorageMode::Memory => panic!("storage mode must survive derivation"),
+        }
+        // Single group: directory untouched (unsharded parity).
+        let g0 = group_config(&base, 0, 1);
+        match g0.storage {
+            StorageMode::Wal(d) => assert_eq!(d, std::path::PathBuf::from("/tmp/w")),
+            StorageMode::Memory => panic!(),
+        }
+    }
+
+    #[test]
+    fn relabel_keeps_group_zero() {
+        let r = Registry::new("3");
+        assert_eq!(relabel(0, r.snapshot()).label, "3");
+        assert_eq!(relabel(5, r.snapshot()).label, "g5/3");
+    }
+}

@@ -1,0 +1,198 @@
+//! End-to-end sharded tests over real loopback TCP: three `ShardServer`
+//! processes-worth, each hosting one replica of *two* Raft groups, all
+//! traffic multiplexed over one set of per-peer links (wire protocol v4).
+//!
+//! The headline property: groups fail independently even though they share
+//! sockets — ops keep committing in one group while the other group's
+//! leader is crashed.
+
+use nbr_cluster::ClusterConfig;
+use nbr_net::NetClient;
+use nbr_shard::{ShardServeConfig, ShardServer};
+use nbr_storage::KvStore;
+use nbr_types::{ClientId, TimeDelta};
+use std::net::{SocketAddr, TcpListener};
+use std::time::{Duration, Instant};
+
+const CLUSTER_ID: u64 = 11;
+const GROUPS: u32 = 2;
+
+fn bind_all(n: usize) -> Vec<(TcpListener, SocketAddr)> {
+    (0..n)
+        .map(|_| {
+            let l = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+            let a = l.local_addr().expect("local addr");
+            (l, a)
+        })
+        .collect()
+}
+
+/// Spawn an `n`-process sharded cluster: every process hosts one replica of
+/// each of [`GROUPS`] groups over a single shared transport.
+fn spawn_sharded(n: usize) -> (Vec<ShardServer<KvStore>>, Vec<(u32, SocketAddr)>) {
+    let bound = bind_all(n);
+    let members: Vec<(u32, SocketAddr)> =
+        bound.iter().enumerate().map(|(i, &(_, a))| (i as u32, a)).collect();
+    let servers = bound
+        .into_iter()
+        .enumerate()
+        .map(|(i, (listener, _))| {
+            let peers: Vec<(u32, SocketAddr)> =
+                members.iter().filter(|&&(id, _)| id != i as u32).copied().collect();
+            // Staggered per-node seeds (see nbr-net's loopback tests) keep
+            // cold-start elections one round long; per-group decorrelation
+            // on top is ShardServer's job.
+            let cluster =
+                ClusterConfig { seed: 0x005a_4ded ^ ((i as u64) << 8), ..ClusterConfig::default() };
+            let cfg = ShardServeConfig {
+                cluster_id: CLUSTER_ID,
+                node_id: i as u32,
+                bind: "127.0.0.1:0".parse().expect("addr"),
+                peers,
+                groups: GROUPS,
+                cluster,
+                metrics_bind: None,
+                link_delay: Duration::ZERO,
+                peer_lanes: 1,
+                link_loss_pct: 0.0,
+                faults: None,
+            };
+            ShardServer::spawn_on(cfg, listener).expect("spawn shard server")
+        })
+        .collect();
+    (servers, members)
+}
+
+fn poll_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if cond() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Which server's replica of group `g` is leader, if any.
+fn group_leader(servers: &[ShardServer<KvStore>], g: u32, timeout: Duration) -> Option<usize> {
+    let mut leader = None;
+    poll_until(timeout, || {
+        leader = servers.iter().enumerate().find_map(|(i, s)| {
+            let st = s.group(g).status(0);
+            (st.alive && st.is_leader).then_some(i)
+        });
+        leader.is_some()
+    });
+    leader
+}
+
+/// A client for `group`. Ids are globally unique across groups — response
+/// routing over the shared links is by `ClientId` alone.
+fn client_for(group: u32, t: u64, members: &[(u32, SocketAddr)]) -> NetClient {
+    NetClient::new_in_group(
+        CLUSTER_ID,
+        GROUPS,
+        group,
+        ClientId(1_000 + u64::from(group) * 10_000 + t),
+        members.to_vec(),
+        TimeDelta::from_millis(300),
+    )
+}
+
+#[test]
+fn two_groups_commit_over_shared_links() {
+    let (servers, members) = spawn_sharded(3);
+    for g in 0..GROUPS {
+        group_leader(&servers, g, Duration::from_secs(10))
+            .unwrap_or_else(|| panic!("group {g} elected no leader"));
+    }
+
+    for g in 0..GROUPS {
+        let mut client = client_for(g, 0, &members);
+        for i in 0..10u32 {
+            client
+                .submit(bytes::Bytes::from(format!("g{g}k{i}=v")), Duration::from_secs(10))
+                .expect("submit over shared links");
+        }
+        assert!(client.drain(Duration::from_secs(10)), "group {g} opList did not drain");
+    }
+
+    // Every process's replica of every group converges on its own group's
+    // keys — and never on the other group's.
+    let converged = poll_until(Duration::from_secs(10), || {
+        servers.iter().all(|s| {
+            (0..GROUPS).all(|g| {
+                let m = s.group(g).machine(0);
+                let m = m.lock();
+                (0..10u32).all(|i| m.get(format!("g{g}k{i}").as_bytes()).is_some())
+            })
+        })
+    });
+    assert!(converged, "replicas did not converge on both groups' keys");
+    for s in &servers {
+        let m = s.group(0).machine(0);
+        let m = m.lock();
+        assert!(m.get(b"g1k0").is_none(), "group 0 replica leaked group 1 state");
+    }
+
+    // The mux accounted traffic per group, and the merged export namespaces
+    // group 1's replica registry.
+    let prom = servers[0].prometheus();
+    assert!(prom.contains("net_frames_in_group_1"), "per-group frame counters absent:\n{prom}");
+    assert!(prom.contains("node=\"g1/0\""), "group 1 registry label absent:\n{prom}");
+    // Late sends during spawn are tolerated but must be rare.
+    for s in &servers {
+        assert!(s.pre_bind_drops() < 100, "excessive pre-bind drops: {}", s.pre_bind_drops());
+    }
+}
+
+#[test]
+fn group_keeps_committing_while_other_groups_leader_is_down() {
+    let (servers, members) = spawn_sharded(3);
+    let g0_leader =
+        group_leader(&servers, 0, Duration::from_secs(10)).expect("group 0 elected no leader");
+    group_leader(&servers, 1, Duration::from_secs(10)).expect("group 1 elected no leader");
+
+    // Crash group 0's leader *replica* (not the process): the shared links
+    // stay up and keep carrying group 1's traffic — the failure domain is
+    // the group, not the socket.
+    servers[g0_leader].group(0).crash(0);
+
+    let mut c1 = client_for(1, 1, &members);
+    for i in 0..10u32 {
+        c1.submit(bytes::Bytes::from(format!("live{i}=1")), Duration::from_secs(10))
+            .expect("group 1 commits while group 0's leader is down");
+    }
+    assert!(c1.drain(Duration::from_secs(10)), "group 1 opList did not drain");
+
+    // Group 0 re-elects among the two surviving replicas and serves again.
+    let reelected = poll_until(Duration::from_secs(15), || {
+        servers.iter().enumerate().any(|(i, s)| {
+            let st = s.group(0).status(0);
+            i != g0_leader && st.alive && st.is_leader
+        })
+    });
+    assert!(reelected, "group 0 did not re-elect after leader crash");
+
+    let mut c0 = client_for(0, 1, &members);
+    c0.submit(bytes::Bytes::from_static(b"back=1"), Duration::from_secs(15))
+        .expect("group 0 commits again after re-election");
+    assert!(c0.drain(Duration::from_secs(15)), "group 0 opList did not drain");
+}
+
+#[test]
+fn group_count_mismatch_is_refused_at_handshake() {
+    let (servers, members) = spawn_sharded(3);
+    group_leader(&servers, 0, Duration::from_secs(10)).expect("group 0 elected no leader");
+
+    // A client that believes the deployment is unsharded: its Hello carries
+    // groups=1, the servers run groups=2 — the handshake refuses, so the
+    // submit times out instead of committing into a mis-addressed group.
+    let mut stale =
+        NetClient::new(CLUSTER_ID, ClientId(77_000), members.clone(), TimeDelta::from_millis(100));
+    let r = stale.submit(bytes::Bytes::from_static(b"x=1"), Duration::from_millis(1500));
+    assert!(r.is_err(), "group-count-mismatched client must not commit");
+}

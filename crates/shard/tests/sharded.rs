@@ -1,0 +1,107 @@
+//! In-process sharded harness tests: N independent groups on private
+//! routers, group-keyed clients, crash independence, merged metrics.
+
+use nbr_cluster::ClusterConfig;
+use nbr_shard::{shard_of, ShardedCluster};
+use nbr_storage::KvStore;
+use std::time::{Duration, Instant};
+
+fn poll_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if cond() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn groups_commit_independently_in_process() {
+    let sc: ShardedCluster<KvStore> = ShardedCluster::spawn(2, 3, ClusterConfig::default());
+    sc.wait_for_leaders(Duration::from_secs(10)).expect("every group elects a leader");
+
+    // One client per group; keys are disjoint per group so convergence
+    // checks are unambiguous.
+    for g in 0..sc.groups() {
+        let mut client = sc.group(g).client();
+        for i in 0..10u32 {
+            client
+                .submit(bytes::Bytes::from(format!("g{g}k{i}=v")), Duration::from_secs(10))
+                .expect("submit");
+        }
+        assert!(client.drain(Duration::from_secs(10)), "group {g} opList did not drain");
+    }
+
+    // Each group's replicas hold exactly their own group's keys.
+    for g in 0..sc.groups() {
+        let cluster = sc.group(g);
+        let converged = poll_until(Duration::from_secs(10), || {
+            (0..cluster.local_len()).all(|node| {
+                let m = cluster.machine(node);
+                let m = m.lock();
+                (0..10u32).all(|i| m.get(format!("g{g}k{i}").as_bytes()).is_some())
+            })
+        });
+        assert!(converged, "group {g} replicas did not converge");
+        let other = 1 - g;
+        let m = cluster.machine(0);
+        let m = m.lock();
+        assert!(
+            m.get(format!("g{other}k0").as_bytes()).is_none(),
+            "group {g} must not see group {other}'s keys"
+        );
+    }
+}
+
+#[test]
+fn crashed_group_leader_does_not_stall_other_groups() {
+    let sc: ShardedCluster<KvStore> = ShardedCluster::spawn(2, 3, ClusterConfig::default());
+    let leaders =
+        sc.wait_for_leaders(Duration::from_secs(10)).expect("every group elects a leader");
+
+    // Take down group 0's leader. Group 1 shares nothing with it and must
+    // keep committing without a hiccup; group 0 re-elects among survivors.
+    sc.group(0).crash(leaders[0]);
+
+    let mut c1 = sc.group(1).client();
+    for i in 0..10u32 {
+        c1.submit(bytes::Bytes::from(format!("live{i}=1")), Duration::from_secs(10))
+            .expect("group 1 commits while group 0's leader is down");
+    }
+    assert!(c1.drain(Duration::from_secs(10)), "group 1 opList did not drain");
+
+    let reelected = poll_until(Duration::from_secs(15), || {
+        (0..sc.group(0).local_len()).any(|i| {
+            let s = sc.group(0).status(i);
+            s.alive && s.is_leader
+        })
+    });
+    assert!(reelected, "group 0 did not re-elect after leader crash");
+
+    let mut c0 = sc.group(0).client();
+    c0.submit(bytes::Bytes::from_static(b"back=1"), Duration::from_secs(15))
+        .expect("group 0 commits again after re-election");
+    assert!(c0.drain(Duration::from_secs(15)));
+}
+
+#[test]
+fn device_routing_uses_stable_assignment() {
+    let sc: ShardedCluster<KvStore> = ShardedCluster::spawn(4, 3, ClusterConfig::default());
+    for device in [0u64, 17, 1_000_003, u64::MAX] {
+        assert_eq!(sc.group_for_device(device), shard_of(device, 4));
+    }
+}
+
+#[test]
+fn merged_prometheus_labels_groups() {
+    let sc: ShardedCluster<KvStore> = ShardedCluster::spawn(2, 3, ClusterConfig::default());
+    sc.wait_for_leaders(Duration::from_secs(10)).expect("leaders");
+    let prom = sc.prometheus();
+    // Group 0 keeps unsharded labels; group 1's replicas are namespaced.
+    assert!(prom.contains("node=\"0\""), "group 0 labels must stay plain:\n{prom}");
+    assert!(prom.contains("node=\"g1/0\""), "group 1 labels must be namespaced:\n{prom}");
+}

@@ -27,7 +27,16 @@ use crate::wire::{Reader, Wire, Writer};
 /// v2: `Append` carries a contiguous entry batch instead of a single entry.
 /// v3: `Request` carries a trace id; `Ping`/`Pong` carry clock-sync
 /// timestamps for cross-node trace alignment.
-pub const NET_PROTOCOL_VERSION: u16 = 3;
+/// v4: `Peer`/`Request`/`Response` carry the Raft *group* they belong to,
+/// so one per-peer connection multiplexes every group of a sharded
+/// deployment; `Hello` declares the sender's group count.
+pub const NET_PROTOCOL_VERSION: u16 = 4;
+
+/// Upper bound on the per-process Raft group count a handshake may declare.
+/// Far above any sane deployment (groups cost replica threads and inboxes);
+/// exists so a corrupt or hostile `Hello` cannot smuggle an absurd count
+/// into table sizing downstream.
+pub const MAX_GROUPS: u32 = 1024;
 
 /// Who is on the remote end of a connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +56,11 @@ pub struct HelloMsg {
     pub cluster_id: u64,
     /// Identity of the connecting side.
     pub kind: PeerKind,
+    /// Raft groups the sender's process hosts (v4+; decoding a pre-v4
+    /// `Hello` defaults to 1). Both sides of a peer link must agree —
+    /// mismatched group counts mean mismatched shard maps, which would
+    /// silently misroute traffic, so the handshake refuses them.
+    pub groups: u32,
 }
 
 /// One frame on a transport connection.
@@ -54,8 +68,11 @@ pub struct HelloMsg {
 pub enum NetFrame {
     /// Handshake (first frame, exactly once).
     Hello(HelloMsg),
-    /// Replica-to-replica protocol message addressed to node `to`.
+    /// Replica-to-replica protocol message addressed to node `to` of Raft
+    /// group `group`.
     Peer {
+        /// Raft group the message belongs to (0 in unsharded deployments).
+        group: u32,
         /// Sending replica.
         from: NodeId,
         /// Destination replica (the remote process may host several).
@@ -63,8 +80,10 @@ pub enum NetFrame {
         /// The protocol message.
         msg: Message,
     },
-    /// Client request addressed to node `to`.
+    /// Client request addressed to node `to` of Raft group `group`.
     Request {
+        /// Raft group that owns the request's key range (0 when unsharded).
+        group: u32,
         /// Destination replica.
         to: NodeId,
         /// Trace id stamped by the submitting client (instrumentation
@@ -76,6 +95,8 @@ pub enum NetFrame {
     },
     /// Response to a client session.
     Response {
+        /// Raft group the responding replica belongs to (0 when unsharded).
+        group: u32,
         /// Destination client.
         client: ClientId,
         /// The response.
@@ -107,6 +128,18 @@ pub fn trace_id(client: ClientId, request: RequestId) -> u64 {
     (client.0 << 32) | (request.0 & 0xFFFF_FFFF)
 }
 
+/// Group-namespaced trace id for sharded deployments: folds the owning
+/// Raft group into bits 48..63 of the deterministic per-op id, so ids from
+/// different groups of one process never collide in a merged trace. Like
+/// [`trace_id`] it is derived, not random — every hop recomputes the same
+/// value from `(group, client, request)` without coordination. Exact
+/// (collision-free) whenever client ids stay below 2^16, which every
+/// harness in this workspace guarantees; `group_trace_id(0, c, r)` equals
+/// `trace_id(c, r)`, so unsharded traffic is unchanged.
+pub fn group_trace_id(group: u32, client: ClientId, request: RequestId) -> u64 {
+    (u64::from(group) << 48) ^ trace_id(client, request)
+}
+
 impl Wire for PeerKind {
     fn encode(&self, w: &mut Writer) {
         match self {
@@ -134,13 +167,24 @@ impl Wire for HelloMsg {
         w.u32(self.version as u32);
         w.u64(self.cluster_id);
         self.kind.encode(w);
+        w.u32(self.groups);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
         let version = r.u32()?;
         if version > u16::MAX as u32 {
             return Err(Error::Codec(format!("implausible protocol version {version}")));
         }
-        Ok(HelloMsg { version: version as u16, cluster_id: r.u64()?, kind: PeerKind::decode(r)? })
+        let cluster_id = r.u64()?;
+        let kind = PeerKind::decode(r)?;
+        // The group count is a v4 addition *after* the v3 fields, so a v3
+        // peer's Hello still decodes cleanly here — the handshake then
+        // refuses it with an accounted version mismatch instead of a codec
+        // error tearing the connection down as "corrupt".
+        let groups = if version >= 4 { r.u32()? } else { 1 };
+        if groups == 0 || groups > MAX_GROUPS {
+            return Err(Error::Codec(format!("implausible group count {groups}")));
+        }
+        Ok(HelloMsg { version: version as u16, cluster_id, kind, groups })
     }
 }
 
@@ -151,20 +195,23 @@ impl Wire for NetFrame {
                 w.u8(0);
                 h.encode(w);
             }
-            NetFrame::Peer { from, to, msg } => {
+            NetFrame::Peer { group, from, to, msg } => {
                 w.u8(1);
+                w.u32(*group);
                 from.encode(w);
                 to.encode(w);
                 msg.encode(w);
             }
-            NetFrame::Request { to, trace, req } => {
+            NetFrame::Request { group, to, trace, req } => {
                 w.u8(2);
+                w.u32(*group);
                 to.encode(w);
                 w.u64(*trace);
                 req.encode(w);
             }
-            NetFrame::Response { client, resp } => {
+            NetFrame::Response { group, client, resp } => {
                 w.u8(3);
+                w.u32(*group);
                 client.encode(w);
                 resp.encode(w);
             }
@@ -185,16 +232,19 @@ impl Wire for NetFrame {
         match r.u8()? {
             0 => Ok(NetFrame::Hello(HelloMsg::decode(r)?)),
             1 => Ok(NetFrame::Peer {
+                group: decode_group(r)?,
                 from: NodeId::decode(r)?,
                 to: NodeId::decode(r)?,
                 msg: Message::decode(r)?,
             }),
             2 => Ok(NetFrame::Request {
+                group: decode_group(r)?,
                 to: NodeId::decode(r)?,
                 trace: r.u64()?,
                 req: ClientRequest::decode(r)?,
             }),
             3 => Ok(NetFrame::Response {
+                group: decode_group(r)?,
                 client: ClientId::decode(r)?,
                 resp: ClientResponse::decode(r)?,
             }),
@@ -203,6 +253,17 @@ impl Wire for NetFrame {
             v => Err(Error::Codec(format!("invalid net frame tag {v}"))),
         }
     }
+}
+
+/// Decode a routed frame's group id, bounded the same way the handshake's
+/// group count is: a flipped byte in this field must surface as a codec
+/// error here, not as an index into a demux table it could never fit.
+fn decode_group(r: &mut Reader<'_>) -> Result<u32> {
+    let group = r.u32()?;
+    if group >= MAX_GROUPS {
+        return Err(Error::Codec(format!("implausible group id {group}")));
+    }
+    Ok(group)
 }
 
 #[cfg(test)]
@@ -219,13 +280,16 @@ mod tests {
                 version: NET_PROTOCOL_VERSION,
                 cluster_id: 0xC0FFEE,
                 kind: PeerKind::Node(NodeId(2)),
+                groups: 1,
             }),
             NetFrame::Hello(HelloMsg {
                 version: NET_PROTOCOL_VERSION,
                 cluster_id: 1,
                 kind: PeerKind::Client(ClientId(77)),
+                groups: 8,
             }),
             NetFrame::Peer {
+                group: 0,
                 from: NodeId(1),
                 to: NodeId(0),
                 msg: Message::Heartbeat(HeartbeatMsg {
@@ -237,6 +301,7 @@ mod tests {
                 }),
             },
             NetFrame::Request {
+                group: 3,
                 to: NodeId(0),
                 trace: (5u64 << 32) | 6,
                 req: ClientRequest {
@@ -246,6 +311,7 @@ mod tests {
                 },
             },
             NetFrame::Response {
+                group: MAX_GROUPS - 1,
                 client: ClientId(5),
                 resp: ClientResponse::Weak {
                     request: RequestId(6),
@@ -306,5 +372,50 @@ mod tests {
         let body = w.into_bytes();
         let mut r = Reader::new(&body);
         assert!(NetFrame::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn v3_hello_decodes_with_default_group_count() {
+        // A v3 peer's Hello has no trailing group count; decoding must
+        // still succeed (groups = 1) so the handshake can refuse it as a
+        // *version* mismatch rather than a codec error.
+        let mut w = Writer::new();
+        w.u8(0); // Hello tag
+        w.u32(3); // v3
+        w.u64(7);
+        PeerKind::Node(NodeId(2)).encode(&mut w);
+        let body = w.into_bytes();
+        let mut r = Reader::new(&body);
+        let NetFrame::Hello(h) = NetFrame::decode(&mut r).unwrap() else {
+            panic!("expected Hello");
+        };
+        assert_eq!(h.version, 3);
+        assert_eq!(h.cluster_id, 7);
+        assert_eq!(h.groups, 1);
+    }
+
+    #[test]
+    fn implausible_group_counts_rejected() {
+        for groups in [0u32, MAX_GROUPS + 1, u32::MAX] {
+            let mut w = Writer::new();
+            w.u8(0); // Hello tag
+            w.u32(NET_PROTOCOL_VERSION as u32);
+            w.u64(1);
+            PeerKind::Node(NodeId(0)).encode(&mut w);
+            w.u32(groups);
+            let body = w.into_bytes();
+            let mut r = Reader::new(&body);
+            assert!(NetFrame::decode(&mut r).is_err(), "groups={groups} must be refused");
+        }
+    }
+
+    #[test]
+    fn group_trace_ids_distinct_across_groups() {
+        let (c, r) = (ClientId(1_017), RequestId(42));
+        assert_eq!(group_trace_id(0, c, r), trace_id(c, r));
+        let mut seen = std::collections::HashSet::new();
+        for g in 0..MAX_GROUPS {
+            assert!(seen.insert(group_trace_id(g, c, r)));
+        }
     }
 }

@@ -55,6 +55,7 @@ fn sample_frames() -> Vec<Vec<u8>> {
         payload: Bytes::from(vec![0xA5; 512]),
     };
     let net = NetFrame::Peer {
+        group: 0,
         from: NodeId(1),
         to: NodeId(0),
         msg: Message::Heartbeat(HeartbeatMsg {
@@ -68,11 +69,13 @@ fn sample_frames() -> Vec<Vec<u8>> {
     let hello = NetFrame::Hello(HelloMsg {
         version: NET_PROTOCOL_VERSION,
         cluster_id: 7,
+        groups: 8,
         kind: PeerKind::Client(ClientId(3)),
     });
     let traced = NetFrame::Request {
+        group: 3,
         to: NodeId(2),
-        trace: trace_id(ClientId(5), RequestId(6)),
+        trace: group_trace_id(3, ClientId(5), RequestId(6)),
         req: ClientRequest {
             client: ClientId(5),
             request: RequestId(6),
@@ -125,6 +128,7 @@ fn mutated_frames_never_panic() {
 fn mutated_trace_fields_total_and_bounded() {
     let frames = [
         encode_frame(&NetFrame::Request {
+            group: MAX_GROUPS - 1,
             to: NodeId(1),
             trace: trace_id(ClientId(0xFFFF_FFFF), RequestId(u64::MAX)),
             req: ClientRequest {
@@ -159,6 +163,7 @@ fn trace_id_roundtrip_exact() {
     for (c, r) in [(0u64, 0u64), (1, 2), (0xFFFF_FFFF, 0xFFFF_FFFF), (7, u64::MAX)] {
         let trace = trace_id(ClientId(c), RequestId(r));
         let frame = NetFrame::Request {
+            group: 0,
             to: NodeId(0),
             trace,
             req: ClientRequest {
@@ -350,6 +355,152 @@ fn batched_append_respects_transport_cap() {
     assert!(frame.len() > 64 << 10);
     assert!(decode_frame_capped::<Message>(&frame, frame.len()).unwrap().is_some());
     assert!(matches!(decode_frame_capped::<Message>(&frame, 64 << 10), Err(Error::Codec(_))));
+}
+
+/// Wrap a hand-written body in the standard `len || crc || body` framing.
+fn frame_bytes(body: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&nbr_types::checksum::crc32(body).to_le_bytes());
+    frame.extend_from_slice(body);
+    frame
+}
+
+/// The v4 group envelope adds a u32 group id to `Peer`/`Request`/`Response`
+/// and a group count to `Hello`. Exhaustive single-byte corruption — every
+/// offset, every bit — of group-carrying frames must stay total: decode,
+/// error, or want-more, never a panic, and never an id at or above
+/// `MAX_GROUPS` slipping through into demux-table indexing downstream.
+#[test]
+fn mutated_group_fields_total_and_bounded() {
+    let frames = [
+        encode_frame(&NetFrame::Peer {
+            group: MAX_GROUPS - 1,
+            from: NodeId(1),
+            to: NodeId(2),
+            msg: Message::Heartbeat(HeartbeatMsg {
+                term: Term(4),
+                leader: NodeId(1),
+                last_index: LogIndex(9),
+                last_term: Term(4),
+                leader_commit: LogIndex(8),
+            }),
+        }),
+        encode_frame(&NetFrame::Response {
+            group: 7,
+            client: ClientId(3),
+            resp: ClientResponse::Weak {
+                request: RequestId(6),
+                index: LogIndex(10),
+                term: Term(4),
+            },
+        }),
+        encode_frame(&NetFrame::Hello(HelloMsg {
+            version: NET_PROTOCOL_VERSION,
+            cluster_id: 7,
+            groups: MAX_GROUPS,
+            kind: PeerKind::Node(NodeId(0)),
+        })),
+    ];
+    for frame in &frames {
+        for at in 0..frame.len() {
+            for bit in 0..8 {
+                let mut m = frame.clone();
+                m[at] ^= 1 << bit;
+                match decode_frame::<NetFrame>(&m) {
+                    Ok(Some((NetFrame::Peer { group, .. }, _)))
+                    | Ok(Some((NetFrame::Request { group, .. }, _)))
+                    | Ok(Some((NetFrame::Response { group, .. }, _))) => {
+                        assert!(group < MAX_GROUPS, "out-of-range group survived decode");
+                    }
+                    Ok(Some((NetFrame::Hello(h), _))) => {
+                        assert!(
+                            h.groups >= 1 && h.groups <= MAX_GROUPS,
+                            "out-of-range group count survived decode"
+                        );
+                    }
+                    _ => {} // error, want-more, or a different (valid) frame
+                }
+            }
+        }
+    }
+}
+
+/// Absurd group ids written straight into a routed frame's envelope are a
+/// codec error — the bound is enforced at decode, not left to routing.
+#[test]
+fn absurd_group_ids_rejected() {
+    for group in [MAX_GROUPS, MAX_GROUPS + 1, u32::MAX] {
+        let mut w = wire::Writer::new();
+        w.u8(2); // NetFrame::Request tag
+        w.u32(group);
+        NodeId(0).encode(&mut w);
+        w.u64(0); // trace
+        ClientId(1).encode(&mut w);
+        RequestId(1).encode(&mut w);
+        w.u32(0); // empty payload
+        let frame = frame_bytes(&w.into_bytes());
+        assert!(
+            matches!(decode_frame::<NetFrame>(&frame), Err(Error::Codec(_))),
+            "group id {group} must be refused"
+        );
+    }
+    // Same bound on the handshake's declared group count (plus zero, which
+    // no process can host).
+    for groups in [0u32, MAX_GROUPS + 1, u32::MAX] {
+        let mut w = wire::Writer::new();
+        w.u8(0); // NetFrame::Hello tag
+        w.u32(NET_PROTOCOL_VERSION as u32);
+        w.u64(1);
+        PeerKind::Node(NodeId(0)).encode(&mut w);
+        w.u32(groups);
+        let frame = frame_bytes(&w.into_bytes());
+        assert!(
+            matches!(decode_frame::<NetFrame>(&frame), Err(Error::Codec(_))),
+            "group count {groups} must be refused"
+        );
+    }
+}
+
+/// Cross-version handshake: a v3 peer's `Hello` (no trailing group count)
+/// must decode *cleanly* — version 3, groups defaulting to 1 — so the
+/// transport can refuse it as an accounted version mismatch instead of
+/// tearing the connection down as a corrupt stream. A truncated v4 `Hello`
+/// missing its group count must conversely read as incomplete, never as a
+/// v4 frame with an invented count.
+#[test]
+fn cross_version_hello_decodes_cleanly() {
+    let mut w = wire::Writer::new();
+    w.u8(0); // NetFrame::Hello tag
+    w.u32(3); // v3: fields end after the peer kind
+    w.u64(0xC0FFEE);
+    PeerKind::Node(NodeId(2)).encode(&mut w);
+    let frame = frame_bytes(&w.into_bytes());
+    match decode_frame::<NetFrame>(&frame) {
+        Ok(Some((NetFrame::Hello(h), used))) => {
+            assert_eq!(h.version, 3);
+            assert_eq!(h.cluster_id, 0xC0FFEE);
+            assert_eq!(h.groups, 1);
+            assert_eq!(used, frame.len());
+        }
+        other => panic!("v3 Hello must decode cleanly, got {other:?}"),
+    }
+
+    // v4 Hello truncated just before its group count: incomplete or error,
+    // never a decoded value.
+    let full = encode_frame(&NetFrame::Hello(HelloMsg {
+        version: NET_PROTOCOL_VERSION,
+        cluster_id: 0xC0FFEE,
+        groups: 4,
+        kind: PeerKind::Node(NodeId(2)),
+    }));
+    for cut in 0..full.len() {
+        match decode_frame::<NetFrame>(&full[..cut]) {
+            Ok(None) | Err(Error::Codec(_)) => {}
+            Ok(Some(_)) => panic!("decoded a truncated v4 Hello (cut={cut})"),
+            Err(e) => panic!("unexpected error class: {e}"),
+        }
+    }
 }
 
 /// Reader primitives are themselves total over random short buffers.

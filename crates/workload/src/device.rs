@@ -62,6 +62,24 @@ fn mix(a: u64, b: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Salt folded into [`shard_of`]'s hash so shard assignment is statistically
+/// independent of every other use of the device id (sensor seeding, series
+/// ids): sequential device ids land on decorrelated shards, not stripes.
+const SHARD_SALT: u64 = 0x5A17_D15C_0DE5_ECED;
+
+/// Stable `device → shard` assignment for a sharded (`--groups N`) cluster.
+///
+/// **The modulus rule:** `shard = mix(device, SHARD_SALT) mod groups`. The
+/// hash is a fixed splitmix-style mixer — no process state, no RNG, no
+/// registry — so the assignment is a pure function of `(device, groups)`:
+/// identical across every client, every process, and every restart. What it
+/// is *not* stable under is a change of `groups`; resharding moves devices,
+/// as plain modulus always does, and callers must treat the group count as
+/// a deployment-frozen parameter.
+pub fn shard_of(device: u64, groups: u32) -> u32 {
+    (mix(device, SHARD_SALT) % u64::from(groups.max(1))) as u32
+}
+
 /// A fleet of `devices`, each with `sensors_per_device` sensors. Series id
 /// `device * sensors_per_device + sensor`.
 #[derive(Debug, Clone)]

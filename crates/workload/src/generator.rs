@@ -1,7 +1,7 @@
 //! Per-client request generation: each closed-loop client drains readings
 //! from its share of the device fleet into fixed-size ingestion requests.
 
-use crate::device::DeviceFleet;
+use crate::device::{shard_of, DeviceFleet};
 use bytes::Bytes;
 use nbr_storage::tsdb::{encode_batch, Point, POINT_BYTES};
 use std::collections::HashMap;
@@ -50,6 +50,10 @@ pub struct RequestGenerator {
     fleet: DeviceFleet,
     client: u64,
     clients_total: u64,
+    /// Devices this generator draws from when sharded: the subset of the
+    /// fleet [`shard_of`] assigns to its group, in ascending id order.
+    /// `None` when unsharded — the whole fleet, with no device table.
+    shard_devices: Option<Vec<u64>>,
     /// Next (device offset, sensor) cursor within the client's share.
     cursor: u64,
     /// Virtual sample clock, ms.
@@ -68,11 +72,32 @@ impl RequestGenerator {
             fleet,
             client,
             clients_total: clients_total.max(1),
+            shard_devices: None,
             cursor: 0,
             clock_ms: 0,
             prev: HashMap::new(),
             produced: 0,
         }
+    }
+
+    /// Generator for `client` of `clients_total` within one group of a
+    /// sharded cluster: draws only from the devices [`shard_of`] assigns to
+    /// `shard` out of `groups`, so every device's stream is produced by
+    /// exactly one group's clients. `groups == 1` is identical to
+    /// [`RequestGenerator::new`].
+    pub fn new_sharded(
+        cfg: WorkloadConfig,
+        client: u64,
+        clients_total: u64,
+        groups: u32,
+        shard: u32,
+    ) -> RequestGenerator {
+        let mut g = Self::new(cfg, client, clients_total);
+        if groups > 1 {
+            g.shard_devices =
+                Some((0..g.cfg.devices).filter(|&d| shard_of(d, groups) == shard).collect());
+        }
+        g
     }
 
     /// Number of requests produced so far.
@@ -89,12 +114,24 @@ impl RequestGenerator {
     /// `cfg.request_size` bytes when that is larger than the points need).
     pub fn next_request(&mut self) -> Bytes {
         let ppr = self.cfg.points_per_request();
-        let series_total = self.fleet.series_count();
+        let spd = self.cfg.sensors_per_device;
+        // Sharded: the addressable series are the shard's devices × sensors
+        // (a dense index remapped through the shard's device table).
+        // Unsharded: the whole fleet, indexed directly.
+        let series_total = match &self.shard_devices {
+            Some(devs) => (devs.len() as u64 * spd).max(1),
+            None => self.fleet.series_count(),
+        };
         let mut points = Vec::with_capacity(ppr);
         for _ in 0..ppr {
             // Client's own series stripe for locality, like per-gateway data.
             let owned = self.client + self.cursor * self.clients_total;
-            let series = owned % series_total;
+            let slot = owned % series_total;
+            let series = match &self.shard_devices {
+                Some(devs) if devs.is_empty() => slot, // degenerate shard: no devices
+                Some(devs) => self.fleet.series_id(devs[(slot / spd) as usize], slot % spd),
+                None => slot,
+            };
             let prev = self.prev.get(&series).copied().unwrap_or(0.0);
             let value = self.fleet.reading(series, self.clock_ms, prev);
             self.prev.insert(series, value);

@@ -9,5 +9,5 @@
 pub mod device;
 pub mod generator;
 
-pub use device::{DeviceFleet, SensorSpec};
+pub use device::{shard_of, DeviceFleet, SensorSpec};
 pub use generator::{RequestGenerator, WorkloadConfig};

@@ -1,0 +1,117 @@
+//! Property tests for the `device → shard` assignment ([`shard_of`]) and
+//! the sharded request generator.
+//!
+//! The sharding contract the rest of the system leans on:
+//!
+//! 1. **Total** — every device maps to exactly one shard below the group
+//!    count, for any group count.
+//! 2. **Deterministic across restarts** — the assignment is a pure function
+//!    of `(device, groups)`: recomputing it in a fresh "process" (here,
+//!    simply recomputing) yields the identical shard, since misrouting a
+//!    device's stream after a restart would split its series across groups.
+//! 3. **Balanced** — over a TPCx-IoT-shaped fleet (dense sequential device
+//!    ids), every shard's share stays within ±20% of `devices / groups`, so
+//!    near-linear scaling is not eaten by a skewed partition.
+//! 4. **Disjoint generation** — sharded generators of different groups
+//!    produce points for disjoint device sets, and the union over all
+//!    groups covers the whole fleet.
+
+use nbr_storage::tsdb::decode_batch;
+use nbr_workload::{shard_of, RequestGenerator, WorkloadConfig};
+use proptest::prelude::*;
+
+proptest! {
+    /// Totality: any device, any plausible group count — one shard, in range.
+    #[test]
+    fn assignment_total_and_in_range(device in any::<u64>(), groups in 1u32..=1024) {
+        let s = shard_of(device, groups);
+        prop_assert!(s < groups);
+    }
+
+    /// Restart-stability: the assignment is a pure function — recomputing
+    /// (possibly in a different order, as a restarted process would) gives
+    /// the same shard for every device.
+    #[test]
+    fn assignment_deterministic_across_restarts(
+        devices in prop::collection::vec(any::<u64>(), 1..64),
+        groups in 1u32..=64,
+    ) {
+        let first: Vec<u32> = devices.iter().map(|&d| shard_of(d, groups)).collect();
+        let recomputed: Vec<u32> = devices.iter().rev().map(|&d| shard_of(d, groups)).collect();
+        for (a, b) in first.iter().zip(recomputed.iter().rev()) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Balance: dense sequential device ids (the TPCx-IoT fleet shape — ids
+    /// `0..devices`) spread within ±20% of the fair share for every group
+    /// count the CLI exposes.
+    #[test]
+    fn assignment_balanced_within_20pct(
+        devices in 2_000u64..20_000,
+        groups in (1u32..=3).prop_map(|e| 1u32 << e),
+    ) {
+        let mut counts = vec![0u64; groups as usize];
+        for d in 0..devices {
+            counts[shard_of(d, groups) as usize] += 1;
+        }
+        let fair = devices as f64 / f64::from(groups);
+        for (g, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - fair).abs() / fair;
+            prop_assert!(
+                dev <= 0.20,
+                "shard {} holds {} of {} devices ({:.1}% off fair share {:.0})",
+                g, c, devices, dev * 100.0, fair
+            );
+        }
+    }
+}
+
+/// Sharded generators partition the fleet: each group's generator only emits
+/// points for its own shard's devices, the groups are pairwise disjoint, and
+/// together they cover every device.
+#[test]
+fn sharded_generators_partition_the_fleet() {
+    let cfg = WorkloadConfig {
+        devices: 64,
+        sensors_per_device: 2,
+        request_size: 4096,
+        sample_interval_ms: 1000,
+    };
+    let groups = 4u32;
+    let spd = cfg.sensors_per_device;
+    let mut per_group: Vec<std::collections::HashSet<u64>> = Vec::new();
+    for g in 0..groups {
+        let mut gen = RequestGenerator::new_sharded(cfg.clone(), 0, 1, groups, g);
+        let mut devices = std::collections::HashSet::new();
+        // Enough requests to sweep the shard's series space several times.
+        for _ in 0..8 {
+            for p in decode_batch(&gen.next_request()).unwrap() {
+                devices.insert(p.series / spd);
+            }
+        }
+        for &d in &devices {
+            assert_eq!(shard_of(d, groups), g, "device {d} emitted by the wrong group");
+        }
+        per_group.push(devices);
+    }
+    for a in 0..per_group.len() {
+        for b in a + 1..per_group.len() {
+            assert!(per_group[a].is_disjoint(&per_group[b]), "groups {a} and {b} overlap");
+        }
+    }
+    let union: std::collections::HashSet<u64> = per_group.iter().flatten().copied().collect();
+    assert_eq!(union.len() as u64, cfg.devices, "union must cover the whole fleet");
+}
+
+/// `groups == 1` sharded construction is bit-identical to the unsharded
+/// generator — the single-group baseline must not shift.
+#[test]
+fn single_group_matches_unsharded() {
+    let cfg = WorkloadConfig::default();
+    let mut plain = RequestGenerator::new(cfg.clone(), 3, 8);
+    let mut sharded = RequestGenerator::new_sharded(cfg, 3, 8, 1, 0);
+    for _ in 0..5 {
+        assert_eq!(plain.next_request(), sharded.next_request());
+    }
+}

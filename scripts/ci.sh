@@ -137,6 +137,19 @@ step "bench-net --compare smoke (traced, latency percentiles)"
     --json target/ci-artifacts/BENCH_net.json \
     | tee target/ci-artifacts/bench-net-compare.txt
 
+# Sharded scaling smoke: 1 vs 2 NB-Raft groups multiplexed over shared
+# loopback links (wire protocol v4), weak scaling with a fixed per-group
+# closed-loop client count. This only proves the multi-group stack runs
+# end-to-end and that adding a group adds throughput at all; the full
+# 1,2,4,8 sweep behind the scaling figure is a release-bench concern
+# (bench_out/shard_scaling.csv).
+step "bench-net --scale-groups smoke (2-group mux over shared links)"
+time timeout 420 ./target/release/nbraft-cli bench-net --scale-groups 1,2 \
+    --clients-per-group 4 --window 64 --seconds 1 --rtt-ms 2 --loss-pct 0 \
+    --json target/ci-artifacts/BENCH_shard.json \
+    | tee target/ci-artifacts/bench-net-shard.txt
+grep -q '"bench": "bench-net-shard"' target/ci-artifacts/BENCH_shard.json
+
 step "trace --critical-path (span assembly across 3 replicas x 2 runs)"
 ./target/release/nbraft-cli trace \
     --critical-path target/ci-artifacts/bench-net-traces \
